@@ -1,0 +1,59 @@
+// Ablation: which benefit function should drive neighbor selection?
+// Compares the paper's B/R (bandwidth over result count) against pure
+// result counting (unit) and pure latency (1/latency) on a reduced-scale
+// music-sharing run.  The paper argues B/R because high-bandwidth
+// responders are worth keeping and long result lists dilute significance;
+// this bench quantifies that choice.
+
+#include <cstdio>
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace dsf;
+  gnutella::Config base = bench::paper_config(/*max_hops=*/2);
+  // Ablations always run at reduced scale: the comparison is relative.
+  base.num_users = 800;
+  base.catalog.num_songs = 80'000;
+  base.sim_hours = 36.0;
+  base.warmup_hours = 6.0;
+
+  struct Row {
+    const char* name;
+    gnutella::BenefitKind kind;
+    std::array<double, 3> weights;
+  };
+  const Row rows[] = {
+      {"B/R, class weights 1/2/3 (default)",
+       gnutella::BenefitKind::kBandwidthOverResults, {1.0, 2.0, 3.0}},
+      {"B/R, raw kbit/s 56/1500/10000",
+       gnutella::BenefitKind::kBandwidthOverResults, {56.0, 1500.0, 10000.0}},
+      {"unit (count results)", gnutella::BenefitKind::kUnit, {1.0, 2.0, 3.0}},
+      {"1/latency", gnutella::BenefitKind::kInverseLatency, {1.0, 2.0, 3.0}},
+  };
+
+  std::printf("Ablation — benefit function (hops=%d, %u users, %.0fh)\n",
+              base.max_hops, base.num_users, base.sim_hours);
+  const auto sta = gnutella::Simulation(base.as_static()).run();
+
+  metrics::Table table({"benefit", "total hits", "total results",
+                        "mean 1st-result delay (ms)", "messages"});
+  table.add_row({"static baseline", metrics::fmt_count(sta.total_hits()),
+                 metrics::fmt_count(sta.total_results()),
+                 metrics::fmt(sta.first_result_delay_s.mean() * 1000, 0),
+                 metrics::fmt_count(sta.total_messages())});
+  for (const Row& row : rows) {
+    gnutella::Config c = base;
+    c.benefit = row.kind;
+    c.benefit_bandwidth_weights = row.weights;
+    const auto r = gnutella::Simulation(c).run();
+    table.add_row({row.name, metrics::fmt_count(r.total_hits()),
+                   metrics::fmt_count(r.total_results()),
+                   metrics::fmt(r.first_result_delay_s.mean() * 1000, 0),
+                   metrics::fmt_count(r.total_messages())});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

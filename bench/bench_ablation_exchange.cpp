@@ -1,0 +1,86 @@
+// Ablation: the reconfiguration-protocol knobs that control how aggressive
+// adaptation is, measured where they matter most (hops=4, where the
+// reachable set is large and over-clustering can destroy it):
+//
+//  * max_exchanges_per_reconfig — §4.3 notes only ONE neighbor is exchanged
+//    per reconfiguration; replacing the whole neighborhood at once
+//    over-clusters the overlay and loses the side-category queries.
+//  * eviction_refill_floor — §4.1's "evicted nodes wait" rule vs degrees
+//    of eager reconnection; pure waiting leaves a standing degree deficit
+//    (the always-accept protocol evicts tens of times per node-hour).
+//  * exclude_owned_songs — whether Send Query floods the raw preference
+//    draw (Algo 5's literal pseudo-code) or only songs the user lacks.
+
+#include <cstdio>
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace dsf;
+  gnutella::Config base = bench::paper_config(/*max_hops=*/4);
+  base.num_users = 1000;
+  base.catalog.num_songs = 100'000;
+  base.sim_hours = 48.0;
+  base.warmup_hours = 12.0;
+
+  std::printf("Ablation — reconfiguration protocol knobs (hops=%d, %u "
+              "users, %.0fh)\n", base.max_hops, base.num_users,
+              base.sim_hours);
+  const auto sta = gnutella::Simulation(base.as_static()).run();
+
+  struct Row {
+    const char* name;
+    std::uint32_t exchanges;
+    std::uint32_t refill_floor;
+    bool exclude_owned;
+  };
+  const Row rows[] = {
+      {"defaults (1 exchange, floor 3)", 1, 3, false},
+      {"full-neighborhood replacement", UINT32_MAX, 3, false},
+      {"pure waiting after eviction", 1, 0, false},
+      {"eager refill after eviction", 1, 4, false},
+      {"queries exclude owned songs", 1, 3, true},
+  };
+
+  metrics::Table table({"variant", "hits", "vs static", "messages",
+                        "vs static", "mean delay (ms)"});
+  auto pct = [](std::uint64_t v, std::uint64_t base_v) {
+    return metrics::fmt(
+               100.0 * (static_cast<double>(v) / static_cast<double>(base_v) -
+                        1.0),
+               1) + "%";
+  };
+  table.add_row({"static baseline", metrics::fmt_count(sta.total_hits()),
+                 "-", metrics::fmt_count(sta.total_messages()), "-",
+                 metrics::fmt(sta.first_result_delay_s.mean() * 1000, 0)});
+  for (const Row& row : rows) {
+    gnutella::Config c = base;
+    c.max_exchanges_per_reconfig = row.exchanges;
+    c.eviction_refill_floor = row.refill_floor;
+    c.exclude_owned_songs = row.exclude_owned;
+    const auto r = gnutella::Simulation(c).run();
+    // The exclude-owned variant changes the query stream, so its static
+    // reference differs; report it against its own baseline.
+    std::uint64_t hits_ref = sta.total_hits();
+    std::uint64_t msgs_ref = sta.total_messages();
+    if (row.exclude_owned) {
+      gnutella::Config cs = c.as_static();
+      const auto s2 = gnutella::Simulation(cs).run();
+      hits_ref = s2.total_hits();
+      msgs_ref = s2.total_messages();
+    }
+    table.add_row({row.name, metrics::fmt_count(r.total_hits()),
+                   pct(r.total_hits(), hits_ref),
+                   metrics::fmt_count(r.total_messages()),
+                   pct(r.total_messages(), msgs_ref),
+                   metrics::fmt(r.first_result_delay_s.mean() * 1000, 0)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\nReading: one-exchange reconfiguration with a connectivity floor "
+      "keeps the\nreachable set intact (hits up, messages down); full "
+      "replacement or pure\nwaiting trade one of the two away.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: the two symmetric-update variants of §3.4 — (i) the invited
+// node always accepts (the case study's choice), vs (ii) benefit-gated
+// acceptance, where the invited node only accepts inviters that beat its
+// worst current neighbor.  Also toggles statistics persistence across
+// sessions (our documented interpretation; see DESIGN.md).
+
+#include <cstdio>
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace dsf;
+  gnutella::Config base = bench::paper_config(/*max_hops=*/2);
+  base.num_users = 800;
+  base.catalog.num_songs = 80'000;
+  base.sim_hours = 36.0;
+  base.warmup_hours = 6.0;
+
+  std::printf("Ablation — symmetric update variants (hops=%d, %u users, "
+              "%.0fh)\n", base.max_hops, base.num_users, base.sim_hours);
+  const auto sta = gnutella::Simulation(base.as_static()).run();
+
+  metrics::Table table({"variant", "total hits", "invitations accepted",
+                        "evictions", "messages"});
+  table.add_row({"static baseline", metrics::fmt_count(sta.total_hits()),
+                 "-", "-", metrics::fmt_count(sta.total_messages())});
+
+  struct Row {
+    const char* name;
+    core::InvitationPolicy policy;
+    bool persist;
+    bool damp;
+  };
+  const Row rows[] = {
+      {"always-accept (paper)", core::InvitationPolicy::kAlwaysAccept, true,
+       true},
+      {"benefit-gated", core::InvitationPolicy::kBenefitGated, true, true},
+      {"summary-gated (library digests)",
+       core::InvitationPolicy::kSummaryGated, true, true},
+      {"trial period (30 min probation)",
+       core::InvitationPolicy::kTrialPeriod, true, true},
+      {"always-accept, stats reset on login",
+       core::InvitationPolicy::kAlwaysAccept, false, true},
+      {"always-accept, no cascade damping",
+       core::InvitationPolicy::kAlwaysAccept, true, false},
+  };
+  for (const Row& row : rows) {
+    gnutella::Config c = base;
+    c.invitation_policy = row.policy;
+    c.persist_stats_across_sessions = row.persist;
+    c.damp_cascades = row.damp;
+    const auto r = gnutella::Simulation(c).run();
+    table.add_row({row.name, metrics::fmt_count(r.total_hits()),
+                   metrics::fmt_count(r.invitations_accepted),
+                   metrics::fmt_count(r.evictions),
+                   metrics::fmt_count(r.total_messages())});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

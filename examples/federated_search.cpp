@@ -1,0 +1,51 @@
+// Federated digital-library search — the paper's abstract names
+// distributed digital libraries as a target domain.  This example
+// contrasts the three §3.1 list organizations on one federation: all-to-all
+// (perfect recall, O(N) messages per query), static bounded lists, and
+// framework-adaptive bounded lists.
+//
+//   ./build/examples/federated_search [num_repositories]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "diglib/diglib_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace dsf;
+
+  diglib::DigLibConfig base;
+  if (argc > 1) base.num_repositories = static_cast<std::uint32_t>(
+      std::atoi(argv[1]));
+  base.sim_hours = 1.5;
+  base.warmup_hours = 0.25;
+
+  std::printf("federation of %u repositories, %u docs, %u-hop search\n\n",
+              base.num_repositories, base.num_docs, base.max_hops);
+
+  struct Row {
+    const char* name;
+    diglib::ListMode mode;
+  };
+  const Row rows[] = {
+      {"all-to-all", diglib::ListMode::kAllToAll},
+      {"static bounded", diglib::ListMode::kStatic},
+      {"adaptive bounded", diglib::ListMode::kAdaptive},
+  };
+
+  std::printf("%-18s %8s %14s %16s\n", "list organization", "recall",
+              "msgs/query", "1st-result (ms)");
+  for (const Row& row : rows) {
+    diglib::DigLibConfig c = base;
+    c.mode = row.mode;
+    const auto r = diglib::DigLibSim(c).run();
+    std::printf("%-18s %8.3f %14.1f %16.0f\n", row.name, r.recall(),
+                r.messages_per_query.mean(),
+                r.first_result_delay_s.mean() * 1000.0);
+  }
+  std::printf(
+      "\nAdaptive bounded lists approach all-to-all recall at a fraction "
+      "of the\nmessage cost — the framework's value proposition for "
+      "always-on federations.\n");
+  return 0;
+}

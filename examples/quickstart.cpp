@@ -1,0 +1,55 @@
+// Quickstart: run a small adaptive content-sharing network and print what
+// the framework did.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The Simulation class wires the framework's pieces together (symmetric
+// neighbor lists, flood search, B/R benefit statistics, invitation-based
+// reconfiguration) over the paper's synthetic music workload.  This example
+// scales everything down so it finishes in about a second.
+
+#include <cstdio>
+
+#include "gnutella/simulation.h"
+
+int main() {
+  using namespace dsf;
+
+  gnutella::Config config;
+  config.num_users = 500;            // paper: 2000
+  config.catalog.num_songs = 50000;  // paper: 200000
+  config.catalog.num_categories = 25;
+  config.max_hops = 2;
+  config.sim_hours = 12.0;
+  config.warmup_hours = 2.0;
+  config.seed = 2003;
+
+  std::printf("simulating %u users for %.0f hours (dynamic Gnutella)...\n",
+              config.num_users, config.sim_hours);
+  const gnutella::RunResult dyn = gnutella::Simulation(config).run();
+  const gnutella::RunResult sta =
+      gnutella::Simulation(config.as_static()).run();
+
+  std::printf("\n%-28s %12s %12s\n", "", "static", "dynamic");
+  std::printf("%-28s %12llu %12llu\n", "queries satisfied",
+              static_cast<unsigned long long>(sta.total_hits()),
+              static_cast<unsigned long long>(dyn.total_hits()));
+  std::printf("%-28s %12llu %12llu\n", "query messages",
+              static_cast<unsigned long long>(sta.total_messages()),
+              static_cast<unsigned long long>(dyn.total_messages()));
+  std::printf("%-28s %12llu %12llu\n", "individual results",
+              static_cast<unsigned long long>(sta.total_results()),
+              static_cast<unsigned long long>(dyn.total_results()));
+  std::printf("%-28s %11.0fms %11.0fms\n", "mean first-result delay",
+              sta.first_result_delay_s.mean() * 1000.0,
+              dyn.first_result_delay_s.mean() * 1000.0);
+  std::printf("%-28s %12s %12llu\n", "reconfigurations", "-",
+              static_cast<unsigned long long>(dyn.reconfigurations));
+  std::printf(
+      "\nThe dynamic scheme groups users with similar taste, so more "
+      "queries\nare answered within the hop limit, with fewer messages and "
+      "lower delay.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Plot the paper-figure CSVs produced by the bench binaries.
+
+Run the benches first (each writes its series CSV into the working
+directory), then:
+
+    python3 scripts/plot_figures.py [--dir DIR] [--out DIR]
+
+Produces fig1.png .. fig3b.png mirroring the layout of Bakiras et al.
+(IPDPS 2003) Figures 1-3.  Requires matplotlib; exits with a clear
+message if it is unavailable (the CSVs remain usable with any tool).
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    if not rows:
+        raise SystemExit(f"{path}: empty")
+    return rows
+
+
+def column(rows, key, cast=float):
+    return [cast(r[key]) for r in rows]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="directory with the CSVs")
+    parser.add_argument("--out", default=".", help="output directory")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit(
+            "matplotlib is not installed; the CSVs in "
+            f"{os.path.abspath(args.dir)} are ready for any plotting tool")
+
+    os.makedirs(args.out, exist_ok=True)
+
+    def save(fig, name):
+        path = os.path.join(args.out, name)
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        print(f"wrote {path}")
+
+    # Figures 1 and 2: hits & messages per hour.
+    for fig_name, csv_name, hops in (("fig1", "fig1_series.csv", 2),
+                                     ("fig2", "fig2_series.csv", 4)):
+        path = os.path.join(args.dir, csv_name)
+        if not os.path.exists(path):
+            print(f"skipping {fig_name}: {path} not found", file=sys.stderr)
+            continue
+        rows = read_csv(path)
+        hours = column(rows, "hour")
+        fig, (ax_hits, ax_msgs) = plt.subplots(1, 2, figsize=(11, 4))
+        ax_hits.plot(hours, column(rows, "hits_static"), "s-",
+                     label="Gnutella", markersize=3)
+        ax_hits.plot(hours, column(rows, "hits_dynamic"), "o-",
+                     label="Dynamic_Gnutella", markersize=3)
+        ax_hits.set_xlabel("Hours")
+        ax_hits.set_ylabel("Hits")
+        ax_hits.set_title(f"(a) Queries satisfied (hops={hops})")
+        ax_hits.legend()
+        ax_msgs.plot(hours, column(rows, "msgs_static"), "s-",
+                     label="Gnutella", markersize=3)
+        ax_msgs.plot(hours, column(rows, "msgs_dynamic"), "o-",
+                     label="Dynamic_Gnutella", markersize=3)
+        ax_msgs.set_xlabel("Hours")
+        ax_msgs.set_ylabel("Messages")
+        ax_msgs.set_title(f"(b) Query overhead (hops={hops})")
+        ax_msgs.legend()
+        save(fig, f"{fig_name}.png")
+
+    # Figure 3(a): delay bars annotated with total results.
+    path = os.path.join(args.dir, "fig3a_series.csv")
+    if os.path.exists(path):
+        rows = read_csv(path)
+        hops = column(rows, "hops")
+        fig, ax = plt.subplots(figsize=(6.5, 4))
+        width = 0.35
+        xs = range(len(hops))
+        static_delay = column(rows, "delay_ms_static")
+        dynamic_delay = column(rows, "delay_ms_dynamic")
+        bars_s = ax.bar([x - width / 2 for x in xs], static_delay, width,
+                        label="Gnutella")
+        bars_d = ax.bar([x + width / 2 for x in xs], dynamic_delay, width,
+                        label="Dynamic_Gnutella")
+        for bar, results in zip(bars_s, column(rows, "results_static", int)):
+            ax.annotate(f"{results:,}", (bar.get_x() + bar.get_width() / 2,
+                                         bar.get_height()),
+                        ha="center", va="bottom", fontsize=7, rotation=45)
+        for bar, results in zip(bars_d, column(rows, "results_dynamic", int)):
+            ax.annotate(f"{results:,}", (bar.get_x() + bar.get_width() / 2,
+                                         bar.get_height()),
+                        ha="center", va="bottom", fontsize=7, rotation=45)
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels(int(h) for h in hops)
+        ax.set_xlabel("Terminating Condition (hops)")
+        ax.set_ylabel("Average Delay (ms)")
+        ax.set_title("(a) Average response time for first result")
+        ax.legend()
+        save(fig, "fig3a.png")
+
+    # Figure 3(b): total results vs reconfiguration threshold.
+    path = os.path.join(args.dir, "fig3b_series.csv")
+    if os.path.exists(path):
+        rows = read_csv(path)
+        thresholds = column(rows, "threshold", int)
+        fig, ax = plt.subplots(figsize=(6.5, 4))
+        ax.plot(range(len(thresholds)), column(rows, "total_static"), "s-",
+                label="Gnutella")
+        ax.plot(range(len(thresholds)), column(rows, "total_dynamic"), "o-",
+                label="Dynamic_Gnutella")
+        ax.set_xticks(range(len(thresholds)))
+        ax.set_xticklabels(thresholds)
+        ax.set_xlabel("Reconfiguration Threshold (requests)")
+        ax.set_ylabel("Total Hits")
+        ax.set_title("(b) Effect of reconfiguration period")
+        ax.legend()
+        save(fig, "fig3b.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#include "cli/args.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsf::cli {
+
+namespace {
+
+bool is_option(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!is_option(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--flag` followed by another option or nothing is a boolean flag;
+    // otherwise the next token is its value.
+    if (i + 1 < argc && !is_option(argv[i + 1])) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  recognized_.insert(key);
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t parsed = std::stoll(*v, &pos);
+  if (pos != v->size())
+    throw std::invalid_argument("--" + key + ": not an integer: " + *v);
+  return parsed;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const double parsed = std::stod(*v, &pos);
+  if (pos != v->size())
+    throw std::invalid_argument("--" + key + ": not a number: " + *v);
+  return parsed;
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("--" + key + ": not a boolean: " + *v);
+}
+
+std::vector<std::string> Args::unrecognized() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_)
+    if (recognized_.count(key) == 0) out.push_back(key);
+  return out;
+}
+
+}  // namespace dsf::cli

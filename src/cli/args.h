@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dsf::cli {
+
+/// Minimal command-line parser for the `dsf_sim` driver: GNU-style
+/// `--key value` / `--key=value` options plus bare positional arguments.
+/// Unknown keys are collected so the driver can reject typos with a
+/// helpful message instead of silently ignoring them.
+class Args {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input
+  /// (an option missing its value).
+  Args(int argc, const char* const* argv);
+
+  /// The positional (non-option) arguments, in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has(const std::string& key) const { return options_.count(key) != 0; }
+
+  /// Raw string value (nullopt if absent).
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters with defaults; throw std::invalid_argument when the
+  /// value does not parse as the requested type.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Marks a key as recognized; `unrecognized()` returns the rest.
+  void recognize(const std::string& key) const { recognized_.insert(key); }
+  std::vector<std::string> unrecognized() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> recognized_;
+};
+
+}  // namespace dsf::cli

@@ -1,0 +1,24 @@
+#include "core/benefit.h"
+
+#include <algorithm>
+
+namespace dsf::core {
+
+double BandwidthOverResults::benefit(const ResultInfo& r) const {
+  const double results = std::max<std::uint32_t>(r.total_results, 1);
+  return r.bandwidth_kbps / results;
+}
+
+double ItemsOverLatency::benefit(const ResultInfo& r) const {
+  return r.items / std::max(r.latency_s, min_latency_s_);
+}
+
+double ProcessingTimeSaved::benefit(const ResultInfo& r) const {
+  return r.processing_time_saved_s;
+}
+
+double InverseLatency::benefit(const ResultInfo& r) const {
+  return 1.0 / std::max(r.latency_s, min_latency_s_);
+}
+
+}  // namespace dsf::core

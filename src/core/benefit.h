@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Everything a benefit function may want to know about one search result
+/// (§3.4: "the statistics depend on the specific choice of the benefit
+/// function").  Fields that a scenario does not produce are left at their
+/// defaults and simply ignored by functions that do not read them.
+struct ResultInfo {
+  net::NodeId responder = net::kInvalidNode;
+  double bandwidth_kbps = 0.0;      ///< B: answering link bandwidth
+  double latency_s = 0.0;           ///< end-to-end delay of this reply
+  std::uint32_t total_results = 1;  ///< R: results accumulated by the query
+  double items = 1.0;               ///< pages/chunks retrieved from responder
+  double processing_time_saved_s = 0.0;  ///< OLAP: warehouse time avoided
+};
+
+/// Benefit function interface (§3.4).  Implementations are stateless and
+/// cheap; they are called once per (query, responder) pair.
+class BenefitFunction {
+ public:
+  virtual ~BenefitFunction() = default;
+  virtual double benefit(const ResultInfo& r) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// The case study's benefit (§4.1): B / R — the answering link's bandwidth
+/// divided by the total number of results of the query.  Large result lists
+/// dilute each individual result's significance.
+class BandwidthOverResults final : public BenefitFunction {
+ public:
+  double benefit(const ResultInfo& r) const override;
+  std::string_view name() const override { return "bandwidth/results"; }
+};
+
+/// Web-caching benefit (§3.4): retrieved pages combined with end-to-end
+/// latency; page size plays little role, so benefit = items / latency.
+class ItemsOverLatency final : public BenefitFunction {
+ public:
+  /// `min_latency_s` guards the division for near-zero latencies.
+  explicit ItemsOverLatency(double min_latency_s = 1e-3)
+      : min_latency_s_(min_latency_s) {}
+  double benefit(const ResultInfo& r) const override;
+  std::string_view name() const override { return "items/latency"; }
+
+ private:
+  double min_latency_s_;
+};
+
+/// PeerOlap-style benefit (§3.4): the dominating cost is query processing
+/// time, so benefit = warehouse processing time avoided.
+class ProcessingTimeSaved final : public BenefitFunction {
+ public:
+  double benefit(const ResultInfo& r) const override;
+  std::string_view name() const override { return "processing-time-saved"; }
+};
+
+/// Ablation baseline: every result is worth exactly 1 (pure hit counting,
+/// no bandwidth or size weighting).
+class UnitBenefit final : public BenefitFunction {
+ public:
+  double benefit(const ResultInfo&) const override { return 1.0; }
+  std::string_view name() const override { return "unit"; }
+};
+
+/// Ablation baseline: rewards low latency only (1 / latency).
+class InverseLatency final : public BenefitFunction {
+ public:
+  explicit InverseLatency(double min_latency_s = 1e-3)
+      : min_latency_s_(min_latency_s) {}
+  double benefit(const ResultInfo& r) const override;
+  std::string_view name() const override { return "1/latency"; }
+
+ private:
+  double min_latency_s_;
+};
+
+}  // namespace dsf::core

@@ -1,0 +1,92 @@
+#pragma once
+
+// Message-level reference implementation of the query flood: every
+// transmission is a discrete event on a Simulator.  This exists to
+// validate the eager expansion of flood_search() (DESIGN.md §1.4): with a
+// deterministic delay function the two produce identical message counts,
+// hit sets and reply times.  The eager version is what the experiment
+// harness uses (it is ~50× faster); this one is the ground truth the
+// equivalence tests compare against, and a template for users who need
+// queries that interact mid-flight.
+
+#include <memory>
+
+#include "core/flood_search.h"
+#include "des/simulator.h"
+
+namespace dsf::core {
+
+/// Runs one query flood by scheduling each hop as a simulator event,
+/// starting at the simulator's current time.  Returns when the simulator
+/// drains (the caller's simulator must not hold unrelated events).
+/// Semantics mirror flood_search: forward to every neighbor except the
+/// sender, duplicates counted-then-discarded, holders reply directly to
+/// the initiator and do not forward unless `forward_when_hit`.
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+SearchOutcome event_flood_search(des::Simulator& sim, net::NodeId initiator,
+                                 const SearchParams& params,
+                                 NeighborsFn&& neighbors,
+                                 HasContentFn&& has_content, DelayFn&& delay,
+                                 VisitStamp& stamps) {
+  struct State {
+    SearchOutcome out;
+    double start = 0.0;
+  };
+  auto state = std::make_shared<State>();
+  state->start = sim.now();
+  stamps.begin_search();
+  stamps.mark(initiator);
+
+  // Recursive lambda via shared_ptr: deliver(node, sender, hop) runs when
+  // the query message lands on `node`.
+  struct Deliver {
+    des::Simulator& sim;
+    std::shared_ptr<State> state;
+    const SearchParams& params;
+    NeighborsFn& neighbors;
+    HasContentFn& has_content;
+    DelayFn& delay;
+    VisitStamp& stamps;
+    net::NodeId initiator;
+
+    void send_from(net::NodeId node, net::NodeId sender, int hop,
+                   double now_rel) {
+      if (hop >= params.max_hops) return;
+      for (net::NodeId nbr : neighbors(node)) {
+        if (nbr == sender) continue;
+        ++state->out.query_messages;
+        if (!stamps.mark(nbr)) continue;  // counted, but receiver will drop
+        const double arrival = now_rel + delay(node, nbr);
+        ++state->out.nodes_reached;
+        const int next_hop = hop + 1;
+        auto self = *this;
+        sim.schedule_at(state->start + arrival,
+                        [self, nbr, node, next_hop, arrival]() mutable {
+                          self.arrive(nbr, node, next_hop, arrival);
+                        });
+      }
+    }
+
+    void arrive(net::NodeId node, net::NodeId sender, int hop,
+                double arrival) {
+      bool forward = true;
+      if (has_content(node)) {
+        const double reply_at = arrival + delay(node, initiator);
+        if (reply_at <= params.timeout_s) {
+          ++state->out.reply_messages;
+          state->out.hits.push_back({node, hop, arrival, reply_at});
+        }
+        if (!params.forward_when_hit) forward = false;
+      }
+      if (forward) send_from(node, sender, hop, arrival);
+    }
+  };
+
+  Deliver deliver{sim,     state,       params, neighbors,
+                  has_content, delay, stamps, initiator};
+  deliver.send_from(initiator, net::kInvalidNode, 0, 0.0);
+  sim.run();
+  return state->out;
+}
+
+}  // namespace dsf::core

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/visit_stamp.h"
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Parameters of the generic search algorithm (§3.2, Algo 1).
+struct SearchParams {
+  /// Propagation terminating condition: maximum hops a query may traverse
+  /// (Squid uses 1, Gnutella up to 7; the case study sweeps 1–5).
+  int max_hops = 5;
+  /// §4.1: "if a neighbor contains the query results, it replies to the
+  /// initiator without further propagating the query".  Extensive-search
+  /// systems (music sharing that maximizes result count) set this true.
+  bool forward_when_hit = false;
+  /// Initiator-side collection timeout; replies arriving later are dropped
+  /// and do not contribute hits or statistics.
+  double timeout_s = std::numeric_limits<double>::infinity();
+};
+
+/// One result of a flood: a node holding the content, when the query
+/// reached it, and when its direct reply lands back at the initiator.
+struct SearchHit {
+  net::NodeId node = net::kInvalidNode;
+  int hop = 0;               ///< hops from the initiator
+  double arrival_s = 0.0;    ///< query arrival time at `node` (relative)
+  double reply_at_s = 0.0;   ///< reply arrival back at the initiator
+};
+
+/// Outcome of one query flood.
+struct SearchOutcome {
+  std::vector<SearchHit> hits;
+  std::uint64_t query_messages = 0;  ///< query propagations (the paper's
+                                     ///< "messages" metric)
+  std::uint64_t reply_messages = 0;  ///< direct replies to the initiator
+  std::uint32_t nodes_reached = 0;   ///< distinct nodes that processed it
+
+  bool satisfied() const noexcept { return !hits.empty(); }
+
+  /// Delay until the first result reaches the initiator (Fig 3a's metric);
+  /// meaningless if !satisfied().
+  double first_result_delay_s() const noexcept {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& h : hits) best = std::min(best, h.reply_at_s);
+    return best;
+  }
+};
+
+/// Scratch buffers reused across floods so steady-state searches allocate
+/// nothing.
+struct SearchScratch {
+  struct Frontier {
+    net::NodeId node;
+    net::NodeId sender;
+    int hop;
+    double arrival_s;
+  };
+  std::vector<Frontier> queue;
+};
+
+/// Generic BFS query flood over an overlay (Algo 1 with the Gnutella
+/// forwarding rule: forward to every outgoing neighbor except the sender;
+/// duplicate deliveries are transmitted — and therefore counted — but
+/// discarded by the receiver via its recent-messages list, modeled by
+/// `stamps`).
+///
+/// The flood is expanded eagerly with per-edge delays drawn from `delay`,
+/// which is semantically equivalent to scheduling each transmission as a
+/// discrete event because queries only interact through statistics applied
+/// at completion (see DESIGN.md §1.4).
+///
+/// `neighbors(n)`  -> const std::vector<net::NodeId>& : outgoing list of n
+/// `has_content(n)`-> bool : does n hold the requested item
+/// `delay(a, b)`   -> double : one-way delay seconds for this transmission
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+SearchOutcome flood_search(net::NodeId initiator, const SearchParams& params,
+                           NeighborsFn&& neighbors, HasContentFn&& has_content,
+                           DelayFn&& delay, VisitStamp& stamps,
+                           SearchScratch& scratch) {
+  SearchOutcome out;
+  stamps.begin_search();
+  stamps.mark(initiator);
+
+  auto& queue = scratch.queue;
+  queue.clear();
+  queue.push_back({initiator, net::kInvalidNode, 0, 0.0});
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    // Copy, not reference: queue.push_back below may reallocate.
+    const auto cur = queue[head];
+    if (cur.hop >= params.max_hops) continue;  // guards the max_hops==0 case
+    for (net::NodeId nbr : neighbors(cur.node)) {
+      if (nbr == cur.sender) continue;  // never echo back to the sender
+      ++out.query_messages;             // transmission happens regardless
+      if (!stamps.mark(nbr)) continue;  // duplicate: receiver discards
+      // Delay is sampled only for first deliveries: duplicates are counted
+      // above but need no timestamp, which halves RNG work in the flood.
+      const double arrival = cur.arrival_s + delay(cur.node, nbr);
+      ++out.nodes_reached;
+
+      const int hop = cur.hop + 1;
+      bool forward = hop < params.max_hops;
+      if (has_content(nbr)) {
+        const double reply_at = arrival + delay(nbr, initiator);
+        if (reply_at <= params.timeout_s) {
+          ++out.reply_messages;
+          out.hits.push_back({nbr, hop, arrival, reply_at});
+        }
+        if (!params.forward_when_hit) forward = false;
+      }
+      if (forward) queue.push_back({nbr, cur.node, hop, arrival});
+    }
+  }
+  return out;
+}
+
+}  // namespace dsf::core

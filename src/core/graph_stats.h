@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/relations.h"
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Predicate selecting which nodes participate in a graph statistic
+/// (typically: the on-line ones).
+using NodeFilter = std::function<bool(net::NodeId)>;
+
+/// Mean outgoing degree over the nodes accepted by `filter`.
+double mean_degree(const NeighborTable& table, const NodeFilter& filter);
+
+/// Gini coefficient of the outgoing-degree distribution over the accepted
+/// nodes — 0 when every node has the same degree, →1 as connectivity
+/// concentrates on few nodes.  The always-accept invitation protocol tends
+/// to starve unattractive nodes; this is the one-number summary of that
+/// effect (see DESIGN.md).
+double degree_gini(const NeighborTable& table, const NodeFilter& filter);
+
+/// Mean local clustering coefficient (fraction of a node's neighbor pairs
+/// that are themselves linked), treating out-lists as undirected edges.
+/// Random overlays sit near degree/N; taste-clustered communities score an
+/// order of magnitude higher.
+double clustering_coefficient(const NeighborTable& table,
+                              const NodeFilter& filter);
+
+/// Fraction of (node, out-neighbor) pairs whose `attribute` matches — the
+/// homophily measure used for "neighbors share the favourite category".
+double same_attribute_fraction(
+    const NeighborTable& table, const NodeFilter& filter,
+    const std::function<std::uint32_t(net::NodeId)>& attribute);
+
+/// Gini of an arbitrary non-negative sample (exposed for tests and other
+/// inequality metrics).
+double gini(std::vector<double> values);
+
+}  // namespace dsf::core

@@ -1,0 +1,149 @@
+#include "core/relations.h"
+
+#include <algorithm>
+
+namespace dsf::core {
+
+std::string_view to_string(RelationKind k) noexcept {
+  switch (k) {
+    case RelationKind::kAllToAll:
+      return "all-to-all";
+    case RelationKind::kAsymmetric:
+      return "asymmetric";
+    case RelationKind::kPureAsymmetric:
+      return "pure-asymmetric";
+    case RelationKind::kSymmetric:
+      return "symmetric";
+  }
+  return "?";
+}
+
+namespace {
+
+bool contains(const std::vector<net::NodeId>& v, net::NodeId n) noexcept {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+bool erase_value(std::vector<net::NodeId>& v, net::NodeId n) noexcept {
+  const auto it = std::find(v.begin(), v.end(), n);
+  if (it == v.end()) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool NeighborLists::has_out(net::NodeId n) const noexcept {
+  return contains(out_, n);
+}
+
+bool NeighborLists::has_in(net::NodeId n) const noexcept {
+  return contains(in_, n);
+}
+
+bool NeighborLists::add_out(net::NodeId n) {
+  if (out_full() || contains(out_, n)) return false;
+  out_.push_back(n);
+  return true;
+}
+
+bool NeighborLists::add_in(net::NodeId n) {
+  if (in_full() || contains(in_, n)) return false;
+  in_.push_back(n);
+  return true;
+}
+
+bool NeighborLists::remove_out(net::NodeId n) noexcept {
+  return erase_value(out_, n);
+}
+
+bool NeighborLists::remove_in(net::NodeId n) noexcept {
+  return erase_value(in_, n);
+}
+
+NeighborTable::NeighborTable(std::size_t num_nodes, RelationKind kind,
+                             std::size_t out_capacity,
+                             std::size_t in_capacity)
+    : kind_(kind) {
+  if (kind == RelationKind::kPureAsymmetric) in_capacity = num_nodes;
+  if (kind == RelationKind::kAllToAll) {
+    out_capacity = num_nodes;
+    in_capacity = num_nodes;
+  }
+  lists_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    lists_.emplace_back(out_capacity, in_capacity);
+}
+
+bool NeighborTable::link(net::NodeId i, net::NodeId j) {
+  if (i == j || i >= lists_.size() || j >= lists_.size()) return false;
+  NeighborLists& li = lists_[i];
+  NeighborLists& lj = lists_[j];
+  if (li.has_out(j)) return false;
+
+  if (kind_ == RelationKind::kSymmetric) {
+    // A symmetric link consumes an out and an in slot at both ends.
+    if (li.out_full() || li.in_full() || lj.out_full() || lj.in_full())
+      return false;
+    li.add_out(j);
+    li.add_in(j);
+    lj.add_out(i);
+    lj.add_in(i);
+    return true;
+  }
+
+  if (li.out_full() || lj.in_full()) return false;
+  li.add_out(j);
+  lj.add_in(i);
+  return true;
+}
+
+bool NeighborTable::unlink(net::NodeId i, net::NodeId j) {
+  if (i >= lists_.size() || j >= lists_.size()) return false;
+  if (!lists_[i].remove_out(j)) return false;
+  lists_[j].remove_in(i);
+  if (kind_ == RelationKind::kSymmetric) {
+    lists_[j].remove_out(i);
+    lists_[i].remove_in(j);
+  }
+  return true;
+}
+
+std::vector<net::NodeId> NeighborTable::isolate(net::NodeId i) {
+  std::vector<net::NodeId> affected;
+  if (i >= lists_.size()) return affected;
+  NeighborLists& li = lists_[i];
+
+  // Peers that will lose i from their outgoing list.
+  for (net::NodeId j : li.in())
+    if (!contains(affected, j)) affected.push_back(j);
+
+  for (net::NodeId j : li.out()) {
+    lists_[j].remove_in(i);
+    if (kind_ == RelationKind::kSymmetric) lists_[j].remove_out(i);
+  }
+  for (net::NodeId j : li.in()) {
+    lists_[j].remove_out(i);
+    if (kind_ == RelationKind::kSymmetric) lists_[j].remove_in(i);
+  }
+  li.clear();
+  return affected;
+}
+
+bool NeighborTable::consistent() const {
+  for (net::NodeId i = 0; i < lists_.size(); ++i) {
+    for (net::NodeId j : lists_[i].out()) {
+      if (j >= lists_.size()) return false;
+      if (!lists_[j].has_in(i)) return false;
+    }
+    if (kind_ == RelationKind::kSymmetric) {
+      const auto& l = lists_[i];
+      if (l.out().size() != l.in().size()) return false;
+      for (net::NodeId j : l.out())
+        if (!l.has_in(j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsf::core

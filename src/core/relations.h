@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Kinds of neighboring relations between repositories (§3.1).
+enum class RelationKind : std::uint8_t {
+  kAllToAll,        ///< O_i and I_i contain all repositories (small N only)
+  kAsymmetric,      ///< O_i and I_i may differ; both are capacity-bounded
+  kPureAsymmetric,  ///< I_i capacity is N: anyone may pick anyone (Squid top level)
+  kSymmetric,       ///< O_i == I_i; changes require pairwise agreement (Gnutella)
+};
+
+std::string_view to_string(RelationKind k) noexcept;
+
+/// The incoming/outgoing neighbor lists of one repository.  Lists are kept
+/// as small flat vectors (typical capacity: 4); membership tests are linear
+/// scans, which outperform any hashing at these sizes.
+class NeighborLists {
+ public:
+  NeighborLists() = default;
+  NeighborLists(std::size_t out_capacity, std::size_t in_capacity)
+      : out_capacity_(out_capacity), in_capacity_(in_capacity) {}
+
+  const std::vector<net::NodeId>& out() const noexcept { return out_; }
+  const std::vector<net::NodeId>& in() const noexcept { return in_; }
+
+  std::size_t out_capacity() const noexcept { return out_capacity_; }
+  std::size_t in_capacity() const noexcept { return in_capacity_; }
+  bool out_full() const noexcept { return out_.size() >= out_capacity_; }
+  bool in_full() const noexcept { return in_.size() >= in_capacity_; }
+
+  bool has_out(net::NodeId n) const noexcept;
+  bool has_in(net::NodeId n) const noexcept;
+
+  /// Adds to the outgoing list.  Returns false if already present or full.
+  bool add_out(net::NodeId n);
+  /// Adds to the incoming list.  Returns false if already present or full.
+  bool add_in(net::NodeId n);
+
+  bool remove_out(net::NodeId n) noexcept;
+  bool remove_in(net::NodeId n) noexcept;
+
+  void clear() noexcept {
+    out_.clear();
+    in_.clear();
+  }
+
+ private:
+  std::vector<net::NodeId> out_;
+  std::vector<net::NodeId> in_;
+  std::size_t out_capacity_ = SIZE_MAX;
+  std::size_t in_capacity_ = SIZE_MAX;
+};
+
+/// The neighbor lists of a whole network, with the §3.1 consistency
+/// predicate and relation-kind-aware link maintenance.
+class NeighborTable {
+ public:
+  NeighborTable(std::size_t num_nodes, RelationKind kind,
+                std::size_t out_capacity, std::size_t in_capacity);
+
+  RelationKind kind() const noexcept { return kind_; }
+  std::size_t size() const noexcept { return lists_.size(); }
+
+  NeighborLists& lists(net::NodeId i) { return lists_.at(i); }
+  const NeighborLists& lists(net::NodeId i) const { return lists_.at(i); }
+
+  const std::vector<net::NodeId>& out_neighbors(net::NodeId i) const {
+    return lists_.at(i).out();
+  }
+
+  /// Establishes i → j (j becomes an outgoing neighbor of i, i an incoming
+  /// neighbor of j); for symmetric relations the reverse edge is installed
+  /// too.  Returns false (and changes nothing) if any involved list is full
+  /// or the edge already exists.
+  bool link(net::NodeId i, net::NodeId j);
+
+  /// Removes i → j (and j → i for symmetric relations).  Returns false if
+  /// the edge did not exist.
+  bool unlink(net::NodeId i, net::NodeId j);
+
+  /// Removes every edge touching `i` (log-off).  Returns the nodes that
+  /// lost `i` as an outgoing neighbor (they may want to react).
+  std::vector<net::NodeId> isolate(net::NodeId i);
+
+  /// §3.1: the network is consistent iff there is no pair (i, j) with
+  /// j ∈ O_i but i ∉ I_j.  For symmetric relations additionally O_i == I_i
+  /// as a set for every i.
+  bool consistent() const;
+
+ private:
+  RelationKind kind_;
+  std::vector<NeighborLists> lists_;
+};
+
+}  // namespace dsf::core

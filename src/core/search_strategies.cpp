@@ -1,0 +1,27 @@
+#include "core/search_strategies.h"
+
+namespace dsf::core {
+
+std::vector<int> default_depth_ladder(int max_hops) {
+  if (max_hops <= 1) return {max_hops};
+  const int probe = (max_hops + 1) / 2;
+  if (probe == max_hops) return {max_hops};
+  return {probe, max_hops};
+}
+
+std::vector<net::NodeId> select_directed_subset(
+    const StatsStore& stats, const std::vector<net::NodeId>& neighbors,
+    std::size_t fanout) {
+  std::vector<net::NodeId> ranked = neighbors;
+  std::sort(ranked.begin(), ranked.end(),
+            [&stats](net::NodeId a, net::NodeId b) {
+              const double ba = stats.benefit_of(a);
+              const double bb = stats.benefit_of(b);
+              if (ba != bb) return ba > bb;
+              return a < b;
+            });
+  if (ranked.size() > fanout) ranked.resize(fanout);
+  return ranked;
+}
+
+}  // namespace dsf::core

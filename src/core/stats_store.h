@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Per-repository statistics about other nodes encountered through search
+/// and exploration (§3.4): cumulative benefit keyed by peer.  This is the
+/// state the neighbor-update algorithms sort to pick the new neighborhood.
+class StatsStore {
+ public:
+  /// Adds `delta` to the cumulative benefit of `peer`.
+  void add(net::NodeId peer, double delta) { benefit_[peer] += delta; }
+
+  /// Cumulative benefit (0 for unknown peers).
+  double benefit_of(net::NodeId peer) const {
+    const auto it = benefit_.find(peer);
+    return it == benefit_.end() ? 0.0 : it->second;
+  }
+
+  bool knows(net::NodeId peer) const { return benefit_.count(peer) != 0; }
+
+  /// Forgets a peer entirely (§4.1: an evicted node resets the evictor's
+  /// statistics so it does not attempt to reconnect in the near future).
+  void reset(net::NodeId peer) { benefit_.erase(peer); }
+
+  void clear() { benefit_.clear(); }
+
+  /// Multiplies every entry by `factor` (aging; optional extension).
+  void decay(double factor) {
+    for (auto& [peer, b] : benefit_) b *= factor;
+  }
+
+  std::size_t size() const noexcept { return benefit_.size(); }
+
+  /// Returns up to `k` peers with the highest cumulative benefit among
+  /// those accepted by `eligible`, best first.  Ties broken by node id for
+  /// determinism.  O(n log n) on the number of known peers — the stores are
+  /// small (peers encountered recently), so this is never hot.
+  template <typename Eligible>
+  std::vector<net::NodeId> top_k(std::size_t k, Eligible&& eligible) const {
+    std::vector<std::pair<double, net::NodeId>> ranked;
+    ranked.reserve(benefit_.size());
+    for (const auto& [peer, b] : benefit_)
+      if (eligible(peer)) ranked.emplace_back(b, peer);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    if (ranked.size() > k) ranked.resize(k);
+    std::vector<net::NodeId> out;
+    out.reserve(ranked.size());
+    for (const auto& [b, peer] : ranked) out.push_back(peer);
+    return out;
+  }
+
+  /// Iteration support (tests, debugging, serialization).
+  const std::unordered_map<net::NodeId, double>& entries() const noexcept {
+    return benefit_;
+  }
+
+ private:
+  std::unordered_map<net::NodeId, double> benefit_;
+};
+
+}  // namespace dsf::core

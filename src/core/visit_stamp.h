@@ -1,0 +1,47 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// O(1) per-search visited-set over a dense node range.
+///
+/// The simulator runs millions of query floods; clearing a bitset or hash
+/// set per flood would dominate.  Instead each node has a generation stamp
+/// and a search is "begun" by bumping the generation — marking and testing
+/// are single array accesses and reset is free.
+class VisitStamp {
+ public:
+  explicit VisitStamp(std::size_t n) : stamps_(n, 0) {}
+
+  /// Starts a new search: all nodes become unvisited in O(1).
+  void begin_search() noexcept {
+    if (++generation_ == 0) {  // wrapped: do the rare full clear
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      generation_ = 1;
+    }
+  }
+
+  bool visited(net::NodeId n) const noexcept {
+    return stamps_[n] == generation_;
+  }
+
+  /// Marks `n` visited; returns false if it already was.
+  bool mark(net::NodeId n) noexcept {
+    if (stamps_[n] == generation_) return false;
+    stamps_[n] = generation_;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return stamps_.size(); }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace dsf::core

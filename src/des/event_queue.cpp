@@ -1,0 +1,104 @@
+#include "des/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dsf::des {
+
+bool EventQueue::heap_less(std::uint32_t a, std::uint32_t b) const noexcept {
+  const Entry& ea = entries_[a];
+  const Entry& eb = entries_[b];
+  if (ea.time != eb.time) return ea.time < eb.time;
+  return ea.seq < eb.seq;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  const std::uint32_t v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = v;
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const std::uint32_t v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap_[child + 1], heap_[child])) ++child;
+    if (!heap_less(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = v;
+}
+
+EventId EventQueue::schedule(SimTime t, Callback cb) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[slot];
+  e.time = t;
+  e.seq = next_seq_++;
+  e.cb = std::move(cb);
+  e.cancelled = false;
+
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return EventId{slot, e.seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.slot >= entries_.size()) return false;
+  Entry& e = entries_[id.slot];
+  if (e.cancelled || e.seq != id.seq) return false;
+  e.cancelled = true;
+  e.cb = nullptr;  // release captured state promptly
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && entries_[heap_.front()].cancelled) {
+    const std::uint32_t slot = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    free_.push_back(slot);
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_top();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return entries_[heap_.front()].time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty() && "pop() on empty queue");
+  const std::uint32_t slot = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  Entry& e = entries_[slot];
+  std::pair<SimTime, Callback> result{e.time, std::move(e.cb)};
+  e.cancelled = true;
+  e.cb = nullptr;
+  free_.push_back(slot);
+  --live_;
+  return result;
+}
+
+}  // namespace dsf::des

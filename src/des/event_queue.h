@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dsf::des {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Handle to a scheduled event, usable for cancellation.  A handle is a
+/// (slot, generation) pair: slots are recycled, generations are not, so a
+/// stale handle can never cancel a later event that happens to reuse the
+/// same slot.
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId a, EventId b) {
+    return a.slot == b.slot && a.seq == b.seq;
+  }
+};
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering for equal
+/// timestamps and O(1) lazy cancellation.
+///
+/// The queue is the hot core of the simulator: event records live in a slab
+/// whose slots are recycled, the heap holds indices only, and cancellation
+/// is lazy (a tombstone flag checked at pop) so cancelling a pending
+/// timeout — which the Gnutella model does for every satisfied query —
+/// costs O(1) instead of a heap rebuild.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  /// Schedules `cb` at absolute time `t`.  Events with equal `t` fire in
+  /// insertion order.
+  EventId schedule(SimTime t, Callback cb);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was already cancelled, or was never scheduled.
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() const noexcept { return live_ == 0; }
+
+  /// Timestamp of the next live event.  Precondition: !empty().
+  SimTime next_time();
+
+  /// Pops and returns the next live event.  Precondition: !empty().
+  std::pair<SimTime, Callback> pop();
+
+  /// Number of live (non-cancelled) events.
+  std::size_t size() const noexcept { return live_; }
+
+  /// Total events scheduled over the queue's lifetime.
+  std::uint64_t total_scheduled() const noexcept { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+    bool cancelled = true;
+  };
+
+  bool heap_less(std::uint32_t a, std::uint32_t b) const noexcept;
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void drop_dead_top();
+
+  std::vector<Entry> entries_;       // slab of event records
+  std::vector<std::uint32_t> heap_;  // heap of indices into entries_
+  std::vector<std::uint32_t> free_;  // recycled slots in entries_
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dsf::des

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace dsf::des {
+
+/// Number of worker threads to use for a sweep of `jobs` independent
+/// simulations: one per job, bounded by the hardware concurrency.
+inline unsigned sweep_threads(std::size_t jobs) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(std::min<std::size_t>(jobs, hw));
+}
+
+/// Runs `fn` over every input on a small thread pool and returns the
+/// results in input order.  Simulations in this project are value-typed
+/// and share no mutable state, so a parameter sweep (the hop-limit and
+/// threshold sweeps of Figure 3) is embarrassingly parallel; results are
+/// written by index, so the output is identical for any thread count —
+/// determinism is never traded for speed.
+///
+/// `fn` must be callable as `R fn(const T&)` and safe to invoke
+/// concurrently on distinct inputs.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& inputs, Fn&& fn,
+                  unsigned threads = 0)
+    -> std::vector<decltype(fn(inputs.front()))> {
+  using R = decltype(fn(inputs.front()));
+  std::vector<R> results(inputs.size());
+  if (inputs.empty()) return results;
+  if (threads == 0) threads = sweep_threads(inputs.size());
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) results[i] = fn(inputs[i]);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= inputs.size()) return;
+      results[i] = fn(inputs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace dsf::des

@@ -1,0 +1,197 @@
+#include "diglib/diglib_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/update.h"
+
+namespace dsf::diglib {
+
+DigLibSim::DigLibSim(const DigLibConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      delay_rng_(rng_.split()),
+      delay_(config.num_repositories, rng_),
+      overlay_(config.num_repositories,
+               config.mode == ListMode::kAllToAll
+                   ? core::RelationKind::kAllToAll
+                   : core::RelationKind::kAsymmetric,
+               config.num_neighbors, config.num_repositories),
+      copy_count_(config.num_docs, 0),
+      doc_zipf_(config.num_docs / config.num_topics, config.zipf_theta),
+      interquery_(config.mean_interquery_s),
+      stamps_(config.num_repositories) {
+  if (config.num_topics == 0 || config.num_docs % config.num_topics != 0)
+    throw std::invalid_argument(
+        "DigLibSim: num_docs must divide evenly into topics");
+
+  // Build holdings: topic_share of a repository's documents come from its
+  // home topic, the rest uniformly from other topics; selection within a
+  // topic follows the popularity profile, so popular documents are widely
+  // replicated (recall < 1 is then a real retrieval deficit, not a
+  // scarcity artifact).
+  repos_.resize(config.num_repositories);
+  for (net::NodeId r = 0; r < config.num_repositories; ++r) {
+    Repository& repo = repos_[r];
+    repo.topic = r % config.num_topics;
+    std::unordered_set<DocId> seen;
+    seen.reserve(config.holdings * 2);
+    int attempts = static_cast<int>(config.holdings) * 50;
+    while (seen.size() < config.holdings && attempts-- > 0)
+      seen.insert(draw_doc(repo.topic));
+    repo.holdings.assign(seen.begin(), seen.end());
+    std::sort(repo.holdings.begin(), repo.holdings.end());
+    for (DocId d : repo.holdings) ++copy_count_[d];
+  }
+
+  // Initial lists.
+  if (config.mode == ListMode::kAllToAll) {
+    for (net::NodeId a = 0; a < config.num_repositories; ++a)
+      for (net::NodeId b = 0; b < config.num_repositories; ++b)
+        if (a != b) overlay_.link(a, b);
+  } else {
+    for (net::NodeId r = 0; r < config.num_repositories; ++r) {
+      int attempts = 4 * static_cast<int>(config.num_neighbors);
+      while (!overlay_.lists(r).out_full() && attempts-- > 0) {
+        const auto q = static_cast<net::NodeId>(
+            rng_.uniform_int(config.num_repositories));
+        if (q != r) overlay_.link(r, q);
+      }
+    }
+  }
+}
+
+DocId DigLibSim::draw_doc(std::uint32_t home_topic) {
+  const std::uint32_t docs_per_topic = config_.num_docs / config_.num_topics;
+  std::uint32_t topic = home_topic;
+  if (!rng_.bernoulli(config_.topic_share))
+    topic = static_cast<std::uint32_t>(rng_.uniform_int(config_.num_topics));
+  const auto rank = static_cast<std::uint32_t>(doc_zipf_.sample(rng_));
+  return topic * docs_per_topic + rank;
+}
+
+bool DigLibSim::holds(net::NodeId r, DocId doc) const {
+  const auto& h = repos_[r].holdings;
+  return std::binary_search(h.begin(), h.end(), doc);
+}
+
+void DigLibSim::issue_query(net::NodeId r) {
+  const DocId doc = draw_doc(repos_[r].topic);
+
+  // Extensive search (§3.2): the goal is many copies, so holders keep
+  // forwarding; all-to-all needs a single hop by construction.
+  core::SearchParams params;
+  params.max_hops = config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
+  params.forward_when_hit = true;
+
+  const auto outcome = core::flood_search(
+      r, params,
+      [this](net::NodeId n) -> const std::vector<net::NodeId>& {
+        return overlay_.out_neighbors(n);
+      },
+      [this, doc](net::NodeId n) { return holds(n, doc); },
+      [this](net::NodeId a, net::NodeId b) {
+        return delay_.sample_delay_s(a, b, delay_rng_);
+      },
+      stamps_, scratch_);
+
+  result_.traffic.count(net::MessageType::kQuery, outcome.query_messages);
+  result_.traffic.count(net::MessageType::kQueryReply,
+                        outcome.reply_messages);
+  if (reporting()) {
+    ++result_.queries;
+    if (outcome.satisfied()) ++result_.satisfied;
+    result_.messages_per_query.add(
+        static_cast<double>(outcome.query_messages));
+    result_.copies_found += outcome.hits.size();
+    // Copies available elsewhere (the initiator's own copy, if any, does
+    // not count: it would not be searched for).
+    std::uint32_t available = copy_count_[doc];
+    if (holds(r, doc) && available > 0) --available;
+    result_.copies_available += available;
+    if (outcome.satisfied())
+      result_.first_result_delay_s.add(outcome.first_result_delay_s());
+  }
+
+  if (config_.mode == ListMode::kAdaptive) {
+    for (const auto& hit : outcome.hits) {
+      core::ResultInfo info;
+      info.responder = hit.node;
+      // Result-count dilution (the paper's R denominator): a repository
+      // that answers queries nobody else can answer is worth more than
+      // one of many holders of a ubiquitous document.
+      info.items = 1.0 / static_cast<double>(outcome.hits.size());
+      info.latency_s = hit.reply_at_s;
+      repos_[r].stats.add(hit.node, benefit_.benefit(info));
+    }
+  }
+
+  sim_.schedule_in(interquery_.sample(rng_), [this, r] { issue_query(r); });
+}
+
+void DigLibSim::update_neighbors(net::NodeId r) {
+  Repository& repo = repos_[r];
+
+  // Exploration first (Algo 2): rotate the designated random link so the
+  // statistics keep meeting repositories outside the learned set.  In a
+  // churnless federation this is the only source of discovery — without
+  // it the benefit-driven slots collapse same-topic repositories into a
+  // clique whose 2-hop reach is the clique itself.
+  if (repo.exploration_link != net::kInvalidNode) {
+    overlay_.unlink(r, repo.exploration_link);
+    repo.exploration_link = net::kInvalidNode;
+  }
+
+  // Then one learned exchange per update (the lesson of the Gnutella case
+  // study; see bench_ablation_exchange), over the non-exploration slots.
+  const auto plan = core::plan_update(
+      repo.stats, overlay_.out_neighbors(r), config_.num_neighbors - 1,
+      [r](net::NodeId n) { return n != r; });
+  if (!plan.additions.empty() &&
+      !overlay_.lists(r).has_out(plan.additions.front())) {
+    if (overlay_.lists(r).out().size() >= config_.num_neighbors - 1) {
+      const net::NodeId worst =
+          core::least_beneficial(repo.stats, overlay_.out_neighbors(r));
+      if (worst != net::kInvalidNode) {
+        overlay_.unlink(r, worst);
+        result_.traffic.count(net::MessageType::kEviction);
+      }
+    }
+    overlay_.link(r, plan.additions.front());
+    result_.traffic.count(net::MessageType::kInvitation);
+  }
+
+  // Install the new exploration link.
+  int attempts = 8;
+  while (attempts-- > 0) {
+    const auto q =
+        static_cast<net::NodeId>(rng_.uniform_int(config_.num_repositories));
+    if (q == r || overlay_.lists(r).has_out(q)) continue;
+    if (overlay_.link(r, q)) {
+      repo.exploration_link = q;
+      result_.traffic.count(net::MessageType::kPing);
+      break;
+    }
+  }
+
+  // Statistics decay so the ranking tracks the current overlay rather
+  // than compounding forever.
+  repo.stats.decay(0.5);
+  sim_.schedule_in(config_.update_period_s,
+                   [this, r] { update_neighbors(r); });
+}
+
+DigLibResult DigLibSim::run() {
+  for (net::NodeId r = 0; r < config_.num_repositories; ++r) {
+    sim_.schedule_in(interquery_.sample(rng_), [this, r] { issue_query(r); });
+    if (config_.mode == ListMode::kAdaptive) {
+      sim_.schedule_in(rng_.uniform(0.0, config_.update_period_s),
+                       [this, r] { update_neighbors(r); });
+    }
+  }
+  sim_.run_until(config_.sim_hours * 3600.0);
+  return result_;
+}
+
+}  // namespace dsf::diglib

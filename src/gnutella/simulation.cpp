@@ -1,0 +1,454 @@
+#include "gnutella/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/graph_stats.h"
+#include "workload/user_profile.h"
+
+namespace dsf::gnutella {
+
+std::unique_ptr<core::BenefitFunction> make_benefit(BenefitKind kind) {
+  switch (kind) {
+    case BenefitKind::kBandwidthOverResults:
+      return std::make_unique<core::BandwidthOverResults>();
+    case BenefitKind::kUnit:
+      return std::make_unique<core::UnitBenefit>();
+    case BenefitKind::kInverseLatency:
+      return std::make_unique<core::InverseLatency>();
+  }
+  return std::make_unique<core::BandwidthOverResults>();
+}
+
+Simulation::Simulation(const Config& config)
+    : config_(config),
+      catalog_(config.catalog),
+      library_gen_(catalog_, config.library),
+      query_gen_(catalog_),
+      session_(config.session),
+      master_rng_(config.seed),
+      topo_rng_(master_rng_.split()),
+      session_rng_(master_rng_.split()),
+      query_rng_(master_rng_.split()),
+      delay_rng_(master_rng_.split()),
+      delay_(config.num_users, master_rng_),
+      overlay_(config.num_users, core::RelationKind::kSymmetric,
+               config.max_neighbors, config.max_neighbors),
+      stamps_(config.num_users),
+      hit_stamps_(config.num_users),
+      benefit_fn_(make_benefit(config.benefit)) {
+  des::Rng profile_rng = master_rng_.split();
+  workload::ProfileGenerator profiles(catalog_, config.user_zipf_theta);
+  users_.resize(config.num_users);
+  for (auto& u : users_) {
+    u.profile = profiles.generate(profile_rng);
+    u.library = library_gen_.generate(u.profile, profile_rng);
+  }
+
+  if (config.invitation_policy == core::InvitationPolicy::kSummaryGated) {
+    // Libraries never change, so each user's digest is built once.  ~1%
+    // false positives keeps the benefit estimate honest at window size 32.
+    digests_.reserve(users_.size());
+    for (const auto& u : users_) {
+      digests_.emplace_back(std::max<std::size_t>(u.library.size(), 16), 0.01);
+      for (workload::SongId s : u.library.songs()) digests_.back().insert(s);
+    }
+  }
+}
+
+std::uint32_t Simulation::summary_estimate(net::NodeId v, net::NodeId c) const {
+  std::uint32_t overlap = 0;
+  for (workload::SongId s : users_[v].recent_queries)
+    if (digests_[c].might_contain(s)) ++overlap;
+  return overlap;
+}
+
+void Simulation::prime() {
+  // Decide every user's initial state first so the bootstrap graph is
+  // built over the full initial on-line population.
+  std::vector<net::NodeId> initially_online;
+  for (net::NodeId u = 0; u < users_.size(); ++u) {
+    if (session_.draw_initial_online(session_rng_)) {
+      users_[u].online = true;
+      users_[u].online_pos = static_cast<std::uint32_t>(online_nodes_.size());
+      online_nodes_.push_back(u);
+      initially_online.push_back(u);
+    }
+  }
+  for (net::NodeId u : initially_online) fill_with_random_neighbors(u);
+  for (net::NodeId u = 0; u < users_.size(); ++u) {
+    UserState& st = users_[u];
+    if (st.online) {
+      st.session_event = sim_.schedule_in(
+          session_.draw_online_duration(session_rng_), [this, u] { log_off(u); });
+      schedule_next_query(u);
+    } else {
+      st.session_event = sim_.schedule_in(
+          session_.draw_offline_duration(session_rng_), [this, u] { log_in(u); });
+    }
+  }
+}
+
+void Simulation::probe_overlay() {
+  const auto online = [this](net::NodeId n) { return users_[n].online; };
+  ProbeSample sample;
+  sample.time_s = sim_.now();
+  sample.online = online_nodes_.size();
+  sample.mean_degree = core::mean_degree(overlay_, online);
+  sample.degree_gini = core::degree_gini(overlay_, online);
+  sample.clustering = core::clustering_coefficient(overlay_, online);
+  sample.same_favorite = core::same_attribute_fraction(
+      overlay_, online,
+      [this](net::NodeId n) { return users_[n].profile.favorite; });
+  result_.probes.push_back(sample);
+  sim_.schedule_in(config_.probe_period_s, [this] { probe_overlay(); });
+}
+
+RunResult Simulation::run() {
+  prime();
+  if (config_.probe_period_s > 0.0)
+    sim_.schedule_in(config_.probe_period_s, [this] { probe_overlay(); });
+  const double horizon = config_.sim_hours * 3600.0;
+  sim_.run_until(horizon);
+  result_.warmup_bucket = static_cast<std::size_t>(config_.warmup_hours);
+  result_.last_bucket = static_cast<std::size_t>(config_.sim_hours) - 1;
+  return result_;
+}
+
+void Simulation::fill_with_random_neighbors(net::NodeId u,
+                                             std::size_t target) {
+  if (online_nodes_.size() < 2) return;
+  auto& lists = overlay_.lists(u);
+  target = std::min<std::size_t>(target, config_.max_neighbors);
+  // A bounded number of random probes; when the population is nearly
+  // saturated some probes fail, exactly as a real bootstrap would.
+  int attempts = 4 * static_cast<int>(config_.max_neighbors);
+  while (lists.out().size() < target && !lists.out_full() &&
+         attempts-- > 0) {
+    const net::NodeId v =
+        online_nodes_[topo_rng_.uniform_int(online_nodes_.size())];
+    if (v == u || lists.has_out(v)) continue;
+    if (overlay_.link(u, v)) on_link_formed();  // fails harmlessly if v full
+  }
+}
+
+void Simulation::on_link_formed() {
+  // Local indices must be maintained: a new link triggers a content-digest
+  // exchange in both directions (Yang & GM's index-update cost).
+  if (config_.search_strategy == SearchStrategy::kLocalIndices)
+    result_.traffic.count(net::MessageType::kExploreReply, 2);
+}
+
+void Simulation::log_in(net::NodeId u) {
+  UserState& st = users_[u];
+  assert(!st.online);
+  st.online = true;
+  st.online_pos = static_cast<std::uint32_t>(online_nodes_.size());
+  online_nodes_.push_back(u);
+  if (!config_.persist_stats_across_sessions) st.stats.clear();
+  st.reconfig_count = 0;
+
+  // Gnutella bootstrap: the rendezvous server hands out random on-line
+  // addresses; the neighborhood starts random in both schemes.
+  fill_with_random_neighbors(u);
+
+  st.session_event = sim_.schedule_in(
+      session_.draw_online_duration(session_rng_), [this, u] { log_off(u); });
+  schedule_next_query(u);
+}
+
+void Simulation::log_off(net::NodeId u) {
+  UserState& st = users_[u];
+  assert(st.online);
+  st.online = false;
+  if (st.has_query_event) {
+    sim_.cancel(st.query_event);
+    st.has_query_event = false;
+  }
+
+  // Swap-pop from the on-line roster.
+  const std::uint32_t pos = st.online_pos;
+  const net::NodeId moved = online_nodes_.back();
+  online_nodes_[pos] = moved;
+  users_[moved].online_pos = pos;
+  online_nodes_.pop_back();
+
+  // Sever all overlay links; ex-neighbors react per scheme.
+  const std::vector<net::NodeId> affected = overlay_.isolate(u);
+  for (net::NodeId v : affected) {
+    if (!users_[v].online) continue;  // defensive; overlay holds online only
+    if (config_.dynamic) {
+      // §4.1(v): neighbor log-offs trigger the update process.
+      reconfigure(v);
+      users_[v].reconfig_count = 0;
+    } else {
+      // Static Gnutella: replace the lost neighbor with a random peer.
+      fill_with_random_neighbors(v);
+    }
+  }
+
+  st.session_event = sim_.schedule_in(
+      session_.draw_offline_duration(session_rng_), [this, u] { log_in(u); });
+}
+
+void Simulation::schedule_next_query(net::NodeId u) {
+  UserState& st = users_[u];
+  st.query_event = sim_.schedule_in(
+      session_.draw_interquery_gap(session_rng_), [this, u] { issue_query(u); });
+  st.has_query_event = true;
+}
+
+void Simulation::issue_query(net::NodeId u) {
+  UserState& st = users_[u];
+  st.has_query_event = false;
+
+  // By default users search for songs they do not already own (the
+  // preference distribution conditioned on non-ownership by rejection);
+  // with exclude_owned_songs=false, Send Query floods the raw draw, as in
+  // Algo 5's pseudo-code.
+  workload::SongId song = query_gen_.draw(st.profile, query_rng_);
+  if (config_.exclude_owned_songs) {
+    bool found = !st.library.contains(song);
+    for (int tries = 0; tries < 64 && !found; ++tries) {
+      song = query_gen_.draw(st.profile, query_rng_);
+      found = !st.library.contains(song);
+    }
+    if (!found) {
+      ++result_.local_hits;
+      schedule_next_query(u);
+      return;
+    }
+  }
+
+  if (config_.invitation_policy == core::InvitationPolicy::kSummaryGated) {
+    if (st.recent_queries.size() < kRecentQueryWindow) {
+      st.recent_queries.push_back(song);
+    } else {
+      st.recent_queries[st.recent_pos] = song;
+      st.recent_pos = (st.recent_pos + 1) % kRecentQueryWindow;
+    }
+  }
+
+  core::SearchParams params;
+  params.max_hops = config_.max_hops;
+  params.forward_when_hit = false;  // §4.1: repliers do not propagate
+  params.timeout_s = config_.query_timeout_s;
+
+  const auto outcome = run_search(u, song, params);
+
+  const des::SimTime now = sim_.now();
+  result_.messages.add(now, outcome.query_messages);
+  result_.traffic.count(net::MessageType::kQuery, outcome.query_messages);
+  result_.traffic.count(net::MessageType::kQueryReply, outcome.reply_messages);
+  if (reporting()) {
+    ++result_.queries_issued;
+    result_.nodes_reached.add(outcome.nodes_reached);
+    const bool favorite = catalog_.category_of(song) == st.profile.favorite;
+    ++(favorite ? result_.queries_favorite : result_.queries_side);
+    if (outcome.satisfied())
+      ++(favorite ? result_.hits_favorite : result_.hits_side);
+  }
+  if (outcome.satisfied()) {
+    result_.hits.add(now, 1);
+    result_.results.add(now, outcome.hits.size());
+    if (reporting()) {
+      const double delay = outcome.first_result_delay_s();
+      result_.first_result_delay_s.add(delay);
+      result_.first_result_delay_hist.add(delay);
+    }
+    // Extension: the user downloads the song and becomes a holder.  (The
+    // summary-gated digests deliberately stay as built at start-up —
+    // digests in deployed systems are periodically rebuilt, not updated
+    // per download.)
+    if (config_.library_growth) st.library.add(song);
+  }
+
+  if (config_.dynamic) {
+    // Combined search & exploration (§4.1): every result feeds statistics.
+    const auto total = static_cast<std::uint32_t>(outcome.hits.size());
+    for (const auto& hit : outcome.hits) {
+      core::ResultInfo info;
+      info.responder = hit.node;
+      info.bandwidth_kbps = config_.benefit_bandwidth_weights[static_cast<int>(
+          delay_.node_class(hit.node))];
+      info.latency_s = hit.reply_at_s;
+      info.total_results = total;
+      st.stats.add(hit.node, benefit_of(info));
+    }
+    if (config_.reconfig_threshold > 0 &&
+        ++st.reconfig_count >= config_.reconfig_threshold) {
+      reconfigure(u);
+      st.reconfig_count = 0;
+    }
+  }
+
+  schedule_next_query(u);
+}
+
+core::SearchOutcome Simulation::run_search(net::NodeId u,
+                                           workload::SongId song,
+                                           const core::SearchParams& params) {
+  const auto neighbors = [this](net::NodeId n) -> const std::vector<net::NodeId>& {
+    return overlay_.out_neighbors(n);
+  };
+  const auto has_content = [this, song](net::NodeId n) {
+    return users_[n].library.contains(song);
+  };
+  const auto delay = [this](net::NodeId a, net::NodeId b) {
+    return delay_.sample_delay_s(a, b, delay_rng_);
+  };
+
+  switch (config_.search_strategy) {
+    case SearchStrategy::kFlood:
+      return core::flood_search(u, params, neighbors, has_content, delay,
+                                stamps_, scratch_);
+    case SearchStrategy::kIterativeDeepening: {
+      auto it = core::iterative_deepening_search(
+          u, params, core::default_depth_ladder(params.max_hops), neighbors,
+          has_content, delay, stamps_, scratch_);
+      // Fold the accumulated cost into the reported outcome so every
+      // metric path sees one SearchOutcome.
+      core::SearchOutcome out = std::move(it.last);
+      out.query_messages = it.total_messages;
+      return out;
+    }
+    case SearchStrategy::kDirectedBft: {
+      const auto subset = core::select_directed_subset(
+          users_[u].stats, overlay_.out_neighbors(u), config_.directed_fanout);
+      return core::directed_flood_search(u, params, subset, neighbors,
+                                         has_content, delay, stamps_,
+                                         scratch_);
+    }
+    case SearchStrategy::kLocalIndices:
+      return core::indexed_flood_search(u, params, neighbors, has_content,
+                                        delay, stamps_, hit_stamps_, scratch_);
+  }
+  return core::flood_search(u, params, neighbors, has_content, delay, stamps_,
+                            scratch_);
+}
+
+bool Simulation::invite(net::NodeId u, net::NodeId v) {
+  result_.traffic.count(net::MessageType::kInvitation);
+  result_.traffic.count(net::MessageType::kInvitationReply);
+  UserState& target = users_[v];
+  if (!target.online) return false;
+
+  core::InvitationDecision decision;
+  if (config_.invitation_policy == core::InvitationPolicy::kSummaryGated) {
+    // §3.4 option (b): the invitation carries u's library digest; v ranks
+    // u against its current neighbors by how much of its recent demand
+    // each one could have served.
+    const auto& in_list = overlay_.lists(v).in();
+    if (std::find(in_list.begin(), in_list.end(), u) != in_list.end()) {
+      decision.accept = false;
+    } else if (in_list.size() < config_.max_neighbors) {
+      decision.accept = true;
+    } else {
+      net::NodeId worst = net::kInvalidNode;
+      std::uint32_t worst_estimate = 0;
+      for (net::NodeId w : in_list) {
+        const std::uint32_t e = summary_estimate(v, w);
+        if (worst == net::kInvalidNode || e < worst_estimate) {
+          worst = w;
+          worst_estimate = e;
+        }
+      }
+      if (summary_estimate(v, u) > worst_estimate) {
+        decision.accept = true;
+        decision.evict = worst;
+      }
+    }
+  } else {
+    decision = core::decide_invitation(target.stats, u, overlay_.lists(v).in(),
+                                       config_.max_neighbors,
+                                       config_.invitation_policy);
+  }
+  if (!decision.accept) return false;
+
+  if (decision.evict != net::kInvalidNode) evict(v, decision.evict);
+  if (!overlay_.link(u, v)) return false;  // u saturated meanwhile
+  on_link_formed();
+  ++result_.invitations_accepted;
+  // Accepting resets the invited node's own counter to damp cascades
+  // (§4.1); the ablation knob leaves the counter running.
+  if (config_.damp_cascades) target.reconfig_count = 0;
+
+  // §3.4 option (a): the acceptance is provisional — after the trial
+  // period, v keeps u only if the statistics gathered meanwhile rank u
+  // above at least one other neighbor.
+  if (config_.invitation_policy == core::InvitationPolicy::kTrialPeriod) {
+    sim_.schedule_in(config_.trial_period_s,
+                     [this, u, v] { evaluate_trial(u, v); });
+  }
+  return true;
+}
+
+void Simulation::evaluate_trial(net::NodeId inviter, net::NodeId invitee) {
+  // The relationship may already be gone (log-off, eviction); only a
+  // still-standing link is evaluated.
+  if (!users_[invitee].online || !users_[inviter].online) return;
+  if (!overlay_.lists(invitee).has_out(inviter)) return;
+
+  const auto& neighbors = overlay_.out_neighbors(invitee);
+  const core::StatsStore& stats = users_[invitee].stats;
+  bool beats_someone = false;
+  for (net::NodeId w : neighbors) {
+    if (w == inviter) continue;
+    if (stats.benefit_of(inviter) > stats.benefit_of(w)) {
+      beats_someone = true;
+      break;
+    }
+  }
+  // A sole neighbor is kept unconditionally — terminating it would
+  // disconnect the node for nothing.
+  if (neighbors.size() <= 1) beats_someone = true;
+  if (!beats_someone) {
+    ++result_.trials_rejected;
+    evict(invitee, inviter);
+  } else {
+    ++result_.trials_kept;
+  }
+}
+
+void Simulation::evict(net::NodeId evictor, net::NodeId evictee) {
+  result_.traffic.count(net::MessageType::kEviction);
+  overlay_.unlink(evictor, evictee);
+  ++result_.evictions;
+  // Process Eviction (§4.1): the evicted node resets the evictor's
+  // statistics so it does not try to reconnect in the near future; it
+  // restores basic connectivity up to the configured floor and leaves the
+  // remaining slots to the reorganization machinery.
+  users_[evictee].stats.reset(evictor);
+  if (config_.eviction_refill_floor > 0)
+    fill_with_random_neighbors(evictee, config_.eviction_refill_floor);
+}
+
+void Simulation::reconfigure(net::NodeId u) {
+  ++result_.reconfigurations;
+  UserState& st = users_[u];
+  const auto plan = core::plan_update(
+      st.stats, overlay_.out_neighbors(u), config_.max_neighbors,
+      [this, u](net::NodeId n) { return n != u && users_[n].online; });
+
+  // §4.3: at most `max_exchanges_per_reconfig` neighbors are exchanged per
+  // reconfiguration (one, in the paper's experiments).  Evictions happen
+  // only to make room for an accepted addition, starting from the least
+  // beneficial current neighbor.
+  std::uint32_t exchanges = 0;
+  for (net::NodeId v : plan.additions) {
+    if (exchanges >= config_.max_exchanges_per_reconfig) break;
+    if (overlay_.lists(u).out_full()) {
+      const net::NodeId worst =
+          core::least_beneficial(st.stats, overlay_.out_neighbors(u));
+      if (worst == net::kInvalidNode) break;
+      evict(u, worst);
+    }
+    invite(u, v);
+    ++exchanges;
+  }
+  // Remaining free slots are refilled through the rendezvous server, the
+  // same exploration primitive both schemes use at login.
+  fill_with_random_neighbors(u);
+}
+
+}  // namespace dsf::gnutella

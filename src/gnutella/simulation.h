@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benefit.h"
+#include "core/flood_search.h"
+#include "core/relations.h"
+#include "core/search_strategies.h"
+#include "core/stats_store.h"
+#include "core/update.h"
+#include "core/visit_stamp.h"
+#include "des/rng.h"
+#include "des/simulator.h"
+#include "gnutella/config.h"
+#include "metrics/time_series.h"
+#include "net/bloom.h"
+#include "net/delay_model.h"
+#include "net/message.h"
+#include "workload/catalog.h"
+#include "workload/library.h"
+#include "workload/query_gen.h"
+#include "workload/session.h"
+#include "workload/user_profile.h"
+
+namespace dsf::gnutella {
+
+/// One overlay-structure sample (Config::probe_period_s > 0).
+struct ProbeSample {
+  double time_s = 0.0;
+  double mean_degree = 0.0;
+  double degree_gini = 0.0;
+  double same_favorite = 0.0;  ///< homophily of out-links
+  double clustering = 0.0;     ///< mean local clustering coefficient
+  std::size_t online = 0;
+};
+
+/// Everything a figure needs from one run.
+struct RunResult {
+  metrics::TimeSeries hits{3600.0};      ///< queries satisfied per hour
+  metrics::TimeSeries messages{3600.0};  ///< query propagations per hour
+  metrics::TimeSeries results{3600.0};   ///< individual results per hour
+  metrics::Summary first_result_delay_s; ///< over satisfied queries (post-warmup)
+  /// Same delays, binned for quantiles (p50/p95/p99); range covers the
+  /// physical maximum of a 5-hop modem path plus reply.
+  metrics::Histogram first_result_delay_hist{0.0, 5.0, 500};
+  net::MessageStats traffic;             ///< all message types incl. control
+
+  std::uint64_t queries_issued = 0;   ///< network queries (post-warmup)
+  std::uint64_t local_hits = 0;       ///< requests satisfied from own library
+  metrics::Summary nodes_reached;     ///< distinct nodes per flood (post-warmup)
+  std::uint64_t queries_favorite = 0; ///< queries in the user's favourite category
+  std::uint64_t hits_favorite = 0;
+  std::uint64_t queries_side = 0;     ///< queries in a side category
+  std::uint64_t hits_side = 0;
+  std::uint64_t reconfigurations = 0; ///< Reconfigure executions
+  std::uint64_t invitations_accepted = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t trials_kept = 0;      ///< kTrialPeriod: relationships kept
+  std::uint64_t trials_rejected = 0;  ///< kTrialPeriod: terminated after trial
+
+  std::vector<ProbeSample> probes;  ///< overlay-structure evolution
+
+  std::size_t warmup_bucket = 0;  ///< first reporting bucket (hour index)
+  std::size_t last_bucket = 0;    ///< last full bucket of the horizon
+
+  std::uint64_t total_hits() const {
+    return hits.sum(warmup_bucket, last_bucket);
+  }
+  std::uint64_t total_messages() const {
+    return messages.sum(warmup_bucket, last_bucket);
+  }
+  std::uint64_t total_results() const {
+    return results.sum(warmup_bucket, last_bucket);
+  }
+};
+
+/// The §4 case study: a population of music-sharing users over a symmetric
+/// overlay, either static (random neighbors, random replacement on log-off)
+/// or dynamic (Algo 5: combined search/exploration, benefit-ranked
+/// reconfiguration with invitations and evictions).
+///
+/// The class is also the reference example of instantiating the framework:
+/// it wires core::NeighborTable + core::StatsStore + core::flood_search +
+/// core::plan_update/decide_invitation to a concrete workload.
+class Simulation {
+ public:
+  explicit Simulation(const Config& config);
+
+  /// Runs the full horizon and returns the collected metrics.
+  RunResult run();
+
+  /// --- instrumented access (tests, examples) ---
+  const Config& config() const noexcept { return config_; }
+  const workload::Catalog& catalog() const noexcept { return catalog_; }
+  const core::NeighborTable& overlay() const noexcept { return overlay_; }
+  const net::DelayModel& delay_model() const noexcept { return delay_; }
+  des::Simulator& simulator() noexcept { return sim_; }
+  bool online(net::NodeId u) const { return users_.at(u).online; }
+  const workload::Library& library(net::NodeId u) const {
+    return users_.at(u).library;
+  }
+  const workload::UserProfile& profile(net::NodeId u) const {
+    return users_.at(u).profile;
+  }
+  const core::StatsStore& stats(net::NodeId u) const {
+    return users_.at(u).stats;
+  }
+  std::size_t online_count() const noexcept { return online_nodes_.size(); }
+
+  /// Prepares the initial event population without running (tests drive
+  /// the simulator manually afterwards).
+  void prime();
+
+ private:
+  struct UserState {
+    workload::UserProfile profile;
+    workload::Library library;
+    core::StatsStore stats;
+    /// Ring of the user's most recent query targets, matched against
+    /// library digests by the summary-gated invitation policy.
+    std::vector<workload::SongId> recent_queries;
+    std::size_t recent_pos = 0;
+    std::uint32_t reconfig_count = 0;
+    bool online = false;
+    bool has_query_event = false;
+    des::EventId query_event{};
+    des::EventId session_event{};
+    std::uint32_t online_pos = 0;  ///< index in online_nodes_ when online
+  };
+  static constexpr std::size_t kRecentQueryWindow = 32;
+
+  void log_in(net::NodeId u);
+  void log_off(net::NodeId u);
+  void issue_query(net::NodeId u);
+  /// Dispatches to the configured SearchStrategy (§2's orthogonal
+  /// techniques all run over the same overlay/content/delay bindings).
+  core::SearchOutcome run_search(net::NodeId u, workload::SongId song,
+                                 const core::SearchParams& params);
+  void schedule_next_query(net::NodeId u);
+  void reconfigure(net::NodeId u);
+  /// Sends an invitation u → v; returns true if v accepted and the link is
+  /// up (Algo 5, Process Invitation).
+  bool invite(net::NodeId u, net::NodeId v);
+  /// §3.4 option (b): v estimates the potential benefit of candidate `c`
+  /// as the number of its recent query targets that c's library digest
+  /// claims to hold.
+  std::uint32_t summary_estimate(net::NodeId v, net::NodeId c) const;
+  /// §3.4 option (a): end of a provisional relationship — keep the
+  /// inviter if it now beats at least one other neighbor, else terminate.
+  void evaluate_trial(net::NodeId inviter, net::NodeId invitee);
+  /// Sends an eviction from `evictor` severing the link to `evictee`
+  /// (Algo 5, Process Eviction).
+  void evict(net::NodeId evictor, net::NodeId evictee);
+  /// Connects `u` to random online peers until its list holds `target`
+  /// entries (default: full) or the attempt budget is spent
+  /// (bootstrap-server behaviour of Gnutella).
+  void fill_with_random_neighbors(net::NodeId u, std::size_t target = SIZE_MAX);
+  /// Accounting hook for every new overlay link (index maintenance etc.).
+  void on_link_formed();
+  /// Samples overlay-structure statistics and reschedules itself.
+  void probe_overlay();
+  bool reporting() const noexcept {
+    return sim_.now() >= config_.warmup_hours * 3600.0;
+  }
+  double benefit_of(const core::ResultInfo& info) const {
+    return benefit_fn_->benefit(info);
+  }
+
+  Config config_;
+  workload::Catalog catalog_;
+  workload::LibraryGenerator library_gen_;
+  workload::QueryGenerator query_gen_;
+  workload::SessionModel session_;
+  des::Rng master_rng_;
+  des::Rng topo_rng_;     ///< random neighbor choice
+  des::Rng session_rng_;  ///< on/off durations, query gaps
+  des::Rng query_rng_;    ///< query targets
+  des::Rng delay_rng_;    ///< per-message delays
+  net::DelayModel delay_;
+  core::NeighborTable overlay_;
+  std::vector<UserState> users_;
+  /// One library digest per user (libraries are static, built once); only
+  /// materialized when the summary-gated policy is active.
+  std::vector<net::BloomFilter> digests_;
+  std::vector<net::NodeId> online_nodes_;
+  core::VisitStamp stamps_;
+  core::VisitStamp hit_stamps_;  ///< per-search holder dedup (local indices)
+  core::SearchScratch scratch_;
+  des::Simulator sim_;
+  std::unique_ptr<core::BenefitFunction> benefit_fn_;
+  RunResult result_;
+};
+
+/// Builds the benefit function for a config (exposed for tests/ablations).
+std::unique_ptr<core::BenefitFunction> make_benefit(BenefitKind kind);
+
+}  // namespace dsf::gnutella

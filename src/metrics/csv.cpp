@@ -1,0 +1,41 @@
+#include "metrics/csv.h"
+
+#include <stdexcept>
+
+namespace dsf::metrics {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  write_row(cells);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed");
+}
+
+}  // namespace dsf::metrics

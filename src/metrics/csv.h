@@ -1,0 +1,30 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dsf::metrics {
+
+/// Tiny CSV writer so every bench can dump its series for external
+/// plotting alongside the printed table.  Values are quoted only when they
+/// contain a comma, quote, or newline.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Throws on I/O
+  /// failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t columns() const noexcept { return columns_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace dsf::metrics

@@ -1,0 +1,28 @@
+#include "metrics/replication.h"
+
+namespace dsf::metrics {
+
+ConfidenceInterval confidence_interval(const std::vector<double>& sample,
+                                       double z) {
+  ConfidenceInterval ci;
+  ci.n = sample.size();
+  if (sample.empty()) return ci;
+
+  Summary s;
+  for (double x : sample) s.add(x);
+  ci.mean = s.mean();
+  if (sample.size() > 1)
+    ci.half_width = z * s.stddev() / std::sqrt(static_cast<double>(ci.n));
+  return ci;
+}
+
+std::vector<double> replicate(std::size_t replicas, std::uint64_t base_seed,
+                              const std::function<double(std::uint64_t)>& run) {
+  std::vector<double> out;
+  out.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r)
+    out.push_back(run(base_seed + 1000003ULL * (r + 1)));
+  return out;
+}
+
+}  // namespace dsf::metrics

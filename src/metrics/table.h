@@ -1,0 +1,35 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsf::metrics {
+
+/// Minimal fixed-width table printer for the bench harnesses, which print
+/// the same rows/series the paper's figures report.  Cells are strings;
+/// columns are sized to the widest cell and right-aligned except the first.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline; throws if a row width mismatches.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fraction digits.
+std::string fmt(double value, int digits = 1);
+
+/// Formats an integer with thousands separators (1,234,567) to match the
+/// paper's figure annotations.
+std::string fmt_count(std::uint64_t value);
+
+}  // namespace dsf::metrics

@@ -1,0 +1,107 @@
+#include "metrics/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsf::metrics {
+
+TimeSeries::TimeSeries(double bucket_width_s) : width_(bucket_width_s) {
+  if (!(bucket_width_s > 0.0))
+    throw std::invalid_argument("TimeSeries: bucket width must be > 0");
+}
+
+void TimeSeries::add(des::SimTime t, std::uint64_t n) {
+  if (t < 0.0) throw std::invalid_argument("TimeSeries: negative time");
+  const auto i = static_cast<std::size_t>(t / width_);
+  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  buckets_[i] += n;
+}
+
+std::uint64_t TimeSeries::sum(std::size_t first, std::size_t last) const noexcept {
+  if (buckets_.empty() || first > last) return 0;
+  last = std::min(last, buckets_.size() - 1);
+  std::uint64_t s = 0;
+  for (std::size_t i = first; i <= last && i < buckets_.size(); ++i)
+    s += buckets_[i];
+  return s;
+}
+
+std::uint64_t TimeSeries::total() const noexcept {
+  std::uint64_t s = 0;
+  for (auto b : buckets_) s += b;
+  return s;
+}
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary& Summary::operator+=(const Summary& o) noexcept {
+  if (o.n_ == 0) return *this;
+  if (n_ == 0) {
+    *this = o;
+    return *this;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + o.n_);
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / n;
+  mean_ += delta * static_cast<double>(o.n_) / n;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+  return *this;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) noexcept {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    ++bins_[static_cast<std::size_t>((x - lo_) / width_)];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (target <= next && bins_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace dsf::metrics

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/event_queue.h"
+
+namespace dsf::metrics {
+
+/// Fixed-width time-bucketed counter: counts events into consecutive
+/// buckets of `bucket_width` seconds starting at t = 0.  The paper reports
+/// per-hour hit and message counts, so the Gnutella harness uses
+/// bucket_width = 3600.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_width_s);
+
+  /// Adds `n` to the bucket containing time `t` (t >= 0).
+  void add(des::SimTime t, std::uint64_t n = 1);
+
+  double bucket_width() const noexcept { return width_; }
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+
+  /// Count in bucket `i` (0 beyond the recorded range).
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
+
+  /// Sum of all buckets in [first, last] inclusive, clamped to range.
+  std::uint64_t sum(std::size_t first, std::size_t last) const noexcept;
+
+  /// Sum over the whole series.
+  std::uint64_t total() const noexcept;
+
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Streaming scalar summary: count, mean, variance (Welford), min, max.
+/// Used for first-result delays and any per-query scalar.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  Summary& operator+=(const Summary& o) noexcept;  ///< parallel merge
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi) with overflow/underflow bins; cheap
+/// enough for per-message latencies.  Quantiles are linearly interpolated
+/// within bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double quantile(double q) const;  ///< q in [0, 1]
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace dsf::metrics

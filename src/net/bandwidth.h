@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dsf::net {
+
+/// Access-link classes used by the paper's simulation (§4.2): each user is
+/// equally likely to be connected through a 56K modem, a cable modem, or a
+/// LAN.  The class determines both the benefit weight of a query answer
+/// (the paper's `B`) and the mean one-way delay toward that user.
+enum class BandwidthClass : std::uint8_t {
+  kModem56K = 0,
+  kCable = 1,
+  kLan = 2,
+};
+
+inline constexpr int kNumBandwidthClasses = 3;
+
+/// Nominal downstream capacity in kbit/s; used as the benefit weight `B`.
+constexpr double bandwidth_kbps(BandwidthClass c) noexcept {
+  constexpr std::array<double, kNumBandwidthClasses> kKbps{56.0, 1500.0,
+                                                           10000.0};
+  return kKbps[static_cast<int>(c)];
+}
+
+/// Mean one-way delay (seconds) of a path whose *slower* endpoint has class
+/// `c` (paper §4.2: 300 ms / 150 ms / 70 ms).
+constexpr double mean_one_way_delay_s(BandwidthClass c) noexcept {
+  constexpr std::array<double, kNumBandwidthClasses> kDelay{0.300, 0.150,
+                                                            0.070};
+  return kDelay[static_cast<int>(c)];
+}
+
+/// The slower of two endpoint classes governs the path delay.
+constexpr BandwidthClass slower_of(BandwidthClass a, BandwidthClass b) noexcept {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+constexpr std::string_view to_string(BandwidthClass c) noexcept {
+  constexpr std::array<std::string_view, kNumBandwidthClasses> kNames{
+      "56K-modem", "cable", "LAN"};
+  return kNames[static_cast<int>(c)];
+}
+
+}  // namespace dsf::net

@@ -1,0 +1,92 @@
+#include "net/bloom.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsf::net {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+std::size_t size_bits(std::size_t n, double p) {
+  if (n == 0) throw std::invalid_argument("BloomFilter: zero expected items");
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("BloomFilter: fpp must be in (0, 1)");
+  const double m = -static_cast<double>(n) * std::log(p) / (kLn2 * kLn2);
+  return static_cast<std::size_t>(m) + 1;
+}
+
+int optimal_hashes(std::size_t bits, std::size_t n) {
+  const double k = static_cast<double>(bits) / static_cast<double>(n) * kLn2;
+  return std::max(1, static_cast<int>(k + 0.5));
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_items, double false_positive_rate)
+    : BloomFilter(size_bits(expected_items, false_positive_rate),
+                  optimal_hashes(size_bits(expected_items, false_positive_rate),
+                                 expected_items)) {}
+
+BloomFilter::BloomFilter(std::size_t bits, int hashes)
+    : bits_((bits + 63) / 64 * 64), hashes_(hashes),
+      words_(bits_ / 64, 0) {
+  if (bits == 0) throw std::invalid_argument("BloomFilter: zero bits");
+  if (hashes <= 0) throw std::invalid_argument("BloomFilter: zero hashes");
+}
+
+std::uint64_t BloomFilter::mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+void BloomFilter::insert(std::uint64_t item) noexcept {
+  const std::uint64_t h1 = mix(item);
+  const std::uint64_t h2 = mix(item ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bits_;
+    words_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::might_contain(std::uint64_t item) const noexcept {
+  const std::uint64_t h1 = mix(item);
+  const std::uint64_t h2 = mix(item ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bits_;
+    if (!(words_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+std::size_t BloomFilter::popcount() const noexcept {
+  std::size_t count = 0;
+  for (std::uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+void BloomFilter::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+double BloomFilter::estimated_items() const noexcept {
+  const double x = static_cast<double>(popcount());
+  const double m = static_cast<double>(bits_);
+  if (x >= m) return m;  // saturated
+  return -m / hashes_ * std::log1p(-x / m);
+}
+
+BloomFilter& BloomFilter::merge(const BloomFilter& other) {
+  if (bits_ != other.bits_ || hashes_ != other.hashes_)
+    throw std::invalid_argument("BloomFilter::merge: geometry mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+}  // namespace dsf::net

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsf::net {
+
+/// Bloom-filter content digest — the "summarized information" of §3.4
+/// (option b for assessing an inviter's potential benefit) and the cache
+/// digest used by cooperative web caches.  A digest answers "might this
+/// node hold item x?" with no false negatives and a tunable false-positive
+/// rate, at a fraction of the cost of shipping the item list.
+///
+/// Hashing is double hashing over a 64-bit mix (Kirsch–Mitzenmeyer), so
+/// digests are deterministic across runs and machines.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at the given false-positive
+  /// rate (standard m = -n·ln(p)/ln(2)², k = m/n·ln(2) formulas).
+  BloomFilter(std::size_t expected_items, double false_positive_rate);
+
+  /// Explicit geometry (bits rounded up to a multiple of 64).
+  BloomFilter(std::size_t bits, int hashes);
+
+  void insert(std::uint64_t item) noexcept;
+  bool might_contain(std::uint64_t item) const noexcept;
+
+  /// Number of set bits — used to estimate digest fullness.
+  std::size_t popcount() const noexcept;
+
+  std::size_t bit_count() const noexcept { return bits_; }
+  int hash_count() const noexcept { return hashes_; }
+
+  void clear() noexcept;
+
+  /// Approximate number of distinct inserted items, from the fill ratio:
+  /// n ≈ -m/k · ln(1 - X/m).
+  double estimated_items() const noexcept;
+
+  /// Bitwise union with a same-geometry filter (e.g. merging the digests
+  /// of several peers).  Throws on geometry mismatch.
+  BloomFilter& merge(const BloomFilter& other);
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) noexcept;
+
+  std::size_t bits_;
+  int hashes_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dsf::net

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dsf::net {
+
+/// Message taxonomy of the framework.  Search carries Query/QueryReply;
+/// exploration carries Ping/Pong (the Gnutella exploration primitive) and
+/// ExploreQuery/ExploreReply (the generic Algo-2 form that returns
+/// statistics/summaries without fetching content); symmetric neighbor
+/// update carries Invitation/InvitationReply/Eviction.
+enum class MessageType : std::uint8_t {
+  kQuery = 0,
+  kQueryReply,
+  kPing,
+  kPong,
+  kExploreQuery,
+  kExploreReply,
+  kInvitation,
+  kInvitationReply,
+  kEviction,
+  kCount_,  // sentinel
+};
+
+inline constexpr int kNumMessageTypes =
+    static_cast<int>(MessageType::kCount_);
+
+constexpr std::string_view to_string(MessageType t) noexcept {
+  constexpr std::array<std::string_view, kNumMessageTypes> kNames{
+      "query",     "query-reply",      "ping",     "pong",    "explore-query",
+      "explore-reply", "invitation", "invitation-reply", "eviction"};
+  return kNames[static_cast<int>(t)];
+}
+
+/// Per-type message counters.  The paper's "query overhead" figures count
+/// kQuery propagations; the framework additionally accounts for control
+/// traffic so the reconfiguration cost itself can be reported.
+class MessageStats {
+ public:
+  void count(MessageType t, std::uint64_t n = 1) noexcept {
+    counts_[static_cast<int>(t)] += n;
+  }
+
+  std::uint64_t total(MessageType t) const noexcept {
+    return counts_[static_cast<int>(t)];
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto c : counts_) sum += c;
+    return sum;
+  }
+
+  /// Search traffic only (queries + replies).
+  std::uint64_t search_traffic() const noexcept {
+    return total(MessageType::kQuery) + total(MessageType::kQueryReply);
+  }
+
+  /// Control traffic (exploration + reconfiguration messages).
+  std::uint64_t control_traffic() const noexcept {
+    return total() - search_traffic();
+  }
+
+  void reset() noexcept { counts_.fill(0); }
+
+  MessageStats& operator+=(const MessageStats& other) noexcept {
+    for (int i = 0; i < kNumMessageTypes; ++i) counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumMessageTypes> counts_{};
+};
+
+}  // namespace dsf::net

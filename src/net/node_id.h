@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsf::net {
+
+/// Dense node (repository/peer/proxy) identifier.  Nodes are created in a
+/// contiguous range [0, n) so NodeId can index flat arrays everywhere in
+/// the hot path.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace dsf::net

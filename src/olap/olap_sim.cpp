@@ -1,0 +1,147 @@
+#include "olap/olap_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsf::olap {
+
+OlapSim::OlapSim(const OlapConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      delay_rng_(rng_.split()),
+      delay_(config.num_peers, rng_),
+      overlay_(config.num_peers, core::RelationKind::kAsymmetric,
+               config.num_neighbors, config.num_peers),
+      chunk_zipf_(config.num_chunks / config.num_regions, config.zipf_theta),
+      interquery_(config.mean_interquery_s),
+      stamps_(config.num_peers) {
+  if (config.num_regions == 0 || config.num_chunks % config.num_regions != 0)
+    throw std::invalid_argument(
+        "OlapSim: num_chunks must divide evenly into regions");
+  if (config.query_span == 0 ||
+      config.query_span > config.num_chunks / config.num_regions)
+    throw std::invalid_argument(
+        "OlapSim: query_span must fit inside one region");
+  peers_.reserve(config.num_peers);
+  for (std::uint32_t p = 0; p < config.num_peers; ++p) {
+    peers_.emplace_back(config.cache_capacity);
+    peers_.back().region = p % config.num_regions;
+  }
+  for (net::NodeId p = 0; p < config.num_peers; ++p) {
+    int attempts = 4 * static_cast<int>(config.num_neighbors);
+    while (!overlay_.lists(p).out_full() && attempts-- > 0) {
+      const auto q =
+          static_cast<net::NodeId>(rng_.uniform_int(config.num_peers));
+      if (q != p) overlay_.link(p, q);
+    }
+  }
+}
+
+void OlapSim::issue_query(net::NodeId p) {
+  Peer& peer = peers_[p];
+  const bool report = reporting();
+
+  // Query template: `query_span` consecutive chunks anchored at a popular
+  // chunk of an interest region (OLAP queries hit contiguous cube slices).
+  const std::uint32_t chunks_per_region =
+      config_.num_chunks / config_.num_regions;
+  std::uint32_t region = peer.region;
+  if (!rng_.bernoulli(config_.region_share))
+    region = static_cast<std::uint32_t>(rng_.uniform_int(config_.num_regions));
+  const auto anchor_rank = static_cast<std::uint32_t>(chunk_zipf_.sample(rng_));
+  const ChunkId base = region * chunks_per_region +
+                       std::min(anchor_rank, chunks_per_region -
+                                                 config_.query_span);
+
+  double response = 0.0;
+  if (report) ++result_.queries;
+  for (std::uint32_t i = 0; i < config_.query_span; ++i) {
+    const ChunkId chunk = base + i;
+    if (report) ++result_.chunks_requested;
+    if (peer.cache.touch(chunk)) {
+      if (report) ++result_.chunks_local;
+      continue;
+    }
+
+    // Extensive search (§3.2): the chunk request keeps propagating up to
+    // the hop limit; the closest holder (in hops, then delay) serves it.
+    stamps_.begin_search();
+    stamps_.mark(p);
+    struct Frontier {
+      net::NodeId node;
+      net::NodeId sender;
+      int hop;
+    };
+    std::vector<Frontier> queue{{p, net::kInvalidNode, 0}};
+    net::NodeId holder = net::kInvalidNode;
+    int holder_hop = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto cur = queue[head];
+      if (holder != net::kInvalidNode && cur.hop + 1 > holder_hop) break;
+      for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
+        if (q == cur.sender) continue;
+        result_.traffic.count(net::MessageType::kQuery);
+        if (!stamps_.mark(q)) continue;
+        const int hop = cur.hop + 1;
+        if (peers_[q].cache.contains(chunk) && holder == net::kInvalidNode) {
+          holder = q;
+          holder_hop = hop;
+          result_.traffic.count(net::MessageType::kQueryReply);
+        }
+        if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
+      }
+    }
+
+    if (holder != net::kInvalidNode) {
+      const double cost =
+          config_.peer_s_per_chunk +
+          2.0 * delay_.sample_delay_s(p, holder, delay_rng_) *
+              static_cast<double>(holder_hop);
+      response += cost;
+      if (report) ++result_.chunks_from_peers;
+      if (config_.dynamic) {
+        core::ResultInfo info;
+        info.responder = holder;
+        info.processing_time_saved_s = config_.warehouse_s_per_chunk - cost;
+        peer.stats.add(holder, benefit_.benefit(info));
+      }
+    } else {
+      response += config_.warehouse_s_per_chunk;
+      if (report) ++result_.chunks_from_warehouse;
+    }
+    peer.cache.insert(chunk);
+  }
+  if (report) result_.response_time_s.add(response);
+
+  sim_.schedule_in(interquery_.sample(rng_), [this, p] { issue_query(p); });
+}
+
+void OlapSim::update_neighbors(net::NodeId p) {
+  const auto plan = core::plan_update(
+      peers_[p].stats, overlay_.out_neighbors(p), config_.num_neighbors,
+      [p](net::NodeId n) { return n != p; });
+  for (net::NodeId x : plan.evictions) {
+    overlay_.unlink(p, x);
+    result_.traffic.count(net::MessageType::kEviction);
+  }
+  for (net::NodeId v : plan.additions) {
+    overlay_.link(p, v);
+    result_.traffic.count(net::MessageType::kInvitation);
+  }
+  sim_.schedule_in(config_.update_period_s,
+                   [this, p] { update_neighbors(p); });
+}
+
+OlapResult OlapSim::run() {
+  for (net::NodeId p = 0; p < config_.num_peers; ++p) {
+    sim_.schedule_in(interquery_.sample(rng_), [this, p] { issue_query(p); });
+    if (config_.dynamic) {
+      sim_.schedule_in(rng_.uniform(0.0, config_.update_period_s),
+                       [this, p] { update_neighbors(p); });
+    }
+  }
+  sim_.run_until(config_.sim_hours * 3600.0);
+  return result_;
+}
+
+}  // namespace dsf::olap

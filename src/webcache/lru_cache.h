@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dsf::webcache {
+
+/// Fixed-capacity LRU set of item ids — the content store of a proxy (web
+/// pages) or an OLAP peer (chunks).  `touch` promotes on hit; `insert`
+/// evicts the least-recently-used item when full.
+template <typename Key>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("LruCache: capacity must be > 0");
+    index_.reserve(capacity * 2);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return index_.size(); }
+
+  bool contains(const Key& k) const { return index_.count(k) != 0; }
+
+  /// Hit path: returns true and promotes `k` to most-recently-used.
+  bool touch(const Key& k) {
+    const auto it = index_.find(k);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  /// Inserts (or promotes) `k`; returns the evicted key if any.
+  /// The bool of the pair reports whether an eviction happened.
+  std::pair<bool, Key> insert(const Key& k) {
+    if (touch(k)) return {false, Key{}};
+    std::pair<bool, Key> evicted{false, Key{}};
+    if (index_.size() >= capacity_) {
+      const Key& victim = order_.back();
+      evicted = {true, victim};
+      index_.erase(victim);
+      order_.pop_back();
+    }
+    order_.push_front(k);
+    index_[k] = order_.begin();
+    return evicted;
+  }
+
+  bool erase(const Key& k) {
+    const auto it = index_.find(k);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /// Most-recently-used first.
+  const std::list<Key>& order() const noexcept { return order_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<Key> order_;
+  std::unordered_map<Key, typename std::list<Key>::iterator> index_;
+};
+
+}  // namespace dsf::webcache

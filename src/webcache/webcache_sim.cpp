@@ -1,0 +1,217 @@
+#include "webcache/webcache_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsf::webcache {
+
+WebCacheSim::WebCacheSim(const WebCacheConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      delay_rng_(rng_.split()),
+      delay_(config.num_proxies, rng_),
+      overlay_(config.num_proxies, core::RelationKind::kPureAsymmetric,
+               config.num_neighbors, /*in_capacity=*/0 /*overridden*/),
+      page_zipf_(config.num_pages / config.num_topics, config.zipf_theta),
+      interrequest_(config.mean_interrequest_s) {
+  if (config.num_parents >= config.num_proxies)
+    throw std::invalid_argument(
+        "WebCacheSim: num_parents must leave at least one leaf");
+
+  // Digest geometry sized once for the (parent) cache capacity at the
+  // target false-positive rate.
+  const std::size_t parent_capacity =
+      static_cast<std::size_t>(config.cache_capacity) *
+      config.parent_capacity_factor;
+  const net::BloomFilter reference(
+      config.num_parents ? parent_capacity : config.cache_capacity,
+      config.digest_fpp);
+  proxies_.reserve(config.num_proxies);
+  for (std::uint32_t p = 0; p < config.num_proxies; ++p) {
+    const std::size_t capacity =
+        p < config.num_parents ? parent_capacity : config.cache_capacity;
+    proxies_.emplace_back(capacity, reference.bit_count(),
+                          reference.hash_count());
+    proxies_.back().topic = p % config.num_topics;
+  }
+  // Initial outgoing lists: random, as a fresh deployment would start.
+  // In hierarchy mode leaves point only at parents; parents point nowhere
+  // (they resolve misses at the origin).
+  for (net::NodeId p = 0; p < config.num_proxies; ++p) {
+    if (is_parent(p)) continue;
+    int attempts = 4 * static_cast<int>(config.num_neighbors);
+    while (!overlay_.lists(p).out_full() && attempts-- > 0) {
+      const auto q = static_cast<net::NodeId>(
+          config.num_parents
+              ? rng_.uniform_int(config.num_parents)
+              : rng_.uniform_int(config.num_proxies));
+      if (q != p) overlay_.link(p, q);
+    }
+  }
+}
+
+PageId WebCacheSim::draw_page(net::NodeId p) {
+  // topic_share of requests in the proxy's own community, the rest uniform
+  // over all topics — the cross-topic tail is what adaptive neighbor choice
+  // cannot help with, keeping the comparison honest.
+  const std::uint32_t pages_per_topic = config_.num_pages / config_.num_topics;
+  std::uint32_t topic = proxies_[p].topic;
+  if (!rng_.bernoulli(config_.topic_share))
+    topic = static_cast<std::uint32_t>(rng_.uniform_int(config_.num_topics));
+  const auto rank = static_cast<std::uint32_t>(page_zipf_.sample(rng_));
+  return topic * pages_per_topic + rank;
+}
+
+void WebCacheSim::request(net::NodeId p) {
+  const PageId page = draw_page(p);
+  Proxy& proxy = proxies_[p];
+  const bool report = reporting();
+  if (report) ++result_.requests;
+
+  if (proxy.cache.touch(page)) {
+    if (report) {
+      ++result_.local_hits;
+      result_.latency_s.add(0.001);  // local service time
+    }
+  } else {
+    // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
+    // origin server as the alternative repository.
+    double latency = 0.0;
+    net::NodeId holder = net::kInvalidNode;
+    for (net::NodeId q : overlay_.out_neighbors(p)) {
+      result_.traffic.count(net::MessageType::kQuery);
+      result_.traffic.count(net::MessageType::kQueryReply);
+      if (holder == net::kInvalidNode && proxies_[q].cache.contains(page))
+        holder = q;
+    }
+    if (holder != net::kInvalidNode) {
+      // Request + page transfer from the neighbor.
+      latency = 2.0 * delay_.sample_delay_s(p, holder, delay_rng_);
+      if (report) ++result_.neighbor_hits;
+      if (config_.dynamic) {
+        core::ResultInfo info;
+        info.responder = holder;
+        info.items = 1.0;
+        info.latency_s = latency;
+        proxy.stats.add(holder, benefit_.benefit(info));
+      }
+    } else if (config_.num_parents > 0 &&
+               !overlay_.out_neighbors(p).empty()) {
+      // Hierarchy: the miss resolves at the origin *through* the primary
+      // parent, which caches the page on the way — the aggregation that
+      // makes top-level proxies worth having.
+      const net::NodeId parent = overlay_.out_neighbors(p).front();
+      latency = config_.origin_latency_s +
+                2.0 * delay_.sample_delay_s(p, parent, delay_rng_);
+      proxies_[parent].cache.insert(page);
+      if (report) ++result_.origin_fetches;
+    } else {
+      latency = config_.origin_latency_s;
+      if (report) ++result_.origin_fetches;
+    }
+    if (report) result_.latency_s.add(latency);
+    proxy.cache.insert(page);
+  }
+
+  sim_.schedule_in(interrequest_.sample(rng_), [this, p] { request(p); });
+}
+
+void WebCacheSim::explore_from(net::NodeId p) {
+  // Algo 2: probe a random candidate set with the proxy's hot set (MRU
+  // prefix) as the summarized collection; each reply reports how many of
+  // those pages the candidate holds, converted into benefit via the mean
+  // path latency.
+  Proxy& proxy = proxies_[p];
+  std::vector<PageId> hot;
+  hot.reserve(config_.hot_set_size);
+  for (PageId page : proxy.cache.order()) {
+    hot.push_back(page);
+    if (hot.size() >= config_.hot_set_size) break;
+  }
+  const bool use_digests = config_.digest_rebuild_period_s > 0.0;
+  for (std::uint32_t i = 0; i < config_.explore_sample; ++i) {
+    // In hierarchy mode only top-level proxies are candidate neighbors.
+    const auto q = static_cast<net::NodeId>(
+        config_.num_parents ? rng_.uniform_int(config_.num_parents)
+                            : rng_.uniform_int(config_.num_proxies));
+    if (q == p) continue;
+    result_.traffic.count(net::MessageType::kExploreQuery);
+    result_.traffic.count(net::MessageType::kExploreReply);
+    std::uint32_t overlap = 0;
+    for (PageId page : hot) {
+      // Digest match: cheap and shippable, but stale between rebuilds and
+      // subject to false positives — the price of summarized information.
+      const bool match = use_digests
+                             ? proxies_[q].digest.might_contain(page)
+                             : proxies_[q].cache.contains(page);
+      if (match) ++overlap;
+    }
+    if (overlap > 0) {
+      core::ResultInfo info;
+      info.responder = q;
+      info.items = overlap;
+      info.latency_s = 2.0 * delay_.mean_delay_s(p, q);
+      proxy.stats.add(q, benefit_.benefit(info));
+    }
+  }
+  sim_.schedule_in(config_.explore_period_s, [this, p] { explore_from(p); });
+}
+
+void WebCacheSim::update_neighbors(net::NodeId p) {
+  // Algo 3 (pure asymmetric): adopt the top-k beneficial nodes outright —
+  // no agreement needed, the incoming side accepts everyone.  Hierarchy
+  // mode restricts eligibility to the top-level proxies.
+  const auto plan = core::plan_update(
+      proxies_[p].stats, overlay_.out_neighbors(p), config_.num_neighbors,
+      [this, p](net::NodeId n) {
+        return n != p && (config_.num_parents == 0 || is_parent(n));
+      });
+  for (net::NodeId x : plan.evictions) {
+    overlay_.unlink(p, x);
+    result_.traffic.count(net::MessageType::kEviction);
+  }
+  for (net::NodeId v : plan.additions) {
+    overlay_.link(p, v);
+    result_.traffic.count(net::MessageType::kInvitation);
+  }
+  sim_.schedule_in(config_.update_period_s,
+                   [this, p] { update_neighbors(p); });
+}
+
+void WebCacheSim::rebuild_digest(net::NodeId p) {
+  Proxy& proxy = proxies_[p];
+  proxy.digest.clear();
+  for (PageId page : proxy.cache.order()) proxy.digest.insert(page);
+  sim_.schedule_in(config_.digest_rebuild_period_s,
+                   [this, p] { rebuild_digest(p); });
+}
+
+WebCacheResult WebCacheSim::run() {
+  for (net::NodeId p = 0; p < config_.num_proxies; ++p) {
+    // Parents have no client population of their own; they serve (and are
+    // warmed by) leaf misses only.
+    if (!is_parent(p))
+      sim_.schedule_in(interrequest_.sample(rng_), [this, p] { request(p); });
+    if (is_parent(p)) {
+      if (config_.digest_rebuild_period_s > 0.0) {
+        sim_.schedule_in(rng_.uniform(0.0, config_.digest_rebuild_period_s),
+                         [this, p] { rebuild_digest(p); });
+      }
+      continue;
+    }
+    if (config_.dynamic) {
+      sim_.schedule_in(rng_.uniform(0.0, config_.explore_period_s),
+                       [this, p] { explore_from(p); });
+      sim_.schedule_in(rng_.uniform(0.0, config_.update_period_s),
+                       [this, p] { update_neighbors(p); });
+      if (config_.digest_rebuild_period_s > 0.0) {
+        sim_.schedule_in(rng_.uniform(0.0, config_.digest_rebuild_period_s),
+                         [this, p] { rebuild_digest(p); });
+      }
+    }
+  }
+  sim_.run_until(config_.sim_hours * 3600.0);
+  return result_;
+}
+
+}  // namespace dsf::webcache

@@ -1,0 +1,41 @@
+#include "workload/catalog.h"
+
+#include <stdexcept>
+
+namespace dsf::workload {
+
+namespace {
+
+std::vector<double> zipf_weights(std::uint32_t n, double theta) {
+  des::Zipf z(n, theta);
+  std::vector<double> w(n);
+  for (std::uint32_t r = 0; r < n; ++r) w[r] = z.pmf(r);
+  return w;
+}
+
+}  // namespace
+
+Catalog::Catalog(const Params& params)
+    : params_(params),
+      per_category_(params.num_categories
+                        ? params.num_songs / params.num_categories
+                        : 0),
+      zipf_(per_category_ ? per_category_ : 1, params.zipf_theta),
+      rank_alias_(zipf_weights(per_category_ ? per_category_ : 1,
+                               params.zipf_theta)) {
+  if (params.num_categories == 0)
+    throw std::invalid_argument("Catalog: num_categories must be > 0");
+  if (params.num_songs % params.num_categories != 0)
+    throw std::invalid_argument(
+        "Catalog: num_songs must divide evenly into categories");
+  if (per_category_ == 0)
+    throw std::invalid_argument("Catalog: empty categories");
+}
+
+SongId Catalog::sample_song(CategoryId c, des::Rng& rng) const {
+  if (c >= params_.num_categories)
+    throw std::out_of_range("Catalog::sample_song: bad category");
+  return song_at(c, static_cast<std::uint32_t>(rank_alias_.sample(rng)));
+}
+
+}  // namespace dsf::workload

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/distributions.h"
+#include "des/rng.h"
+
+namespace dsf::workload {
+
+/// Dense song (content item) identifier over [0, num_songs).
+using SongId = std::uint32_t;
+/// Music-genre category identifier over [0, num_categories).
+using CategoryId = std::uint32_t;
+
+/// The synthetic content universe of §4.2: `num_songs` distinct items
+/// equally divided into `num_categories` genres, with within-category
+/// popularity following Zipf(theta).  Song ids are laid out contiguously by
+/// category (category c owns [c*per_category, (c+1)*per_category)), and the
+/// popularity rank of a song inside its category is its offset, so both
+/// mappings are O(1) arithmetic.
+struct CatalogParams {
+  std::uint32_t num_songs = 200'000;
+  std::uint32_t num_categories = 50;
+  double zipf_theta = 0.9;  ///< within-category popularity skew
+};
+
+class Catalog {
+ public:
+  using Params = CatalogParams;
+
+  explicit Catalog(const Params& params = Params());
+
+  std::uint32_t num_songs() const noexcept { return params_.num_songs; }
+  std::uint32_t num_categories() const noexcept {
+    return params_.num_categories;
+  }
+  std::uint32_t songs_per_category() const noexcept { return per_category_; }
+  double zipf_theta() const noexcept { return params_.zipf_theta; }
+
+  CategoryId category_of(SongId s) const noexcept { return s / per_category_; }
+
+  /// Popularity rank of `s` within its category (0 = most popular).
+  std::uint32_t rank_of(SongId s) const noexcept { return s % per_category_; }
+
+  SongId song_at(CategoryId c, std::uint32_t rank) const noexcept {
+    return c * per_category_ + rank;
+  }
+
+  /// Samples a song from category `c` according to the Zipf popularity
+  /// profile (O(1), alias method).  The same profile drives both library
+  /// construction and query targets, which is what makes popular songs
+  /// both widely replicated and frequently requested.
+  SongId sample_song(CategoryId c, des::Rng& rng) const;
+
+  /// PMF of drawing rank `r` in any category.
+  double rank_probability(std::uint32_t r) const { return zipf_.pmf(r); }
+
+ private:
+  Params params_;
+  std::uint32_t per_category_;
+  des::Zipf zipf_;              // exact PMF (tests, analysis)
+  des::AliasTable rank_alias_;  // O(1) rank sampling (hot path)
+};
+
+}  // namespace dsf::workload

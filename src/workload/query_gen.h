@@ -1,0 +1,25 @@
+#pragma once
+
+#include "des/rng.h"
+#include "workload/catalog.h"
+#include "workload/user_profile.h"
+
+namespace dsf::workload {
+
+/// Draws query targets for a user (§4.2): the query's category matches the
+/// user's preference distribution (50% favourite, 10% per side category)
+/// and the song within the category follows the catalog's popularity
+/// profile.  One song per query, as in the paper.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(const Catalog& catalog) : catalog_(&catalog) {}
+
+  SongId draw(const UserProfile& profile, des::Rng& rng) const {
+    return catalog_->sample_song(profile.sample_category(rng), rng);
+  }
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace dsf::workload

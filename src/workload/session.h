@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+
+#include "des/distributions.h"
+#include "des/rng.h"
+
+namespace dsf::workload {
+
+/// Shape of the on/off duration distributions.
+enum class DurationKind : std::uint8_t {
+  kExponential,  ///< the paper's §4.2 model (memoryless, mean 3 h)
+  kPareto,       ///< heavy-tailed ablation: measured P2P session lengths
+                 ///< are closer to power laws than to exponentials
+};
+
+struct SessionParams {
+  double mean_online_s = 3.0 * 3600.0;
+  double mean_offline_s = 3.0 * 3600.0;
+  double mean_interquery_s = 320.0;
+  DurationKind duration_kind = DurationKind::kExponential;
+  /// Pareto shape when duration_kind == kPareto; must be > 1 so the mean
+  /// exists.  Smaller values = heavier tail (more very long/short
+  /// sessions at the same mean).
+  double pareto_shape = 1.5;
+};
+
+/// On/off churn model of §4.2: a user alternates between on-line and
+/// off-line periods, each with the configured mean (3 h in the paper,
+/// giving 50% expected concurrent availability).  Queries are issued while
+/// on-line with exponential inter-arrival times.
+///
+/// The inter-query mean is not stated in the paper; it is calibrated from
+/// the reported message volumes (see DESIGN.md) to ≈320 s, i.e. ~11
+/// queries per on-line user per hour.
+class SessionModel {
+ public:
+  using Params = SessionParams;
+
+  explicit SessionModel(const Params& params = Params())
+      : params_(params),
+        online_exp_(params.mean_online_s),
+        offline_exp_(params.mean_offline_s),
+        interquery_(params.mean_interquery_s),
+        online_pareto_(des::Pareto::from_mean(
+            params.mean_online_s,
+            params.duration_kind == DurationKind::kPareto ? params.pareto_shape
+                                                          : 2.0)),
+        offline_pareto_(des::Pareto::from_mean(
+            params.mean_offline_s,
+            params.duration_kind == DurationKind::kPareto ? params.pareto_shape
+                                                          : 2.0)) {}
+
+  const Params& params() const noexcept { return params_; }
+
+  /// Stationary probability of being on-line at t = 0 (ratio of means —
+  /// holds for any duration distribution by renewal-reward).
+  double stationary_online_probability() const noexcept {
+    return params_.mean_online_s /
+           (params_.mean_online_s + params_.mean_offline_s);
+  }
+
+  /// Draws the initial state: returns true if the user starts on-line.
+  bool draw_initial_online(des::Rng& rng) const {
+    return rng.bernoulli(stationary_online_probability());
+  }
+
+  double draw_online_duration(des::Rng& rng) const {
+    return params_.duration_kind == DurationKind::kPareto
+               ? online_pareto_.sample(rng)
+               : online_exp_.sample(rng);
+  }
+  double draw_offline_duration(des::Rng& rng) const {
+    return params_.duration_kind == DurationKind::kPareto
+               ? offline_pareto_.sample(rng)
+               : offline_exp_.sample(rng);
+  }
+  double draw_interquery_gap(des::Rng& rng) const {
+    return interquery_.sample(rng);
+  }
+
+ private:
+  Params params_;
+  des::Exponential online_exp_;
+  des::Exponential offline_exp_;
+  des::Exponential interquery_;
+  des::Pareto online_pareto_;
+  des::Pareto offline_pareto_;
+};
+
+}  // namespace dsf::workload

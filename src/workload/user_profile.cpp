@@ -1,0 +1,43 @@
+#include "workload/user_profile.h"
+#include <stdexcept>
+
+#include <algorithm>
+
+namespace dsf::workload {
+
+ProfileGenerator::ProfileGenerator(const Catalog& catalog,
+                                   double user_zipf_theta)
+    : catalog_(&catalog),
+      category_zipf_(catalog.num_categories(), user_zipf_theta) {
+  if (catalog.num_categories() < UserProfile::kNumSideCategories + 1)
+    throw std::invalid_argument(
+        "ProfileGenerator: need at least 6 categories for distinct side "
+        "categories");
+}
+
+UserProfile ProfileGenerator::generate(des::Rng& rng) const {
+  UserProfile p;
+  p.favorite = static_cast<CategoryId>(category_zipf_.sample(rng));
+
+  // Side categories: distinct, uniform over the other categories.  Sample
+  // from [0, n-1) and shift past the favourite to keep it excluded.
+  const std::uint32_t n = catalog_->num_categories();
+  auto picks = des::sample_without_replacement(
+      n - 1, UserProfile::kNumSideCategories, rng);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    auto c = static_cast<CategoryId>(picks[i]);
+    if (c >= p.favorite) ++c;
+    p.side[i] = c;
+  }
+  return p;
+}
+
+std::vector<UserProfile> ProfileGenerator::generate_population(
+    std::size_t n, des::Rng& rng) const {
+  std::vector<UserProfile> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(generate(rng));
+  return out;
+}
+
+}  // namespace dsf::workload

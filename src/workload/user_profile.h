@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "des/rng.h"
+#include "workload/catalog.h"
+
+namespace dsf::workload {
+
+/// A user's musical taste (§4.2): one favourite category receiving 50% of
+/// the probability mass, plus `kNumSideCategories` distinct side categories
+/// receiving 10% each.
+struct UserProfile {
+  static constexpr int kNumSideCategories = 5;
+  static constexpr double kFavoriteShare = 0.5;
+
+  CategoryId favorite = 0;
+  std::array<CategoryId, kNumSideCategories> side{};
+
+  /// Samples a category according to this profile (50% favourite, 10% per
+  /// side category).
+  CategoryId sample_category(des::Rng& rng) const {
+    const double u = rng.uniform();
+    if (u < kFavoriteShare) return favorite;
+    const double share = (1.0 - kFavoriteShare) / kNumSideCategories;
+    auto i = static_cast<std::size_t>((u - kFavoriteShare) / share);
+    if (i >= side.size()) i = side.size() - 1;  // guard u ≈ 1 rounding
+    return side[i];
+  }
+};
+
+/// Generates the population's profiles: favourite categories assigned by
+/// Zipf(theta) over the category set (popular genres have many fans), side
+/// categories chosen uniformly among the remaining ones.
+class ProfileGenerator {
+ public:
+  ProfileGenerator(const Catalog& catalog, double user_zipf_theta = 0.9);
+
+  UserProfile generate(des::Rng& rng) const;
+
+  std::vector<UserProfile> generate_population(std::size_t n,
+                                               des::Rng& rng) const;
+
+ private:
+  const Catalog* catalog_;
+  des::Zipf category_zipf_;
+};
+
+}  // namespace dsf::workload

@@ -1,0 +1,82 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::cli {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, PositionalArguments) {
+  const Args a = make({"gnutella", "extra"});
+  EXPECT_EQ(a.positional(),
+            (std::vector<std::string>{"gnutella", "extra"}));
+}
+
+TEST(Args, KeyValuePairs) {
+  const Args a = make({"--users", "2000", "--hops=4"});
+  EXPECT_EQ(a.get_int("users", 0), 2000);
+  EXPECT_EQ(a.get_int("hops", 0), 4);
+}
+
+TEST(Args, BooleanFlagWithoutValue) {
+  const Args a = make({"--json", "--dynamic", "false"});
+  EXPECT_TRUE(a.get_bool("json", false));
+  EXPECT_FALSE(a.get_bool("dynamic", true));
+}
+
+TEST(Args, BoolSpellings) {
+  const Args a = make({"--a", "yes", "--b", "0", "--c=on", "--d", "off"});
+  EXPECT_TRUE(a.get_bool("a", false));
+  EXPECT_FALSE(a.get_bool("b", true));
+  EXPECT_TRUE(a.get_bool("c", false));
+  EXPECT_FALSE(a.get_bool("d", true));
+}
+
+TEST(Args, Fallbacks) {
+  const Args a = make({});
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(a.get_string("missing", "x"), "x");
+  EXPECT_TRUE(a.get_bool("missing", true));
+  EXPECT_FALSE(a.has("missing"));
+  EXPECT_EQ(a.get("missing"), std::nullopt);
+}
+
+TEST(Args, MalformedValuesThrow) {
+  const Args a = make({"--n", "12x", "--f", "1.5.2", "--b", "maybe"});
+  EXPECT_THROW(a.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(a.get_double("f", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Args, DoubleParsing) {
+  const Args a = make({"--hours", "1.5"});
+  EXPECT_DOUBLE_EQ(a.get_double("hours", 0.0), 1.5);
+}
+
+TEST(Args, UnrecognizedTracking) {
+  const Args a = make({"--known", "1", "--typo", "2"});
+  EXPECT_EQ(a.get_int("known", 0), 1);
+  const auto unknown = a.unrecognized();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, EqualsFormWithEmptyValue) {
+  const Args a = make({"--name="});
+  EXPECT_EQ(a.get_string("name", "?"), "");
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "-5" must not be mistaken for an option.
+  const Args a = make({"--offset", "-5"});
+  EXPECT_EQ(a.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace dsf::cli

@@ -1,0 +1,99 @@
+#include "core/benefit.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::core {
+namespace {
+
+TEST(BandwidthOverResults, PaperFormula) {
+  BandwidthOverResults f;
+  ResultInfo r;
+  r.bandwidth_kbps = 1500.0;
+  r.total_results = 3;
+  EXPECT_DOUBLE_EQ(f.benefit(r), 500.0);
+}
+
+TEST(BandwidthOverResults, LargerResultListsDiluteBenefit) {
+  BandwidthOverResults f;
+  ResultInfo few, many;
+  few.bandwidth_kbps = many.bandwidth_kbps = 56.0;
+  few.total_results = 1;
+  many.total_results = 10;
+  EXPECT_GT(f.benefit(few), f.benefit(many));
+}
+
+TEST(BandwidthOverResults, FasterLinksWorthMore) {
+  BandwidthOverResults f;
+  ResultInfo modem, lan;
+  modem.bandwidth_kbps = 56.0;
+  lan.bandwidth_kbps = 10000.0;
+  modem.total_results = lan.total_results = 2;
+  EXPECT_GT(f.benefit(lan), f.benefit(modem));
+}
+
+TEST(BandwidthOverResults, ZeroResultsGuarded) {
+  BandwidthOverResults f;
+  ResultInfo r;
+  r.bandwidth_kbps = 100.0;
+  r.total_results = 0;
+  EXPECT_DOUBLE_EQ(f.benefit(r), 100.0);  // clamped to 1
+}
+
+TEST(ItemsOverLatency, MorePagesFasterIsBetter) {
+  ItemsOverLatency f;
+  ResultInfo slow, fast;
+  slow.items = fast.items = 4.0;
+  slow.latency_s = 1.0;
+  fast.latency_s = 0.1;
+  EXPECT_GT(f.benefit(fast), f.benefit(slow));
+  EXPECT_DOUBLE_EQ(f.benefit(slow), 4.0);
+}
+
+TEST(ItemsOverLatency, TinyLatencyClamped) {
+  ItemsOverLatency f(1e-3);
+  ResultInfo r;
+  r.items = 1.0;
+  r.latency_s = 0.0;
+  EXPECT_DOUBLE_EQ(f.benefit(r), 1000.0);
+}
+
+TEST(ProcessingTimeSaved, PassesThrough) {
+  ProcessingTimeSaved f;
+  ResultInfo r;
+  r.processing_time_saved_s = 1.8;
+  EXPECT_DOUBLE_EQ(f.benefit(r), 1.8);
+}
+
+TEST(UnitBenefit, AlwaysOne) {
+  UnitBenefit f;
+  ResultInfo a, b;
+  a.bandwidth_kbps = 1e6;
+  b.latency_s = 100.0;
+  EXPECT_DOUBLE_EQ(f.benefit(a), 1.0);
+  EXPECT_DOUBLE_EQ(f.benefit(b), 1.0);
+}
+
+TEST(InverseLatency, OrdersByLatencyOnly) {
+  InverseLatency f;
+  ResultInfo near, far;
+  near.latency_s = 0.1;
+  far.latency_s = 1.0;
+  near.bandwidth_kbps = 56.0;   // bandwidth must not matter
+  far.bandwidth_kbps = 10000.0;
+  EXPECT_GT(f.benefit(near), f.benefit(far));
+}
+
+TEST(BenefitFunctions, HaveDistinctNames) {
+  BandwidthOverResults a;
+  ItemsOverLatency b;
+  ProcessingTimeSaved c;
+  UnitBenefit d;
+  InverseLatency e;
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(b.name(), c.name());
+  EXPECT_NE(c.name(), d.name());
+  EXPECT_NE(d.name(), e.name());
+}
+
+}  // namespace
+}  // namespace dsf::core

@@ -1,0 +1,102 @@
+#include "core/exploration.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace dsf::core {
+namespace {
+
+class ExploreFixture {
+ public:
+  explicit ExploreFixture(std::size_t n) : adj_(n), stamps_(n) {}
+
+  void edge(net::NodeId a, net::NodeId b) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+  void summary(net::NodeId n, double v) { summaries_[n] = v; }
+
+  ExploreOutcome run(net::NodeId from, int hops) {
+    ExploreParams p;
+    p.max_hops = hops;
+    return explore(
+        from, p,
+        [this](net::NodeId n) -> const std::vector<net::NodeId>& {
+          return adj_[n];
+        },
+        [this](net::NodeId n) {
+          const auto it = summaries_.find(n);
+          return it == summaries_.end() ? 0.0 : it->second;
+        },
+        stamps_);
+  }
+
+ private:
+  std::vector<std::vector<net::NodeId>> adj_;
+  std::map<net::NodeId, double> summaries_;
+  VisitStamp stamps_;
+};
+
+TEST(Explore, EveryReachedNodeReports) {
+  ExploreFixture f(4);
+  f.edge(0, 1);
+  f.edge(1, 2);
+  f.edge(2, 3);
+  const auto out = f.run(0, 3);
+  EXPECT_EQ(out.reports.size(), 3u);
+  EXPECT_EQ(out.reply_messages, 3u);
+}
+
+TEST(Explore, HopLimitRespected) {
+  ExploreFixture f(4);
+  f.edge(0, 1);
+  f.edge(1, 2);
+  f.edge(2, 3);
+  const auto out = f.run(0, 2);
+  EXPECT_EQ(out.reports.size(), 2u);
+  for (const auto& r : out.reports) EXPECT_LE(r.hop, 2);
+}
+
+TEST(Explore, SummariesComeFromNodes) {
+  ExploreFixture f(3);
+  f.edge(0, 1);
+  f.edge(0, 2);
+  f.summary(1, 4.0);
+  f.summary(2, 7.0);
+  const auto out = f.run(0, 1);
+  double total = 0.0;
+  for (const auto& r : out.reports) total += r.summary;
+  EXPECT_DOUBLE_EQ(total, 11.0);
+}
+
+TEST(Explore, ContentRichNodesKeepPropagating) {
+  // Unlike search, a node with a high summary still forwards.
+  ExploreFixture f(3);
+  f.edge(0, 1);
+  f.edge(1, 2);
+  f.summary(1, 100.0);
+  const auto out = f.run(0, 2);
+  EXPECT_EQ(out.reports.size(), 2u);  // both 1 and 2 report
+}
+
+TEST(Explore, DuplicatesCountedOnce) {
+  ExploreFixture f(3);
+  f.edge(0, 1);
+  f.edge(0, 2);
+  f.edge(1, 2);
+  const auto out = f.run(0, 2);
+  EXPECT_EQ(out.reports.size(), 2u);
+  EXPECT_EQ(out.explore_messages, 4u);  // 0→1, 0→2, 1→2, 2→1
+}
+
+TEST(Explore, IsolatedInitiator) {
+  ExploreFixture f(2);
+  const auto out = f.run(0, 3);
+  EXPECT_TRUE(out.reports.empty());
+  EXPECT_EQ(out.explore_messages, 0u);
+}
+
+}  // namespace
+}  // namespace dsf::core

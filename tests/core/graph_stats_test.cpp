@@ -1,0 +1,100 @@
+#include "core/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::core {
+namespace {
+
+const auto kAll = [](net::NodeId) { return true; };
+
+TEST(Gini, EmptyAndUniform) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  EXPECT_NEAR(gini({3, 3, 3, 3}), 0.0, 1e-12);
+}
+
+TEST(Gini, MaximalConcentration) {
+  // One node holds everything: Gini → (n-1)/n.
+  EXPECT_NEAR(gini({0, 0, 0, 10}), 0.75, 1e-12);
+}
+
+TEST(Gini, KnownValue) {
+  // {1, 3}: mean 2, Gini = |1-3| / (2n²·mean) summed = 2/(2·4·2)·2 = 0.25.
+  EXPECT_NEAR(gini({1, 3}), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  EXPECT_NEAR(gini({1, 2, 3}), gini({10, 20, 30}), 1e-12);
+}
+
+TEST(GraphStats, MeanDegreeCountsOutEdges) {
+  NeighborTable t(4, RelationKind::kAsymmetric, 4, 4);
+  t.link(0, 1);
+  t.link(0, 2);
+  t.link(1, 2);
+  EXPECT_DOUBLE_EQ(mean_degree(t, kAll), 3.0 / 4.0);
+}
+
+TEST(GraphStats, FilterRestrictsPopulation) {
+  NeighborTable t(4, RelationKind::kAsymmetric, 4, 4);
+  t.link(0, 1);
+  t.link(0, 2);
+  const auto only0 = [](net::NodeId n) { return n == 0; };
+  EXPECT_DOUBLE_EQ(mean_degree(t, only0), 2.0);
+}
+
+TEST(GraphStats, DegreeGiniZeroForRegularGraph) {
+  NeighborTable t(4, RelationKind::kSymmetric, 4, 4);
+  // Ring: every node has degree 2.
+  t.link(0, 1);
+  t.link(1, 2);
+  t.link(2, 3);
+  t.link(3, 0);
+  EXPECT_NEAR(degree_gini(t, kAll), 0.0, 1e-12);
+}
+
+TEST(GraphStats, DegreeGiniPositiveForStar) {
+  NeighborTable t(5, RelationKind::kSymmetric, 8, 8);
+  for (net::NodeId i = 1; i < 5; ++i) t.link(0, i);
+  EXPECT_GT(degree_gini(t, kAll), 0.3);
+}
+
+TEST(GraphStats, ClusteringTriangleIsOne) {
+  NeighborTable t(3, RelationKind::kSymmetric, 4, 4);
+  t.link(0, 1);
+  t.link(1, 2);
+  t.link(2, 0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(t, kAll), 1.0);
+}
+
+TEST(GraphStats, ClusteringStarIsZero) {
+  NeighborTable t(5, RelationKind::kSymmetric, 8, 8);
+  for (net::NodeId i = 1; i < 5; ++i) t.link(0, i);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(t, kAll), 0.0);
+}
+
+TEST(GraphStats, ClusteringSkipsDegreeOneNodes) {
+  NeighborTable t(3, RelationKind::kSymmetric, 4, 4);
+  t.link(0, 1);  // both endpoints have a single neighbor
+  EXPECT_DOUBLE_EQ(clustering_coefficient(t, kAll), 0.0);
+}
+
+TEST(GraphStats, HomophilyFraction) {
+  NeighborTable t(4, RelationKind::kAsymmetric, 4, 4);
+  t.link(0, 1);  // same attribute (0, 1 -> class 0)
+  t.link(0, 2);  // different
+  t.link(3, 2);  // same (2, 3 -> class 1)
+  const auto cls = [](net::NodeId n) -> std::uint32_t { return n / 2; };
+  EXPECT_DOUBLE_EQ(same_attribute_fraction(t, kAll, cls), 2.0 / 3.0);
+}
+
+TEST(GraphStats, EmptyGraphIsAllZero) {
+  NeighborTable t(3, RelationKind::kSymmetric, 4, 4);
+  EXPECT_DOUBLE_EQ(mean_degree(t, kAll), 0.0);
+  EXPECT_DOUBLE_EQ(degree_gini(t, kAll), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(t, kAll), 0.0);
+  EXPECT_DOUBLE_EQ(
+      same_attribute_fraction(t, kAll, [](net::NodeId) { return 0u; }), 0.0);
+}
+
+}  // namespace
+}  // namespace dsf::core

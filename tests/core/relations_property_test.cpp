@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/relations.h"
+#include "des/rng.h"
+
+namespace dsf::core {
+namespace {
+
+/// Property sweep: under any relation kind and any random operation
+/// sequence, the §3.1 consistency predicate and the capacity bounds must
+/// hold after every single operation.  (Pure asymmetric networks are
+/// additionally consistent *by construction*, which is exactly the
+/// paper's argument for them.)
+class RelationsProperty
+    : public ::testing::TestWithParam<std::tuple<RelationKind, std::size_t>> {
+ protected:
+  RelationKind kind() const { return std::get<0>(GetParam()); }
+  std::size_t capacity() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(RelationsProperty, RandomOperationSequencePreservesInvariants) {
+  constexpr std::size_t kNodes = 24;
+  NeighborTable table(kNodes, kind(), capacity(), capacity());
+  des::Rng rng(0xABCDEF ^ static_cast<std::uint64_t>(capacity()) ^
+               (static_cast<std::uint64_t>(kind()) << 8));
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto a = static_cast<net::NodeId>(rng.uniform_int(kNodes));
+    const auto b = static_cast<net::NodeId>(rng.uniform_int(kNodes));
+    switch (rng.uniform_int(10)) {
+      case 0:
+        table.isolate(a);
+        break;
+      case 1:
+      case 2:
+        table.unlink(a, b);
+        break;
+      default:
+        table.link(a, b);
+        break;
+    }
+
+    ASSERT_TRUE(table.consistent()) << "op " << op;
+    for (net::NodeId i = 0; i < kNodes; ++i) {
+      const auto& l = table.lists(i);
+      ASSERT_LE(l.out().size(), l.out_capacity());
+      ASSERT_LE(l.in().size(), l.in_capacity());
+      ASSERT_FALSE(l.has_out(i)) << "self-loop at " << i;
+    }
+  }
+}
+
+TEST_P(RelationsProperty, IsolateAlwaysLeavesNodeDisconnected) {
+  constexpr std::size_t kNodes = 16;
+  NeighborTable table(kNodes, kind(), capacity(), capacity());
+  des::Rng rng(42);
+  for (int op = 0; op < 300; ++op) {
+    table.link(static_cast<net::NodeId>(rng.uniform_int(kNodes)),
+               static_cast<net::NodeId>(rng.uniform_int(kNodes)));
+  }
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    table.isolate(i);
+    EXPECT_TRUE(table.lists(i).out().empty());
+    EXPECT_TRUE(table.lists(i).in().empty());
+    EXPECT_TRUE(table.consistent());
+    for (net::NodeId j = 0; j < kNodes; ++j) {
+      EXPECT_FALSE(table.lists(j).has_out(i));
+      EXPECT_FALSE(table.lists(j).has_in(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndCapacities, RelationsProperty,
+    ::testing::Combine(::testing::Values(RelationKind::kSymmetric,
+                                         RelationKind::kAsymmetric,
+                                         RelationKind::kPureAsymmetric,
+                                         RelationKind::kAllToAll),
+                       ::testing::Values<std::size_t>(1, 4, 8)),
+    [](const auto& info) {
+      const auto kind = std::get<0>(info.param);
+      return std::string(to_string(kind) == "all-to-all"
+                             ? "AllToAll"
+                             : to_string(kind) == "symmetric"
+                                   ? "Symmetric"
+                                   : to_string(kind) == "asymmetric"
+                                         ? "Asymmetric"
+                                         : "PureAsymmetric") +
+             "_cap" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dsf::core

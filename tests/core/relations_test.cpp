@@ -1,0 +1,163 @@
+#include "core/relations.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dsf::core {
+namespace {
+
+TEST(NeighborLists, CapacityEnforced) {
+  NeighborLists l(2, 2);
+  EXPECT_TRUE(l.add_out(1));
+  EXPECT_TRUE(l.add_out(2));
+  EXPECT_TRUE(l.out_full());
+  EXPECT_FALSE(l.add_out(3));
+  EXPECT_EQ(l.out().size(), 2u);
+}
+
+TEST(NeighborLists, NoDuplicates) {
+  NeighborLists l(4, 4);
+  EXPECT_TRUE(l.add_out(1));
+  EXPECT_FALSE(l.add_out(1));
+  EXPECT_TRUE(l.add_in(1));
+  EXPECT_FALSE(l.add_in(1));
+}
+
+TEST(NeighborLists, RemoveWorks) {
+  NeighborLists l(4, 4);
+  l.add_out(1);
+  l.add_out(2);
+  EXPECT_TRUE(l.remove_out(1));
+  EXPECT_FALSE(l.remove_out(1));
+  EXPECT_FALSE(l.has_out(1));
+  EXPECT_TRUE(l.has_out(2));
+}
+
+TEST(RelationKind, Names) {
+  EXPECT_EQ(to_string(RelationKind::kSymmetric), "symmetric");
+  EXPECT_EQ(to_string(RelationKind::kPureAsymmetric), "pure-asymmetric");
+  EXPECT_EQ(to_string(RelationKind::kAsymmetric), "asymmetric");
+  EXPECT_EQ(to_string(RelationKind::kAllToAll), "all-to-all");
+}
+
+TEST(NeighborTable, SymmetricLinkInstallsBothDirections) {
+  NeighborTable t(4, RelationKind::kSymmetric, 4, 4);
+  EXPECT_TRUE(t.link(0, 1));
+  EXPECT_TRUE(t.lists(0).has_out(1));
+  EXPECT_TRUE(t.lists(0).has_in(1));
+  EXPECT_TRUE(t.lists(1).has_out(0));
+  EXPECT_TRUE(t.lists(1).has_in(0));
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, SymmetricUnlinkRemovesBothDirections) {
+  NeighborTable t(4, RelationKind::kSymmetric, 4, 4);
+  t.link(0, 1);
+  EXPECT_TRUE(t.unlink(1, 0));  // either end may sever
+  EXPECT_FALSE(t.lists(0).has_out(1));
+  EXPECT_FALSE(t.lists(1).has_out(0));
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, SelfLinkRejected) {
+  NeighborTable t(2, RelationKind::kSymmetric, 4, 4);
+  EXPECT_FALSE(t.link(0, 0));
+}
+
+TEST(NeighborTable, DuplicateLinkRejected) {
+  NeighborTable t(3, RelationKind::kSymmetric, 4, 4);
+  EXPECT_TRUE(t.link(0, 1));
+  EXPECT_FALSE(t.link(0, 1));
+  EXPECT_FALSE(t.link(1, 0));  // symmetric: reverse already exists
+}
+
+TEST(NeighborTable, SymmetricCapacityBlocksLink) {
+  NeighborTable t(4, RelationKind::kSymmetric, 1, 1);
+  EXPECT_TRUE(t.link(0, 1));
+  EXPECT_FALSE(t.link(0, 2));  // 0 is full
+  EXPECT_FALSE(t.link(2, 1));  // 1 is full
+  EXPECT_TRUE(t.link(2, 3));
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, AsymmetricLinkIsOneWay) {
+  NeighborTable t(3, RelationKind::kAsymmetric, 2, 2);
+  EXPECT_TRUE(t.link(0, 1));
+  EXPECT_TRUE(t.lists(0).has_out(1));
+  EXPECT_TRUE(t.lists(1).has_in(0));
+  EXPECT_FALSE(t.lists(1).has_out(0));
+  EXPECT_TRUE(t.consistent());
+  // Reverse direction is an independent edge.
+  EXPECT_TRUE(t.link(1, 0));
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, PureAsymmetricInListUnbounded) {
+  NeighborTable t(10, RelationKind::kPureAsymmetric, 1, 0);
+  // Every node can point at node 9 even though out-capacity is 1.
+  for (net::NodeId i = 0; i < 9; ++i) EXPECT_TRUE(t.link(i, 9));
+  EXPECT_EQ(t.lists(9).in().size(), 9u);
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, AllToAllCapacitiesCoverNetwork) {
+  NeighborTable t(5, RelationKind::kAllToAll, 1, 1);
+  for (net::NodeId i = 0; i < 5; ++i)
+    for (net::NodeId j = 0; j < 5; ++j)
+      if (i != j) {
+        EXPECT_TRUE(t.link(i, j));
+      }
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, IsolateSeversAllAndReportsAffected) {
+  NeighborTable t(5, RelationKind::kSymmetric, 4, 4);
+  t.link(0, 1);
+  t.link(0, 2);
+  t.link(3, 0);
+  t.link(1, 2);  // unrelated edge survives
+  auto affected = t.isolate(0);
+  std::sort(affected.begin(), affected.end());
+  EXPECT_EQ(affected, (std::vector<net::NodeId>{1, 2, 3}));
+  EXPECT_TRUE(t.lists(0).out().empty());
+  EXPECT_TRUE(t.lists(0).in().empty());
+  EXPECT_FALSE(t.lists(1).has_out(0));
+  EXPECT_FALSE(t.lists(3).has_out(0));
+  EXPECT_TRUE(t.lists(1).has_out(2));
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, IsolateAsymmetric) {
+  NeighborTable t(4, RelationKind::kAsymmetric, 4, 4);
+  t.link(0, 1);  // 0 → 1
+  t.link(2, 0);  // 2 → 0
+  const auto affected = t.isolate(0);
+  EXPECT_EQ(affected, (std::vector<net::NodeId>{2}));
+  EXPECT_FALSE(t.lists(2).has_out(0));
+  EXPECT_FALSE(t.lists(1).has_in(0));
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(NeighborTable, ConsistencyDetectsManualDamage) {
+  NeighborTable t(3, RelationKind::kAsymmetric, 2, 2);
+  t.link(0, 1);
+  // Damage: remove the in-edge only.
+  t.lists(1).remove_in(0);
+  EXPECT_FALSE(t.consistent());
+}
+
+TEST(NeighborTable, SymmetricConsistencyRequiresEqualLists) {
+  NeighborTable t(3, RelationKind::kSymmetric, 2, 2);
+  t.link(0, 1);
+  t.lists(0).remove_in(1);  // break O == I at node 0
+  EXPECT_FALSE(t.consistent());
+}
+
+TEST(NeighborTable, UnlinkMissingEdgeFails) {
+  NeighborTable t(3, RelationKind::kSymmetric, 2, 2);
+  EXPECT_FALSE(t.unlink(0, 1));
+}
+
+}  // namespace
+}  // namespace dsf::core

@@ -1,0 +1,130 @@
+#include "des/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsf::des {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(4.25, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.25);
+  auto [t, cb] = q.pop();
+  EXPECT_DOUBLE_EQ(t, 4.25);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId old_id = q.schedule(1.0, [] {});
+  q.pop();  // slot freed
+  bool ran = false;
+  q.schedule(2.0, [&] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(old_id));        // generation mismatch
+  q.pop().second();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { fired.push_back(2); });
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyEventsRandomOrder) {
+  EventQueue q;
+  // xorshift: pseudo-random but deterministic times
+  std::vector<double> times;
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    times.push_back(static_cast<double>(x % 100000) / 100.0);
+  }
+  for (double t : times) q.schedule(t, [] {});
+  double prev = -1.0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(EventQueue, SlotReuseKeepsTotalScheduledMonotone) {
+  EventQueue q;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule(static_cast<double>(i), [] {});
+    q.pop();
+  }
+  EXPECT_EQ(q.total_scheduled(), 100u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace dsf::des

@@ -1,0 +1,141 @@
+#include "des/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsf::des {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, NowIsExactInsideCallback) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_in(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Simulator, ChainedEventsAccumulateTime) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> hop = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.schedule_in(1.0, hop);
+  };
+  sim.schedule_in(1.0, hop);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 5);  // events at 1..5 inclusive
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, StopRequestHaltsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();  // resumable after stop
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_in(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ExecutedCountsLifetime) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, EventsScheduledFromCallbacksAtSameTimeRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_at(1.0, [&] { ++fired; });  // same timestamp
+  });
+  sim.run_until(1.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(10.0, [&] {
+    // Both of these target the past; they must fire "now", not rewind.
+    sim.schedule_at(3.0, [&] { times.push_back(sim.now()); });
+    sim.schedule_in(-5.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 10.0);
+}
+
+TEST(Simulator, ClockIsMonotoneThroughCallbacks) {
+  Simulator sim;
+  double last = -1.0;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(static_cast<double>(i % 7), [&] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run();
+}
+
+TEST(Simulator, ReturnsEventCountPerRun) {
+  Simulator sim;
+  for (int i = 1; i <= 4; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run_until(2.0), 2u);
+  EXPECT_EQ(sim.run_until(10.0), 2u);
+}
+
+}  // namespace
+}  // namespace dsf::des

@@ -1,0 +1,62 @@
+#include "des/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "des/rng.h"
+
+namespace dsf::des {
+namespace {
+
+TEST(ParallelMap, EmptyInput) {
+  const std::vector<int> empty;
+  const auto out = parallel_map(empty, [](int x) { return x; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  std::vector<int> in(100);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = parallel_map(in, [](int x) { return x * x; }, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, SingleThreadFallback) {
+  const std::vector<int> in{3, 1, 4};
+  const auto out = parallel_map(in, [](int x) { return x + 1; }, 1);
+  EXPECT_EQ(out, (std::vector<int>{4, 2, 5}));
+}
+
+TEST(ParallelMap, DeterministicAcrossThreadCounts) {
+  // Each job runs its own seeded RNG — results must not depend on how
+  // jobs are scheduled onto threads.
+  std::vector<std::uint64_t> seeds(32);
+  std::iota(seeds.begin(), seeds.end(), 100);
+  const auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < 1000; ++i) sum += rng.uniform();
+    return sum;
+  };
+  const auto a = parallel_map(seeds, run, 1);
+  const auto b = parallel_map(seeds, run, 4);
+  const auto c = parallel_map(seeds, run, 13);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(ParallelMap, MoreThreadsThanJobs) {
+  const std::vector<int> in{1, 2};
+  const auto out = parallel_map(in, [](int x) { return -x; }, 16);
+  EXPECT_EQ(out, (std::vector<int>{-1, -2}));
+}
+
+TEST(SweepThreads, BoundedByJobsAndHardware) {
+  EXPECT_EQ(sweep_threads(1), 1u);
+  EXPECT_GE(sweep_threads(1000), 1u);
+  EXPECT_LE(sweep_threads(2), 2u);
+}
+
+}  // namespace
+}  // namespace dsf::des

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "diglib/diglib_sim.h"
+
+namespace dsf::diglib {
+namespace {
+
+/// Property sweep over federation sizes and list modes.
+class DigLibProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, ListMode>> {
+ protected:
+  DigLibConfig make_config() const {
+    DigLibConfig c;
+    c.num_repositories = std::get<0>(GetParam());
+    c.mode = std::get<1>(GetParam());
+    c.num_docs = 8000;
+    c.num_topics = 8;
+    c.holdings = 300;
+    c.sim_hours = 0.75;
+    c.warmup_hours = 0.1;
+    c.seed = 5 + c.num_repositories;
+    return c;
+  }
+};
+
+TEST_P(DigLibProperty, AccountingBalances) {
+  const DigLibConfig c = make_config();
+  const auto r = DigLibSim(c).run();
+  EXPECT_GT(r.queries, 0u);
+  EXPECT_LE(r.satisfied, r.queries);
+  EXPECT_LE(r.copies_found, r.copies_available);
+  EXPECT_EQ(r.first_result_delay_s.count(), r.satisfied);
+  EXPECT_EQ(r.messages_per_query.count(), r.queries);
+}
+
+TEST_P(DigLibProperty, OverlayShapeMatchesMode) {
+  const DigLibConfig c = make_config();
+  DigLibSim sim(c);
+  sim.run();
+  EXPECT_TRUE(sim.overlay().consistent());
+  for (net::NodeId p = 0; p < c.num_repositories; ++p) {
+    const auto degree = sim.overlay().lists(p).out().size();
+    if (c.mode == ListMode::kAllToAll) {
+      EXPECT_EQ(degree, c.num_repositories - 1);
+    } else {
+      EXPECT_LE(degree, c.num_neighbors);
+    }
+  }
+}
+
+TEST_P(DigLibProperty, AllToAllAlwaysFullRecall) {
+  const DigLibConfig c = make_config();
+  if (c.mode != ListMode::kAllToAll) return;
+  const auto r = DigLibSim(c).run();
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(r.messages_per_query.mean(),
+                   static_cast<double>(c.num_repositories - 1));
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<std::uint32_t, ListMode>>&
+        info) {
+  static constexpr const char* kModeNames[] = {"AllToAll", "Static",
+                                               "Adaptive"};
+  return "N" + std::to_string(std::get<0>(info.param)) + "_" +
+         kModeNames[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndModes, DigLibProperty,
+    ::testing::Combine(::testing::Values<std::uint32_t>(8, 24, 48),
+                       ::testing::Values(ListMode::kAllToAll,
+                                         ListMode::kStatic,
+                                         ListMode::kAdaptive)),
+    param_name);
+
+}  // namespace
+}  // namespace dsf::diglib

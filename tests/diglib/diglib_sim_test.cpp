@@ -1,0 +1,109 @@
+#include "diglib/diglib_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::diglib {
+namespace {
+
+DigLibConfig fast_config() {
+  DigLibConfig c;
+  c.num_repositories = 32;
+  c.num_docs = 8000;
+  c.num_topics = 8;
+  c.holdings = 400;
+  c.sim_hours = 1.0;
+  c.warmup_hours = 0.1;
+  c.seed = 21;
+  return c;
+}
+
+TEST(DigLibSim, RejectsUnevenTopicSplit) {
+  DigLibConfig c = fast_config();
+  c.num_docs = 8001;
+  EXPECT_THROW(DigLibSim{c}, std::invalid_argument);
+}
+
+TEST(DigLibSim, CopyCountsMatchHoldings) {
+  DigLibConfig c = fast_config();
+  DigLibSim sim(c);
+  // Sum of per-document copies must equal total holdings.
+  std::uint64_t copies = 0;
+  for (DocId d = 0; d < c.num_docs; ++d) copies += sim.copies_of(d);
+  EXPECT_EQ(copies, static_cast<std::uint64_t>(c.num_repositories) * c.holdings);
+}
+
+TEST(DigLibSim, RunProducesQueriesAndBoundedRecall) {
+  const auto r = DigLibSim(fast_config()).run();
+  EXPECT_GT(r.queries, 0u);
+  EXPECT_GE(r.recall(), 0.0);
+  EXPECT_LE(r.recall(), 1.0);
+  EXPECT_LE(r.copies_found, r.copies_available);
+}
+
+TEST(DigLibSim, DeterministicForSameSeed) {
+  const auto a = DigLibSim(fast_config()).run();
+  const auto b = DigLibSim(fast_config()).run();
+  EXPECT_EQ(a.copies_found, b.copies_found);
+  EXPECT_DOUBLE_EQ(a.first_result_delay_s.mean(),
+                   b.first_result_delay_s.mean());
+}
+
+TEST(DigLibSim, AllToAllAchievesFullRecall) {
+  // §3.1: with all-to-all lists every repository is one hop away, so
+  // extensive search retrieves every existing copy.
+  DigLibConfig c = fast_config();
+  c.mode = ListMode::kAllToAll;
+  const auto r = DigLibSim(c).run();
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+}
+
+TEST(DigLibSim, AllToAllOverlayShape) {
+  DigLibConfig c = fast_config();
+  c.mode = ListMode::kAllToAll;
+  DigLibSim sim(c);
+  EXPECT_EQ(sim.overlay().kind(), core::RelationKind::kAllToAll);
+  EXPECT_TRUE(sim.overlay().consistent());
+  for (net::NodeId r = 0; r < c.num_repositories; ++r)
+    EXPECT_EQ(sim.overlay().lists(r).out().size(), c.num_repositories - 1);
+}
+
+TEST(DigLibSim, AllToAllCostsMoreMessagesThanBoundedLists) {
+  DigLibConfig all = fast_config();
+  all.mode = ListMode::kAllToAll;
+  DigLibConfig bounded = fast_config();
+  bounded.mode = ListMode::kStatic;
+  const auto ra = DigLibSim(all).run();
+  const auto rb = DigLibSim(bounded).run();
+  EXPECT_GT(ra.messages_per_query.mean(), rb.messages_per_query.mean());
+}
+
+TEST(DigLibSim, AdaptiveBeatsStaticOnHitRate) {
+  // Popular documents are replicated everywhere, so *recall* is bounded
+  // by distinct reach and cannot reward adaptation; the hit rate —
+  // dominated by tail documents that only same-topic repositories hold —
+  // is where topology targeting pays.
+  DigLibConfig adaptive = fast_config();
+  adaptive.sim_hours = 2.0;
+  DigLibConfig fixed = adaptive;
+  fixed.mode = ListMode::kStatic;
+  const auto ra = DigLibSim(adaptive).run();
+  const auto rs = DigLibSim(fixed).run();
+  EXPECT_GT(ra.hit_rate(), rs.hit_rate());
+}
+
+TEST(DigLibSim, HitRateIsProperFraction) {
+  const auto r = DigLibSim(fast_config()).run();
+  EXPECT_GE(r.hit_rate(), 0.0);
+  EXPECT_LE(r.hit_rate(), 1.0);
+  EXPECT_LE(r.satisfied, r.queries);
+}
+
+TEST(DigLibSim, StaticModeNeverSendsControlTraffic) {
+  DigLibConfig c = fast_config();
+  c.mode = ListMode::kStatic;
+  const auto r = DigLibSim(c).run();
+  EXPECT_EQ(r.traffic.control_traffic(), 0u);
+}
+
+}  // namespace
+}  // namespace dsf::diglib

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "des/rng.h"
+#include "gnutella/simulation.h"
+
+namespace dsf::gnutella {
+namespace {
+
+/// Config fuzzing: many small random-but-valid configurations, each run
+/// to completion with the full invariant battery.  The point is to shake
+/// out interactions between knobs (policy × strategy × thresholds ×
+/// session shapes) that no hand-picked test covers.
+class FuzzConfig : public ::testing::TestWithParam<std::uint64_t> {};
+
+Config random_config(std::uint64_t seed) {
+  des::Rng rng(seed);
+  Config c;
+  c.num_users = 40 + static_cast<std::uint32_t>(rng.uniform_int(120));
+  c.catalog.num_categories = 6 + static_cast<std::uint32_t>(rng.uniform_int(10));
+  c.catalog.num_songs = c.catalog.num_categories *
+                        (200 + static_cast<std::uint32_t>(rng.uniform_int(800)));
+  c.catalog.zipf_theta = rng.uniform(0.5, 1.1);
+  c.user_zipf_theta = rng.uniform(0.5, 1.1);
+  c.library.mean_size = 30.0 + rng.uniform(0.0, 60.0);
+  c.library.stddev_size = 5.0 + rng.uniform(0.0, 15.0);
+  c.library.min_size = 5.0;
+  c.library.max_size = c.library.mean_size * 2.0;
+  c.session.mean_online_s = 1800.0 + rng.uniform(0.0, 7200.0);
+  c.session.mean_offline_s = 1800.0 + rng.uniform(0.0, 7200.0);
+  c.session.mean_interquery_s = 60.0 + rng.uniform(0.0, 300.0);
+  c.session.duration_kind = rng.bernoulli(0.3) ? workload::DurationKind::kPareto
+                                               : workload::DurationKind::kExponential;
+  c.max_neighbors = 2 + static_cast<std::uint32_t>(rng.uniform_int(4));
+  c.max_hops = 1 + static_cast<int>(rng.uniform_int(5));
+  c.dynamic = rng.bernoulli(0.8);
+  c.reconfig_threshold = static_cast<std::uint32_t>(rng.uniform_int(6));
+  c.max_exchanges_per_reconfig =
+      rng.bernoulli(0.2) ? UINT32_MAX
+                         : 1 + static_cast<std::uint32_t>(rng.uniform_int(3));
+  c.eviction_refill_floor =
+      static_cast<std::uint32_t>(rng.uniform_int(c.max_neighbors + 1));
+  c.invitation_policy = static_cast<core::InvitationPolicy>(rng.uniform_int(4));
+  c.trial_period_s = 120.0 + rng.uniform(0.0, 1800.0);
+  c.benefit = static_cast<BenefitKind>(rng.uniform_int(3));
+  c.search_strategy = static_cast<SearchStrategy>(rng.uniform_int(4));
+  c.directed_fanout = 1 + static_cast<std::uint32_t>(rng.uniform_int(3));
+  c.exclude_owned_songs = rng.bernoulli(0.3);
+  c.library_growth = rng.bernoulli(0.3);
+  c.persist_stats_across_sessions = rng.bernoulli(0.8);
+  c.sim_hours = 1.5;
+  c.warmup_hours = 0.25;
+  c.probe_period_s = rng.bernoulli(0.3) ? 900.0 : 0.0;
+  c.seed = seed * 7919;
+  return c;
+}
+
+TEST_P(FuzzConfig, RunsCleanWithInvariantsIntact) {
+  const Config c = random_config(GetParam());
+  Simulation sim(c);
+  sim.prime();
+  const double horizon = c.sim_hours * 3600.0;
+  double t = 0.0;
+  while (t < horizon) {
+    t += horizon / 6.0;
+    sim.simulator().run_until(t);
+    ASSERT_TRUE(sim.overlay().consistent());
+    for (net::NodeId u = 0; u < c.num_users; ++u) {
+      ASSERT_LE(sim.overlay().lists(u).out().size(), c.max_neighbors);
+      if (!sim.online(u)) {
+        ASSERT_TRUE(sim.overlay().lists(u).out().empty());
+      }
+      for (net::NodeId v : sim.overlay().lists(u).out()) {
+        ASSERT_NE(v, u);
+        ASSERT_TRUE(sim.online(v));
+      }
+    }
+  }
+}
+
+TEST_P(FuzzConfig, FullRunAccountingIsSane) {
+  const Config c = random_config(GetParam() + 1000);
+  const auto r = Simulation(c).run();
+  EXPECT_LE(r.total_hits(), r.queries_issued + r.local_hits + 1);
+  EXPECT_GE(r.total_results(), r.total_hits());
+  if (!c.dynamic) {
+    EXPECT_EQ(r.reconfigurations, 0u);
+    EXPECT_EQ(r.evictions, 0u);
+  }
+  if (r.first_result_delay_s.count() > 0) {
+    // Local indices answer from the initiator's own index at delay 0, so
+    // the lower bound is >= 0 rather than strictly positive.
+    EXPECT_GE(r.first_result_delay_s.min(), 0.0);
+    EXPECT_LE(r.first_result_delay_s.max(), c.query_timeout_s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfig,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace dsf::gnutella

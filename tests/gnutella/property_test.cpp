@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "gnutella/simulation.h"
+
+namespace dsf::gnutella {
+namespace {
+
+/// End-to-end property sweep: for every combination of hop limit,
+/// reconfiguration threshold and search strategy, a full (small) run must
+/// satisfy the accounting and structural invariants of the system.
+class SimulationProperty
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::uint32_t, SearchStrategy>> {
+ protected:
+  Config make_config() const {
+    Config c;
+    c.num_users = 120;
+    c.catalog.num_songs = 6000;
+    c.catalog.num_categories = 12;
+    c.library.mean_size = 60.0;
+    c.library.stddev_size = 10.0;
+    c.library.min_size = 10.0;
+    c.library.max_size = 120.0;
+    c.session.mean_interquery_s = 150.0;
+    c.sim_hours = 3.0;
+    c.warmup_hours = 0.5;
+    c.max_hops = std::get<0>(GetParam());
+    c.reconfig_threshold = std::get<1>(GetParam());
+    c.search_strategy = std::get<2>(GetParam());
+    c.seed = 5150 + static_cast<std::uint64_t>(c.max_hops) * 131 +
+             c.reconfig_threshold;
+    return c;
+  }
+};
+
+TEST_P(SimulationProperty, AccountingInvariantsHold) {
+  const Config c = make_config();
+  const auto r = Simulation(c).run();
+
+  EXPECT_GT(r.queries_issued, 0u);
+  EXPECT_LE(r.total_hits(), r.queries_issued);
+  EXPECT_GE(r.total_results(), r.total_hits());
+  if (r.total_hits() > 0) {
+    EXPECT_GT(r.first_result_delay_s.count(), 0u);
+    EXPECT_GE(r.first_result_delay_s.min(), 0.0);
+    EXPECT_LE(r.first_result_delay_s.max(), c.query_timeout_s);
+  }
+  // Replies are one per result (for plain flood both counted post- and
+  // pre-warmup series must agree).
+  if (c.search_strategy == SearchStrategy::kFlood) {
+    EXPECT_EQ(r.traffic.total(net::MessageType::kQueryReply),
+              r.results.total());
+  }
+  // Eviction notifications never exceed invitations + reconfigurations
+  // (each reconfiguration exchange evicts at most once on each side).
+  EXPECT_LE(r.evictions,
+            r.traffic.total(net::MessageType::kInvitation) +
+                r.reconfigurations);
+}
+
+TEST_P(SimulationProperty, OverlayConsistentThroughoutRun) {
+  const Config c = make_config();
+  Simulation sim(c);
+  sim.prime();
+  double t = 0.0;
+  while (t < c.sim_hours * 3600.0) {
+    t += 900.0;
+    sim.simulator().run_until(t);
+    ASSERT_TRUE(sim.overlay().consistent()) << "inconsistent at t=" << t;
+    for (net::NodeId u = 0; u < c.num_users; ++u) {
+      if (sim.online(u)) continue;
+      ASSERT_TRUE(sim.overlay().lists(u).out().empty())
+          << "offline node " << u << " linked at t=" << t;
+    }
+  }
+}
+
+TEST_P(SimulationProperty, DeterministicAcrossRuns) {
+  const Config c = make_config();
+  const auto a = Simulation(c).run();
+  const auto b = Simulation(c).run();
+  EXPECT_EQ(a.total_hits(), b.total_hits());
+  EXPECT_EQ(a.total_messages(), b.total_messages());
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  EXPECT_EQ(a.evictions, b.evictions);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<int, std::uint32_t,
+                                              SearchStrategy>>& info) {
+  static constexpr const char* kStrategyNames[] = {"Flood", "IterDeep",
+                                                   "Directed", "LocalIdx"};
+  return "hops" + std::to_string(std::get<0>(info.param)) + "_T" +
+         std::to_string(std::get<1>(info.param)) + "_" +
+         kStrategyNames[static_cast<int>(std::get<2>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HopsThresholdStrategy, SimulationProperty,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 4),                 // max_hops
+        ::testing::Values<std::uint32_t>(1, 2, 8),  // reconfig threshold
+        ::testing::Values(SearchStrategy::kFlood,
+                          SearchStrategy::kIterativeDeepening,
+                          SearchStrategy::kDirectedBft,
+                          SearchStrategy::kLocalIndices)),
+    param_name);
+
+}  // namespace
+}  // namespace dsf::gnutella

@@ -1,0 +1,323 @@
+#include "gnutella/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::gnutella {
+namespace {
+
+/// Small, fast configuration for unit-level checks.
+Config small_config() {
+  Config c;
+  c.num_users = 100;
+  c.catalog.num_songs = 5000;
+  c.catalog.num_categories = 10;
+  c.library.mean_size = 50.0;
+  c.library.stddev_size = 10.0;
+  c.library.min_size = 5.0;
+  c.library.max_size = 100.0;
+  c.session.mean_interquery_s = 120.0;
+  c.sim_hours = 2.0;
+  c.warmup_hours = 0.5;
+  c.seed = 1234;
+  return c;
+}
+
+TEST(GnutellaSim, PrimePutsHalfPopulationOnline) {
+  Config c = small_config();
+  c.num_users = 1000;
+  Simulation sim(c);
+  sim.prime();
+  EXPECT_NEAR(static_cast<double>(sim.online_count()), 500.0, 70.0);
+}
+
+TEST(GnutellaSim, InitialOverlayIsConsistentAndBounded) {
+  Simulation sim(small_config());
+  sim.prime();
+  EXPECT_TRUE(sim.overlay().consistent());
+  for (net::NodeId u = 0; u < sim.config().num_users; ++u) {
+    EXPECT_LE(sim.overlay().lists(u).out().size(), 4u);
+    if (!sim.online(u)) {
+      EXPECT_TRUE(sim.overlay().lists(u).out().empty());
+    }
+  }
+}
+
+TEST(GnutellaSim, OfflineNodesNeverInOverlay) {
+  Simulation sim(small_config());
+  sim.prime();
+  // Step through a chunk of events and re-check the invariant repeatedly.
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 200 && sim.simulator().step(); ++i) {
+    }
+    for (net::NodeId u = 0; u < sim.config().num_users; ++u) {
+      if (!sim.online(u)) {
+        EXPECT_TRUE(sim.overlay().lists(u).out().empty())
+            << "offline node " << u << " still linked";
+      }
+      for (net::NodeId v : sim.overlay().lists(u).out())
+        EXPECT_TRUE(sim.online(v)) << "link to offline node " << v;
+    }
+    EXPECT_TRUE(sim.overlay().consistent());
+  }
+}
+
+TEST(GnutellaSim, RunProducesActivity) {
+  const auto r = Simulation(small_config()).run();
+  EXPECT_GT(r.queries_issued, 0u);
+  EXPECT_GT(r.total_messages(), 0u);
+  EXPECT_GT(r.traffic.total(net::MessageType::kQuery), 0u);
+}
+
+TEST(GnutellaSim, DeterministicForSameSeed) {
+  const auto a = Simulation(small_config()).run();
+  const auto b = Simulation(small_config()).run();
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.total_hits(), b.total_hits());
+  EXPECT_EQ(a.total_messages(), b.total_messages());
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  EXPECT_DOUBLE_EQ(a.first_result_delay_s.mean(),
+                   b.first_result_delay_s.mean());
+}
+
+TEST(GnutellaSim, DifferentSeedsDiffer) {
+  Config c1 = small_config();
+  Config c2 = small_config();
+  c2.seed = 999;
+  const auto a = Simulation(c1).run();
+  const auto b = Simulation(c2).run();
+  EXPECT_NE(a.total_messages(), b.total_messages());
+}
+
+TEST(GnutellaSim, StaticSchemeNeverReconfigures) {
+  const auto r = Simulation(small_config().as_static()).run();
+  EXPECT_EQ(r.reconfigurations, 0u);
+  EXPECT_EQ(r.evictions, 0u);
+  EXPECT_EQ(r.invitations_accepted, 0u);
+  EXPECT_EQ(r.traffic.total(net::MessageType::kInvitation), 0u);
+  EXPECT_EQ(r.traffic.total(net::MessageType::kEviction), 0u);
+}
+
+TEST(GnutellaSim, DynamicSchemeReconfigures) {
+  const auto r = Simulation(small_config()).run();
+  EXPECT_GT(r.reconfigurations, 0u);
+}
+
+TEST(GnutellaSim, HitsNeverExceedQueries) {
+  const auto r = Simulation(small_config()).run();
+  EXPECT_LE(r.total_hits(), r.queries_issued);
+  EXPECT_LE(r.total_hits(), r.total_results());
+}
+
+TEST(GnutellaSim, ReplyCountMatchesResults) {
+  const auto r = Simulation(small_config()).run();
+  // Every result is exactly one direct reply (whole horizon, both metrics).
+  EXPECT_EQ(r.traffic.total(net::MessageType::kQueryReply),
+            r.results.total());
+}
+
+TEST(GnutellaSim, DelayMetricWithinPhysicalBounds) {
+  Config c = small_config();
+  c.max_hops = 2;
+  const auto r = Simulation(c).run();
+  if (r.first_result_delay_s.count() > 0) {
+    // Min possible: LAN floor both ways; max: 2 modem hops + reply.
+    EXPECT_GE(r.first_result_delay_s.min(), 2 * 0.010);
+    EXPECT_LE(r.first_result_delay_s.max(), 3 * 0.600);
+  }
+}
+
+TEST(GnutellaSim, DelayHistogramTracksSummary) {
+  const auto r = Simulation(small_config()).run();
+  ASSERT_GT(r.first_result_delay_s.count(), 0u);
+  EXPECT_EQ(r.first_result_delay_hist.count(),
+            r.first_result_delay_s.count());
+  // The median must sit between the observed extremes, and p95 at or
+  // above the mean for this right-skewed metric.
+  const double median = r.first_result_delay_hist.quantile(0.5);
+  EXPECT_GE(median, r.first_result_delay_s.min() - 0.01);
+  EXPECT_LE(median, r.first_result_delay_s.max() + 0.01);
+  EXPECT_GE(r.first_result_delay_hist.quantile(0.95),
+            median - 0.01);
+  EXPECT_EQ(r.first_result_delay_hist.overflow(), 0u);  // range covers all
+}
+
+TEST(GnutellaSim, HigherHopLimitFindsMore) {
+  Config c2 = small_config();
+  c2.max_hops = 1;
+  Config c4 = small_config();
+  c4.max_hops = 4;
+  const auto r1 = Simulation(c2).run();
+  const auto r4 = Simulation(c4).run();
+  EXPECT_GT(r4.total_hits(), r1.total_hits());
+  EXPECT_GT(r4.total_messages(), r1.total_messages());
+}
+
+TEST(GnutellaSim, StatsPersistenceTogglable) {
+  Config keep = small_config();
+  Config drop = small_config();
+  drop.persist_stats_across_sessions = false;
+  const auto a = Simulation(keep).run();
+  const auto b = Simulation(drop).run();
+  // Both must run; the toggle changes the trajectory.
+  EXPECT_NE(a.total_messages(), b.total_messages());
+}
+
+TEST(GnutellaSim, BenefitKindSelectable) {
+  Config c = small_config();
+  c.benefit = BenefitKind::kUnit;
+  const auto r = Simulation(c).run();
+  EXPECT_GT(r.queries_issued, 0u);
+}
+
+TEST(GnutellaSim, SummaryGatedInvitationsRun) {
+  Config c = small_config();
+  c.invitation_policy = core::InvitationPolicy::kSummaryGated;
+  const auto r = Simulation(c).run();
+  EXPECT_GT(r.reconfigurations, 0u);
+  EXPECT_GT(r.queries_issued, 0u);
+  // Gating may reject invitations, so acceptances are bounded by attempts.
+  EXPECT_LE(r.invitations_accepted,
+            r.traffic.total(net::MessageType::kInvitation));
+}
+
+TEST(GnutellaSim, BenefitGatedAcceptsFewerThanAlwaysAccept) {
+  Config always = small_config();
+  Config gated = small_config();
+  gated.invitation_policy = core::InvitationPolicy::kBenefitGated;
+  const auto ra = Simulation(always).run();
+  const auto rg = Simulation(gated).run();
+  const double accept_rate_a =
+      static_cast<double>(ra.invitations_accepted) /
+      static_cast<double>(ra.traffic.total(net::MessageType::kInvitation));
+  const double accept_rate_g =
+      static_cast<double>(rg.invitations_accepted) /
+      static_cast<double>(rg.traffic.total(net::MessageType::kInvitation));
+  EXPECT_LT(accept_rate_g, accept_rate_a);
+}
+
+TEST(GnutellaSim, TrialPeriodEvaluatesRelationships) {
+  Config c = small_config();
+  c.invitation_policy = core::InvitationPolicy::kTrialPeriod;
+  c.trial_period_s = 600.0;
+  const auto r = Simulation(c).run();
+  EXPECT_GT(r.invitations_accepted, 0u);
+  // Every accepted invitation eventually resolves to kept/rejected unless
+  // the link died first (log-off or eviction in the meantime).
+  EXPECT_LE(r.trials_kept + r.trials_rejected, r.invitations_accepted);
+  EXPECT_GT(r.trials_kept + r.trials_rejected, 0u);
+}
+
+TEST(GnutellaSim, TrialPeriodTerminatesSomeRelationships) {
+  Config c = small_config();
+  c.invitation_policy = core::InvitationPolicy::kTrialPeriod;
+  c.trial_period_s = 300.0;  // short trial: little time to prove benefit
+  const auto r = Simulation(c).run();
+  EXPECT_GT(r.trials_rejected, 0u);
+}
+
+TEST(GnutellaSim, CascadeDampingReducesControlChurn) {
+  Config damped = small_config();
+  Config undamped = small_config();
+  undamped.damp_cascades = false;
+  const auto rd = Simulation(damped).run();
+  const auto ru = Simulation(undamped).run();
+  // Without the §4.1 counter reset, nodes that just accepted an invitation
+  // reconfigure again almost immediately — more reconfigurations and more
+  // eviction churn for the same workload.
+  EXPECT_LT(rd.reconfigurations, ru.reconfigurations);
+  EXPECT_LE(rd.evictions, ru.evictions);
+}
+
+TEST(GnutellaSim, AlwaysAcceptHasNoTrials) {
+  const auto r = Simulation(small_config()).run();
+  EXPECT_EQ(r.trials_kept, 0u);
+  EXPECT_EQ(r.trials_rejected, 0u);
+}
+
+TEST(GnutellaSim, SearchStrategiesAllRun) {
+  for (const auto strategy :
+       {SearchStrategy::kFlood, SearchStrategy::kIterativeDeepening,
+        SearchStrategy::kDirectedBft, SearchStrategy::kLocalIndices}) {
+    Config c = small_config();
+    c.search_strategy = strategy;
+    const auto r = Simulation(c).run();
+    EXPECT_GT(r.queries_issued, 0u);
+  }
+}
+
+TEST(GnutellaSim, DirectedBftSendsFewerMessages) {
+  Config flood = small_config();
+  Config directed = small_config();
+  directed.search_strategy = SearchStrategy::kDirectedBft;
+  directed.directed_fanout = 2;
+  const auto rf = Simulation(flood).run();
+  const auto rd = Simulation(directed).run();
+  EXPECT_LT(rd.total_messages(), rf.total_messages());
+}
+
+TEST(GnutellaSim, LocalIndicesFindMoreWithinSameHops) {
+  Config flood = small_config();
+  Config indexed = small_config();
+  indexed.search_strategy = SearchStrategy::kLocalIndices;
+  const auto rf = Simulation(flood).run();
+  const auto ri = Simulation(indexed).run();
+  EXPECT_GT(ri.total_hits(), rf.total_hits());
+  // Index maintenance shows up as control traffic.
+  EXPECT_GT(ri.traffic.total(net::MessageType::kExploreReply), 0u);
+}
+
+TEST(GnutellaSim, LibraryGrowthRaisesHitRate) {
+  Config fixed = small_config();
+  Config growing = small_config();
+  growing.library_growth = true;
+  const auto rf = Simulation(fixed).run();
+  const auto rg = Simulation(growing).run();
+  EXPECT_GE(rg.total_hits(), rf.total_hits());
+}
+
+TEST(GnutellaSim, ParetoChurnRuns) {
+  Config c = small_config();
+  c.session.duration_kind = workload::DurationKind::kPareto;
+  const auto r = Simulation(c).run();
+  EXPECT_GT(r.queries_issued, 0u);
+}
+
+TEST(GnutellaSim, ExcludeOwnedSongsReducesQueryVolume) {
+  Config raw = small_config();
+  Config conditioned = small_config();
+  conditioned.exclude_owned_songs = true;
+  const auto rr = Simulation(raw).run();
+  const auto rc = Simulation(conditioned).run();
+  // Conditioned queries skip nothing network-wise (the rejection loop
+  // redraws), but the distribution shifts to the tail, lowering hits.
+  EXPECT_LT(static_cast<double>(rc.total_hits()) / rc.queries_issued,
+            static_cast<double>(rr.total_hits()) / rr.queries_issued);
+}
+
+TEST(GnutellaSim, ProbeSamplesCollected) {
+  Config c = small_config();
+  c.probe_period_s = 1800.0;
+  const auto r = Simulation(c).run();
+  // 2 h horizon / 30 min period = ~4 samples (the one at the horizon may
+  // or may not fire depending on event ordering).
+  EXPECT_GE(r.probes.size(), 3u);
+  for (const auto& p : r.probes) {
+    EXPECT_GT(p.online, 0u);
+    EXPECT_GE(p.mean_degree, 0.0);
+    EXPECT_LE(p.mean_degree, 4.0);
+    EXPECT_GE(p.degree_gini, 0.0);
+    EXPECT_LE(p.degree_gini, 1.0);
+    EXPECT_GE(p.same_favorite, 0.0);
+    EXPECT_LE(p.same_favorite, 1.0);
+  }
+}
+
+TEST(GnutellaSim, MakeBenefitCoversAllKinds) {
+  EXPECT_EQ(make_benefit(BenefitKind::kBandwidthOverResults)->name(),
+            "bandwidth/results");
+  EXPECT_EQ(make_benefit(BenefitKind::kUnit)->name(), "unit");
+  EXPECT_EQ(make_benefit(BenefitKind::kInverseLatency)->name(), "1/latency");
+}
+
+}  // namespace
+}  // namespace dsf::gnutella

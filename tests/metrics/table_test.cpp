@@ -1,0 +1,56 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dsf::metrics {
+namespace {
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"hour", "hits"});
+  t.add_row({"12", "1800"});
+  t.add_row({"27", "2300"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("hour"), std::string::npos);
+  EXPECT_NE(out.find("1800"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, WideCellsStretchColumn) {
+  Table t({"x"});
+  t.add_row({"a-rather-long-cell"});
+  std::ostringstream os;
+  t.print(os);
+  // Underline must cover the widest cell.
+  EXPECT_NE(os.str().find(std::string(18, '-')), std::string::npos);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(173493), "173,493");
+  EXPECT_EQ(fmt_count(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace dsf::metrics

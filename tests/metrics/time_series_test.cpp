@@ -1,0 +1,130 @@
+#include "metrics/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsf::metrics {
+namespace {
+
+TEST(TimeSeries, RejectsBadWidth) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, BucketsByHour) {
+  TimeSeries ts(3600.0);
+  ts.add(0.0);
+  ts.add(3599.9);
+  ts.add(3600.0, 5);
+  ts.add(7250.0);
+  EXPECT_EQ(ts.bucket(0), 2u);
+  EXPECT_EQ(ts.bucket(1), 5u);
+  EXPECT_EQ(ts.bucket(2), 1u);
+  EXPECT_EQ(ts.bucket(99), 0u);  // beyond range reads as zero
+}
+
+TEST(TimeSeries, NegativeTimeThrows) {
+  TimeSeries ts(10.0);
+  EXPECT_THROW(ts.add(-0.5), std::invalid_argument);
+}
+
+TEST(TimeSeries, SumOverWindow) {
+  TimeSeries ts(1.0);
+  for (int i = 0; i < 10; ++i) ts.add(static_cast<double>(i), i);
+  EXPECT_EQ(ts.sum(2, 4), 2u + 3u + 4u);
+  EXPECT_EQ(ts.sum(0, 100), 45u);  // clamped to range
+  EXPECT_EQ(ts.sum(5, 2), 0u);     // inverted window
+  EXPECT_EQ(ts.total(), 45u);
+}
+
+TEST(TimeSeries, GrowsOnDemand) {
+  TimeSeries ts(1.0);
+  ts.add(1000.0);
+  EXPECT_EQ(ts.num_buckets(), 1001u);
+  EXPECT_EQ(ts.bucket(1000), 1u);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a += b;  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b += a;  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, RejectsBadParams) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, CountsOverflowUnderflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, MedianOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace dsf::metrics

@@ -1,0 +1,52 @@
+#include "net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::net {
+namespace {
+
+TEST(Bandwidth, PaperDelayMeans) {
+  EXPECT_DOUBLE_EQ(mean_one_way_delay_s(BandwidthClass::kModem56K), 0.300);
+  EXPECT_DOUBLE_EQ(mean_one_way_delay_s(BandwidthClass::kCable), 0.150);
+  EXPECT_DOUBLE_EQ(mean_one_way_delay_s(BandwidthClass::kLan), 0.070);
+}
+
+TEST(Bandwidth, CapacityOrdering) {
+  EXPECT_LT(bandwidth_kbps(BandwidthClass::kModem56K),
+            bandwidth_kbps(BandwidthClass::kCable));
+  EXPECT_LT(bandwidth_kbps(BandwidthClass::kCable),
+            bandwidth_kbps(BandwidthClass::kLan));
+}
+
+TEST(Bandwidth, SlowerOfPicksTheSlowerClass) {
+  EXPECT_EQ(slower_of(BandwidthClass::kModem56K, BandwidthClass::kLan),
+            BandwidthClass::kModem56K);
+  EXPECT_EQ(slower_of(BandwidthClass::kLan, BandwidthClass::kCable),
+            BandwidthClass::kCable);
+  EXPECT_EQ(slower_of(BandwidthClass::kLan, BandwidthClass::kLan),
+            BandwidthClass::kLan);
+}
+
+TEST(Bandwidth, SlowerOfIsCommutative) {
+  for (int a = 0; a < kNumBandwidthClasses; ++a)
+    for (int b = 0; b < kNumBandwidthClasses; ++b)
+      EXPECT_EQ(slower_of(static_cast<BandwidthClass>(a),
+                          static_cast<BandwidthClass>(b)),
+                slower_of(static_cast<BandwidthClass>(b),
+                          static_cast<BandwidthClass>(a)));
+}
+
+TEST(Bandwidth, SlowerClassHasHigherDelay) {
+  for (int a = 0; a < kNumBandwidthClasses - 1; ++a)
+    EXPECT_GT(mean_one_way_delay_s(static_cast<BandwidthClass>(a)),
+              mean_one_way_delay_s(static_cast<BandwidthClass>(a + 1)));
+}
+
+TEST(Bandwidth, Names) {
+  EXPECT_EQ(to_string(BandwidthClass::kModem56K), "56K-modem");
+  EXPECT_EQ(to_string(BandwidthClass::kCable), "cable");
+  EXPECT_EQ(to_string(BandwidthClass::kLan), "LAN");
+}
+
+}  // namespace
+}  // namespace dsf::net

@@ -1,0 +1,93 @@
+#include "net/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "des/rng.h"
+
+namespace dsf::net {
+namespace {
+
+TEST(BloomFilter, RejectsBadParameters) {
+  EXPECT_THROW(BloomFilter(0, 0.01), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 1.0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(0, 3), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(64, 0), std::invalid_argument);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(1000, 0.01);
+  for (std::uint64_t x = 0; x < 1000; ++x) f.insert(x * 7919);
+  for (std::uint64_t x = 0; x < 1000; ++x)
+    EXPECT_TRUE(f.might_contain(x * 7919));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  BloomFilter f(1000, 0.01);
+  for (std::uint64_t x = 0; x < 1000; ++x) f.insert(x);
+  int fp = 0;
+  const int probes = 100000;
+  for (int i = 0; i < probes; ++i)
+    fp += f.might_contain(1'000'000 + static_cast<std::uint64_t>(i));
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, 0.02);   // within 2× of the 1% target
+  EXPECT_GT(rate, 0.002);  // and not vacuously tiny (filter actually sized)
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  BloomFilter f(100, 0.01);
+  int hits = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) hits += f.might_contain(x);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(f.popcount(), 0u);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter f(100, 0.01);
+  f.insert(42);
+  EXPECT_TRUE(f.might_contain(42));
+  f.clear();
+  EXPECT_FALSE(f.might_contain(42));
+}
+
+TEST(BloomFilter, EstimatedItemsTracksInsertions) {
+  BloomFilter f(1000, 0.01);
+  des::Rng rng(1);
+  for (int n = 0; n < 1000; ++n) f.insert(rng.next());
+  EXPECT_NEAR(f.estimated_items(), 1000.0, 100.0);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a(500, 0.01), b(500, 0.01);
+  a.insert(1);
+  b.insert(2);
+  a.merge(b);
+  EXPECT_TRUE(a.might_contain(1));
+  EXPECT_TRUE(a.might_contain(2));
+}
+
+TEST(BloomFilter, MergeGeometryMismatchThrows) {
+  BloomFilter a(128, 3), b(256, 3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  BloomFilter c(128, 4);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(BloomFilter, DeterministicAcrossInstances) {
+  BloomFilter a(512, 4), b(512, 4);
+  a.insert(123456789);
+  b.insert(123456789);
+  for (std::uint64_t x = 0; x < 100; ++x)
+    EXPECT_EQ(a.might_contain(x), b.might_contain(x));
+}
+
+TEST(BloomFilter, DuplicateInsertIdempotent) {
+  BloomFilter f(128, 3);
+  f.insert(7);
+  const auto pop = f.popcount();
+  f.insert(7);
+  EXPECT_EQ(f.popcount(), pop);
+}
+
+}  // namespace
+}  // namespace dsf::net

@@ -1,0 +1,79 @@
+#include "net/delay_model.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace dsf::net {
+namespace {
+
+TEST(DelayModel, AssignsAllNodesAClass) {
+  des::Rng rng(1);
+  DelayModel m(2000, rng);
+  EXPECT_EQ(m.size(), 2000u);
+  for (NodeId i = 0; i < 2000; ++i) {
+    const int c = static_cast<int>(m.node_class(i));
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, kNumBandwidthClasses);
+  }
+}
+
+TEST(DelayModel, ClassesAreApproximatelyUniform) {
+  des::Rng rng(2);
+  DelayModel m(30000, rng);
+  std::array<int, kNumBandwidthClasses> counts{};
+  for (NodeId i = 0; i < 30000; ++i) ++counts[static_cast<int>(m.node_class(i))];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(DelayModel, ExplicitAssignmentRespected) {
+  DelayModel m({BandwidthClass::kLan, BandwidthClass::kModem56K});
+  EXPECT_EQ(m.node_class(0), BandwidthClass::kLan);
+  EXPECT_EQ(m.node_class(1), BandwidthClass::kModem56K);
+}
+
+TEST(DelayModel, EmptyAssignmentThrows) {
+  EXPECT_THROW(DelayModel(std::vector<BandwidthClass>{}),
+               std::invalid_argument);
+}
+
+TEST(DelayModel, SlowerEndpointGovernsMean) {
+  DelayModel m({BandwidthClass::kLan, BandwidthClass::kModem56K,
+                BandwidthClass::kCable});
+  EXPECT_DOUBLE_EQ(m.mean_delay_s(0, 1), 0.300);  // LAN–modem → modem
+  EXPECT_DOUBLE_EQ(m.mean_delay_s(0, 2), 0.150);  // LAN–cable → cable
+  EXPECT_DOUBLE_EQ(m.mean_delay_s(1, 2), 0.300);  // modem–cable → modem
+}
+
+TEST(DelayModel, DelayIsSymmetricInDistribution) {
+  DelayModel m({BandwidthClass::kLan, BandwidthClass::kModem56K});
+  EXPECT_DOUBLE_EQ(m.mean_delay_s(0, 1), m.mean_delay_s(1, 0));
+}
+
+TEST(DelayModel, SampledDelaysRespectTruncation) {
+  des::Rng rng(3);
+  DelayModel m({BandwidthClass::kLan, BandwidthClass::kLan});
+  for (int i = 0; i < 20000; ++i) {
+    const double d = m.sample_delay_s(0, 1, rng);
+    EXPECT_GE(d, 0.010);
+    EXPECT_LE(d, 0.140);  // 2 × 70 ms
+  }
+}
+
+TEST(DelayModel, SampledMeanMatchesClass) {
+  des::Rng rng(4);
+  DelayModel m({BandwidthClass::kModem56K, BandwidthClass::kCable});
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += m.sample_delay_s(0, 1, rng);
+  EXPECT_NEAR(sum / n, 0.300, 0.002);
+}
+
+TEST(DelayModel, BandwidthWeightTracksClass) {
+  DelayModel m({BandwidthClass::kModem56K, BandwidthClass::kLan});
+  EXPECT_DOUBLE_EQ(m.bandwidth_weight(0), 56.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth_weight(1), 10000.0);
+}
+
+}  // namespace
+}  // namespace dsf::net

@@ -1,0 +1,58 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::net {
+namespace {
+
+TEST(MessageStats, StartsAtZero) {
+  MessageStats s;
+  EXPECT_EQ(s.total(), 0u);
+  for (int i = 0; i < kNumMessageTypes; ++i)
+    EXPECT_EQ(s.total(static_cast<MessageType>(i)), 0u);
+}
+
+TEST(MessageStats, CountsByType) {
+  MessageStats s;
+  s.count(MessageType::kQuery, 10);
+  s.count(MessageType::kQuery);
+  s.count(MessageType::kEviction, 2);
+  EXPECT_EQ(s.total(MessageType::kQuery), 11u);
+  EXPECT_EQ(s.total(MessageType::kEviction), 2u);
+  EXPECT_EQ(s.total(), 13u);
+}
+
+TEST(MessageStats, SearchVsControlSplit) {
+  MessageStats s;
+  s.count(MessageType::kQuery, 100);
+  s.count(MessageType::kQueryReply, 20);
+  s.count(MessageType::kInvitation, 5);
+  s.count(MessageType::kPing, 3);
+  EXPECT_EQ(s.search_traffic(), 120u);
+  EXPECT_EQ(s.control_traffic(), 8u);
+}
+
+TEST(MessageStats, ResetClears) {
+  MessageStats s;
+  s.count(MessageType::kPong, 7);
+  s.reset();
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(MessageStats, MergeAccumulates) {
+  MessageStats a, b;
+  a.count(MessageType::kQuery, 3);
+  b.count(MessageType::kQuery, 4);
+  b.count(MessageType::kEviction, 1);
+  a += b;
+  EXPECT_EQ(a.total(MessageType::kQuery), 7u);
+  EXPECT_EQ(a.total(MessageType::kEviction), 1u);
+}
+
+TEST(MessageTypes, AllHaveNames) {
+  for (int i = 0; i < kNumMessageTypes; ++i)
+    EXPECT_FALSE(to_string(static_cast<MessageType>(i)).empty());
+}
+
+}  // namespace
+}  // namespace dsf::net

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "olap/olap_sim.h"
+
+namespace dsf::olap {
+namespace {
+
+/// Property sweep over hop limits and adaptivity.
+class OlapProperty
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  OlapConfig make_config() const {
+    OlapConfig c;
+    c.num_peers = 20;
+    c.num_chunks = 9600;
+    c.num_regions = 6;
+    c.cache_capacity = 300;
+    c.mean_interquery_s = 6.0;
+    c.sim_hours = 1.0;
+    c.warmup_hours = 0.1;
+    c.max_hops = std::get<0>(GetParam());
+    c.dynamic = std::get<1>(GetParam());
+    c.seed = 31 + static_cast<std::uint64_t>(c.max_hops);
+    return c;
+  }
+};
+
+TEST_P(OlapProperty, ChunkAccountingBalances) {
+  const OlapConfig c = make_config();
+  const auto r = OlapSim(c).run();
+  EXPECT_GT(r.queries, 0u);
+  EXPECT_EQ(r.chunks_requested, r.queries * c.query_span);
+  EXPECT_EQ(r.chunks_requested,
+            r.chunks_local + r.chunks_from_peers + r.chunks_from_warehouse);
+  EXPECT_EQ(r.response_time_s.count(), r.queries);
+}
+
+TEST_P(OlapProperty, ResponseTimeWithinPhysicalBounds) {
+  const OlapConfig c = make_config();
+  const auto r = OlapSim(c).run();
+  EXPECT_GE(r.response_time_s.min(), 0.0);
+  // Worst case per chunk: warehouse, or a deep peer fetch (transfer cost
+  // plus a round trip per hop at the modem-path delay ceiling of 0.6 s).
+  const double worst_peer =
+      c.peer_s_per_chunk + 2.0 * 0.6 * static_cast<double>(c.max_hops);
+  const double bound =
+      c.query_span * std::max(c.warehouse_s_per_chunk, worst_peer);
+  EXPECT_LE(r.response_time_s.max(), bound + 1e-9);
+}
+
+TEST_P(OlapProperty, OverlayBoundedAndConsistent) {
+  const OlapConfig c = make_config();
+  OlapSim sim(c);
+  sim.run();
+  EXPECT_TRUE(sim.overlay().consistent());
+  for (net::NodeId p = 0; p < c.num_peers; ++p)
+    EXPECT_LE(sim.overlay().lists(p).out().size(), c.num_neighbors);
+}
+
+TEST_P(OlapProperty, Deterministic) {
+  const OlapConfig c = make_config();
+  const auto a = OlapSim(c).run();
+  const auto b = OlapSim(c).run();
+  EXPECT_EQ(a.chunks_from_peers, b.chunks_from_peers);
+  EXPECT_EQ(a.chunks_from_warehouse, b.chunks_from_warehouse);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+  return "hops" + std::to_string(std::get<0>(info.param)) +
+         (std::get<1>(info.param) ? "_dynamic" : "_static");
+}
+
+INSTANTIATE_TEST_SUITE_P(HopsAndModes, OlapProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Bool()),
+                         param_name);
+
+}  // namespace
+}  // namespace dsf::olap

@@ -1,0 +1,92 @@
+#include "webcache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::webcache {
+namespace {
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW(LruCache<int>(0), std::invalid_argument);
+}
+
+TEST(LruCache, InsertAndContains) {
+  LruCache<int> c(3);
+  c.insert(1);
+  c.insert(2);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int> c(2);
+  c.insert(1);
+  c.insert(2);
+  const auto [evicted, victim] = c.insert(3);
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(victim, 1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LruCache, TouchPromotes) {
+  LruCache<int> c(2);
+  c.insert(1);
+  c.insert(2);
+  EXPECT_TRUE(c.touch(1));  // 1 becomes MRU
+  const auto [evicted, victim] = c.insert(3);
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(victim, 2);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(LruCache, TouchMissReturnsFalse) {
+  LruCache<int> c(2);
+  EXPECT_FALSE(c.touch(5));
+}
+
+TEST(LruCache, ReinsertPromotesWithoutGrowth) {
+  LruCache<int> c(2);
+  c.insert(1);
+  c.insert(2);
+  const auto [evicted, victim] = c.insert(1);  // promote, not duplicate
+  EXPECT_FALSE(evicted);
+  EXPECT_EQ(c.size(), 2u);
+  c.insert(3);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, EraseRemoves) {
+  LruCache<int> c(3);
+  c.insert(1);
+  c.insert(2);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(LruCache, OrderIsMruFirst) {
+  LruCache<int> c(3);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  c.touch(1);
+  const auto& order = c.order();
+  auto it = order.begin();
+  EXPECT_EQ(*it++, 1);
+  EXPECT_EQ(*it++, 3);
+  EXPECT_EQ(*it++, 2);
+}
+
+TEST(LruCache, StressKeepsSizeBounded) {
+  LruCache<int> c(10);
+  for (int i = 0; i < 1000; ++i) c.insert(i % 37);
+  EXPECT_LE(c.size(), 10u);
+}
+
+}  // namespace
+}  // namespace dsf::webcache

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "webcache/webcache_sim.h"
+
+namespace dsf::webcache {
+namespace {
+
+/// Property sweep over the web-caching scenario: (dynamic?, hierarchy
+/// parents, digests?) — accounting and structural invariants must hold
+/// for every combination.
+class WebCacheProperty
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint32_t, bool>> {
+ protected:
+  WebCacheConfig make_config() const {
+    WebCacheConfig c;
+    c.num_proxies = 24;
+    c.num_pages = 12000;
+    c.num_topics = 6;
+    c.cache_capacity = 300;
+    c.mean_interrequest_s = 2.0;
+    c.sim_hours = 0.75;
+    c.warmup_hours = 0.1;
+    c.dynamic = std::get<0>(GetParam());
+    c.num_parents = std::get<1>(GetParam());
+    c.digest_rebuild_period_s = std::get<2>(GetParam()) ? 300.0 : 0.0;
+    c.seed = 99 + c.num_parents;
+    return c;
+  }
+};
+
+TEST_P(WebCacheProperty, AccountingBalances) {
+  const WebCacheConfig c = make_config();
+  const auto r = WebCacheSim(c).run();
+  EXPECT_GT(r.requests, 0u);
+  EXPECT_EQ(r.requests, r.local_hits + r.neighbor_hits + r.origin_fetches);
+  EXPECT_EQ(r.latency_s.count(), r.requests);
+  EXPECT_GE(r.latency_s.min(), 0.0);
+  if (!c.dynamic) {
+    EXPECT_EQ(r.traffic.control_traffic(), 0u);
+  }
+}
+
+TEST_P(WebCacheProperty, OverlayShapeInvariants) {
+  const WebCacheConfig c = make_config();
+  WebCacheSim sim(c);
+  sim.run();
+  EXPECT_TRUE(sim.overlay().consistent());
+  for (net::NodeId p = 0; p < c.num_proxies; ++p) {
+    EXPECT_LE(sim.overlay().lists(p).out().size(), c.num_neighbors);
+    if (c.num_parents > 0) {
+      if (p < c.num_parents) {
+        EXPECT_TRUE(sim.overlay().lists(p).out().empty());
+      } else {
+        for (net::NodeId q : sim.overlay().lists(p).out())
+          EXPECT_LT(q, c.num_parents);
+      }
+    }
+    for (net::NodeId q : sim.overlay().lists(p).out()) EXPECT_NE(q, p);
+  }
+}
+
+TEST_P(WebCacheProperty, Deterministic) {
+  const WebCacheConfig c = make_config();
+  const auto a = WebCacheSim(c).run();
+  const auto b = WebCacheSim(c).run();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.neighbor_hits, b.neighbor_hits);
+  EXPECT_EQ(a.origin_fetches, b.origin_fetches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesParentsDigests, WebCacheProperty,
+    ::testing::Combine(::testing::Bool(),                    // dynamic
+                       ::testing::Values<std::uint32_t>(0, 4),  // parents
+                       ::testing::Bool()),                   // digests
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "dynamic" : "static") +
+             "_parents" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_digests" : "_live");
+    });
+
+}  // namespace
+}  // namespace dsf::webcache

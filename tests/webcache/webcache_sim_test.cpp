@@ -1,0 +1,159 @@
+#include "webcache/webcache_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::webcache {
+namespace {
+
+WebCacheConfig fast_config() {
+  WebCacheConfig c;
+  c.num_proxies = 32;
+  c.num_pages = 20000;
+  c.num_topics = 8;
+  c.cache_capacity = 500;
+  c.sim_hours = 1.0;
+  c.warmup_hours = 0.25;
+  c.mean_interrequest_s = 2.0;
+  c.seed = 5;
+  return c;
+}
+
+TEST(WebCacheSim, RunProducesRequests) {
+  const auto r = WebCacheSim(fast_config()).run();
+  EXPECT_GT(r.requests, 0u);
+  EXPECT_EQ(r.requests, r.local_hits + r.neighbor_hits + r.origin_fetches);
+}
+
+TEST(WebCacheSim, DeterministicForSameSeed) {
+  const auto a = WebCacheSim(fast_config()).run();
+  const auto b = WebCacheSim(fast_config()).run();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.neighbor_hits, b.neighbor_hits);
+  EXPECT_DOUBLE_EQ(a.latency_s.mean(), b.latency_s.mean());
+}
+
+TEST(WebCacheSim, OverlayRespectsPureAsymmetricShape) {
+  WebCacheSim sim(fast_config());
+  const auto& t = sim.overlay();
+  EXPECT_EQ(t.kind(), core::RelationKind::kPureAsymmetric);
+  EXPECT_TRUE(t.consistent());
+  for (net::NodeId p = 0; p < sim.config().num_proxies; ++p)
+    EXPECT_LE(t.lists(p).out().size(), sim.config().num_neighbors);
+}
+
+TEST(WebCacheSim, DynamicBeatsStaticOnNeighborHitRate) {
+  WebCacheConfig dyn = fast_config();
+  dyn.sim_hours = 2.0;
+  WebCacheConfig sta = dyn;
+  sta.dynamic = false;
+  const auto rd = WebCacheSim(dyn).run();
+  const auto rs = WebCacheSim(sta).run();
+  EXPECT_GT(rd.neighbor_hit_rate(), rs.neighbor_hit_rate());
+}
+
+TEST(WebCacheSim, DynamicLowersMeanLatency) {
+  WebCacheConfig dyn = fast_config();
+  dyn.sim_hours = 2.0;
+  WebCacheConfig sta = dyn;
+  sta.dynamic = false;
+  const auto rd = WebCacheSim(dyn).run();
+  const auto rs = WebCacheSim(sta).run();
+  EXPECT_LT(rd.latency_s.mean(), rs.latency_s.mean());
+}
+
+TEST(WebCacheSim, StaticGeneratesNoControlTraffic) {
+  WebCacheConfig c = fast_config();
+  c.dynamic = false;
+  const auto r = WebCacheSim(c).run();
+  EXPECT_EQ(r.traffic.control_traffic(), 0u);
+}
+
+TEST(WebCacheSim, DynamicGeneratesExplorationTraffic) {
+  const auto r = WebCacheSim(fast_config()).run();
+  EXPECT_GT(r.traffic.total(net::MessageType::kExploreQuery), 0u);
+}
+
+TEST(WebCacheSim, DigestsAndLiveCachesBothAdapt) {
+  WebCacheConfig digests = fast_config();
+  digests.sim_hours = 2.0;
+  WebCacheConfig live = digests;
+  live.digest_rebuild_period_s = 0.0;  // exploration reads live caches
+  WebCacheConfig sta = digests;
+  sta.dynamic = false;
+  const auto rd = WebCacheSim(digests).run();
+  const auto rl = WebCacheSim(live).run();
+  const auto rs = WebCacheSim(sta).run();
+  // Both adaptive variants must beat static; stale digests may cost a
+  // little versus live knowledge but not collapse.
+  EXPECT_GT(rd.neighbor_hit_rate(), rs.neighbor_hit_rate());
+  EXPECT_GT(rl.neighbor_hit_rate(), rs.neighbor_hit_rate());
+}
+
+TEST(WebCacheSim, HierarchyRejectsAllParents) {
+  WebCacheConfig c = fast_config();
+  c.num_parents = c.num_proxies;
+  EXPECT_THROW(WebCacheSim{c}, std::invalid_argument);
+}
+
+TEST(WebCacheSim, HierarchyLeavesPointOnlyAtParents) {
+  WebCacheConfig c = fast_config();
+  c.num_parents = 4;
+  WebCacheSim sim(c);
+  for (net::NodeId p = 0; p < c.num_proxies; ++p) {
+    if (p < c.num_parents) {
+      EXPECT_TRUE(sim.overlay().lists(p).out().empty());
+    } else {
+      for (net::NodeId q : sim.overlay().lists(p).out())
+        EXPECT_LT(q, c.num_parents) << "leaf " << p << " points at a leaf";
+    }
+  }
+}
+
+TEST(WebCacheSim, HierarchyStaysParentOnlyAfterAdaptiveRun) {
+  WebCacheConfig c = fast_config();
+  c.num_parents = 4;
+  c.sim_hours = 1.0;
+  WebCacheSim sim(c);
+  sim.run();
+  for (net::NodeId p = c.num_parents; p < c.num_proxies; ++p)
+    for (net::NodeId q : sim.overlay().lists(p).out())
+      EXPECT_LT(q, c.num_parents);
+}
+
+TEST(WebCacheSim, HierarchyAggregationBeatsFlatStaticMesh) {
+  // Top-level proxies warmed by every leaf's misses absorb far more
+  // traffic than a static flat mesh of equals.
+  WebCacheConfig hierarchy = fast_config();
+  hierarchy.num_parents = 4;
+  hierarchy.sim_hours = 2.0;
+  WebCacheConfig flat = fast_config();
+  flat.dynamic = false;
+  flat.sim_hours = 2.0;
+  const auto rh = WebCacheSim(hierarchy).run();
+  const auto rf = WebCacheSim(flat).run();
+  EXPECT_GT(rh.neighbor_hit_rate(), rf.neighbor_hit_rate());
+}
+
+TEST(WebCacheSim, AdaptiveParentChoiceBeatsRandomParents) {
+  // Leaves that pick the parent matching their topic community beat
+  // leaves stuck with random parents.
+  WebCacheConfig adaptive = fast_config();
+  adaptive.num_parents = 8;
+  adaptive.sim_hours = 2.0;
+  WebCacheConfig random_parents = adaptive;
+  random_parents.dynamic = false;
+  const auto ra = WebCacheSim(adaptive).run();
+  const auto rr = WebCacheSim(random_parents).run();
+  EXPECT_GT(ra.neighbor_hit_rate(), rr.neighbor_hit_rate());
+}
+
+TEST(WebCacheSim, HitRatesAreProperFractions) {
+  const auto r = WebCacheSim(fast_config()).run();
+  EXPECT_GE(r.local_hit_rate(), 0.0);
+  EXPECT_LE(r.local_hit_rate(), 1.0);
+  EXPECT_GE(r.neighbor_hit_rate(), 0.0);
+  EXPECT_LE(r.neighbor_hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace dsf::webcache

@@ -1,0 +1,77 @@
+#include "workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsf::workload {
+namespace {
+
+TEST(Catalog, PaperDefaults) {
+  Catalog c;
+  EXPECT_EQ(c.num_songs(), 200'000u);
+  EXPECT_EQ(c.num_categories(), 50u);
+  EXPECT_EQ(c.songs_per_category(), 4'000u);
+  EXPECT_DOUBLE_EQ(c.zipf_theta(), 0.9);
+}
+
+TEST(Catalog, RejectsUnevenDivision) {
+  Catalog::Params p;
+  p.num_songs = 101;
+  p.num_categories = 10;
+  EXPECT_THROW(Catalog{p}, std::invalid_argument);
+}
+
+TEST(Catalog, RejectsZeroCategories) {
+  Catalog::Params p;
+  p.num_categories = 0;
+  EXPECT_THROW(Catalog{p}, std::invalid_argument);
+}
+
+TEST(Catalog, CategoryLayoutIsContiguous) {
+  Catalog::Params p;
+  p.num_songs = 100;
+  p.num_categories = 10;
+  Catalog c(p);
+  for (SongId s = 0; s < 100; ++s) {
+    EXPECT_EQ(c.category_of(s), s / 10);
+    EXPECT_EQ(c.rank_of(s), s % 10);
+    EXPECT_EQ(c.song_at(c.category_of(s), c.rank_of(s)), s);
+  }
+}
+
+TEST(Catalog, SampleStaysInCategory) {
+  Catalog c;
+  des::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const CategoryId cat = static_cast<CategoryId>(i % 50);
+    EXPECT_EQ(c.category_of(c.sample_song(cat, rng)), cat);
+  }
+}
+
+TEST(Catalog, SampleRejectsBadCategory) {
+  Catalog c;
+  des::Rng rng(2);
+  EXPECT_THROW(c.sample_song(50, rng), std::out_of_range);
+}
+
+TEST(Catalog, PopularRanksDominateSamples) {
+  Catalog::Params p;
+  p.num_songs = 4000;
+  p.num_categories = 1;
+  Catalog c(p);
+  des::Rng rng(3);
+  std::vector<int> counts(4000, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[c.rank_of(c.sample_song(0, rng))];
+  // Zipf(0.9): rank 0 must beat rank 9 by roughly 10^0.9 ≈ 7.9×.
+  EXPECT_GT(counts[0], counts[9] * 4);
+  // Frequencies must track the exact PMF at the head.
+  for (int r = 0; r < 3; ++r) {
+    const double expected = c.rank_probability(r) * n;
+    EXPECT_NEAR(counts[r], expected, 0.1 * expected + 20);
+  }
+}
+
+}  // namespace
+}  // namespace dsf::workload

@@ -1,0 +1,86 @@
+#include "workload/session.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::workload {
+namespace {
+
+TEST(SessionModel, PaperDefaults) {
+  SessionModel m;
+  EXPECT_DOUBLE_EQ(m.params().mean_online_s, 3.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(m.params().mean_offline_s, 3.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(m.stationary_online_probability(), 0.5);
+}
+
+TEST(SessionModel, StationaryProbabilityAsymmetric) {
+  SessionModel::Params p;
+  p.mean_online_s = 3600.0;
+  p.mean_offline_s = 3.0 * 3600.0;
+  SessionModel m(p);
+  EXPECT_DOUBLE_EQ(m.stationary_online_probability(), 0.25);
+}
+
+TEST(SessionModel, InitialStateMatchesStationary) {
+  SessionModel m;
+  des::Rng rng(1);
+  int online = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) online += m.draw_initial_online(rng);
+  EXPECT_NEAR(static_cast<double>(online) / n, 0.5, 0.01);
+}
+
+TEST(SessionModel, DurationsHaveConfiguredMeans) {
+  SessionModel m;
+  des::Rng rng(2);
+  double on = 0.0, off = 0.0, gap = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    on += m.draw_online_duration(rng);
+    off += m.draw_offline_duration(rng);
+    gap += m.draw_interquery_gap(rng);
+  }
+  EXPECT_NEAR(on / n / 3600.0, 3.0, 0.05);
+  EXPECT_NEAR(off / n / 3600.0, 3.0, 0.05);
+  EXPECT_NEAR(gap / n, 320.0, 5.0);
+}
+
+TEST(SessionModel, ParetoDurationsKeepConfiguredMeans) {
+  SessionModel::Params p;
+  p.duration_kind = DurationKind::kPareto;
+  p.pareto_shape = 2.5;  // finite variance for a converging test
+  SessionModel m(p);
+  des::Rng rng(9);
+  double on = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) on += m.draw_online_duration(rng);
+  EXPECT_NEAR(on / n / 3600.0, 3.0, 0.1);
+}
+
+TEST(SessionModel, ParetoTailHeavierThanExponential) {
+  SessionModel::Params pareto;
+  pareto.duration_kind = DurationKind::kPareto;
+  pareto.pareto_shape = 1.5;
+  SessionModel heavy(pareto);
+  SessionModel light;  // exponential
+  des::Rng rng(10);
+  const double cutoff = 10.0 * 3.0 * 3600.0;
+  int heavy_tail = 0, light_tail = 0;
+  for (int i = 0; i < 100000; ++i) {
+    heavy_tail += heavy.draw_online_duration(rng) > cutoff;
+    light_tail += light.draw_online_duration(rng) > cutoff;
+  }
+  EXPECT_GT(heavy_tail, light_tail * 5);
+}
+
+TEST(SessionModel, DurationsArePositive) {
+  SessionModel m;
+  des::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(m.draw_online_duration(rng), 0.0);
+    EXPECT_GT(m.draw_offline_duration(rng), 0.0);
+    EXPECT_GT(m.draw_interquery_gap(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dsf::workload

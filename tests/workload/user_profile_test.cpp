@@ -1,0 +1,91 @@
+#include "workload/user_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dsf::workload {
+namespace {
+
+Catalog small_catalog() {
+  Catalog::Params p;
+  p.num_songs = 1000;
+  p.num_categories = 10;
+  return Catalog(p);
+}
+
+TEST(UserProfile, SideCategoriesAreDistinctAndExcludeFavorite) {
+  const Catalog c = small_catalog();
+  ProfileGenerator gen(c);
+  des::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const UserProfile p = gen.generate(rng);
+    std::set<CategoryId> side(p.side.begin(), p.side.end());
+    EXPECT_EQ(side.size(), p.side.size()) << "duplicate side category";
+    EXPECT_EQ(side.count(p.favorite), 0u) << "favorite among side categories";
+    for (CategoryId cat : side) EXPECT_LT(cat, c.num_categories());
+    EXPECT_LT(p.favorite, c.num_categories());
+  }
+}
+
+TEST(UserProfile, TooFewCategoriesThrows) {
+  Catalog::Params p;
+  p.num_songs = 50;
+  p.num_categories = 5;
+  const Catalog c{p};
+  EXPECT_THROW(ProfileGenerator{c}, std::invalid_argument);
+}
+
+TEST(UserProfile, FavoriteAssignmentFollowsZipf) {
+  const Catalog c = small_catalog();
+  ProfileGenerator gen(c, 0.9);
+  des::Rng rng(2);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.generate(rng).favorite];
+  // Category 0 is most popular; must clearly dominate category 9.
+  EXPECT_GT(counts[0], counts[9] * 3);
+  // Monotone (within noise) over a few spot pairs.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[1], counts[7]);
+}
+
+TEST(UserProfile, SampleCategoryIsHalfFavorite) {
+  const Catalog c = small_catalog();
+  ProfileGenerator gen(c);
+  des::Rng rng(3);
+  const UserProfile p = gen.generate(rng);
+  int favorite = 0;
+  std::vector<int> side_counts(UserProfile::kNumSideCategories, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const CategoryId cat = p.sample_category(rng);
+    if (cat == p.favorite) {
+      ++favorite;
+    } else {
+      bool found = false;
+      for (int s = 0; s < UserProfile::kNumSideCategories; ++s)
+        if (p.side[s] == cat) {
+          ++side_counts[s];
+          found = true;
+          break;
+        }
+      EXPECT_TRUE(found) << "sampled category outside the profile";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(favorite) / n, 0.5, 0.01);
+  for (int s : side_counts)
+    EXPECT_NEAR(static_cast<double>(s) / n, 0.1, 0.01);
+}
+
+TEST(UserProfile, PopulationGeneratorCountMatches) {
+  const Catalog c = small_catalog();
+  ProfileGenerator gen(c);
+  des::Rng rng(4);
+  const auto pop = gen.generate_population(2000, rng);
+  EXPECT_EQ(pop.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace dsf::workload

@@ -1,0 +1,218 @@
+// dsf_sim — command-line driver for every scenario in the library.
+//
+//   dsf_sim gnutella [--users 2000] [--hops 2] [--dynamic true]
+//                    [--threshold 2] [--hours 96] [--warmup 12]
+//                    [--strategy flood|iterative|directed|local-indices]
+//                    [--seed 42] [--json]
+//   dsf_sim webcache [--proxies 64] [--dynamic true] [--hours 4] [--json]
+//   dsf_sim olap     [--peers 48] [--dynamic true] [--hours 6] [--json]
+//   dsf_sim diglib   [--repos 64] [--mode all|static|adaptive]
+//                    [--hours 2] [--json]
+//
+// Text output is human-readable; --json emits a machine-readable record
+// for scripting sweeps.
+
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "cli/args.h"
+#include "diglib/diglib_sim.h"
+#include "gnutella/simulation.h"
+#include "metrics/json.h"
+#include "olap/olap_sim.h"
+#include "webcache/webcache_sim.h"
+
+namespace {
+
+using namespace dsf;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dsf_sim <gnutella|webcache|olap|diglib> [options]\n"
+               "       see the header of tools/dsf_sim.cpp or README.md\n");
+  return 2;
+}
+
+gnutella::SearchStrategy parse_strategy(const std::string& s) {
+  if (s == "flood") return gnutella::SearchStrategy::kFlood;
+  if (s == "iterative") return gnutella::SearchStrategy::kIterativeDeepening;
+  if (s == "directed") return gnutella::SearchStrategy::kDirectedBft;
+  if (s == "local-indices") return gnutella::SearchStrategy::kLocalIndices;
+  throw std::invalid_argument("--strategy: unknown value: " + s);
+}
+
+int run_gnutella(const cli::Args& args, bool json) {
+  gnutella::Config c;
+  c.num_users = static_cast<std::uint32_t>(args.get_int("users", c.num_users));
+  c.max_hops = static_cast<int>(args.get_int("hops", c.max_hops));
+  c.dynamic = args.get_bool("dynamic", c.dynamic);
+  c.reconfig_threshold = static_cast<std::uint32_t>(
+      args.get_int("threshold", c.reconfig_threshold));
+  c.sim_hours = args.get_double("hours", c.sim_hours);
+  c.warmup_hours = args.get_double("warmup", c.warmup_hours);
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  c.search_strategy = parse_strategy(args.get_string("strategy", "flood"));
+  c.library_growth = args.get_bool("library-growth", false);
+  c.exclude_owned_songs = args.get_bool("exclude-owned", false);
+
+  const auto r = gnutella::Simulation(c).run();
+  if (json) {
+    metrics::JsonValue out = metrics::JsonValue::object();
+    out.set("scenario", metrics::JsonValue::string("gnutella"))
+        .set("dynamic", metrics::JsonValue::boolean(c.dynamic))
+        .set("hops", metrics::JsonValue::number(std::int64_t{c.max_hops}))
+        .set("queries", metrics::JsonValue::number(r.queries_issued))
+        .set("hits", metrics::JsonValue::number(r.total_hits()))
+        .set("results", metrics::JsonValue::number(r.total_results()))
+        .set("messages", metrics::JsonValue::number(r.total_messages()))
+        .set("control_messages",
+             metrics::JsonValue::number(r.traffic.control_traffic()))
+        .set("mean_first_result_delay_ms",
+             metrics::JsonValue::number(r.first_result_delay_s.mean() * 1e3))
+        .set("reconfigurations", metrics::JsonValue::number(r.reconfigurations))
+        .set("evictions", metrics::JsonValue::number(r.evictions));
+    out.write(std::cout);
+    std::cout << '\n';
+  } else {
+    std::printf("gnutella (%s, hops=%d): %llu queries, %llu hits, "
+                "%llu messages, %.0f ms mean first result\n",
+                c.dynamic ? "dynamic" : "static", c.max_hops,
+                static_cast<unsigned long long>(r.queries_issued),
+                static_cast<unsigned long long>(r.total_hits()),
+                static_cast<unsigned long long>(r.total_messages()),
+                r.first_result_delay_s.mean() * 1e3);
+  }
+  return 0;
+}
+
+int run_webcache(const cli::Args& args, bool json) {
+  webcache::WebCacheConfig c;
+  c.num_proxies = static_cast<std::uint32_t>(
+      args.get_int("proxies", c.num_proxies));
+  c.dynamic = args.get_bool("dynamic", c.dynamic);
+  c.sim_hours = args.get_double("hours", c.sim_hours);
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  const auto r = webcache::WebCacheSim(c).run();
+  if (json) {
+    metrics::JsonValue out = metrics::JsonValue::object();
+    out.set("scenario", metrics::JsonValue::string("webcache"))
+        .set("dynamic", metrics::JsonValue::boolean(c.dynamic))
+        .set("requests", metrics::JsonValue::number(r.requests))
+        .set("local_hit_rate", metrics::JsonValue::number(r.local_hit_rate()))
+        .set("neighbor_hit_rate",
+             metrics::JsonValue::number(r.neighbor_hit_rate()))
+        .set("mean_latency_ms",
+             metrics::JsonValue::number(r.latency_s.mean() * 1e3));
+    out.write(std::cout);
+    std::cout << '\n';
+  } else {
+    std::printf("webcache (%s): %llu requests, %.1f%% local, %.1f%% "
+                "neighbor-of-miss, %.0f ms mean latency\n",
+                c.dynamic ? "dynamic" : "static",
+                static_cast<unsigned long long>(r.requests),
+                r.local_hit_rate() * 100, r.neighbor_hit_rate() * 100,
+                r.latency_s.mean() * 1e3);
+  }
+  return 0;
+}
+
+int run_olap(const cli::Args& args, bool json) {
+  olap::OlapConfig c;
+  c.num_peers = static_cast<std::uint32_t>(args.get_int("peers", c.num_peers));
+  c.dynamic = args.get_bool("dynamic", c.dynamic);
+  c.sim_hours = args.get_double("hours", c.sim_hours);
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  const auto r = olap::OlapSim(c).run();
+  if (json) {
+    metrics::JsonValue out = metrics::JsonValue::object();
+    out.set("scenario", metrics::JsonValue::string("olap"))
+        .set("dynamic", metrics::JsonValue::boolean(c.dynamic))
+        .set("queries", metrics::JsonValue::number(r.queries))
+        .set("peer_hit_rate", metrics::JsonValue::number(r.peer_hit_rate()))
+        .set("mean_response_s",
+             metrics::JsonValue::number(r.response_time_s.mean()));
+    out.write(std::cout);
+    std::cout << '\n';
+  } else {
+    std::printf("olap (%s): %llu queries, %.1f%% peer hits, %.2f s mean "
+                "response\n",
+                c.dynamic ? "dynamic" : "static",
+                static_cast<unsigned long long>(r.queries),
+                r.peer_hit_rate() * 100, r.response_time_s.mean());
+  }
+  return 0;
+}
+
+int run_diglib(const cli::Args& args, bool json) {
+  diglib::DigLibConfig c;
+  c.num_repositories = static_cast<std::uint32_t>(
+      args.get_int("repos", c.num_repositories));
+  const std::string mode = args.get_string("mode", "adaptive");
+  if (mode == "all") {
+    c.mode = diglib::ListMode::kAllToAll;
+  } else if (mode == "static") {
+    c.mode = diglib::ListMode::kStatic;
+  } else if (mode == "adaptive") {
+    c.mode = diglib::ListMode::kAdaptive;
+  } else {
+    throw std::invalid_argument("--mode: unknown value: " + mode);
+  }
+  c.sim_hours = args.get_double("hours", c.sim_hours);
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
+
+  const auto r = diglib::DigLibSim(c).run();
+  if (json) {
+    metrics::JsonValue out = metrics::JsonValue::object();
+    out.set("scenario", metrics::JsonValue::string("diglib"))
+        .set("mode", metrics::JsonValue::string(mode))
+        .set("queries", metrics::JsonValue::number(r.queries))
+        .set("hit_rate", metrics::JsonValue::number(r.hit_rate()))
+        .set("recall", metrics::JsonValue::number(r.recall()))
+        .set("messages_per_query",
+             metrics::JsonValue::number(r.messages_per_query.mean()));
+    out.write(std::cout);
+    std::cout << '\n';
+  } else {
+    std::printf("diglib (%s): %llu queries, %.1f%% hit rate, recall %.3f, "
+                "%.1f msgs/query\n",
+                mode.c_str(), static_cast<unsigned long long>(r.queries),
+                r.hit_rate() * 100, r.recall(),
+                r.messages_per_query.mean());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    cli::Args args(argc, argv);
+    if (args.positional().size() != 1) return usage();
+    const bool json = args.get_bool("json", false);
+
+    const std::string& scenario = args.positional().front();
+    int rc;
+    if (scenario == "gnutella") {
+      rc = run_gnutella(args, json);
+    } else if (scenario == "webcache") {
+      rc = run_webcache(args, json);
+    } else if (scenario == "olap") {
+      rc = run_olap(args, json);
+    } else if (scenario == "diglib") {
+      rc = run_diglib(args, json);
+    } else {
+      return usage();
+    }
+
+    for (const auto& key : args.unrecognized())
+      std::fprintf(stderr, "warning: unrecognized option --%s\n", key.c_str());
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
