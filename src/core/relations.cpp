@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/unreachable.h"
+
 namespace dsf::core {
 
 std::string_view to_string(RelationKind k) noexcept {
@@ -15,7 +17,7 @@ std::string_view to_string(RelationKind k) noexcept {
     case RelationKind::kSymmetric:
       return "symmetric";
   }
-  return "?";
+  unreachable_enum("core::RelationKind");
 }
 
 namespace {

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsf::core {
+
+/// Marks the end of an exhaustive switch over an enum.  Every legitimate
+/// value returns from its case; control only reaches the call when a
+/// corrupted or out-of-range value was cast into the enum.  Aborting loudly
+/// beats the silently-wrong fallback return it replaces.
+[[noreturn]] inline void unreachable_enum(const char* what) noexcept {
+  std::fprintf(stderr, "fatal: out-of-range %s value in exhaustive switch\n",
+               what);
+  std::abort();
+}
+
+}  // namespace dsf::core

@@ -1,31 +1,38 @@
 #include "diglib/diglib_sim.h"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_set>
 
 #include "core/update.h"
 
 namespace dsf::diglib {
 
+sim::EngineConfig DigLibSim::make_engine_config(const DigLibConfig& config) {
+  sim::require_positive("diglib", "num_repositories", config.num_repositories);
+  sim::require_positive("diglib", "num_neighbors", config.num_neighbors);
+  sim::require_divides("diglib", "num_docs", config.num_docs, "num_topics",
+                       config.num_topics);
+  sim::EngineConfig ec;
+  ec.name = "diglib";
+  ec.num_nodes = config.num_repositories;
+  ec.seed = config.seed;
+  ec.rng_layout = sim::RngLayout::kCompact;
+  ec.relation = config.mode == ListMode::kAllToAll
+                    ? core::RelationKind::kAllToAll
+                    : core::RelationKind::kAsymmetric;
+  ec.out_capacity = config.num_neighbors;
+  ec.in_capacity = config.num_repositories;
+  ec.sim_hours = config.sim_hours;
+  ec.warmup_hours = config.warmup_hours;
+  return ec;
+}
+
 DigLibSim::DigLibSim(const DigLibConfig& config)
-    : config_(config),
-      rng_(config.seed),
-      delay_rng_(rng_.split()),
-      delay_(config.num_repositories, rng_),
-      overlay_(config.num_repositories,
-               config.mode == ListMode::kAllToAll
-                   ? core::RelationKind::kAllToAll
-                   : core::RelationKind::kAsymmetric,
-               config.num_neighbors, config.num_repositories),
+    : sim::OverlayEngine(make_engine_config(config)),
+      config_(config),
       copy_count_(config.num_docs, 0),
       doc_zipf_(config.num_docs / config.num_topics, config.zipf_theta),
-      interquery_(config.mean_interquery_s),
-      stamps_(config.num_repositories) {
-  if (config.num_topics == 0 || config.num_docs % config.num_topics != 0)
-    throw std::invalid_argument(
-        "DigLibSim: num_docs must divide evenly into topics");
-
+      interquery_(config.mean_interquery_s) {
   // Build holdings: topic_share of a repository's documents come from its
   // home topic, the rest uniformly from other topics; selection within a
   // topic follows the popularity profile, so popular documents are widely
@@ -52,12 +59,13 @@ DigLibSim::DigLibSim(const DigLibConfig& config)
         if (a != b) overlay_.link(a, b);
   } else {
     for (net::NodeId r = 0; r < config.num_repositories; ++r) {
-      int attempts = 4 * static_cast<int>(config.num_neighbors);
-      while (!overlay_.lists(r).out_full() && attempts-- > 0) {
-        const auto q = static_cast<net::NodeId>(
-            rng_.uniform_int(config.num_repositories));
-        if (q != r) overlay_.link(r, q);
-      }
+      fill_random_neighbors(
+          r, config.num_neighbors, default_bootstrap_attempts(),
+          [this] {
+            return static_cast<net::NodeId>(
+                rng().uniform_int(config_.num_repositories));
+          },
+          [] {});
     }
   }
 }
@@ -65,9 +73,9 @@ DigLibSim::DigLibSim(const DigLibConfig& config)
 DocId DigLibSim::draw_doc(std::uint32_t home_topic) {
   const std::uint32_t docs_per_topic = config_.num_docs / config_.num_topics;
   std::uint32_t topic = home_topic;
-  if (!rng_.bernoulli(config_.topic_share))
-    topic = static_cast<std::uint32_t>(rng_.uniform_int(config_.num_topics));
-  const auto rank = static_cast<std::uint32_t>(doc_zipf_.sample(rng_));
+  if (!rng().bernoulli(config_.topic_share))
+    topic = static_cast<std::uint32_t>(rng().uniform_int(config_.num_topics));
+  const auto rank = static_cast<std::uint32_t>(doc_zipf_.sample(rng()));
   return topic * docs_per_topic + rank;
 }
 
@@ -91,14 +99,11 @@ void DigLibSim::issue_query(net::NodeId r) {
         return overlay_.out_neighbors(n);
       },
       [this, doc](net::NodeId n) { return holds(n, doc); },
-      [this](net::NodeId a, net::NodeId b) {
-        return delay_.sample_delay_s(a, b, delay_rng_);
-      },
+      [this](net::NodeId a, net::NodeId b) { return sample_delay_s(a, b); },
       stamps_, scratch_);
 
-  result_.traffic.count(net::MessageType::kQuery, outcome.query_messages);
-  result_.traffic.count(net::MessageType::kQueryReply,
-                        outcome.reply_messages);
+  count(net::MessageType::kQuery, outcome.query_messages);
+  count(net::MessageType::kQueryReply, outcome.reply_messages);
   if (reporting()) {
     ++result_.queries;
     if (outcome.satisfied()) ++result_.satisfied;
@@ -127,7 +132,7 @@ void DigLibSim::issue_query(net::NodeId r) {
     }
   }
 
-  sim_.schedule_in(interquery_.sample(rng_), [this, r] { issue_query(r); });
+  sim_.schedule_in(interquery_.sample(rng()), [this, r] { issue_query(r); });
 }
 
 void DigLibSim::update_neighbors(net::NodeId r) {
@@ -155,22 +160,22 @@ void DigLibSim::update_neighbors(net::NodeId r) {
           core::least_beneficial(repo.stats, overlay_.out_neighbors(r));
       if (worst != net::kInvalidNode) {
         overlay_.unlink(r, worst);
-        result_.traffic.count(net::MessageType::kEviction);
+        count(net::MessageType::kEviction);
       }
     }
     overlay_.link(r, plan.additions.front());
-    result_.traffic.count(net::MessageType::kInvitation);
+    count(net::MessageType::kInvitation);
   }
 
   // Install the new exploration link.
   int attempts = 8;
   while (attempts-- > 0) {
     const auto q =
-        static_cast<net::NodeId>(rng_.uniform_int(config_.num_repositories));
+        static_cast<net::NodeId>(rng().uniform_int(config_.num_repositories));
     if (q == r || overlay_.lists(r).has_out(q)) continue;
     if (overlay_.link(r, q)) {
       repo.exploration_link = q;
-      result_.traffic.count(net::MessageType::kPing);
+      count(net::MessageType::kPing);
       break;
     }
   }
@@ -178,19 +183,19 @@ void DigLibSim::update_neighbors(net::NodeId r) {
   // Statistics decay so the ranking tracks the current overlay rather
   // than compounding forever.
   repo.stats.decay(0.5);
-  sim_.schedule_in(config_.update_period_s,
-                   [this, r] { update_neighbors(r); });
 }
 
 DigLibResult DigLibSim::run() {
   for (net::NodeId r = 0; r < config_.num_repositories; ++r) {
-    sim_.schedule_in(interquery_.sample(rng_), [this, r] { issue_query(r); });
+    sim_.schedule_in(interquery_.sample(rng()), [this, r] { issue_query(r); });
     if (config_.mode == ListMode::kAdaptive) {
-      sim_.schedule_in(rng_.uniform(0.0, config_.update_period_s),
-                       [this, r] { update_neighbors(r); });
+      schedule_every(rng().uniform(0.0, config_.update_period_s),
+                     config_.update_period_s,
+                     [this, r] { update_neighbors(r); });
     }
   }
-  sim_.run_until(config_.sim_hours * 3600.0);
+  run_until_horizon();
+  result_.traffic = traffic();
   return result_;
 }
 

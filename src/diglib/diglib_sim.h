@@ -7,13 +7,12 @@
 #include "core/flood_search.h"
 #include "core/relations.h"
 #include "core/stats_store.h"
-#include "core/visit_stamp.h"
 #include "des/distributions.h"
 #include "des/rng.h"
 #include "des/simulator.h"
 #include "metrics/time_series.h"
-#include "net/delay_model.h"
 #include "net/message.h"
+#include "sim/engine.h"
 
 namespace dsf::diglib {
 
@@ -86,13 +85,12 @@ struct DigLibResult {
   }
 };
 
-class DigLibSim {
+class DigLibSim : public sim::OverlayEngine {
  public:
   explicit DigLibSim(const DigLibConfig& config);
 
   DigLibResult run();
 
-  const core::NeighborTable& overlay() const noexcept { return overlay_; }
   const DigLibConfig& config() const noexcept { return config_; }
 
   /// Copies of `doc` across the federation (exposed for tests).
@@ -110,27 +108,20 @@ class DigLibSim {
     net::NodeId exploration_link = net::kInvalidNode;
   };
 
+  /// Validates the config and builds the engine parameterization.
+  static sim::EngineConfig make_engine_config(const DigLibConfig& config);
+
   void issue_query(net::NodeId r);
   void update_neighbors(net::NodeId r);
   DocId draw_doc(std::uint32_t home_topic);
   bool holds(net::NodeId r, DocId doc) const;
-  bool reporting() const noexcept {
-    return sim_.now() >= config_.warmup_hours * 3600.0;
-  }
 
   DigLibConfig config_;
-  des::Rng rng_;
-  des::Rng delay_rng_;
-  net::DelayModel delay_;
-  core::NeighborTable overlay_;
   std::vector<Repository> repos_;
   std::vector<std::uint32_t> copy_count_;  ///< per-document replica count
   des::Zipf doc_zipf_;
   des::Exponential interquery_;
   core::ItemsOverLatency benefit_;
-  core::VisitStamp stamps_;
-  core::SearchScratch scratch_;
-  des::Simulator sim_;
   DigLibResult result_;
 };
 

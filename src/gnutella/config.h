@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/update.h"
+#include "sim/policy.h"
 #include "workload/catalog.h"
 #include "workload/library.h"
 #include "workload/session.h"
@@ -18,14 +19,9 @@ enum class BenefitKind : std::uint8_t {
   kInverseLatency,        ///< reply latency only
 };
 
-/// Query-propagation technique (§2: the Yang & Garcia-Molina methods are
-/// orthogonal to reconfiguration and compose with either scheme).
-enum class SearchStrategy : std::uint8_t {
-  kFlood,               ///< plain BFS flood (the case study's default)
-  kIterativeDeepening,  ///< growing-depth cycles until satisfied
-  kDirectedBft,         ///< initiator forwards to a beneficial subset only
-  kLocalIndices,        ///< nodes answer for peers within radius 1
-};
+/// Query-propagation technique — the shared sim-layer policy enum; the
+/// alias keeps historical call sites (`SearchStrategy::kFlood`) intact.
+using SearchStrategy = sim::SearchStrategyKind;
 
 /// Full parameterization of the §4 case study.  Defaults reproduce the
 /// paper's settings (§4.2/§4.3); benches override `max_hops`,

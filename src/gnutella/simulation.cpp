@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/graph_stats.h"
+#include "core/unreachable.h"
 #include "workload/user_profile.h"
 
 namespace dsf::gnutella {
@@ -11,33 +12,43 @@ namespace dsf::gnutella {
 std::unique_ptr<core::BenefitFunction> make_benefit(BenefitKind kind) {
   switch (kind) {
     case BenefitKind::kBandwidthOverResults:
-      return std::make_unique<core::BandwidthOverResults>();
+      return sim::make_benefit(sim::BenefitPolicy::kBandwidthOverResults);
     case BenefitKind::kUnit:
-      return std::make_unique<core::UnitBenefit>();
+      return sim::make_benefit(sim::BenefitPolicy::kUnit);
     case BenefitKind::kInverseLatency:
-      return std::make_unique<core::InverseLatency>();
+      return sim::make_benefit(sim::BenefitPolicy::kInverseLatency);
   }
-  return std::make_unique<core::BandwidthOverResults>();
+  core::unreachable_enum("gnutella::BenefitKind");
+}
+
+sim::EngineConfig Simulation::make_engine_config(const Config& config) {
+  sim::require_positive("gnutella", "num_users", config.num_users);
+  sim::require_positive("gnutella", "max_neighbors", config.max_neighbors);
+  sim::require_positive("gnutella", "catalog.num_songs",
+                        config.catalog.num_songs);
+  sim::EngineConfig ec;
+  ec.name = "gnutella";
+  ec.num_nodes = config.num_users;
+  ec.seed = config.seed;
+  ec.rng_layout = sim::RngLayout::kFourLane;
+  ec.relation = core::RelationKind::kSymmetric;
+  ec.out_capacity = config.max_neighbors;
+  ec.in_capacity = config.max_neighbors;
+  ec.sim_hours = config.sim_hours;
+  ec.warmup_hours = config.warmup_hours;
+  return ec;
 }
 
 Simulation::Simulation(const Config& config)
-    : config_(config),
+    : sim::OverlayEngine(make_engine_config(config)),
+      config_(config),
       catalog_(config.catalog),
       library_gen_(catalog_, config.library),
       query_gen_(catalog_),
       session_(config.session),
-      master_rng_(config.seed),
-      topo_rng_(master_rng_.split()),
-      session_rng_(master_rng_.split()),
-      query_rng_(master_rng_.split()),
-      delay_rng_(master_rng_.split()),
-      delay_(config.num_users, master_rng_),
-      overlay_(config.num_users, core::RelationKind::kSymmetric,
-               config.max_neighbors, config.max_neighbors),
-      stamps_(config.num_users),
       hit_stamps_(config.num_users),
       benefit_fn_(make_benefit(config.benefit)) {
-  des::Rng profile_rng = master_rng_.split();
+  des::Rng profile_rng = rng().split();
   workload::ProfileGenerator profiles(catalog_, config.user_zipf_theta);
   users_.resize(config.num_users);
   for (auto& u : users_) {
@@ -66,25 +77,24 @@ std::uint32_t Simulation::summary_estimate(net::NodeId v, net::NodeId c) const {
 void Simulation::prime() {
   // Decide every user's initial state first so the bootstrap graph is
   // built over the full initial on-line population.
-  std::vector<net::NodeId> initially_online;
-  for (net::NodeId u = 0; u < users_.size(); ++u) {
-    if (session_.draw_initial_online(session_rng_)) {
-      users_[u].online = true;
-      users_[u].online_pos = static_cast<std::uint32_t>(online_nodes_.size());
-      online_nodes_.push_back(u);
-      initially_online.push_back(u);
-    }
+  const SessionChurn churn(session_);
+  const std::vector<net::NodeId> initially_online =
+      draw_initial_online(churn, session_rng());
+  for (net::NodeId u : initially_online) {
+    users_[u].online = true;
+    users_[u].online_pos = static_cast<std::uint32_t>(online_nodes_.size());
+    online_nodes_.push_back(u);
   }
   for (net::NodeId u : initially_online) fill_with_random_neighbors(u);
   for (net::NodeId u = 0; u < users_.size(); ++u) {
     UserState& st = users_[u];
     if (st.online) {
       st.session_event = sim_.schedule_in(
-          session_.draw_online_duration(session_rng_), [this, u] { log_off(u); });
+          session_.draw_online_duration(session_rng()), [this, u] { log_off(u); });
       schedule_next_query(u);
     } else {
       st.session_event = sim_.schedule_in(
-          session_.draw_offline_duration(session_rng_), [this, u] { log_in(u); });
+          session_.draw_offline_duration(session_rng()), [this, u] { log_in(u); });
     }
   }
 }
@@ -101,42 +111,39 @@ void Simulation::probe_overlay() {
       overlay_, online,
       [this](net::NodeId n) { return users_[n].profile.favorite; });
   result_.probes.push_back(sample);
-  sim_.schedule_in(config_.probe_period_s, [this] { probe_overlay(); });
 }
 
 RunResult Simulation::run() {
   prime();
   if (config_.probe_period_s > 0.0)
-    sim_.schedule_in(config_.probe_period_s, [this] { probe_overlay(); });
-  const double horizon = config_.sim_hours * 3600.0;
-  sim_.run_until(horizon);
+    schedule_every(config_.probe_period_s, config_.probe_period_s,
+                   [this] { probe_overlay(); });
+  run_until_horizon();
   result_.warmup_bucket = static_cast<std::size_t>(config_.warmup_hours);
   result_.last_bucket = static_cast<std::size_t>(config_.sim_hours) - 1;
+  result_.traffic = traffic();
   return result_;
 }
 
 void Simulation::fill_with_random_neighbors(net::NodeId u,
                                              std::size_t target) {
   if (online_nodes_.size() < 2) return;
-  auto& lists = overlay_.lists(u);
   target = std::min<std::size_t>(target, config_.max_neighbors);
   // A bounded number of random probes; when the population is nearly
   // saturated some probes fail, exactly as a real bootstrap would.
-  int attempts = 4 * static_cast<int>(config_.max_neighbors);
-  while (lists.out().size() < target && !lists.out_full() &&
-         attempts-- > 0) {
-    const net::NodeId v =
-        online_nodes_[topo_rng_.uniform_int(online_nodes_.size())];
-    if (v == u || lists.has_out(v)) continue;
-    if (overlay_.link(u, v)) on_link_formed();  // fails harmlessly if v full
-  }
+  fill_random_neighbors(
+      u, target, default_bootstrap_attempts(),
+      [this] {
+        return online_nodes_[topo_rng().uniform_int(online_nodes_.size())];
+      },
+      [this] { on_link_formed(); });
 }
 
 void Simulation::on_link_formed() {
   // Local indices must be maintained: a new link triggers a content-digest
   // exchange in both directions (Yang & GM's index-update cost).
   if (config_.search_strategy == SearchStrategy::kLocalIndices)
-    result_.traffic.count(net::MessageType::kExploreReply, 2);
+    count(net::MessageType::kExploreReply, 2);
 }
 
 void Simulation::log_in(net::NodeId u) {
@@ -153,7 +160,7 @@ void Simulation::log_in(net::NodeId u) {
   fill_with_random_neighbors(u);
 
   st.session_event = sim_.schedule_in(
-      session_.draw_online_duration(session_rng_), [this, u] { log_off(u); });
+      session_.draw_online_duration(session_rng()), [this, u] { log_off(u); });
   schedule_next_query(u);
 }
 
@@ -188,13 +195,13 @@ void Simulation::log_off(net::NodeId u) {
   }
 
   st.session_event = sim_.schedule_in(
-      session_.draw_offline_duration(session_rng_), [this, u] { log_in(u); });
+      session_.draw_offline_duration(session_rng()), [this, u] { log_in(u); });
 }
 
 void Simulation::schedule_next_query(net::NodeId u) {
   UserState& st = users_[u];
   st.query_event = sim_.schedule_in(
-      session_.draw_interquery_gap(session_rng_), [this, u] { issue_query(u); });
+      session_.draw_interquery_gap(session_rng()), [this, u] { issue_query(u); });
   st.has_query_event = true;
 }
 
@@ -206,11 +213,11 @@ void Simulation::issue_query(net::NodeId u) {
   // preference distribution conditioned on non-ownership by rejection);
   // with exclude_owned_songs=false, Send Query floods the raw draw, as in
   // Algo 5's pseudo-code.
-  workload::SongId song = query_gen_.draw(st.profile, query_rng_);
+  workload::SongId song = query_gen_.draw(st.profile, query_rng());
   if (config_.exclude_owned_songs) {
     bool found = !st.library.contains(song);
     for (int tries = 0; tries < 64 && !found; ++tries) {
-      song = query_gen_.draw(st.profile, query_rng_);
+      song = query_gen_.draw(st.profile, query_rng());
       found = !st.library.contains(song);
     }
     if (!found) {
@@ -238,8 +245,8 @@ void Simulation::issue_query(net::NodeId u) {
 
   const des::SimTime now = sim_.now();
   result_.messages.add(now, outcome.query_messages);
-  result_.traffic.count(net::MessageType::kQuery, outcome.query_messages);
-  result_.traffic.count(net::MessageType::kQueryReply, outcome.reply_messages);
+  count(net::MessageType::kQuery, outcome.query_messages);
+  count(net::MessageType::kQueryReply, outcome.reply_messages);
   if (reporting()) {
     ++result_.queries_issued;
     result_.nodes_reached.add(outcome.nodes_reached);
@@ -295,41 +302,17 @@ core::SearchOutcome Simulation::run_search(net::NodeId u,
     return users_[n].library.contains(song);
   };
   const auto delay = [this](net::NodeId a, net::NodeId b) {
-    return delay_.sample_delay_s(a, b, delay_rng_);
+    return sample_delay_s(a, b);
   };
-
-  switch (config_.search_strategy) {
-    case SearchStrategy::kFlood:
-      return core::flood_search(u, params, neighbors, has_content, delay,
-                                stamps_, scratch_);
-    case SearchStrategy::kIterativeDeepening: {
-      auto it = core::iterative_deepening_search(
-          u, params, core::default_depth_ladder(params.max_hops), neighbors,
-          has_content, delay, stamps_, scratch_);
-      // Fold the accumulated cost into the reported outcome so every
-      // metric path sees one SearchOutcome.
-      core::SearchOutcome out = std::move(it.last);
-      out.query_messages = it.total_messages;
-      return out;
-    }
-    case SearchStrategy::kDirectedBft: {
-      const auto subset = core::select_directed_subset(
-          users_[u].stats, overlay_.out_neighbors(u), config_.directed_fanout);
-      return core::directed_flood_search(u, params, subset, neighbors,
-                                         has_content, delay, stamps_,
-                                         scratch_);
-    }
-    case SearchStrategy::kLocalIndices:
-      return core::indexed_flood_search(u, params, neighbors, has_content,
-                                        delay, stamps_, hit_stamps_, scratch_);
-  }
-  return core::flood_search(u, params, neighbors, has_content, delay, stamps_,
-                            scratch_);
+  return sim::dispatch_search(config_.search_strategy, u, params,
+                              users_[u].stats, config_.directed_fanout,
+                              neighbors, has_content, delay, stamps_,
+                              hit_stamps_, scratch_);
 }
 
 bool Simulation::invite(net::NodeId u, net::NodeId v) {
-  result_.traffic.count(net::MessageType::kInvitation);
-  result_.traffic.count(net::MessageType::kInvitationReply);
+  count(net::MessageType::kInvitation);
+  count(net::MessageType::kInvitationReply);
   UserState& target = users_[v];
   if (!target.online) return false;
 
@@ -411,7 +394,7 @@ void Simulation::evaluate_trial(net::NodeId inviter, net::NodeId invitee) {
 }
 
 void Simulation::evict(net::NodeId evictor, net::NodeId evictee) {
-  result_.traffic.count(net::MessageType::kEviction);
+  count(net::MessageType::kEviction);
   overlay_.unlink(evictor, evictee);
   ++result_.evictions;
   // Process Eviction (§4.1): the evicted node resets the evictor's

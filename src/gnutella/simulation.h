@@ -18,6 +18,7 @@
 #include "net/bloom.h"
 #include "net/delay_model.h"
 #include "net/message.h"
+#include "sim/engine.h"
 #include "workload/catalog.h"
 #include "workload/library.h"
 #include "workload/query_gen.h"
@@ -76,15 +77,36 @@ struct RunResult {
   }
 };
 
+/// Adapts workload::SessionModel to the engine's ChurnModel policy surface
+/// (the §4.2 on/off churn as a plug-in the engine helpers can consume).
+class SessionChurn final : public sim::ChurnModel {
+ public:
+  explicit SessionChurn(const workload::SessionModel& session)
+      : session_(session) {}
+  bool initially_online(des::Rng& rng) const override {
+    return session_.draw_initial_online(rng);
+  }
+  double online_duration_s(des::Rng& rng) const override {
+    return session_.draw_online_duration(rng);
+  }
+  double offline_duration_s(des::Rng& rng) const override {
+    return session_.draw_offline_duration(rng);
+  }
+
+ private:
+  const workload::SessionModel& session_;
+};
+
 /// The §4 case study: a population of music-sharing users over a symmetric
 /// overlay, either static (random neighbors, random replacement on log-off)
 /// or dynamic (Algo 5: combined search/exploration, benefit-ranked
 /// reconfiguration with invitations and evictions).
 ///
 /// The class is also the reference example of instantiating the framework:
-/// it wires core::NeighborTable + core::StatsStore + core::flood_search +
-/// core::plan_update/decide_invitation to a concrete workload.
-class Simulation {
+/// sim::OverlayEngine provides the simulator, RNG lanes, delay model,
+/// overlay table and message accounting; this class adds the workload
+/// (catalog/libraries/sessions) and the Algo 5 event handlers.
+class Simulation : public sim::OverlayEngine {
  public:
   explicit Simulation(const Config& config);
 
@@ -94,9 +116,6 @@ class Simulation {
   /// --- instrumented access (tests, examples) ---
   const Config& config() const noexcept { return config_; }
   const workload::Catalog& catalog() const noexcept { return catalog_; }
-  const core::NeighborTable& overlay() const noexcept { return overlay_; }
-  const net::DelayModel& delay_model() const noexcept { return delay_; }
-  des::Simulator& simulator() noexcept { return sim_; }
   bool online(net::NodeId u) const { return users_.at(u).online; }
   const workload::Library& library(net::NodeId u) const {
     return users_.at(u).library;
@@ -131,6 +150,9 @@ class Simulation {
   };
   static constexpr std::size_t kRecentQueryWindow = 32;
 
+  /// Validates the config and builds the engine parameterization.
+  static sim::EngineConfig make_engine_config(const Config& config);
+
   void log_in(net::NodeId u);
   void log_off(net::NodeId u);
   void issue_query(net::NodeId u);
@@ -159,11 +181,8 @@ class Simulation {
   void fill_with_random_neighbors(net::NodeId u, std::size_t target = SIZE_MAX);
   /// Accounting hook for every new overlay link (index maintenance etc.).
   void on_link_formed();
-  /// Samples overlay-structure statistics and reschedules itself.
+  /// Samples overlay-structure statistics (rescheduled by the engine).
   void probe_overlay();
-  bool reporting() const noexcept {
-    return sim_.now() >= config_.warmup_hours * 3600.0;
-  }
   double benefit_of(const core::ResultInfo& info) const {
     return benefit_fn_->benefit(info);
   }
@@ -173,22 +192,12 @@ class Simulation {
   workload::LibraryGenerator library_gen_;
   workload::QueryGenerator query_gen_;
   workload::SessionModel session_;
-  des::Rng master_rng_;
-  des::Rng topo_rng_;     ///< random neighbor choice
-  des::Rng session_rng_;  ///< on/off durations, query gaps
-  des::Rng query_rng_;    ///< query targets
-  des::Rng delay_rng_;    ///< per-message delays
-  net::DelayModel delay_;
-  core::NeighborTable overlay_;
   std::vector<UserState> users_;
   /// One library digest per user (libraries are static, built once); only
   /// materialized when the summary-gated policy is active.
   std::vector<net::BloomFilter> digests_;
   std::vector<net::NodeId> online_nodes_;
-  core::VisitStamp stamps_;
   core::VisitStamp hit_stamps_;  ///< per-search holder dedup (local indices)
-  core::SearchScratch scratch_;
-  des::Simulator sim_;
   std::unique_ptr<core::BenefitFunction> benefit_fn_;
   RunResult result_;
 };

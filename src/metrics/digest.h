@@ -1,0 +1,49 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace dsf::metrics {
+
+/// Order-sensitive 64-bit FNV-1a fingerprint over a stream of metric
+/// values.  Used by the determinism regression tests: two runs of the same
+/// simulation with the same seed must produce the same fingerprint, and a
+/// fingerprint comparison reports divergence without storing every series.
+/// Doubles are folded in through their bit pattern (std::bit_cast), so the
+/// comparison is exact, not epsilon-based.
+class Fingerprint {
+ public:
+  Fingerprint& add(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fingerprint& add(double v) noexcept {
+    return add(std::bit_cast<std::uint64_t>(v));
+  }
+
+  Fingerprint& add(std::string_view s) noexcept {
+    for (unsigned char c : s) {
+      hash_ ^= c;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+  friend bool operator==(Fingerprint a, Fingerprint b) noexcept {
+    return a.hash_ == b.hash_;
+  }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t hash_ = kOffset;
+};
+
+}  // namespace dsf::metrics

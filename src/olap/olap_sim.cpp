@@ -1,39 +1,49 @@
 #include "olap/olap_sim.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace dsf::olap {
 
+sim::EngineConfig OlapSim::make_engine_config(const OlapConfig& config) {
+  sim::require_positive("olap", "num_peers", config.num_peers);
+  sim::require_positive("olap", "num_neighbors", config.num_neighbors);
+  sim::require_positive("olap", "cache_capacity", config.cache_capacity);
+  sim::require_divides("olap", "num_chunks", config.num_chunks, "num_regions",
+                       config.num_regions);
+  sim::validate_or_throw(
+      config.query_span > 0 &&
+          config.query_span <= config.num_chunks / config.num_regions,
+      "olap", "query_span must fit inside one region");
+  sim::EngineConfig ec;
+  ec.name = "olap";
+  ec.num_nodes = config.num_peers;
+  ec.seed = config.seed;
+  ec.rng_layout = sim::RngLayout::kCompact;
+  ec.relation = core::RelationKind::kAsymmetric;
+  ec.out_capacity = config.num_neighbors;
+  ec.in_capacity = config.num_peers;
+  ec.sim_hours = config.sim_hours;
+  ec.warmup_hours = config.warmup_hours;
+  return ec;
+}
+
 OlapSim::OlapSim(const OlapConfig& config)
-    : config_(config),
-      rng_(config.seed),
-      delay_rng_(rng_.split()),
-      delay_(config.num_peers, rng_),
-      overlay_(config.num_peers, core::RelationKind::kAsymmetric,
-               config.num_neighbors, config.num_peers),
+    : sim::OverlayEngine(make_engine_config(config)),
+      config_(config),
       chunk_zipf_(config.num_chunks / config.num_regions, config.zipf_theta),
-      interquery_(config.mean_interquery_s),
-      stamps_(config.num_peers) {
-  if (config.num_regions == 0 || config.num_chunks % config.num_regions != 0)
-    throw std::invalid_argument(
-        "OlapSim: num_chunks must divide evenly into regions");
-  if (config.query_span == 0 ||
-      config.query_span > config.num_chunks / config.num_regions)
-    throw std::invalid_argument(
-        "OlapSim: query_span must fit inside one region");
+      interquery_(config.mean_interquery_s) {
   peers_.reserve(config.num_peers);
   for (std::uint32_t p = 0; p < config.num_peers; ++p) {
     peers_.emplace_back(config.cache_capacity);
     peers_.back().region = p % config.num_regions;
   }
   for (net::NodeId p = 0; p < config.num_peers; ++p) {
-    int attempts = 4 * static_cast<int>(config.num_neighbors);
-    while (!overlay_.lists(p).out_full() && attempts-- > 0) {
-      const auto q =
-          static_cast<net::NodeId>(rng_.uniform_int(config.num_peers));
-      if (q != p) overlay_.link(p, q);
-    }
+    fill_random_neighbors(
+        p, config.num_neighbors, default_bootstrap_attempts(),
+        [this] {
+          return static_cast<net::NodeId>(rng().uniform_int(config_.num_peers));
+        },
+        [] {});
   }
 }
 
@@ -46,9 +56,9 @@ void OlapSim::issue_query(net::NodeId p) {
   const std::uint32_t chunks_per_region =
       config_.num_chunks / config_.num_regions;
   std::uint32_t region = peer.region;
-  if (!rng_.bernoulli(config_.region_share))
-    region = static_cast<std::uint32_t>(rng_.uniform_int(config_.num_regions));
-  const auto anchor_rank = static_cast<std::uint32_t>(chunk_zipf_.sample(rng_));
+  if (!rng().bernoulli(config_.region_share))
+    region = static_cast<std::uint32_t>(rng().uniform_int(config_.num_regions));
+  const auto anchor_rank = static_cast<std::uint32_t>(chunk_zipf_.sample(rng()));
   const ChunkId base = region * chunks_per_region +
                        std::min(anchor_rank, chunks_per_region -
                                                  config_.query_span);
@@ -80,13 +90,13 @@ void OlapSim::issue_query(net::NodeId p) {
       if (holder != net::kInvalidNode && cur.hop + 1 > holder_hop) break;
       for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
         if (q == cur.sender) continue;
-        result_.traffic.count(net::MessageType::kQuery);
+        count(net::MessageType::kQuery);
         if (!stamps_.mark(q)) continue;
         const int hop = cur.hop + 1;
         if (peers_[q].cache.contains(chunk) && holder == net::kInvalidNode) {
           holder = q;
           holder_hop = hop;
-          result_.traffic.count(net::MessageType::kQueryReply);
+          count(net::MessageType::kQueryReply);
         }
         if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
       }
@@ -95,8 +105,7 @@ void OlapSim::issue_query(net::NodeId p) {
     if (holder != net::kInvalidNode) {
       const double cost =
           config_.peer_s_per_chunk +
-          2.0 * delay_.sample_delay_s(p, holder, delay_rng_) *
-              static_cast<double>(holder_hop);
+          2.0 * sample_delay_s(p, holder) * static_cast<double>(holder_hop);
       response += cost;
       if (report) ++result_.chunks_from_peers;
       if (config_.dynamic) {
@@ -113,7 +122,7 @@ void OlapSim::issue_query(net::NodeId p) {
   }
   if (report) result_.response_time_s.add(response);
 
-  sim_.schedule_in(interquery_.sample(rng_), [this, p] { issue_query(p); });
+  sim_.schedule_in(interquery_.sample(rng()), [this, p] { issue_query(p); });
 }
 
 void OlapSim::update_neighbors(net::NodeId p) {
@@ -122,25 +131,25 @@ void OlapSim::update_neighbors(net::NodeId p) {
       [p](net::NodeId n) { return n != p; });
   for (net::NodeId x : plan.evictions) {
     overlay_.unlink(p, x);
-    result_.traffic.count(net::MessageType::kEviction);
+    count(net::MessageType::kEviction);
   }
   for (net::NodeId v : plan.additions) {
     overlay_.link(p, v);
-    result_.traffic.count(net::MessageType::kInvitation);
+    count(net::MessageType::kInvitation);
   }
-  sim_.schedule_in(config_.update_period_s,
-                   [this, p] { update_neighbors(p); });
 }
 
 OlapResult OlapSim::run() {
   for (net::NodeId p = 0; p < config_.num_peers; ++p) {
-    sim_.schedule_in(interquery_.sample(rng_), [this, p] { issue_query(p); });
+    sim_.schedule_in(interquery_.sample(rng()), [this, p] { issue_query(p); });
     if (config_.dynamic) {
-      sim_.schedule_in(rng_.uniform(0.0, config_.update_period_s),
-                       [this, p] { update_neighbors(p); });
+      schedule_every(rng().uniform(0.0, config_.update_period_s),
+                     config_.update_period_s,
+                     [this, p] { update_neighbors(p); });
     }
   }
-  sim_.run_until(config_.sim_hours * 3600.0);
+  run_until_horizon();
+  result_.traffic = traffic();
   return result_;
 }
 

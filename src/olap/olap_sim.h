@@ -7,13 +7,12 @@
 #include "core/relations.h"
 #include "core/stats_store.h"
 #include "core/update.h"
-#include "core/visit_stamp.h"
 #include "des/distributions.h"
 #include "des/rng.h"
 #include "des/simulator.h"
 #include "metrics/time_series.h"
-#include "net/delay_model.h"
 #include "net/message.h"
+#include "sim/engine.h"
 #include "webcache/lru_cache.h"
 
 namespace dsf::olap {
@@ -65,13 +64,11 @@ struct OlapResult {
   }
 };
 
-class OlapSim {
+class OlapSim : public sim::OverlayEngine {
  public:
   explicit OlapSim(const OlapConfig& config);
 
   OlapResult run();
-
-  const core::NeighborTable& overlay() const noexcept { return overlay_; }
 
  private:
   struct Peer {
@@ -81,23 +78,17 @@ class OlapSim {
     explicit Peer(std::size_t capacity) : cache(capacity) {}
   };
 
+  /// Validates the config and builds the engine parameterization.
+  static sim::EngineConfig make_engine_config(const OlapConfig& config);
+
   void issue_query(net::NodeId p);
   void update_neighbors(net::NodeId p);
-  bool reporting() const noexcept {
-    return sim_.now() >= config_.warmup_hours * 3600.0;
-  }
 
   OlapConfig config_;
-  des::Rng rng_;
-  des::Rng delay_rng_;
-  net::DelayModel delay_;
-  core::NeighborTable overlay_;
   std::vector<Peer> peers_;
   des::Zipf chunk_zipf_;
   des::Exponential interquery_;
   core::ProcessingTimeSaved benefit_;
-  core::VisitStamp stamps_;
-  des::Simulator sim_;
   OlapResult result_;
 };
 

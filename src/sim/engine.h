@@ -1,0 +1,311 @@
+#pragma once
+
+// The shared overlay-engine layer: everything the four scenario simulators
+// used to re-implement — RNG lane splitting, the delay model, the overlay
+// relation table, message accounting, bootstrap helpers, periodic
+// scheduling and horizon control — owned by one base class.  A scenario
+// composes/subclasses OverlayEngine, keeps only its domain state (catalogs,
+// caches, holdings) and its event handlers, and inherits the rest.
+//
+// Determinism contract: the engine constructs its members in exactly the
+// order the hand-rolled simulators did (master RNG → lane splits → delay
+// model → overlay), so a fixed seed replays the exact pre-refactor
+// trajectory.  Helpers that could perturb the event or RNG stream
+// (schedule_every, fill_random_neighbors, draw_initial_online) are
+// documented with the equivalence argument they rely on.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/relations.h"
+#include "core/flood_search.h"
+#include "core/visit_stamp.h"
+#include "des/rng.h"
+#include "des/simulator.h"
+#include "metrics/time_series.h"
+#include "net/delay_model.h"
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/policy.h"
+#include "sim/validate.h"
+
+namespace dsf::sim {
+
+/// How the engine carves RNG lanes out of the master stream.  Both layouts
+/// predate the engine; preserving them bit-for-bit is what keeps every
+/// figure bench byte-identical across the refactor.
+enum class RngLayout : std::uint8_t {
+  /// One split for the delay lane; topology/session/query draws come
+  /// straight from the master stream (diglib, olap, webcache).
+  kCompact,
+  /// Four splits in fixed order — topology, session, query, delay — then
+  /// the delay model consumes the master stream (gnutella).
+  kFourLane,
+};
+
+/// Everything the engine needs to stand up the shared scaffolding.  Built
+/// by each scenario's `engine_config(const Config&)`, which also runs the
+/// shared validation (sim/validate.h) *before* any member is constructed —
+/// a degenerate divisor must never reach a Zipf table or a modulo.
+struct EngineConfig {
+  std::string name;  ///< scenario tag for diagnostics ("gnutella", ...)
+  std::size_t num_nodes = 0;
+  std::uint64_t seed = 0;
+  RngLayout rng_layout = RngLayout::kCompact;
+  core::RelationKind relation = core::RelationKind::kAsymmetric;
+  std::size_t out_capacity = 0;
+  std::size_t in_capacity = 0;
+  double sim_hours = 0.0;
+  double warmup_hours = 0.0;
+  net::DelayModelParams delay_params{};
+};
+
+/// The engine's RNG lanes.  Unused lanes (compact layout) stay at their
+/// default seed and are never read — the accessors alias the master stream
+/// instead.
+struct RngLanes {
+  des::Rng topo;
+  des::Rng session;
+  des::Rng query;
+  des::Rng delay;
+};
+
+/// Splits lanes off `master` per the layout.  Order of splits is part of
+/// the determinism contract (see RngLayout).
+RngLanes make_lanes(des::Rng& master, RngLayout layout);
+
+/// Representative wire size of one message of type `t` in bytes, used for
+/// byte-level traffic accounting (counts were always tracked; bytes let a
+/// scenario report bandwidth, not just message counts).
+std::uint64_t default_message_bytes(net::MessageType t);
+
+/// Per-type message counts *and* bytes.  Wraps net::MessageStats so ported
+/// scenarios keep publishing the same `traffic` object they always did.
+class MessageLedger {
+ public:
+  /// Counts `n` messages of type `t`; `bytes_each` of 0 means "use the
+  /// default wire size for this type".
+  void count(net::MessageType t, std::uint64_t n = 1,
+             std::uint64_t bytes_each = 0) noexcept {
+    stats_.count(t, n);
+    bytes_[static_cast<int>(t)] +=
+        n * (bytes_each ? bytes_each : default_message_bytes(t));
+  }
+
+  const net::MessageStats& stats() const noexcept { return stats_; }
+
+  std::uint64_t bytes(net::MessageType t) const noexcept {
+    return bytes_[static_cast<int>(t)];
+  }
+
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto b : bytes_) sum += b;
+    return sum;
+  }
+
+ private:
+  net::MessageStats stats_;
+  std::array<std::uint64_t, net::kNumMessageTypes> bytes_{};
+};
+
+/// One structured trace record, emitted per send() when a hook is set.
+struct TraceEvent {
+  double time_s = 0.0;
+  net::NodeId from = net::kInvalidNode;
+  net::NodeId to = net::kInvalidNode;
+  net::MessageType type = net::MessageType::kQuery;
+  std::uint64_t bytes = 0;
+};
+using TraceHook = std::function<void(const TraceEvent&)>;
+
+/// One periodic traffic sample (enable via set_traffic_sample_period).
+struct TrafficSample {
+  double time_s = 0.0;
+  std::uint64_t messages = 0;  ///< cumulative count at sample time
+  std::uint64_t bytes = 0;     ///< cumulative bytes at sample time
+};
+
+/// Base class of every scenario simulator.  Owns the simulator clock, the
+/// RNG lanes, the delay model, the overlay table, the message ledger and
+/// the shared search scratch; exposes the scheduling/bootstrap helpers the
+/// scenarios used to copy-paste.
+class OverlayEngine {
+ public:
+  OverlayEngine(const OverlayEngine&) = delete;
+  OverlayEngine& operator=(const OverlayEngine&) = delete;
+
+  const core::NeighborTable& overlay() const noexcept { return overlay_; }
+  const net::DelayModel& delay_model() const noexcept { return delay_; }
+  des::Simulator& simulator() noexcept { return sim_; }
+  std::size_t num_nodes() const noexcept { return overlay_.size(); }
+
+  /// Per-type counts of every message the scenario accounted for.
+  const net::MessageStats& traffic() const noexcept { return ledger_.stats(); }
+  const MessageLedger& ledger() const noexcept { return ledger_; }
+
+  /// Bootstrap fills that exhausted their attempt budget before reaching
+  /// their target degree (summarized on stderr at end of run).
+  std::uint64_t bootstrap_underfills() const noexcept {
+    return bootstrap_underfills_;
+  }
+
+  /// Installs a structured trace hook; every send() reports through it.
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// Enables periodic traffic sampling every `period_s` seconds (wired to
+  /// metrics::TimeSeries bucketing).  Must be called before run; off by
+  /// default so ported benches replay byte-identically.
+  void set_traffic_sample_period(double period_s) {
+    traffic_sample_period_s_ = period_s;
+  }
+  const std::vector<TrafficSample>& traffic_samples() const noexcept {
+    return traffic_samples_;
+  }
+  /// Message counts bucketed by sample period (empty unless enabled).
+  const std::optional<metrics::TimeSeries>& traffic_series() const noexcept {
+    return traffic_series_;
+  }
+
+ protected:
+  explicit OverlayEngine(EngineConfig cfg);
+  ~OverlayEngine() = default;
+
+  /// --- RNG lanes -------------------------------------------------------
+  des::Rng& rng() noexcept { return master_rng_; }
+  des::Rng& topo_rng() noexcept { return *topo_; }
+  des::Rng& session_rng() noexcept { return *session_; }
+  des::Rng& query_rng() noexcept { return *query_; }
+  des::Rng& delay_rng() noexcept { return lanes_.delay; }
+
+  /// One-way delay sample for a (from, to) transmission, drawn from the
+  /// delay lane.
+  double sample_delay_s(net::NodeId from, net::NodeId to) {
+    return delay_.sample_delay_s(from, to, lanes_.delay);
+  }
+
+  /// --- horizon ---------------------------------------------------------
+  double horizon_s() const noexcept { return cfg_.sim_hours * 3600.0; }
+  double warmup_s() const noexcept { return cfg_.warmup_hours * 3600.0; }
+  /// True once the warm-up period has elapsed (metrics become reportable).
+  bool reporting() const noexcept { return sim_.now() >= warmup_s(); }
+
+  /// Runs the simulator to the configured horizon; afterwards prints one
+  /// stderr summary line if any bootstrap fill was under budget (the
+  /// silent-shortfall fix).  Returns events executed.
+  std::uint64_t run_until_horizon();
+
+  /// --- accounting ------------------------------------------------------
+  void count(net::MessageType t, std::uint64_t n = 1,
+             std::uint64_t bytes_each = 0) noexcept {
+    ledger_.count(t, n, bytes_each);
+  }
+
+  /// Unified message dispatch: accounts for the transmission (count +
+  /// bytes + optional trace record), samples the propagation delay from
+  /// the delay lane and schedules `on_deliver` at the arrival time.
+  /// New scenarios build their protocols on this; the ported hot paths
+  /// keep their historical inline accounting so the replayed RNG stream
+  /// is untouched.
+  template <typename Fn>
+  void send(net::NodeId from, net::NodeId to, net::MessageType type,
+            Fn&& on_deliver, std::uint64_t bytes = 0) {
+    const std::uint64_t b = bytes ? bytes : default_message_bytes(type);
+    ledger_.count(type, 1, b);
+    if (trace_) trace_(TraceEvent{sim_.now(), from, to, type, b});
+    sim_.schedule_in(sample_delay_s(from, to), std::forward<Fn>(on_deliver));
+  }
+
+  /// --- periodic scheduling --------------------------------------------
+  /// Runs `fn` after `first_delay_s`, then every `period_s` forever.
+  /// Equivalent to the trailing-self-reschedule pattern the scenarios used
+  /// (body runs, then reschedules last): the callback invokes `fn` and
+  /// then schedules the next tick, so event insertion order — and with it
+  /// the queue's insertion-order tie-breaking — is unchanged as long as
+  /// `fn` itself schedules nothing after its own old reschedule point
+  /// (true of every ported periodic body).
+  void schedule_every(double first_delay_s, double period_s,
+                      std::function<void()> fn);
+
+  /// --- bootstrap -------------------------------------------------------
+  /// The shared attempt budget of the random bootstrap: four probes per
+  /// outgoing slot, the constant all scenarios used.
+  int default_bootstrap_attempts() const noexcept {
+    return 4 * static_cast<int>(cfg_.out_capacity);
+  }
+
+  /// The deduplicated `attempts = 4 * num_neighbors` random-fill loop:
+  /// draws candidates from `pick()` until `u`'s outgoing list holds
+  /// `target` entries, is full, or the budget is spent.  Self-links and
+  /// repeat picks consume an attempt without forming a link (exactly the
+  /// historical behaviour — the loops this replaces either pre-checked
+  /// `has_out` or let link() fail; both consume the draw).  `on_link` runs
+  /// once per link formed.  Exhausting the budget short of the target is
+  /// recorded and summarized at end of run instead of passing silently.
+  template <typename PickFn, typename OnLinkFn>
+  void fill_random_neighbors(net::NodeId u, std::size_t target, int attempts,
+                             PickFn&& pick, OnLinkFn&& on_link) {
+    auto& lists = overlay_.lists(u);
+    while (lists.out().size() < target && !lists.out_full() &&
+           attempts-- > 0) {
+      const net::NodeId v = pick();
+      if (v == u || lists.has_out(v)) continue;
+      if (overlay_.link(u, v)) on_link();  // fails harmlessly if v is full
+    }
+    if (lists.out().size() < target && !lists.out_full())
+      ++bootstrap_underfills_;
+  }
+
+  /// Draws each node's initial on-line state — one lane draw per node in
+  /// node order — and returns the on-line subset in that order.
+  template <typename DrawFn>
+  std::vector<net::NodeId> draw_initial_online(DrawFn&& initially_online) {
+    std::vector<net::NodeId> online;
+    for (net::NodeId u = 0; u < num_nodes(); ++u)
+      if (initially_online(u)) online.push_back(u);
+    return online;
+  }
+
+  /// ChurnModel-driven variant: one Bernoulli per node from `lane`.
+  std::vector<net::NodeId> draw_initial_online(const ChurnModel& churn,
+                                               des::Rng& lane) {
+    return draw_initial_online([&](net::NodeId) {
+      return churn.initially_online(lane);
+    });
+  }
+
+  const EngineConfig& engine_config() const noexcept { return cfg_; }
+
+  /// --- shared state (scenario classes reach these directly) ------------
+  EngineConfig cfg_;
+  des::Rng master_rng_;
+  RngLanes lanes_;
+  net::DelayModel delay_;
+  core::NeighborTable overlay_;
+  core::VisitStamp stamps_;     ///< per-search visited set
+  core::SearchScratch scratch_; ///< flood frontier reuse
+  des::Simulator sim_;
+  MessageLedger ledger_;
+
+ private:
+  void schedule_periodic(double delay_s, double period_s,
+                         std::shared_ptr<std::function<void()>> fn);
+  void sample_traffic();
+
+  des::Rng* topo_ = nullptr;
+  des::Rng* session_ = nullptr;
+  des::Rng* query_ = nullptr;
+  TraceHook trace_;
+  double traffic_sample_period_s_ = 0.0;
+  std::vector<TrafficSample> traffic_samples_;
+  std::optional<metrics::TimeSeries> traffic_series_;
+  std::uint64_t bootstrap_underfills_ = 0;
+  bool underfill_reported_ = false;
+};
+
+}  // namespace dsf::sim

@@ -1,0 +1,21 @@
+#include "sim/policy.h"
+
+namespace dsf::sim {
+
+std::unique_ptr<core::BenefitFunction> make_benefit(BenefitPolicy policy) {
+  switch (policy) {
+    case BenefitPolicy::kBandwidthOverResults:
+      return std::make_unique<core::BandwidthOverResults>();
+    case BenefitPolicy::kItemsOverLatency:
+      return std::make_unique<core::ItemsOverLatency>();
+    case BenefitPolicy::kProcessingTimeSaved:
+      return std::make_unique<core::ProcessingTimeSaved>();
+    case BenefitPolicy::kUnit:
+      return std::make_unique<core::UnitBenefit>();
+    case BenefitPolicy::kInverseLatency:
+      return std::make_unique<core::InverseLatency>();
+  }
+  core::unreachable_enum("sim::BenefitPolicy");
+}
+
+}  // namespace dsf::sim

@@ -1,0 +1,110 @@
+#pragma once
+
+// The policy-object surface of the overlay engine: the per-scenario choices
+// the paper treats as orthogonal plug-ins — how queries propagate (§2), how
+// a result's worth is measured (§3.4), and how nodes come and go (§4.2) —
+// expressed as small objects/enums a scenario hands to (or consults next
+// to) sim::OverlayEngine.  A new scenario picks from these instead of
+// re-implementing dispatch switches.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/benefit.h"
+#include "core/flood_search.h"
+#include "core/search_strategies.h"
+#include "core/stats_store.h"
+#include "core/unreachable.h"
+#include "core/visit_stamp.h"
+#include "des/rng.h"
+#include "net/node_id.h"
+
+namespace dsf::sim {
+
+/// Query-propagation technique (§2: the Yang & Garcia-Molina methods are
+/// orthogonal to reconfiguration and compose with any overlay).
+enum class SearchStrategyKind : std::uint8_t {
+  kFlood,               ///< plain BFS flood (the case study's default)
+  kIterativeDeepening,  ///< growing-depth cycles until satisfied
+  kDirectedBft,         ///< initiator forwards to a beneficial subset only
+  kLocalIndices,        ///< nodes answer for peers within radius 1
+};
+
+/// Dispatches one search through the configured strategy over the caller's
+/// overlay/content/delay bindings.  `stats` and `directed_fanout` feed the
+/// directed-BFT subset selection; `hit_stamps` the local-indices holder
+/// dedup; both are ignored by the other strategies.  Iterative deepening is
+/// folded into a plain SearchOutcome (accumulated message cost, final
+/// cycle's hits) so every metrics path sees one result type.
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+core::SearchOutcome dispatch_search(
+    SearchStrategyKind kind, net::NodeId initiator,
+    const core::SearchParams& params, const core::StatsStore& stats,
+    std::uint32_t directed_fanout, NeighborsFn&& neighbors,
+    HasContentFn&& has_content, DelayFn&& delay, core::VisitStamp& stamps,
+    core::VisitStamp& hit_stamps, core::SearchScratch& scratch) {
+  switch (kind) {
+    case SearchStrategyKind::kFlood:
+      return core::flood_search(initiator, params, neighbors, has_content,
+                                delay, stamps, scratch);
+    case SearchStrategyKind::kIterativeDeepening: {
+      auto it = core::iterative_deepening_search(
+          initiator, params, core::default_depth_ladder(params.max_hops),
+          neighbors, has_content, delay, stamps, scratch);
+      core::SearchOutcome out = std::move(it.last);
+      out.query_messages = it.total_messages;
+      return out;
+    }
+    case SearchStrategyKind::kDirectedBft: {
+      const auto subset = core::select_directed_subset(
+          stats, neighbors(initiator), directed_fanout);
+      return core::directed_flood_search(initiator, params, subset, neighbors,
+                                         has_content, delay, stamps, scratch);
+    }
+    case SearchStrategyKind::kLocalIndices:
+      return core::indexed_flood_search(initiator, params, neighbors,
+                                        has_content, delay, stamps, hit_stamps,
+                                        scratch);
+  }
+  core::unreachable_enum("sim::SearchStrategyKind");
+}
+
+/// The benefit functions of §3.4, one per scenario family plus the ablation
+/// baselines, behind a single factory (the exhaustive-switch pattern every
+/// policy switch in the tree follows: all cases return, no fallback).
+enum class BenefitPolicy : std::uint8_t {
+  kBandwidthOverResults,  ///< §4.1 music sharing: B / R
+  kItemsOverLatency,      ///< web caching: pages per second
+  kProcessingTimeSaved,   ///< OLAP: warehouse time avoided
+  kUnit,                  ///< ablation: pure result counting
+  kInverseLatency,        ///< ablation: reply latency only
+};
+
+std::unique_ptr<core::BenefitFunction> make_benefit(BenefitPolicy policy);
+
+/// Churn policy: decides each node's initial on-line state and session
+/// durations.  The engine's `draw_initial_online` consumes one lane draw
+/// per node; scenarios with sessions schedule log-ins/log-offs from the
+/// duration draws.
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  virtual bool initially_online(des::Rng& rng) const = 0;
+  virtual double online_duration_s(des::Rng& rng) const = 0;
+  virtual double offline_duration_s(des::Rng& rng) const = 0;
+};
+
+/// Server populations (digital libraries, OLAP peers, proxies): every node
+/// is up for the whole horizon.
+class NoChurn final : public ChurnModel {
+ public:
+  bool initially_online(des::Rng&) const override { return true; }
+  double online_duration_s(des::Rng&) const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  double offline_duration_s(des::Rng&) const override { return 0.0; }
+};
+
+}  // namespace dsf::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dsf::sim {
+
+/// Shared config-validation helpers: every scenario rejects degenerate
+/// parameterizations before any member is constructed (a zero divisor used
+/// to reach a Zipf table or a modulo before the hand-rolled checks ran),
+/// with one consistent message shape: "<sim>: <complaint>".
+inline void validate_or_throw(bool ok, std::string_view sim,
+                              std::string_view complaint) {
+  if (!ok)
+    throw std::invalid_argument(std::string(sim) + ": " +
+                                std::string(complaint));
+}
+
+/// Rejects a zero count/capacity ("<sim>: <field> must be positive").
+inline void require_positive(std::string_view sim, std::string_view field,
+                             std::uint64_t value) {
+  validate_or_throw(value > 0, sim,
+                    std::string(field) + " must be positive");
+}
+
+/// Rejects a degenerate divisor: `divisor` must be positive and divide
+/// `value` evenly ("<sim>: <field> must divide evenly into <divisor_field>").
+inline void require_divides(std::string_view sim, std::string_view field,
+                            std::uint64_t value, std::string_view divisor_field,
+                            std::uint64_t divisor) {
+  require_positive(sim, divisor_field, divisor);
+  validate_or_throw(value % divisor == 0, sim,
+                    std::string(field) + " must divide evenly into " +
+                        std::string(divisor_field));
+}
+
+}  // namespace dsf::sim

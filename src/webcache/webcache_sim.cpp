@@ -1,23 +1,34 @@
 #include "webcache/webcache_sim.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace dsf::webcache {
 
+sim::EngineConfig WebCacheSim::make_engine_config(const WebCacheConfig& config) {
+  sim::require_positive("webcache", "num_proxies", config.num_proxies);
+  sim::require_positive("webcache", "num_topics", config.num_topics);
+  sim::require_positive("webcache", "num_neighbors", config.num_neighbors);
+  sim::require_positive("webcache", "cache_capacity", config.cache_capacity);
+  sim::validate_or_throw(config.num_parents < config.num_proxies, "webcache",
+                         "num_parents must leave at least one leaf");
+  sim::EngineConfig ec;
+  ec.name = "webcache";
+  ec.num_nodes = config.num_proxies;
+  ec.seed = config.seed;
+  ec.rng_layout = sim::RngLayout::kCompact;
+  ec.relation = core::RelationKind::kPureAsymmetric;
+  ec.out_capacity = config.num_neighbors;
+  ec.in_capacity = 0;  // overridden to N by the pure-asymmetric relation
+  ec.sim_hours = config.sim_hours;
+  ec.warmup_hours = config.warmup_hours;
+  return ec;
+}
+
 WebCacheSim::WebCacheSim(const WebCacheConfig& config)
-    : config_(config),
-      rng_(config.seed),
-      delay_rng_(rng_.split()),
-      delay_(config.num_proxies, rng_),
-      overlay_(config.num_proxies, core::RelationKind::kPureAsymmetric,
-               config.num_neighbors, /*in_capacity=*/0 /*overridden*/),
+    : sim::OverlayEngine(make_engine_config(config)),
+      config_(config),
       page_zipf_(config.num_pages / config.num_topics, config.zipf_theta),
       interrequest_(config.mean_interrequest_s) {
-  if (config.num_parents >= config.num_proxies)
-    throw std::invalid_argument(
-        "WebCacheSim: num_parents must leave at least one leaf");
-
   // Digest geometry sized once for the (parent) cache capacity at the
   // target false-positive rate.
   const std::size_t parent_capacity =
@@ -39,14 +50,14 @@ WebCacheSim::WebCacheSim(const WebCacheConfig& config)
   // (they resolve misses at the origin).
   for (net::NodeId p = 0; p < config.num_proxies; ++p) {
     if (is_parent(p)) continue;
-    int attempts = 4 * static_cast<int>(config.num_neighbors);
-    while (!overlay_.lists(p).out_full() && attempts-- > 0) {
-      const auto q = static_cast<net::NodeId>(
-          config.num_parents
-              ? rng_.uniform_int(config.num_parents)
-              : rng_.uniform_int(config.num_proxies));
-      if (q != p) overlay_.link(p, q);
-    }
+    fill_random_neighbors(
+        p, config.num_neighbors, default_bootstrap_attempts(),
+        [this] {
+          return static_cast<net::NodeId>(
+              config_.num_parents ? rng().uniform_int(config_.num_parents)
+                                  : rng().uniform_int(config_.num_proxies));
+        },
+        [] {});
   }
 }
 
@@ -56,9 +67,9 @@ PageId WebCacheSim::draw_page(net::NodeId p) {
   // cannot help with, keeping the comparison honest.
   const std::uint32_t pages_per_topic = config_.num_pages / config_.num_topics;
   std::uint32_t topic = proxies_[p].topic;
-  if (!rng_.bernoulli(config_.topic_share))
-    topic = static_cast<std::uint32_t>(rng_.uniform_int(config_.num_topics));
-  const auto rank = static_cast<std::uint32_t>(page_zipf_.sample(rng_));
+  if (!rng().bernoulli(config_.topic_share))
+    topic = static_cast<std::uint32_t>(rng().uniform_int(config_.num_topics));
+  const auto rank = static_cast<std::uint32_t>(page_zipf_.sample(rng()));
   return topic * pages_per_topic + rank;
 }
 
@@ -79,14 +90,14 @@ void WebCacheSim::request(net::NodeId p) {
     double latency = 0.0;
     net::NodeId holder = net::kInvalidNode;
     for (net::NodeId q : overlay_.out_neighbors(p)) {
-      result_.traffic.count(net::MessageType::kQuery);
-      result_.traffic.count(net::MessageType::kQueryReply);
+      count(net::MessageType::kQuery);
+      count(net::MessageType::kQueryReply);
       if (holder == net::kInvalidNode && proxies_[q].cache.contains(page))
         holder = q;
     }
     if (holder != net::kInvalidNode) {
       // Request + page transfer from the neighbor.
-      latency = 2.0 * delay_.sample_delay_s(p, holder, delay_rng_);
+      latency = 2.0 * sample_delay_s(p, holder);
       if (report) ++result_.neighbor_hits;
       if (config_.dynamic) {
         core::ResultInfo info;
@@ -101,8 +112,7 @@ void WebCacheSim::request(net::NodeId p) {
       // parent, which caches the page on the way — the aggregation that
       // makes top-level proxies worth having.
       const net::NodeId parent = overlay_.out_neighbors(p).front();
-      latency = config_.origin_latency_s +
-                2.0 * delay_.sample_delay_s(p, parent, delay_rng_);
+      latency = config_.origin_latency_s + 2.0 * sample_delay_s(p, parent);
       proxies_[parent].cache.insert(page);
       if (report) ++result_.origin_fetches;
     } else {
@@ -113,7 +123,7 @@ void WebCacheSim::request(net::NodeId p) {
     proxy.cache.insert(page);
   }
 
-  sim_.schedule_in(interrequest_.sample(rng_), [this, p] { request(p); });
+  sim_.schedule_in(interrequest_.sample(rng()), [this, p] { request(p); });
 }
 
 void WebCacheSim::explore_from(net::NodeId p) {
@@ -132,11 +142,11 @@ void WebCacheSim::explore_from(net::NodeId p) {
   for (std::uint32_t i = 0; i < config_.explore_sample; ++i) {
     // In hierarchy mode only top-level proxies are candidate neighbors.
     const auto q = static_cast<net::NodeId>(
-        config_.num_parents ? rng_.uniform_int(config_.num_parents)
-                            : rng_.uniform_int(config_.num_proxies));
+        config_.num_parents ? rng().uniform_int(config_.num_parents)
+                            : rng().uniform_int(config_.num_proxies));
     if (q == p) continue;
-    result_.traffic.count(net::MessageType::kExploreQuery);
-    result_.traffic.count(net::MessageType::kExploreReply);
+    count(net::MessageType::kExploreQuery);
+    count(net::MessageType::kExploreReply);
     std::uint32_t overlap = 0;
     for (PageId page : hot) {
       // Digest match: cheap and shippable, but stale between rebuilds and
@@ -154,7 +164,6 @@ void WebCacheSim::explore_from(net::NodeId p) {
       proxy.stats.add(q, benefit_.benefit(info));
     }
   }
-  sim_.schedule_in(config_.explore_period_s, [this, p] { explore_from(p); });
 }
 
 void WebCacheSim::update_neighbors(net::NodeId p) {
@@ -168,22 +177,18 @@ void WebCacheSim::update_neighbors(net::NodeId p) {
       });
   for (net::NodeId x : plan.evictions) {
     overlay_.unlink(p, x);
-    result_.traffic.count(net::MessageType::kEviction);
+    count(net::MessageType::kEviction);
   }
   for (net::NodeId v : plan.additions) {
     overlay_.link(p, v);
-    result_.traffic.count(net::MessageType::kInvitation);
+    count(net::MessageType::kInvitation);
   }
-  sim_.schedule_in(config_.update_period_s,
-                   [this, p] { update_neighbors(p); });
 }
 
 void WebCacheSim::rebuild_digest(net::NodeId p) {
   Proxy& proxy = proxies_[p];
   proxy.digest.clear();
   for (PageId page : proxy.cache.order()) proxy.digest.insert(page);
-  sim_.schedule_in(config_.digest_rebuild_period_s,
-                   [this, p] { rebuild_digest(p); });
 }
 
 WebCacheResult WebCacheSim::run() {
@@ -191,26 +196,30 @@ WebCacheResult WebCacheSim::run() {
     // Parents have no client population of their own; they serve (and are
     // warmed by) leaf misses only.
     if (!is_parent(p))
-      sim_.schedule_in(interrequest_.sample(rng_), [this, p] { request(p); });
+      sim_.schedule_in(interrequest_.sample(rng()), [this, p] { request(p); });
     if (is_parent(p)) {
       if (config_.digest_rebuild_period_s > 0.0) {
-        sim_.schedule_in(rng_.uniform(0.0, config_.digest_rebuild_period_s),
-                         [this, p] { rebuild_digest(p); });
+        schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
+                       config_.digest_rebuild_period_s,
+                       [this, p] { rebuild_digest(p); });
       }
       continue;
     }
     if (config_.dynamic) {
-      sim_.schedule_in(rng_.uniform(0.0, config_.explore_period_s),
-                       [this, p] { explore_from(p); });
-      sim_.schedule_in(rng_.uniform(0.0, config_.update_period_s),
-                       [this, p] { update_neighbors(p); });
+      schedule_every(rng().uniform(0.0, config_.explore_period_s),
+                     config_.explore_period_s, [this, p] { explore_from(p); });
+      schedule_every(rng().uniform(0.0, config_.update_period_s),
+                     config_.update_period_s,
+                     [this, p] { update_neighbors(p); });
       if (config_.digest_rebuild_period_s > 0.0) {
-        sim_.schedule_in(rng_.uniform(0.0, config_.digest_rebuild_period_s),
-                         [this, p] { rebuild_digest(p); });
+        schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
+                       config_.digest_rebuild_period_s,
+                       [this, p] { rebuild_digest(p); });
       }
     }
   }
-  sim_.run_until(config_.sim_hours * 3600.0);
+  run_until_horizon();
+  result_.traffic = traffic();
   return result_;
 }
 

@@ -8,14 +8,13 @@
 #include "core/relations.h"
 #include "core/stats_store.h"
 #include "core/update.h"
-#include "core/visit_stamp.h"
 #include "des/distributions.h"
 #include "des/rng.h"
 #include "des/simulator.h"
 #include "metrics/time_series.h"
 #include "net/bloom.h"
-#include "net/delay_model.h"
 #include "net/message.h"
+#include "sim/engine.h"
 #include "webcache/lru_cache.h"
 
 namespace dsf::webcache {
@@ -88,13 +87,12 @@ struct WebCacheResult {
   }
 };
 
-class WebCacheSim {
+class WebCacheSim : public sim::OverlayEngine {
  public:
   explicit WebCacheSim(const WebCacheConfig& config);
 
   WebCacheResult run();
 
-  const core::NeighborTable& overlay() const noexcept { return overlay_; }
   const WebCacheConfig& config() const noexcept { return config_; }
 
  private:
@@ -107,6 +105,9 @@ class WebCacheSim {
         : cache(capacity), digest(digest_bits, digest_hashes) {}
   };
 
+  /// Validates the config and builds the engine parameterization.
+  static sim::EngineConfig make_engine_config(const WebCacheConfig& config);
+
   void request(net::NodeId p);
   void explore_from(net::NodeId p);
   void update_neighbors(net::NodeId p);
@@ -115,20 +116,12 @@ class WebCacheSim {
   bool is_parent(net::NodeId p) const noexcept {
     return p < config_.num_parents;
   }
-  bool reporting() const noexcept {
-    return sim_.now() >= config_.warmup_hours * 3600.0;
-  }
 
   WebCacheConfig config_;
-  des::Rng rng_;
-  des::Rng delay_rng_;
-  net::DelayModel delay_;
-  core::NeighborTable overlay_;
   std::vector<Proxy> proxies_;
   des::Zipf page_zipf_;
   des::Exponential interrequest_;
   core::ItemsOverLatency benefit_;
-  des::Simulator sim_;
   WebCacheResult result_;
 };
 

@@ -1,0 +1,223 @@
+// Cross-sim determinism regression: every scenario simulator, run twice
+// with the same seed, must produce bit-identical metrics; and a golden-seed
+// smoke test pins each simulator's output at a fixed configuration so any
+// behavioral drift in the shared engine (RNG lane order, event ordering,
+// bootstrap draws) fails loudly instead of silently shifting figures.
+//
+// The golden values below were captured from the pre-refactor hand-rolled
+// simulators at these exact configurations; the ported engine-based
+// simulators must replay them. Integer counters are compared exactly;
+// double aggregates with a tight relative tolerance (libm/FMA differences
+// across compilers can perturb the last bits of a mean).
+#include <gtest/gtest.h>
+
+#include "diglib/diglib_sim.h"
+#include "gnutella/simulation.h"
+#include "metrics/digest.h"
+#include "olap/olap_sim.h"
+#include "webcache/webcache_sim.h"
+
+namespace dsf {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void expect_near_rel(double expected, double actual, const char* what) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * kRelTol) << what;
+}
+
+gnutella::Config golden_gnutella_config() {
+  gnutella::Config c;
+  c.num_users = 250;
+  c.catalog.num_songs = 25'000;
+  c.sim_hours = 6.0;
+  c.warmup_hours = 1.0;
+  c.max_hops = 2;
+  c.seed = 20260805;
+  return c;
+}
+
+diglib::DigLibConfig golden_diglib_config() {
+  diglib::DigLibConfig c;
+  c.num_repositories = 32;
+  c.num_docs = 8'000;
+  c.num_topics = 8;
+  c.holdings = 400;
+  c.sim_hours = 0.5;
+  c.warmup_hours = 0.1;
+  c.seed = 99;
+  return c;
+}
+
+olap::OlapConfig golden_olap_config() {
+  olap::OlapConfig c;
+  c.num_peers = 24;
+  c.num_chunks = 12'000;
+  c.num_regions = 6;
+  c.cache_capacity = 400;
+  c.sim_hours = 1.0;
+  c.warmup_hours = 0.25;
+  c.seed = 5;
+  return c;
+}
+
+webcache::WebCacheConfig golden_webcache_config() {
+  webcache::WebCacheConfig c;
+  c.num_proxies = 32;
+  c.num_pages = 20'000;
+  c.cache_capacity = 500;
+  c.sim_hours = 1.0;
+  c.warmup_hours = 0.25;
+  c.seed = 13;
+  return c;
+}
+
+// --- per-scenario metric fingerprints (exact, bit-level) -----------------
+
+metrics::Fingerprint fingerprint(const gnutella::RunResult& r) {
+  metrics::Fingerprint fp;
+  fp.add(r.queries_issued)
+      .add(r.local_hits)
+      .add(r.total_hits())
+      .add(r.total_messages())
+      .add(r.total_results())
+      .add(r.reconfigurations)
+      .add(r.invitations_accepted)
+      .add(r.evictions)
+      .add(r.traffic.total())
+      .add(r.first_result_delay_s.mean())
+      .add(r.nodes_reached.mean());
+  return fp;
+}
+
+metrics::Fingerprint fingerprint(const diglib::DigLibResult& r) {
+  metrics::Fingerprint fp;
+  fp.add(r.queries)
+      .add(r.satisfied)
+      .add(r.copies_found)
+      .add(r.copies_available)
+      .add(r.traffic.total())
+      .add(r.messages_per_query.mean())
+      .add(r.first_result_delay_s.mean());
+  return fp;
+}
+
+metrics::Fingerprint fingerprint(const olap::OlapResult& r) {
+  metrics::Fingerprint fp;
+  fp.add(r.queries)
+      .add(r.chunks_requested)
+      .add(r.chunks_local)
+      .add(r.chunks_from_peers)
+      .add(r.chunks_from_warehouse)
+      .add(r.traffic.total())
+      .add(r.response_time_s.mean());
+  return fp;
+}
+
+metrics::Fingerprint fingerprint(const webcache::WebCacheResult& r) {
+  metrics::Fingerprint fp;
+  fp.add(r.requests)
+      .add(r.local_hits)
+      .add(r.neighbor_hits)
+      .add(r.origin_fetches)
+      .add(r.traffic.total())
+      .add(r.latency_s.mean());
+  return fp;
+}
+
+// --- run-twice determinism ----------------------------------------------
+
+TEST(CrossSimDeterminism, GnutellaSameSeedSameFingerprint) {
+  const auto c = golden_gnutella_config();
+  const auto a = fingerprint(gnutella::Simulation(c).run());
+  const auto b = fingerprint(gnutella::Simulation(c).run());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(CrossSimDeterminism, DigLibSameSeedSameFingerprint) {
+  const auto c = golden_diglib_config();
+  const auto a = fingerprint(diglib::DigLibSim(c).run());
+  const auto b = fingerprint(diglib::DigLibSim(c).run());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(CrossSimDeterminism, OlapSameSeedSameFingerprint) {
+  const auto c = golden_olap_config();
+  const auto a = fingerprint(olap::OlapSim(c).run());
+  const auto b = fingerprint(olap::OlapSim(c).run());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(CrossSimDeterminism, WebCacheSameSeedSameFingerprint) {
+  const auto c = golden_webcache_config();
+  const auto a = fingerprint(webcache::WebCacheSim(c).run());
+  const auto b = fingerprint(webcache::WebCacheSim(c).run());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(CrossSimDeterminism, DifferentSeedsDiverge) {
+  auto c = golden_webcache_config();
+  const auto a = fingerprint(webcache::WebCacheSim(c).run());
+  c.seed += 1;
+  const auto b = fingerprint(webcache::WebCacheSim(c).run());
+  EXPECT_NE(a.value(), b.value());
+}
+
+// --- golden-seed smoke tests --------------------------------------------
+
+TEST(GoldenSeed, Gnutella) {
+  const auto r = gnutella::Simulation(golden_gnutella_config()).run();
+  EXPECT_EQ(r.queries_issued, 6817u);
+  EXPECT_EQ(r.local_hits, 0u);
+  EXPECT_EQ(r.total_hits(), 3176u);
+  EXPECT_EQ(r.total_messages(), 90427u);
+  EXPECT_EQ(r.total_results(), 5590u);
+  EXPECT_EQ(r.reconfigurations, 4347u);
+  EXPECT_EQ(r.invitations_accepted, 2337u);
+  EXPECT_EQ(r.evictions, 3438u);
+  EXPECT_EQ(r.traffic.total(), 124731u);
+  EXPECT_EQ(r.traffic.total(net::MessageType::kQuery), 109787u);
+  EXPECT_EQ(r.traffic.total(net::MessageType::kEviction), 3438u);
+  expect_near_rel(0.49646308815258683, r.first_result_delay_s.mean(),
+                  "first_result_delay_mean");
+  expect_near_rel(11.980636643684898, r.nodes_reached.mean(),
+                  "nodes_reached_mean");
+}
+
+TEST(GoldenSeed, DigLib) {
+  const auto r = diglib::DigLibSim(golden_diglib_config()).run();
+  EXPECT_EQ(r.queries, 9089u);
+  EXPECT_EQ(r.satisfied, 5911u);
+  EXPECT_EQ(r.copies_found, 18540u);
+  EXPECT_EQ(r.copies_available, 55594u);
+  EXPECT_EQ(r.traffic.total(), 155532u);
+  expect_near_rel(11.526570579821733, r.messages_per_query.mean(),
+                  "messages_per_query_mean");
+  expect_near_rel(0.51970339689194456, r.first_result_delay_s.mean(),
+                  "first_result_delay_mean");
+}
+
+TEST(GoldenSeed, Olap) {
+  const auto r = olap::OlapSim(golden_olap_config()).run();
+  EXPECT_EQ(r.queries, 6448u);
+  EXPECT_EQ(r.chunks_requested, 51584u);
+  EXPECT_EQ(r.chunks_local, 18697u);
+  EXPECT_EQ(r.chunks_from_peers, 12538u);
+  EXPECT_EQ(r.chunks_from_warehouse, 20349u);
+  EXPECT_EQ(r.traffic.total(), 442556u);
+  expect_near_rel(7.2040078682321536, r.response_time_s.mean(),
+                  "response_time_mean");
+}
+
+TEST(GoldenSeed, WebCache) {
+  const auto r = webcache::WebCacheSim(golden_webcache_config()).run();
+  EXPECT_EQ(r.requests, 86306u);
+  EXPECT_EQ(r.local_hits, 32587u);
+  EXPECT_EQ(r.neighbor_hits, 10336u);
+  EXPECT_EQ(r.origin_fetches, 43383u);
+  EXPECT_EQ(r.traffic.total(), 451288u);
+  expect_near_rel(0.55078769985489284, r.latency_s.mean(), "latency_mean");
+}
+
+}  // namespace
+}  // namespace dsf
