@@ -1,0 +1,50 @@
+#include "cli/fault_flags.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "net/message.h"
+
+namespace dsf::cli {
+
+FaultOptions parse_fault_options(const Args& args) {
+  FaultOptions opts;
+
+  sim::FaultRule base;
+  base.drop_prob = args.get_double("fault-drop", 0.0);
+  base.duplicate_prob = args.get_double("fault-dup", 0.0);
+  base.delay_prob = args.get_double("fault-delay", 0.0);
+  base.extra_delay_s = args.get_double("fault-delay-s", 1.0);
+  base.window_start_s = args.get_double("fault-window-start", 0.0);
+  base.window_end_s = args.get_double(
+      "fault-window-end", std::numeric_limits<double>::infinity());
+
+  for (int i = 0; i < net::kNumMessageTypes; ++i) {
+    const auto t = static_cast<net::MessageType>(i);
+    const std::string name(net::to_string(t));
+    sim::FaultRule r = base;
+    r.drop_prob = args.get_double("fault-drop-" + name, r.drop_prob);
+    r.duplicate_prob = args.get_double("fault-dup-" + name, r.duplicate_prob);
+    r.delay_prob = args.get_double("fault-delay-" + name, r.delay_prob);
+    if (!r.trivial()) opts.plan.set_rule(t, r);
+  }
+
+  opts.crashes.rate_per_hour = args.get_double("fault-crash-rate", 0.0);
+  const std::int64_t crash_max = args.get_int("fault-crash-max", -1);
+  if (crash_max >= 0) opts.crashes.max_crashes = crash_max;
+  opts.crashes.start_s = args.get_double("fault-crash-start", 0.0);
+  opts.crashes.end_s = args.get_double(
+      "fault-crash-end", std::numeric_limits<double>::infinity());
+  if (opts.crashes.rate_per_hour < 0.0)
+    throw std::invalid_argument("--fault-crash-rate: must be >= 0");
+  if (opts.crashes.start_s < 0.0 ||
+      opts.crashes.end_s <= opts.crashes.start_s)
+    throw std::invalid_argument(
+        "--fault-crash-start/--fault-crash-end: need 0 <= start < end");
+
+  opts.check = args.get_bool("fault-check", false);
+  return opts;
+}
+
+}  // namespace dsf::cli

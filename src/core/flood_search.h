@@ -2,12 +2,37 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/visit_stamp.h"
+#include "net/message.h"
 #include "net/node_id.h"
 
 namespace dsf::core {
+
+/// What the transport decided for one transmission.  The default describes
+/// a perfectly reliable network: one copy, delivered, on time.  The fault
+/// layer (sim/fault.h) returns non-default results to model lossy links.
+struct TransmitResult {
+  bool deliver = true;        ///< false: the copy was lost in the network
+  bool duplicate = false;     ///< true: a second copy was transmitted too
+  double extra_delay_s = 0.0; ///< congestion delay added to propagation
+};
+
+/// The no-op transport policy: every transmission succeeds.  Passing this
+/// to the transmit-aware searches compiles down to the historical
+/// fault-free bodies, so the reliable overloads stay bit-identical.
+struct ReliableTransmit {
+  /// Called once per search (or per iterative-deepening cycle) with the
+  /// cycle's hop budget, before any transmission is attempted.
+  constexpr void begin(int /*max_ttl*/) const noexcept {}
+  constexpr TransmitResult operator()(net::MessageType /*type*/,
+                                      net::NodeId /*from*/, net::NodeId /*to*/,
+                                      int /*ttl*/) const noexcept {
+    return {};
+  }
+};
 
 /// Parameters of the generic search algorithm (§3.2, Algo 1).
 struct SearchParams {
@@ -77,12 +102,22 @@ struct SearchScratch {
 /// `neighbors(n)`  -> const std::vector<net::NodeId>& : outgoing list of n
 /// `has_content(n)`-> bool : does n hold the requested item
 /// `delay(a, b)`   -> double : one-way delay seconds for this transmission
-template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+/// `transmit(type, from, to, ttl)` -> TransmitResult : transport verdict
+///    for one copy (ReliableTransmit, or the engine's fault layer); `ttl`
+///    is the remaining hop budget carried by a query, -1 for replies.
+///
+/// With ReliableTransmit every TransmitResult is the default, the extra
+/// delay terms add exactly 0.0, and the body reduces to the historical
+/// fault-free flood — the reliable overload below delegates here and
+/// replays byte-identically.
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn,
+          typename TransmitFn>
 SearchOutcome flood_search(net::NodeId initiator, const SearchParams& params,
                            NeighborsFn&& neighbors, HasContentFn&& has_content,
-                           DelayFn&& delay, VisitStamp& stamps,
-                           SearchScratch& scratch) {
+                           DelayFn&& delay, TransmitFn&& transmit,
+                           VisitStamp& stamps, SearchScratch& scratch) {
   SearchOutcome out;
+  transmit.begin(params.max_hops);
   stamps.begin_search();
   stamps.mark(initiator);
 
@@ -97,10 +132,17 @@ SearchOutcome flood_search(net::NodeId initiator, const SearchParams& params,
     for (net::NodeId nbr : neighbors(cur.node)) {
       if (nbr == cur.sender) continue;  // never echo back to the sender
       ++out.query_messages;             // transmission happens regardless
+      const TransmitResult tq = transmit(net::MessageType::kQuery, cur.node,
+                                         nbr, params.max_hops - cur.hop);
+      if (tq.duplicate) ++out.query_messages;
+      // A lost copy never reaches nbr, and crucially does not mark it:
+      // the node may still be reached through another path.
+      if (!tq.deliver) continue;
       if (!stamps.mark(nbr)) continue;  // duplicate: receiver discards
       // Delay is sampled only for first deliveries: duplicates are counted
       // above but need no timestamp, which halves RNG work in the flood.
-      const double arrival = cur.arrival_s + delay(cur.node, nbr);
+      const double arrival =
+          cur.arrival_s + delay(cur.node, nbr) + tq.extra_delay_s;
       ++out.nodes_reached;
 
       const int hop = cur.hop + 1;
@@ -109,7 +151,12 @@ SearchOutcome flood_search(net::NodeId initiator, const SearchParams& params,
         const double reply_at = arrival + delay(nbr, initiator);
         if (reply_at <= params.timeout_s) {
           ++out.reply_messages;
-          out.hits.push_back({nbr, hop, arrival, reply_at});
+          const TransmitResult tr =
+              transmit(net::MessageType::kQueryReply, nbr, initiator, -1);
+          if (tr.duplicate) ++out.reply_messages;
+          if (tr.deliver && reply_at + tr.extra_delay_s <= params.timeout_s)
+            out.hits.push_back({nbr, hop, arrival,
+                                reply_at + tr.extra_delay_s});
         }
         if (!params.forward_when_hit) forward = false;
       }
@@ -117,6 +164,18 @@ SearchOutcome flood_search(net::NodeId initiator, const SearchParams& params,
     }
   }
   return out;
+}
+
+/// Reliable-network flood (the historical entry point).
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+SearchOutcome flood_search(net::NodeId initiator, const SearchParams& params,
+                           NeighborsFn&& neighbors, HasContentFn&& has_content,
+                           DelayFn&& delay, VisitStamp& stamps,
+                           SearchScratch& scratch) {
+  ReliableTransmit reliable;
+  return flood_search(initiator, params, std::forward<NeighborsFn>(neighbors),
+                      std::forward<HasContentFn>(has_content),
+                      std::forward<DelayFn>(delay), reliable, stamps, scratch);
 }
 
 }  // namespace dsf::core

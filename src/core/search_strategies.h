@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/flood_search.h"
@@ -42,24 +43,41 @@ struct IterativeOutcome {
 /// query" refinement resumes at the previous frontier instead of
 /// re-flooding; the re-flood model is the conservative upper bound on
 /// cost and keeps cycles independent.)
-template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn,
+          typename TransmitFn>
 IterativeOutcome iterative_deepening_search(
     net::NodeId initiator, const SearchParams& base,
     const std::vector<int>& depths, NeighborsFn&& neighbors,
-    HasContentFn&& has_content, DelayFn&& delay, VisitStamp& stamps,
-    SearchScratch& scratch) {
+    HasContentFn&& has_content, DelayFn&& delay, TransmitFn&& transmit,
+    VisitStamp& stamps, SearchScratch& scratch) {
   IterativeOutcome out;
   for (int depth : depths) {
     SearchParams params = base;
     params.max_hops = depth;
+    // Each cycle is an independent flood; flood_search re-begins the
+    // transmit policy with the cycle's own hop budget, so TTL bookkeeping
+    // (the invariant checker's monotonicity context) resets per cycle.
     out.last = flood_search(initiator, params, neighbors, has_content, delay,
-                            stamps, scratch);
+                            transmit, stamps, scratch);
     out.total_messages += out.last.query_messages;
     ++out.cycles;
     out.final_depth = depth;
     if (out.last.satisfied()) break;
   }
   return out;
+}
+
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+IterativeOutcome iterative_deepening_search(
+    net::NodeId initiator, const SearchParams& base,
+    const std::vector<int>& depths, NeighborsFn&& neighbors,
+    HasContentFn&& has_content, DelayFn&& delay, VisitStamp& stamps,
+    SearchScratch& scratch) {
+  ReliableTransmit reliable;
+  return iterative_deepening_search(
+      initiator, base, depths, std::forward<NeighborsFn>(neighbors),
+      std::forward<HasContentFn>(has_content), std::forward<DelayFn>(delay),
+      reliable, stamps, scratch);
 }
 
 /// Builds the canonical depth ladder for a hop budget `max_hops`:
@@ -77,6 +95,21 @@ std::vector<net::NodeId> select_directed_subset(
 
 /// Runs a flood in which the initiator uses only `subset` as its first-hop
 /// targets; every other node forwards through its full neighbor list.
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn,
+          typename TransmitFn>
+SearchOutcome directed_flood_search(
+    net::NodeId initiator, const SearchParams& params,
+    const std::vector<net::NodeId>& subset, NeighborsFn&& neighbors,
+    HasContentFn&& has_content, DelayFn&& delay, TransmitFn&& transmit,
+    VisitStamp& stamps, SearchScratch& scratch) {
+  auto patched = [&](net::NodeId n) -> const std::vector<net::NodeId>& {
+    if (n == initiator) return subset;
+    return neighbors(n);
+  };
+  return flood_search(initiator, params, patched, has_content, delay,
+                      transmit, stamps, scratch);
+}
+
 template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
 SearchOutcome directed_flood_search(net::NodeId initiator,
                                     const SearchParams& params,
@@ -85,12 +118,12 @@ SearchOutcome directed_flood_search(net::NodeId initiator,
                                     HasContentFn&& has_content,
                                     DelayFn&& delay, VisitStamp& stamps,
                                     SearchScratch& scratch) {
-  auto patched = [&](net::NodeId n) -> const std::vector<net::NodeId>& {
-    if (n == initiator) return subset;
-    return neighbors(n);
-  };
-  return flood_search(initiator, params, patched, has_content, delay, stamps,
-                      scratch);
+  ReliableTransmit reliable;
+  return directed_flood_search(initiator, params, subset,
+                               std::forward<NeighborsFn>(neighbors),
+                               std::forward<HasContentFn>(has_content),
+                               std::forward<DelayFn>(delay), reliable, stamps,
+                               scratch);
 }
 
 /// Local indices with radius 1: every visited node answers for itself AND
@@ -101,14 +134,17 @@ SearchOutcome directed_flood_search(net::NodeId initiator,
 ///
 /// The caller accounts for index maintenance separately (content digests
 /// exchanged whenever a link forms — see the Gnutella scenario).
-template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn,
+          typename TransmitFn>
 SearchOutcome indexed_flood_search(net::NodeId initiator,
                                    const SearchParams& params,
                                    NeighborsFn&& neighbors,
                                    HasContentFn&& has_content, DelayFn&& delay,
-                                   VisitStamp& stamps, VisitStamp& hit_stamps,
+                                   TransmitFn&& transmit, VisitStamp& stamps,
+                                   VisitStamp& hit_stamps,
                                    SearchScratch& scratch) {
   SearchOutcome out;
+  transmit.begin(params.max_hops);
   stamps.begin_search();
   stamps.mark(initiator);
   hit_stamps.begin_search();
@@ -122,7 +158,14 @@ SearchOutcome indexed_flood_search(net::NodeId initiator,
         via == initiator ? arrival : arrival + delay(via, initiator);
     if (reply_at > params.timeout_s) return false;
     ++out.reply_messages;
-    out.hits.push_back({holder, hop, arrival, reply_at});
+    TransmitResult tr;  // hop-0 index hits are answered locally: no message
+    if (via != initiator) {
+      tr = transmit(net::MessageType::kQueryReply, via, initiator, -1);
+      if (tr.duplicate) ++out.reply_messages;
+    }
+    if (!tr.deliver || reply_at + tr.extra_delay_s > params.timeout_s)
+      return false;
+    out.hits.push_back({holder, hop, arrival, reply_at + tr.extra_delay_s});
     return true;
   };
 
@@ -144,8 +187,13 @@ SearchOutcome indexed_flood_search(net::NodeId initiator,
     for (net::NodeId nbr : neighbors(cur.node)) {
       if (nbr == cur.sender) continue;
       ++out.query_messages;
+      const TransmitResult tq = transmit(net::MessageType::kQuery, cur.node,
+                                         nbr, params.max_hops - cur.hop);
+      if (tq.duplicate) ++out.query_messages;
+      if (!tq.deliver) continue;
       if (!stamps.mark(nbr)) continue;
-      const double arrival = cur.arrival_s + delay(cur.node, nbr);
+      const double arrival =
+          cur.arrival_s + delay(cur.node, nbr) + tq.extra_delay_s;
       ++out.nodes_reached;
       const int hop = cur.hop + 1;
       bool forward = true;
@@ -157,6 +205,21 @@ SearchOutcome indexed_flood_search(net::NodeId initiator,
     }
   }
   return out;
+}
+
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+SearchOutcome indexed_flood_search(net::NodeId initiator,
+                                   const SearchParams& params,
+                                   NeighborsFn&& neighbors,
+                                   HasContentFn&& has_content, DelayFn&& delay,
+                                   VisitStamp& stamps, VisitStamp& hit_stamps,
+                                   SearchScratch& scratch) {
+  ReliableTransmit reliable;
+  return indexed_flood_search(initiator, params,
+                              std::forward<NeighborsFn>(neighbors),
+                              std::forward<HasContentFn>(has_content),
+                              std::forward<DelayFn>(delay), reliable, stamps,
+                              hit_stamps, scratch);
 }
 
 }  // namespace dsf::core

@@ -85,6 +85,7 @@ bool DigLibSim::holds(net::NodeId r, DocId doc) const {
 }
 
 void DigLibSim::issue_query(net::NodeId r) {
+  if (node_dead(r)) return;  // a crashed repository stops querying for good
   const DocId doc = draw_doc(repos_[r].topic);
 
   // Extensive search (§3.2): the goal is many copies, so holders keep
@@ -93,14 +94,19 @@ void DigLibSim::issue_query(net::NodeId r) {
   params.max_hops = config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
   params.forward_when_hit = true;
 
-  const auto outcome = core::flood_search(
-      r, params,
-      [this](net::NodeId n) -> const std::vector<net::NodeId>& {
-        return overlay_.out_neighbors(n);
-      },
-      [this, doc](net::NodeId n) { return holds(n, doc); },
-      [this](net::NodeId a, net::NodeId b) { return sample_delay_s(a, b); },
-      stamps_, scratch_);
+  const auto neighbors = [this](net::NodeId n) -> const std::vector<net::NodeId>& {
+    return overlay_.out_neighbors(n);
+  };
+  const auto has_content = [this, doc](net::NodeId n) { return holds(n, doc); };
+  const auto delay = [this](net::NodeId a, net::NodeId b) {
+    return sample_delay_s(a, b);
+  };
+  const auto outcome =
+      fault_layer_active()
+          ? core::flood_search(r, params, neighbors, has_content, delay,
+                               transmit_fn(), stamps_, scratch_)
+          : core::flood_search(r, params, neighbors, has_content, delay,
+                               stamps_, scratch_);
 
   count(net::MessageType::kQuery, outcome.query_messages);
   count(net::MessageType::kQueryReply, outcome.reply_messages);
@@ -136,6 +142,7 @@ void DigLibSim::issue_query(net::NodeId r) {
 }
 
 void DigLibSim::update_neighbors(net::NodeId r) {
+  if (node_dead(r)) return;  // crashed: no more reorganizations
   Repository& repo = repos_[r];
 
   // Exploration first (Algo 2): rotate the designated random link so the
@@ -155,16 +162,34 @@ void DigLibSim::update_neighbors(net::NodeId r) {
       [r](net::NodeId n) { return n != r; });
   if (!plan.additions.empty() &&
       !overlay_.lists(r).has_out(plan.additions.front())) {
-    if (overlay_.lists(r).out().size() >= config_.num_neighbors - 1) {
-      const net::NodeId worst =
-          core::least_beneficial(repo.stats, overlay_.out_neighbors(r));
-      if (worst != net::kInvalidNode) {
-        overlay_.unlink(r, worst);
-        count(net::MessageType::kEviction);
-      }
+    const net::NodeId cand = plan.additions.front();
+    bool cand_reachable = true;
+    if (fault_layer_active()) {
+      // The invitation must actually reach the candidate (it may be
+      // crashed, or the message may be lost) before any slot is freed.
+      count(net::MessageType::kInvitation);
+      const auto t = transmit(net::MessageType::kInvitation, r, cand, -1);
+      if (t.duplicate) count(net::MessageType::kInvitation);
+      cand_reachable = t.deliver;
     }
-    overlay_.link(r, plan.additions.front());
-    count(net::MessageType::kInvitation);
+    if (cand_reachable) {
+      if (overlay_.lists(r).out().size() >= config_.num_neighbors - 1) {
+        const net::NodeId worst =
+            core::least_beneficial(repo.stats, overlay_.out_neighbors(r));
+        if (worst != net::kInvalidNode) {
+          overlay_.unlink(r, worst);
+          count(net::MessageType::kEviction);
+          if (fault_layer_active()) {
+            // Notification only: the unlink stands even if it is lost.
+            const auto te =
+                transmit(net::MessageType::kEviction, r, worst, -1);
+            if (te.duplicate) count(net::MessageType::kEviction);
+          }
+        }
+      }
+      overlay_.link(r, cand);
+      if (!fault_layer_active()) count(net::MessageType::kInvitation);
+    }
   }
 
   // Install the new exploration link.
@@ -173,6 +198,20 @@ void DigLibSim::update_neighbors(net::NodeId r) {
     const auto q =
         static_cast<net::NodeId>(rng().uniform_int(config_.num_repositories));
     if (q == r || overlay_.lists(r).has_out(q)) continue;
+    if (fault_layer_active()) {
+      // The probe's fate is resolved first; the ping is accounted — as in
+      // the baseline — only for the attempt that installs the link, so an
+      // idle fault layer leaves the ledger untouched.
+      const auto t = transmit(net::MessageType::kPing, r, q, -1);
+      if (!t.deliver) continue;  // unanswered probe: try another target
+      if (overlay_.link(r, q)) {
+        repo.exploration_link = q;
+        count(net::MessageType::kPing);
+        if (t.duplicate) count(net::MessageType::kPing);
+        break;
+      }
+      continue;
+    }
     if (overlay_.link(r, q)) {
       repo.exploration_link = q;
       count(net::MessageType::kPing);

@@ -304,17 +304,56 @@ core::SearchOutcome Simulation::run_search(net::NodeId u,
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
   };
+  if (fault_layer_active())
+    return sim::dispatch_search(config_.search_strategy, u, params,
+                                users_[u].stats, config_.directed_fanout,
+                                neighbors, has_content, delay, transmit_fn(),
+                                stamps_, hit_stamps_, scratch_);
   return sim::dispatch_search(config_.search_strategy, u, params,
                               users_[u].stats, config_.directed_fanout,
                               neighbors, has_content, delay, stamps_,
                               hit_stamps_, scratch_);
 }
 
+void Simulation::on_peer_crashed(net::NodeId u) {
+  UserState& st = users_[u];
+  if (st.has_query_event) {
+    sim_.cancel(st.query_event);
+    st.has_query_event = false;
+  }
+  sim_.cancel(st.session_event);
+  if (!st.online) return;
+  st.online = false;
+  // Swap-pop from the on-line roster so the bootstrap server stops
+  // handing out the crashed peer's address.  The overlay is deliberately
+  // left alone: no isolate(), no neighbor reactions.
+  const std::uint32_t pos = st.online_pos;
+  const net::NodeId moved = online_nodes_.back();
+  online_nodes_[pos] = moved;
+  users_[moved].online_pos = pos;
+  online_nodes_.pop_back();
+}
+
 bool Simulation::invite(net::NodeId u, net::NodeId v) {
-  count(net::MessageType::kInvitation);
-  count(net::MessageType::kInvitationReply);
   UserState& target = users_[v];
-  if (!target.online) return false;
+  if (fault_layer_active()) {
+    count(net::MessageType::kInvitation);
+    const auto ti = transmit(net::MessageType::kInvitation, u, v, -1);
+    if (ti.duplicate) count(net::MessageType::kInvitation);
+    // A lost invitation (or a crashed target) elicits no reply at all.
+    if (!ti.deliver) return false;
+    count(net::MessageType::kInvitationReply);
+    const auto tr = transmit(net::MessageType::kInvitationReply, v, u, -1);
+    if (tr.duplicate) count(net::MessageType::kInvitationReply);
+    if (!target.online) return false;
+    // A lost reply means u never learns of the acceptance: the exchange
+    // fails (retry/timeout recovery is ROADMAP work, not modeled here).
+    if (!tr.deliver) return false;
+  } else {
+    count(net::MessageType::kInvitation);
+    count(net::MessageType::kInvitationReply);
+    if (!target.online) return false;
+  }
 
   core::InvitationDecision decision;
   if (config_.invitation_policy == core::InvitationPolicy::kSummaryGated) {
@@ -395,8 +434,18 @@ void Simulation::evaluate_trial(net::NodeId inviter, net::NodeId invitee) {
 
 void Simulation::evict(net::NodeId evictor, net::NodeId evictee) {
   count(net::MessageType::kEviction);
+  bool evictee_reacts = true;
+  if (fault_layer_active()) {
+    const auto t = transmit(net::MessageType::kEviction, evictor, evictee, -1);
+    if (t.duplicate) count(net::MessageType::kEviction);
+    // The evictor severs the link either way (the symmetric table is the
+    // ground truth), but a lost eviction — or a crashed evictee — means
+    // the other side never runs its Process Eviction reaction.
+    evictee_reacts = t.deliver;
+  }
   overlay_.unlink(evictor, evictee);
   ++result_.evictions;
+  if (!evictee_reacts) return;
   // Process Eviction (§4.1): the evicted node resets the evictor's
   // statistics so it does not try to reconnect in the near future; it
   // restores basic connectivity up to the configured floor and leaves the

@@ -132,6 +132,13 @@ class Simulation : public sim::OverlayEngine {
   /// the simulator manually afterwards).
   void prime();
 
+ protected:
+  /// Ungraceful failure (CrashModel victim or explicit crash_node): the
+  /// victim's own pending activity stops, but — unlike log_off — nobody
+  /// isolates it from the overlay, so ex-neighbors keep dangling entries
+  /// and their future sends to it are dropped on arrival.
+  void on_peer_crashed(net::NodeId u) override;
+
  private:
   struct UserState {
     workload::UserProfile profile;

@@ -48,8 +48,10 @@ OlapSim::OlapSim(const OlapConfig& config)
 }
 
 void OlapSim::issue_query(net::NodeId p) {
+  if (node_dead(p)) return;  // a crashed peer stops querying for good
   Peer& peer = peers_[p];
   const bool report = reporting();
+  const bool faulty = fault_layer_active();
 
   // Query template: `query_span` consecutive chunks anchored at a popular
   // chunk of an interest region (OLAP queries hit contiguous cube slices).
@@ -75,6 +77,7 @@ void OlapSim::issue_query(net::NodeId p) {
 
     // Extensive search (§3.2): the chunk request keeps propagating up to
     // the hop limit; the closest holder (in hops, then delay) serves it.
+    if (faulty) begin_faulty_search(config_.max_hops);
     stamps_.begin_search();
     stamps_.mark(p);
     struct Frontier {
@@ -91,12 +94,28 @@ void OlapSim::issue_query(net::NodeId p) {
       for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
         if (q == cur.sender) continue;
         count(net::MessageType::kQuery);
+        if (faulty) {
+          const auto tq = transmit(net::MessageType::kQuery, cur.node, q,
+                                   config_.max_hops - cur.hop);
+          if (tq.duplicate) count(net::MessageType::kQuery);
+          if (!tq.deliver) continue;  // lost: q stays reachable via others
+        }
         if (!stamps_.mark(q)) continue;
         const int hop = cur.hop + 1;
         if (peers_[q].cache.contains(chunk) && holder == net::kInvalidNode) {
-          holder = q;
-          holder_hop = hop;
-          count(net::MessageType::kQueryReply);
+          if (faulty) {
+            count(net::MessageType::kQueryReply);
+            const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
+            if (tr.duplicate) count(net::MessageType::kQueryReply);
+            if (tr.deliver) {
+              holder = q;
+              holder_hop = hop;
+            }
+          } else {
+            holder = q;
+            holder_hop = hop;
+            count(net::MessageType::kQueryReply);
+          }
         }
         if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
       }
@@ -126,6 +145,7 @@ void OlapSim::issue_query(net::NodeId p) {
 }
 
 void OlapSim::update_neighbors(net::NodeId p) {
+  if (node_dead(p)) return;  // crashed: no more reorganizations
   const auto plan = core::plan_update(
       peers_[p].stats, overlay_.out_neighbors(p), config_.num_neighbors,
       [p](net::NodeId n) { return n != p; });

@@ -1,9 +1,12 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
 #include "core/unreachable.h"
+#include "des/distributions.h"
+#include "sim/invariants.h"
 
 namespace dsf::sim {
 
@@ -62,7 +65,9 @@ OverlayEngine::OverlayEngine(EngineConfig cfg)
       delay_(cfg_.num_nodes, master_rng_, cfg_.delay_params),
       overlay_(cfg_.num_nodes, cfg_.relation, cfg_.out_capacity,
                cfg_.in_capacity),
-      stamps_(cfg_.num_nodes) {
+      stamps_(cfg_.num_nodes),
+      fault_rng_(make_fault_lane(cfg_.seed)),
+      dead_(cfg_.num_nodes, 0) {
   // Unused lanes alias the master stream so compact-layout scenarios keep
   // drawing from the sequence they always did.
   const bool four = cfg_.rng_layout == RngLayout::kFourLane;
@@ -107,16 +112,144 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     schedule_every(traffic_sample_period_s_, traffic_sample_period_s_,
                    [this] { sample_traffic(); });
   }
+  schedule_crash_process();
   const std::uint64_t executed = sim_.run_until(horizon_s());
   if (bootstrap_underfills_ > 0 && !underfill_reported_) {
     underfill_reported_ = true;
-    std::fprintf(stderr,
-                 "warning: %s: %llu bootstrap fill(s) exhausted the attempt "
-                 "budget before reaching the target degree\n",
-                 cfg_.name.c_str(),
-                 static_cast<unsigned long long>(bootstrap_underfills_));
+    warn(cfg_.name + ": " + std::to_string(bootstrap_underfills_) +
+         " bootstrap fill(s) exhausted the attempt budget before reaching "
+         "the target degree");
   }
   return executed;
+}
+
+void OverlayEngine::warn(const std::string& message) {
+  if (warning_sink_) {
+    warning_sink_(message);
+    return;
+  }
+  std::fprintf(stderr, "warning: %s\n", message.c_str());
+}
+
+// --- fault layer ----------------------------------------------------------
+
+void OverlayEngine::begin_faulty_search(int max_ttl) {
+  if (checker_) checker_->on_search_begin(max_ttl);
+}
+
+void OverlayEngine::trace_event(TraceKind kind, net::NodeId from,
+                                net::NodeId to, net::MessageType type,
+                                std::uint64_t bytes, int ttl,
+                                std::uint64_t copies) {
+  for (std::uint64_t i = 0; i < copies; ++i) {
+    const TraceEvent ev{kind, sim_.now(), from, to, type, bytes, ttl};
+    if (checker_) checker_->on_trace(ev);
+    if (trace_) trace_(ev);
+  }
+}
+
+core::TransmitResult OverlayEngine::transmit(net::MessageType type,
+                                             net::NodeId from, net::NodeId to,
+                                             int ttl) {
+  FaultDecision d;
+  if (!fault_plan_.empty()) d = fault_plan_.decide(type, sim_.now(), fault_rng_);
+  core::TransmitResult res;
+  res.duplicate = d.duplicate;
+  res.extra_delay_s = d.extra_delay_s;
+  res.deliver = !d.drop && !node_dead(to);
+  const std::uint64_t copies = d.duplicate ? 2 : 1;
+  const std::uint64_t b = default_message_bytes(type);
+  trace_event(TraceKind::kSend, from, to, type, b, ttl, copies);
+  if (res.deliver) {
+    ledger_.count_delivered(type, copies);
+    trace_event(TraceKind::kDeliver, from, to, type, b, ttl, copies);
+  } else {
+    ledger_.count_dropped(type, copies);
+    trace_event(TraceKind::kDrop, from, to, type, b, ttl, copies);
+  }
+  return res;
+}
+
+void OverlayEngine::send_faulty(net::NodeId from, net::NodeId to,
+                                net::MessageType type,
+                                std::function<void()> on_deliver,
+                                std::uint64_t bytes) {
+  // Delay first: with an empty plan this consumes exactly the draws the
+  // fast path would, so checker-only runs replay byte-identically.
+  const double base_delay = sample_delay_s(from, to);
+  FaultDecision d;
+  if (!fault_plan_.empty()) d = fault_plan_.decide(type, sim_.now(), fault_rng_);
+  if (d.duplicate) ledger_.count(type, 1, bytes);  // the extra copy's send
+  const std::uint64_t copies = d.duplicate ? 2 : 1;
+  trace_event(TraceKind::kSend, from, to, type, bytes, -1, copies);
+  if (d.drop) {
+    ledger_.count_dropped(type, copies);
+    trace_event(TraceKind::kDrop, from, to, type, bytes, -1, copies);
+    return;
+  }
+  deliver_copy(base_delay + d.extra_delay_s, from, to, type, bytes, on_deliver);
+  if (d.duplicate)
+    // The duplicate takes its own path through the network.
+    deliver_copy(sample_delay_s(from, to) + d.extra_delay_s, from, to, type,
+                 bytes, std::move(on_deliver));
+}
+
+void OverlayEngine::deliver_copy(double delay_s, net::NodeId from,
+                                 net::NodeId to, net::MessageType type,
+                                 std::uint64_t bytes,
+                                 std::function<void()> on_deliver) {
+  sim_.schedule_in(
+      delay_s, [this, from, to, type, bytes, fn = std::move(on_deliver)] {
+        if (node_dead(to)) {
+          ledger_.count_dropped(type, 1);
+          trace_event(TraceKind::kDrop, from, to, type, bytes, -1, 1);
+          return;
+        }
+        ledger_.count_delivered(type, 1);
+        trace_event(TraceKind::kDeliver, from, to, type, bytes, -1, 1);
+        fn();
+      });
+}
+
+void OverlayEngine::crash_node(net::NodeId u) {
+  if (u >= dead_.size() || dead_[u]) return;
+  dead_[u] = 1;
+  ++crash_count_;
+  trace_event(TraceKind::kCrash, u, net::kInvalidNode,
+              net::MessageType::kQuery, 0, -1, 1);
+  on_peer_crashed(u);
+}
+
+void OverlayEngine::schedule_crash_process() {
+  if (!crash_model_.enabled()) return;
+  const double first = std::max(crash_model_.start_s, sim_.now());
+  const double mean_gap_s = 3600.0 / crash_model_.rate_per_hour;
+  schedule_next_crash(first +
+                      des::Exponential(mean_gap_s).sample(fault_rng_));
+}
+
+void OverlayEngine::schedule_next_crash(double at_s) {
+  if (at_s >= crash_model_.end_s || at_s > horizon_s()) return;
+  sim_.schedule_at(at_s, [this] {
+    if (crash_count_ >= crash_model_.max_crashes) return;
+    // Victim: uniform over still-alive nodes, by rejection sampling from
+    // the fault lane (bounded so a mostly-dead population terminates).
+    net::NodeId victim = net::kInvalidNode;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto pick = static_cast<net::NodeId>(
+          fault_rng_.uniform_int(static_cast<std::uint64_t>(num_nodes())));
+      if (!node_dead(pick)) {
+        victim = pick;
+        break;
+      }
+    }
+    if (victim != net::kInvalidNode) crash_node(victim);
+    if (crash_count_ < crash_model_.max_crashes) {
+      const double mean_gap_s = 3600.0 / crash_model_.rate_per_hour;
+      schedule_next_crash(sim_.now() +
+                          des::Exponential(mean_gap_s).sample(fault_rng_));
+    }
+  });
 }
 
 }  // namespace dsf::sim

@@ -31,10 +31,13 @@
 #include "net/delay_model.h"
 #include "net/message.h"
 #include "net/node_id.h"
+#include "sim/fault.h"
 #include "sim/policy.h"
 #include "sim/validate.h"
 
 namespace dsf::sim {
+
+class InvariantChecker;  // sim/invariants.h (which includes this header)
 
 /// How the engine carves RNG lanes out of the master stream.  Both layouts
 /// predate the engine; preserving them bit-for-bit is what keeps every
@@ -88,8 +91,8 @@ std::uint64_t default_message_bytes(net::MessageType t);
 /// scenarios keep publishing the same `traffic` object they always did.
 class MessageLedger {
  public:
-  /// Counts `n` messages of type `t`; `bytes_each` of 0 means "use the
-  /// default wire size for this type".
+  /// Counts `n` sent messages of type `t`; `bytes_each` of 0 means "use
+  /// the default wire size for this type".
   void count(net::MessageType t, std::uint64_t n = 1,
              std::uint64_t bytes_each = 0) noexcept {
     stats_.count(t, n);
@@ -97,7 +100,35 @@ class MessageLedger {
         n * (bytes_each ? bytes_each : default_message_bytes(t));
   }
 
+  /// Fate accounting, filled in by the fault layer: of the counted sends,
+  /// how many copies reached their receiver and how many were lost (to a
+  /// fault rule or a dead peer).  Both stay zero on the fault-free paths,
+  /// which never resolve per-copy fates.
+  void count_delivered(net::MessageType t, std::uint64_t n = 1) noexcept {
+    delivered_[static_cast<int>(t)] += n;
+  }
+  void count_dropped(net::MessageType t, std::uint64_t n = 1) noexcept {
+    dropped_[static_cast<int>(t)] += n;
+  }
+
   const net::MessageStats& stats() const noexcept { return stats_; }
+
+  std::uint64_t delivered(net::MessageType t) const noexcept {
+    return delivered_[static_cast<int>(t)];
+  }
+  std::uint64_t dropped(net::MessageType t) const noexcept {
+    return dropped_[static_cast<int>(t)];
+  }
+  std::uint64_t total_delivered() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto d : delivered_) sum += d;
+    return sum;
+  }
+  std::uint64_t total_dropped() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto d : dropped_) sum += d;
+    return sum;
+  }
 
   std::uint64_t bytes(net::MessageType t) const noexcept {
     return bytes_[static_cast<int>(t)];
@@ -112,15 +143,32 @@ class MessageLedger {
  private:
   net::MessageStats stats_;
   std::array<std::uint64_t, net::kNumMessageTypes> bytes_{};
+  std::array<std::uint64_t, net::kNumMessageTypes> delivered_{};
+  std::array<std::uint64_t, net::kNumMessageTypes> dropped_{};
 };
 
-/// One structured trace record, emitted per send() when a hook is set.
+/// What a trace record describes.  The fault-free fast paths emit one
+/// kSend per transmission; the fault layer resolves every copy's fate
+/// with a matching kDeliver or kDrop, and reports crashes.
+enum class TraceKind : std::uint8_t {
+  kSend,     ///< a copy was put on the wire
+  kDeliver,  ///< the copy reached its receiver
+  kDrop,     ///< the copy was lost (fault rule, or receiver dead)
+  kCrash,    ///< `from` crashed ungracefully (`to` is kInvalidNode)
+};
+
+/// One structured trace record, emitted at the engine's trace points when
+/// a hook or an InvariantChecker is attached.
 struct TraceEvent {
+  TraceKind kind = TraceKind::kSend;
   double time_s = 0.0;
   net::NodeId from = net::kInvalidNode;
   net::NodeId to = net::kInvalidNode;
   net::MessageType type = net::MessageType::kQuery;
   std::uint64_t bytes = 0;
+  /// Remaining hop budget carried by a query transmission; -1 when the
+  /// message type carries no TTL (replies, control traffic, crashes).
+  int ttl = -1;
 };
 using TraceHook = std::function<void(const TraceEvent&)>;
 
@@ -150,13 +198,57 @@ class OverlayEngine {
   const MessageLedger& ledger() const noexcept { return ledger_; }
 
   /// Bootstrap fills that exhausted their attempt budget before reaching
-  /// their target degree (summarized on stderr at end of run).
+  /// their target degree (summarized through the warning sink at end of
+  /// run).
   std::uint64_t bootstrap_underfills() const noexcept {
     return bootstrap_underfills_;
   }
 
+  /// Where engine warnings (bootstrap under-fill, ...) are reported.  The
+  /// default sink prints one "warning: ..." line on stderr; tests install
+  /// a capturing sink instead.
+  using WarningSink = std::function<void(const std::string&)>;
+  void set_warning_sink(WarningSink sink) { warning_sink_ = std::move(sink); }
+
   /// Installs a structured trace hook; every send() reports through it.
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// --- fault injection (all off by default: zero draws, zero events) ----
+  /// Installs the fault schedule consulted by every transmission.  An
+  /// empty plan leaves the run byte-identical to a baseline run.
+  void set_fault_plan(FaultPlan plan) {
+    fault_plan_ = std::move(plan);
+    refresh_fault_active();
+  }
+  /// Installs the crash process.  A disabled model schedules no events.
+  void set_crash_model(const CrashModel& model) {
+    crash_model_ = model;
+    refresh_fault_active();
+  }
+  /// Attaches a continuous invariant checker fed from the trace points.
+  /// Routes transmissions through the (draw-free when the plan is empty)
+  /// traced paths; pass nullptr to detach.
+  void attach_checker(InvariantChecker* checker) {
+    checker_ = checker;
+    refresh_fault_active();
+  }
+
+  const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
+  const CrashModel& crash_model() const noexcept { return crash_model_; }
+
+  /// True once `u` crashed.  Dead peers receive nothing: any copy
+  /// addressed to them is dropped on arrival.
+  bool node_dead(net::NodeId u) const noexcept {
+    return u < dead_.size() && dead_[u] != 0;
+  }
+  /// Crashed peers so far (CrashModel victims plus explicit crash_node).
+  std::uint64_t crashes() const noexcept { return crash_count_; }
+
+  /// Kills `u` abruptly, mid-whatever-it-was-doing.  The scenario's
+  /// on_peer_crashed hook cancels the victim's own pending activity, but
+  /// nobody updates neighbor tables on its behalf: ex-neighbors keep
+  /// dangling entries, exactly as after a real ungraceful disconnect.
+  void crash_node(net::NodeId u);
 
   /// Enables periodic traffic sampling every `period_s` seconds (wired to
   /// metrics::TimeSeries bucketing).  Must be called before run; off by
@@ -195,8 +287,9 @@ class OverlayEngine {
   /// True once the warm-up period has elapsed (metrics become reportable).
   bool reporting() const noexcept { return sim_.now() >= warmup_s(); }
 
-  /// Runs the simulator to the configured horizon; afterwards prints one
-  /// stderr summary line if any bootstrap fill was under budget (the
+  /// Runs the simulator to the configured horizon (scheduling the crash
+  /// process first when a CrashModel is enabled); afterwards reports one
+  /// warning-sink line if any bootstrap fill was under budget (the
   /// silent-shortfall fix).  Returns events executed.
   std::uint64_t run_until_horizon();
 
@@ -211,15 +304,61 @@ class OverlayEngine {
   /// the delay lane and schedules `on_deliver` at the arrival time.
   /// New scenarios build their protocols on this; the ported hot paths
   /// keep their historical inline accounting so the replayed RNG stream
-  /// is untouched.
+  /// is untouched.  When the fault layer is active the transmission is
+  /// routed through it: the plan may drop/duplicate/delay the copy, a
+  /// dead receiver drops it on arrival, and every copy's fate is traced.
   template <typename Fn>
   void send(net::NodeId from, net::NodeId to, net::MessageType type,
             Fn&& on_deliver, std::uint64_t bytes = 0) {
     const std::uint64_t b = bytes ? bytes : default_message_bytes(type);
     ledger_.count(type, 1, b);
-    if (trace_) trace_(TraceEvent{sim_.now(), from, to, type, b});
+    if (fault_active_) {
+      send_faulty(from, to, type, std::function<void()>(on_deliver), b);
+      return;
+    }
+    if (trace_)
+      trace_(TraceEvent{TraceKind::kSend, sim_.now(), from, to, type, b, -1});
     sim_.schedule_in(sample_delay_s(from, to), std::forward<Fn>(on_deliver));
   }
+
+  /// --- fault layer ------------------------------------------------------
+  /// True when any fault machinery is engaged (non-empty plan, enabled
+  /// crash model, or attached checker).  The ported hot paths branch on
+  /// this once per search so baseline runs never pay for the layer.
+  bool fault_layer_active() const noexcept { return fault_active_; }
+
+  /// Resets the invariant checker's TTL context for one search (or one
+  /// iterative-deepening cycle) with hop budget `max_ttl`.
+  void begin_faulty_search(int max_ttl);
+
+  /// Resolves the fate of one synchronous transmission (the eagerly
+  /// expanded search paths): consults the plan, drops copies addressed to
+  /// dead peers, updates the ledger's fate counters and emits trace
+  /// records.  Does NOT count the send itself — callers keep their
+  /// historical bulk accounting.
+  core::TransmitResult transmit(net::MessageType type, net::NodeId from,
+                                net::NodeId to, int ttl);
+
+  /// TransmitFn adapter binding the engine's fault layer to the
+  /// transmit-aware core searches (core::flood_search and friends).
+  struct Transmit {
+    OverlayEngine* engine;
+    void begin(int max_ttl) const { engine->begin_faulty_search(max_ttl); }
+    core::TransmitResult operator()(net::MessageType type, net::NodeId from,
+                                    net::NodeId to, int ttl) const {
+      return engine->transmit(type, from, to, ttl);
+    }
+  };
+  Transmit transmit_fn() noexcept { return Transmit{this}; }
+
+  /// Called exactly once per crash_node(), before any further event runs.
+  /// Scenarios cancel the victim's own pending activity (its queries, its
+  /// session timer) here — and must NOT touch the overlay: dangling
+  /// neighbor entries are the point of an ungraceful crash.
+  virtual void on_peer_crashed(net::NodeId /*u*/) {}
+
+  /// Reports one warning line through the sink (default: stderr).
+  void warn(const std::string& message);
 
   /// --- periodic scheduling --------------------------------------------
   /// Runs `fn` after `first_delay_s`, then every `period_s` forever.
@@ -297,15 +436,47 @@ class OverlayEngine {
                          std::shared_ptr<std::function<void()>> fn);
   void sample_traffic();
 
+  /// Async-path fate resolution behind send(): plan decision, per-copy
+  /// delivery events, dead-receiver drops, fate traces.
+  void send_faulty(net::NodeId from, net::NodeId to, net::MessageType type,
+                   std::function<void()> on_deliver, std::uint64_t bytes);
+  void deliver_copy(double delay_s, net::NodeId from, net::NodeId to,
+                    net::MessageType type, std::uint64_t bytes,
+                    std::function<void()> on_deliver);
+
+  /// Emits `copies` identical trace records to the checker and the hook.
+  void trace_event(TraceKind kind, net::NodeId from, net::NodeId to,
+                   net::MessageType type, std::uint64_t bytes, int ttl,
+                   std::uint64_t copies);
+
+  void refresh_fault_active() noexcept {
+    fault_active_ =
+        !fault_plan_.empty() || crash_model_.enabled() || checker_ != nullptr;
+  }
+  void schedule_crash_process();
+  void schedule_next_crash(double at_s);
+
   des::Rng* topo_ = nullptr;
   des::Rng* session_ = nullptr;
   des::Rng* query_ = nullptr;
   TraceHook trace_;
+  WarningSink warning_sink_;
   double traffic_sample_period_s_ = 0.0;
   std::vector<TrafficSample> traffic_samples_;
   std::optional<metrics::TimeSeries> traffic_series_;
   std::uint64_t bootstrap_underfills_ = 0;
   bool underfill_reported_ = false;
+
+  /// Fault-layer state.  The decision lane is derived via make_fault_lane,
+  /// never split off the master stream, so engaging the layer cannot
+  /// perturb the baseline RNG trajectory.
+  FaultPlan fault_plan_;
+  CrashModel crash_model_;
+  InvariantChecker* checker_ = nullptr;
+  des::Rng fault_rng_;
+  std::vector<char> dead_;
+  std::uint64_t crash_count_ = 0;
+  bool fault_active_ = false;
 };
 
 }  // namespace dsf::sim

@@ -1,0 +1,74 @@
+#include "sim/fault.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dsf::sim {
+
+namespace {
+
+/// Salt for the fault-decision lane (see make_fault_lane).  Changing it
+/// changes every faulty trajectory, so it is as load-bearing as a seed.
+constexpr std::uint64_t kFaultLaneSalt = 0xfa171a7e'0000'0002ULL;
+
+void validate_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string("FaultRule: ") + what +
+                                " must be in [0, 1]");
+}
+
+}  // namespace
+
+void FaultPlan::set_rule(net::MessageType t, const FaultRule& rule) {
+  validate_probability(rule.drop_prob, "drop_prob");
+  validate_probability(rule.duplicate_prob, "duplicate_prob");
+  validate_probability(rule.delay_prob, "delay_prob");
+  if (rule.drop_prob + rule.duplicate_prob + rule.delay_prob > 1.0)
+    throw std::invalid_argument(
+        "FaultRule: drop_prob + duplicate_prob + delay_prob must not "
+        "exceed 1 (one uniform draw decides the outcome)");
+  if (!(rule.extra_delay_s >= 0.0))
+    throw std::invalid_argument("FaultRule: extra_delay_s must be >= 0");
+  if (!(rule.window_start_s >= 0.0) ||
+      !(rule.window_end_s > rule.window_start_s))
+    throw std::invalid_argument(
+        "FaultRule: window must satisfy 0 <= start < end");
+
+  const auto bit = 1u << static_cast<unsigned>(t);
+  rules_[static_cast<std::size_t>(t)] = rule;
+  if (rule.trivial())
+    active_mask_ &= ~bit;
+  else
+    active_mask_ |= bit;
+}
+
+void FaultPlan::set_rule_all(const FaultRule& rule) {
+  for (int i = 0; i < net::kNumMessageTypes; ++i)
+    set_rule(static_cast<net::MessageType>(i), rule);
+}
+
+FaultDecision FaultPlan::decide(net::MessageType t, double now_s,
+                                des::Rng& lane) const {
+  FaultDecision d;
+  if (!targets(t)) return d;
+  const FaultRule& r = rules_[static_cast<std::size_t>(t)];
+  if (now_s < r.window_start_s || now_s >= r.window_end_s) return d;
+  // One draw partitions [0, 1) into drop | duplicate | delay | clean, so a
+  // targeted transmission costs exactly one lane draw regardless of which
+  // branch fires.
+  const double u = lane.uniform();
+  if (u < r.drop_prob) {
+    d.drop = true;
+  } else if (u < r.drop_prob + r.duplicate_prob) {
+    d.duplicate = true;
+  } else if (u < r.drop_prob + r.duplicate_prob + r.delay_prob) {
+    d.extra_delay_s = r.extra_delay_s;
+  }
+  return d;
+}
+
+des::Rng make_fault_lane(std::uint64_t seed) {
+  return des::Rng(des::hash_seed(seed, kFaultLaneSalt));
+}
+
+}  // namespace dsf::sim

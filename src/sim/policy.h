@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/benefit.h"
@@ -37,22 +38,26 @@ enum class SearchStrategyKind : std::uint8_t {
 /// directed-BFT subset selection; `hit_stamps` the local-indices holder
 /// dedup; both are ignored by the other strategies.  Iterative deepening is
 /// folded into a plain SearchOutcome (accumulated message cost, final
-/// cycle's hits) so every metrics path sees one result type.
-template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+/// cycle's hits) so every metrics path sees one result type.  `transmit` is
+/// the transport policy every transmission consults — the engine's fault
+/// layer, or core::ReliableTransmit for the historical fault-free paths.
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn,
+          typename TransmitFn>
 core::SearchOutcome dispatch_search(
     SearchStrategyKind kind, net::NodeId initiator,
     const core::SearchParams& params, const core::StatsStore& stats,
     std::uint32_t directed_fanout, NeighborsFn&& neighbors,
-    HasContentFn&& has_content, DelayFn&& delay, core::VisitStamp& stamps,
-    core::VisitStamp& hit_stamps, core::SearchScratch& scratch) {
+    HasContentFn&& has_content, DelayFn&& delay, TransmitFn&& transmit,
+    core::VisitStamp& stamps, core::VisitStamp& hit_stamps,
+    core::SearchScratch& scratch) {
   switch (kind) {
     case SearchStrategyKind::kFlood:
       return core::flood_search(initiator, params, neighbors, has_content,
-                                delay, stamps, scratch);
+                                delay, transmit, stamps, scratch);
     case SearchStrategyKind::kIterativeDeepening: {
       auto it = core::iterative_deepening_search(
           initiator, params, core::default_depth_ladder(params.max_hops),
-          neighbors, has_content, delay, stamps, scratch);
+          neighbors, has_content, delay, transmit, stamps, scratch);
       core::SearchOutcome out = std::move(it.last);
       out.query_messages = it.total_messages;
       return out;
@@ -61,14 +66,30 @@ core::SearchOutcome dispatch_search(
       const auto subset = core::select_directed_subset(
           stats, neighbors(initiator), directed_fanout);
       return core::directed_flood_search(initiator, params, subset, neighbors,
-                                         has_content, delay, stamps, scratch);
+                                         has_content, delay, transmit, stamps,
+                                         scratch);
     }
     case SearchStrategyKind::kLocalIndices:
       return core::indexed_flood_search(initiator, params, neighbors,
-                                        has_content, delay, stamps, hit_stamps,
-                                        scratch);
+                                        has_content, delay, transmit, stamps,
+                                        hit_stamps, scratch);
   }
   core::unreachable_enum("sim::SearchStrategyKind");
+}
+
+template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
+core::SearchOutcome dispatch_search(
+    SearchStrategyKind kind, net::NodeId initiator,
+    const core::SearchParams& params, const core::StatsStore& stats,
+    std::uint32_t directed_fanout, NeighborsFn&& neighbors,
+    HasContentFn&& has_content, DelayFn&& delay, core::VisitStamp& stamps,
+    core::VisitStamp& hit_stamps, core::SearchScratch& scratch) {
+  core::ReliableTransmit reliable;
+  return dispatch_search(kind, initiator, params, stats, directed_fanout,
+                         std::forward<NeighborsFn>(neighbors),
+                         std::forward<HasContentFn>(has_content),
+                         std::forward<DelayFn>(delay), reliable, stamps,
+                         hit_stamps, scratch);
 }
 
 /// The benefit functions of §3.4, one per scenario family plus the ablation

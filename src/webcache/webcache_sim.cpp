@@ -74,9 +74,11 @@ PageId WebCacheSim::draw_page(net::NodeId p) {
 }
 
 void WebCacheSim::request(net::NodeId p) {
+  if (node_dead(p)) return;  // a crashed proxy stops serving its clients
   const PageId page = draw_page(p);
   Proxy& proxy = proxies_[p];
   const bool report = reporting();
+  const bool faulty = fault_layer_active();
   if (report) ++result_.requests;
 
   if (proxy.cache.touch(page)) {
@@ -87,11 +89,22 @@ void WebCacheSim::request(net::NodeId p) {
   } else {
     // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
     // origin server as the alternative repository.
+    if (faulty) begin_faulty_search(1);
     double latency = 0.0;
     net::NodeId holder = net::kInvalidNode;
     for (net::NodeId q : overlay_.out_neighbors(p)) {
       count(net::MessageType::kQuery);
+      if (faulty) {
+        const auto tq = transmit(net::MessageType::kQuery, p, q, 1);
+        if (tq.duplicate) count(net::MessageType::kQuery);
+        if (!tq.deliver) continue;  // probe lost or neighbor crashed
+      }
       count(net::MessageType::kQueryReply);
+      if (faulty) {
+        const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
+        if (tr.duplicate) count(net::MessageType::kQueryReply);
+        if (!tr.deliver) continue;  // reply lost: the probe goes unanswered
+      }
       if (holder == net::kInvalidNode && proxies_[q].cache.contains(page))
         holder = q;
     }
@@ -106,8 +119,8 @@ void WebCacheSim::request(net::NodeId p) {
         info.latency_s = latency;
         proxy.stats.add(holder, benefit_.benefit(info));
       }
-    } else if (config_.num_parents > 0 &&
-               !overlay_.out_neighbors(p).empty()) {
+    } else if (config_.num_parents > 0 && !overlay_.out_neighbors(p).empty() &&
+               !node_dead(overlay_.out_neighbors(p).front())) {
       // Hierarchy: the miss resolves at the origin *through* the primary
       // parent, which caches the page on the way — the aggregation that
       // makes top-level proxies worth having.
@@ -131,7 +144,9 @@ void WebCacheSim::explore_from(net::NodeId p) {
   // prefix) as the summarized collection; each reply reports how many of
   // those pages the candidate holds, converted into benefit via the mean
   // path latency.
+  if (node_dead(p)) return;  // crashed: no more exploration
   Proxy& proxy = proxies_[p];
+  const bool faulty = fault_layer_active();
   std::vector<PageId> hot;
   hot.reserve(config_.hot_set_size);
   for (PageId page : proxy.cache.order()) {
@@ -146,7 +161,17 @@ void WebCacheSim::explore_from(net::NodeId p) {
                             : rng().uniform_int(config_.num_proxies));
     if (q == p) continue;
     count(net::MessageType::kExploreQuery);
+    if (faulty) {
+      const auto tq = transmit(net::MessageType::kExploreQuery, p, q, -1);
+      if (tq.duplicate) count(net::MessageType::kExploreQuery);
+      if (!tq.deliver) continue;  // probe lost or candidate crashed
+    }
     count(net::MessageType::kExploreReply);
+    if (faulty) {
+      const auto tr = transmit(net::MessageType::kExploreReply, q, p, -1);
+      if (tr.duplicate) count(net::MessageType::kExploreReply);
+      if (!tr.deliver) continue;  // reply lost: candidate goes unscored
+    }
     std::uint32_t overlap = 0;
     for (PageId page : hot) {
       // Digest match: cheap and shippable, but stale between rebuilds and
@@ -167,6 +192,7 @@ void WebCacheSim::explore_from(net::NodeId p) {
 }
 
 void WebCacheSim::update_neighbors(net::NodeId p) {
+  if (node_dead(p)) return;  // crashed: no more reorganizations
   // Algo 3 (pure asymmetric): adopt the top-k beneficial nodes outright —
   // no agreement needed, the incoming side accepts everyone.  Hierarchy
   // mode restricts eligibility to the top-level proxies.
@@ -186,6 +212,7 @@ void WebCacheSim::update_neighbors(net::NodeId p) {
 }
 
 void WebCacheSim::rebuild_digest(net::NodeId p) {
+  if (node_dead(p)) return;  // crashed: digest freezes at its last state
   Proxy& proxy = proxies_[p];
   proxy.digest.clear();
   for (PageId page : proxy.cache.order()) proxy.digest.insert(page);

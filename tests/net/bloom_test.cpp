@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "des/rng.h"
 
 namespace dsf::net {
@@ -79,6 +81,57 @@ TEST(BloomFilter, DeterministicAcrossInstances) {
   b.insert(123456789);
   for (std::uint64_t x = 0; x < 100; ++x)
     EXPECT_EQ(a.might_contain(x), b.might_contain(x));
+}
+
+// Property test against the Kirsch–Mitzenmacher analytical bound: for a
+// filter with m bits, k hashes and n inserted keys, the false-positive
+// probability is p = (1 - e^(-kn/m))^k.  The measured rate over a large
+// disjoint probe set must stay within 2× of that bound across sizes and
+// fill densities (and must not be vacuously small when enough false
+// positives are expected — the filter has to actually be loaded).
+TEST(BloomFilter, FalsePositiveRateWithinAnalyticalBound) {
+  const struct {
+    std::size_t expected_items;
+    double fpp;
+    double fill;  ///< fraction of expected_items actually inserted
+  } kCases[] = {
+      {1000, 0.01, 1.0},   // at design capacity
+      {1000, 0.01, 0.5},   // half full: p drops far below the target
+      {5000, 0.05, 1.0},   // larger, sloppier filter
+      {200, 0.02, 1.0},    // small filter, tight target
+      {1000, 0.001, 1.0},  // aggressive target
+  };
+  const int kProbes = 200'000;
+
+  for (const auto& c : kCases) {
+    BloomFilter f(c.expected_items, c.fpp);
+    const auto n =
+        static_cast<std::uint64_t>(c.fill * static_cast<double>(c.expected_items));
+    // Inserted keys and probe keys are disjoint by construction, so every
+    // positive probe is a false positive.
+    for (std::uint64_t x = 0; x < n; ++x) f.insert(x);
+
+    const double m = static_cast<double>(f.bit_count());
+    const double k = static_cast<double>(f.hash_count());
+    const double analytical =
+        std::pow(1.0 - std::exp(-k * static_cast<double>(n) / m), k);
+
+    int fp = 0;
+    for (int i = 0; i < kProbes; ++i)
+      fp += f.might_contain(1'000'000'000ULL + static_cast<std::uint64_t>(i));
+    const double measured = static_cast<double>(fp) / kProbes;
+
+    EXPECT_LE(measured, 2.0 * analytical)
+        << "m=" << m << " k=" << k << " n=" << n
+        << " analytical=" << analytical << " measured=" << measured;
+    // Only bound from below when enough false positives are expected for
+    // the estimate to be statistically meaningful.
+    if (analytical * kProbes >= 50.0) {
+      EXPECT_GE(measured, analytical / 4.0)
+          << "m=" << m << " k=" << k << " n=" << n
+          << " analytical=" << analytical << " measured=" << measured;
+    }
+  }
 }
 
 TEST(BloomFilter, DuplicateInsertIdempotent) {

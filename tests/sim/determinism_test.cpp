@@ -11,118 +11,21 @@
 // across compilers can perturb the last bits of a mean).
 #include <gtest/gtest.h>
 
-#include "diglib/diglib_sim.h"
-#include "gnutella/simulation.h"
-#include "metrics/digest.h"
-#include "olap/olap_sim.h"
-#include "webcache/webcache_sim.h"
+#include "sim_fingerprints.h"
 
 namespace dsf {
 namespace {
+
+using simtest::fingerprint;
+using simtest::golden_diglib_config;
+using simtest::golden_gnutella_config;
+using simtest::golden_olap_config;
+using simtest::golden_webcache_config;
 
 constexpr double kRelTol = 1e-9;
 
 void expect_near_rel(double expected, double actual, const char* what) {
   EXPECT_NEAR(actual, expected, std::abs(expected) * kRelTol) << what;
-}
-
-gnutella::Config golden_gnutella_config() {
-  gnutella::Config c;
-  c.num_users = 250;
-  c.catalog.num_songs = 25'000;
-  c.sim_hours = 6.0;
-  c.warmup_hours = 1.0;
-  c.max_hops = 2;
-  c.seed = 20260805;
-  return c;
-}
-
-diglib::DigLibConfig golden_diglib_config() {
-  diglib::DigLibConfig c;
-  c.num_repositories = 32;
-  c.num_docs = 8'000;
-  c.num_topics = 8;
-  c.holdings = 400;
-  c.sim_hours = 0.5;
-  c.warmup_hours = 0.1;
-  c.seed = 99;
-  return c;
-}
-
-olap::OlapConfig golden_olap_config() {
-  olap::OlapConfig c;
-  c.num_peers = 24;
-  c.num_chunks = 12'000;
-  c.num_regions = 6;
-  c.cache_capacity = 400;
-  c.sim_hours = 1.0;
-  c.warmup_hours = 0.25;
-  c.seed = 5;
-  return c;
-}
-
-webcache::WebCacheConfig golden_webcache_config() {
-  webcache::WebCacheConfig c;
-  c.num_proxies = 32;
-  c.num_pages = 20'000;
-  c.cache_capacity = 500;
-  c.sim_hours = 1.0;
-  c.warmup_hours = 0.25;
-  c.seed = 13;
-  return c;
-}
-
-// --- per-scenario metric fingerprints (exact, bit-level) -----------------
-
-metrics::Fingerprint fingerprint(const gnutella::RunResult& r) {
-  metrics::Fingerprint fp;
-  fp.add(r.queries_issued)
-      .add(r.local_hits)
-      .add(r.total_hits())
-      .add(r.total_messages())
-      .add(r.total_results())
-      .add(r.reconfigurations)
-      .add(r.invitations_accepted)
-      .add(r.evictions)
-      .add(r.traffic.total())
-      .add(r.first_result_delay_s.mean())
-      .add(r.nodes_reached.mean());
-  return fp;
-}
-
-metrics::Fingerprint fingerprint(const diglib::DigLibResult& r) {
-  metrics::Fingerprint fp;
-  fp.add(r.queries)
-      .add(r.satisfied)
-      .add(r.copies_found)
-      .add(r.copies_available)
-      .add(r.traffic.total())
-      .add(r.messages_per_query.mean())
-      .add(r.first_result_delay_s.mean());
-  return fp;
-}
-
-metrics::Fingerprint fingerprint(const olap::OlapResult& r) {
-  metrics::Fingerprint fp;
-  fp.add(r.queries)
-      .add(r.chunks_requested)
-      .add(r.chunks_local)
-      .add(r.chunks_from_peers)
-      .add(r.chunks_from_warehouse)
-      .add(r.traffic.total())
-      .add(r.response_time_s.mean());
-  return fp;
-}
-
-metrics::Fingerprint fingerprint(const webcache::WebCacheResult& r) {
-  metrics::Fingerprint fp;
-  fp.add(r.requests)
-      .add(r.local_hits)
-      .add(r.neighbor_hits)
-      .add(r.origin_fetches)
-      .add(r.traffic.total())
-      .add(r.latency_s.mean());
-  return fp;
 }
 
 // --- run-twice determinism ----------------------------------------------

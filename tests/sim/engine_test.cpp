@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/benefit.h"
+#include "diglib/diglib_sim.h"
 #include "core/stats_store.h"
 #include "core/visit_stamp.h"
 #include "des/rng.h"
@@ -135,10 +137,12 @@ TEST(OverlayEngine, SendAccountsTracesAndDelivers) {
   EXPECT_EQ(e.ledger().bytes(net::MessageType::kQuery),
             default_message_bytes(net::MessageType::kQuery));
   ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].kind, TraceKind::kSend);
   EXPECT_EQ(trace[0].from, 0u);
   EXPECT_EQ(trace[0].to, 1u);
   EXPECT_EQ(trace[0].type, net::MessageType::kQuery);
   EXPECT_EQ(trace[0].bytes, default_message_bytes(net::MessageType::kQuery));
+  EXPECT_EQ(trace[0].ttl, -1);  // send() traffic carries no hop budget
 
   EXPECT_FALSE(delivered);
   e.simulator().run();
@@ -185,6 +189,47 @@ TEST(OverlayEngine, FillRandomNeighborsRecordsUnderfill) {
   EXPECT_EQ(attempts_seen, e.default_bootstrap_attempts());
   EXPECT_TRUE(e.overlay().out_neighbors(0).empty());
   EXPECT_EQ(e.bootstrap_underfills(), 1u);
+}
+
+TEST(OverlayEngine, BootstrapUnderfillReportsThroughWarningSink) {
+  TestEngine e(small_config());
+  std::vector<std::string> warnings;
+  e.set_warning_sink([&](const std::string& w) { warnings.push_back(w); });
+  // Same degenerate pick as above: the budget burns out with zero links.
+  e.fill_random_neighbors(
+      0, 3, e.default_bootstrap_attempts(),
+      [] { return static_cast<net::NodeId>(0); }, [] {});
+  ASSERT_EQ(e.bootstrap_underfills(), 1u);
+  EXPECT_TRUE(warnings.empty()) << "report happens at end of run, not inline";
+
+  e.run_until_horizon();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("bootstrap"), std::string::npos) << warnings[0];
+  EXPECT_NE(warnings[0].find("1"), std::string::npos) << warnings[0];
+
+  // The report fires once, not once per horizon call.
+  e.run_until_horizon();
+  EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(OverlayEngine, TooDenseConfigReportsUnderfillFromRealRun) {
+  // Two repositories cannot give each other three distinct neighbors: the
+  // bootstrap must under-fill and say so through the sink.
+  diglib::DigLibConfig c;
+  c.num_repositories = 2;
+  c.num_neighbors = 3;
+  c.num_docs = 100;
+  c.num_topics = 2;
+  c.holdings = 10;
+  c.sim_hours = 0.02;
+  c.warmup_hours = 0.0;
+  c.seed = 3;
+  diglib::DigLibSim sim(c);
+  std::vector<std::string> warnings;
+  sim.set_warning_sink([&](const std::string& w) { warnings.push_back(w); });
+  sim.run();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("bootstrap"), std::string::npos) << warnings[0];
 }
 
 TEST(OverlayEngine, DefaultBootstrapAttemptsIsFourPerSlot) {

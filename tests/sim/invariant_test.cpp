@@ -1,0 +1,285 @@
+// Seeded-violation tests: every invariant class the checker claims to
+// enforce is broken on purpose — hand-crafted bad traces, corrupted
+// overlays, tampered ledgers — and the checker must catch each one.  A
+// checker that silently misses a violation class is worse than none.
+#include "sim/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/relations.h"
+#include "sim/engine.h"
+
+namespace dsf::sim {
+namespace {
+
+TraceEvent event(TraceKind kind, net::NodeId from, net::NodeId to,
+                 net::MessageType type, int ttl = -1, double t = 1.0) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.time_s = t;
+  ev.from = from;
+  ev.to = to;
+  ev.type = type;
+  ev.bytes = 10;
+  ev.ttl = ttl;
+  return ev;
+}
+
+bool has_violation(const InvariantChecker& c, const std::string& invariant) {
+  for (const auto& v : c.violations())
+    if (v.invariant == invariant) return true;
+  return false;
+}
+
+// --- conservation --------------------------------------------------------
+
+TEST(InvariantChecker, CleanSendDeliverCycleIsOk) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kPing));
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kPing));
+  EXPECT_TRUE(c.ok()) << c.report();
+  EXPECT_EQ(c.sent(net::MessageType::kPing), 1u);
+  EXPECT_EQ(c.delivered(net::MessageType::kPing), 1u);
+  EXPECT_EQ(c.in_flight(net::MessageType::kPing), 0);
+}
+
+TEST(InvariantChecker, DeliverWithoutSendViolatesConservation) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "conservation"));
+  EXPECT_EQ(c.in_flight(net::MessageType::kQuery), -1);
+}
+
+TEST(InvariantChecker, DoubleDeliveryOfOneSendViolatesConservation) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery));
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  EXPECT_TRUE(c.ok());
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "conservation"));
+}
+
+TEST(InvariantChecker, DropPastSentCountViolatesConservation) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kEviction));
+  c.on_trace(event(TraceKind::kDrop, 0, 1, net::MessageType::kEviction));
+  EXPECT_TRUE(c.ok());
+  c.on_trace(event(TraceKind::kDrop, 0, 1, net::MessageType::kEviction));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "conservation"));
+}
+
+// --- TTL monotonicity ----------------------------------------------------
+
+TEST(InvariantChecker, TtlAboveSearchBudgetIsCaught) {
+  InvariantChecker c;
+  c.on_search_begin(3);
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 4));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "ttl"));
+}
+
+TEST(InvariantChecker, TtlBelowOneIsCaught) {
+  InvariantChecker c;
+  c.on_search_begin(3);
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 0));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "ttl"));
+}
+
+TEST(InvariantChecker, TtlIncreaseWithinOneSearchIsCaught) {
+  InvariantChecker c;
+  c.on_search_begin(3);
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 3));
+  c.on_trace(event(TraceKind::kSend, 1, 2, net::MessageType::kQuery, 2));
+  EXPECT_TRUE(c.ok());
+  c.on_trace(event(TraceKind::kSend, 2, 3, net::MessageType::kQuery, 3));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "ttl"));
+}
+
+TEST(InvariantChecker, NewSearchResetsTheTtlContext) {
+  InvariantChecker c;
+  c.on_search_begin(2);
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 2));
+  c.on_trace(event(TraceKind::kSend, 1, 2, net::MessageType::kQuery, 1));
+  c.on_search_begin(2);  // next search may start at the full budget again
+  c.on_trace(event(TraceKind::kSend, 3, 4, net::MessageType::kQuery, 2));
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, NonQueryTypesCarryNoTtlObligation) {
+  InvariantChecker c;
+  c.on_search_begin(2);
+  // Replies and control traffic are sent with ttl = -1; never checked.
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQueryReply));
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kPing));
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+// --- dead deliveries -----------------------------------------------------
+
+TEST(InvariantChecker, DeliveryToCrashedPeerIsCaught) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kCrash, 5, net::kInvalidNode,
+                   net::MessageType::kQuery));
+  EXPECT_EQ(c.crashes_seen(), 1u);
+  c.on_trace(event(TraceKind::kSend, 0, 5, net::MessageType::kQuery, 1));
+  EXPECT_TRUE(c.ok()) << "sending toward a dead peer is legal";
+  c.on_trace(event(TraceKind::kDeliver, 0, 5, net::MessageType::kQuery));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "dead-delivery"));
+}
+
+TEST(InvariantChecker, DropAtCrashedPeerIsTheLegalFate) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kCrash, 5, net::kInvalidNode,
+                   net::MessageType::kQuery));
+  c.on_trace(event(TraceKind::kSend, 0, 5, net::MessageType::kQuery, 1));
+  c.on_trace(event(TraceKind::kDrop, 0, 5, net::MessageType::kQuery));
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+// --- overlay sanity ------------------------------------------------------
+
+TEST(InvariantChecker, AdjacencySelfLoopIsCaught) {
+  InvariantChecker c;
+  c.check_adjacency(3, {3}, {}, 8);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "overlay"));
+}
+
+TEST(InvariantChecker, AdjacencyDuplicateEntryIsCaught) {
+  InvariantChecker c;
+  c.check_adjacency(0, {1, 2, 1}, {}, 8);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "overlay"));
+}
+
+TEST(InvariantChecker, AdjacencyOutOfRangeIdIsCaught) {
+  InvariantChecker c;
+  c.check_adjacency(0, {1}, {42}, 8);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "overlay"));
+}
+
+TEST(InvariantChecker, CleanOverlayPasses) {
+  core::NeighborTable table(4, core::RelationKind::kAsymmetric, 2, 4);
+  table.link(0, 1);
+  table.link(1, 2);
+  table.link(2, 0);
+  InvariantChecker c;
+  c.check_overlay(table);
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, SeededSelfLoopInOverlayIsCaught) {
+  core::NeighborTable table(4, core::RelationKind::kAsymmetric, 2, 4);
+  table.link(0, 1);
+  // Corrupt the raw lists directly — link() itself refuses self-loops.
+  table.lists(2).add_out(2);
+  InvariantChecker c;
+  c.check_overlay(table);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "overlay"));
+}
+
+TEST(InvariantChecker, OneSidedLinkViolatesConsistency) {
+  core::NeighborTable table(4, core::RelationKind::kAsymmetric, 2, 4);
+  // An outgoing entry with no matching incoming entry breaks the §3.1
+  // agreement that both sides of a link record it.
+  table.lists(0).add_out(1);
+  InvariantChecker c;
+  c.check_overlay(table);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "overlay"));
+}
+
+// --- ledger reconciliation -----------------------------------------------
+
+TEST(InvariantChecker, MatchingLedgerReconciles) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 1));
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  MessageLedger ledger;
+  ledger.count(net::MessageType::kQuery);
+  ledger.count_delivered(net::MessageType::kQuery);
+  c.check_ledger(ledger, {net::MessageType::kQuery});
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, TamperedDeliveredCounterIsCaught) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 1));
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  MessageLedger ledger;
+  ledger.count(net::MessageType::kQuery);
+  ledger.count_delivered(net::MessageType::kQuery);
+  ledger.count_delivered(net::MessageType::kQuery);  // the tamper
+  c.check_ledger(ledger);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "ledger"));
+}
+
+TEST(InvariantChecker, TamperedDroppedCounterIsCaught) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kPing, -1));
+  c.on_trace(event(TraceKind::kDrop, 0, 1, net::MessageType::kPing));
+  MessageLedger ledger;
+  ledger.count(net::MessageType::kPing);
+  // The tamper: the ledger claims no drop happened.
+  c.check_ledger(ledger);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "ledger"));
+}
+
+TEST(InvariantChecker, SentMismatchCaughtOnlyForExactTypes) {
+  InvariantChecker c;
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 1));
+  c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  MessageLedger ledger;
+  ledger.count(net::MessageType::kQuery, 5);  // bulk count: 4 untraced
+  ledger.count_delivered(net::MessageType::kQuery);
+
+  InvariantChecker lenient = c;
+  lenient.check_ledger(ledger);  // no exact types: bulk counting is fine
+  EXPECT_TRUE(lenient.ok()) << lenient.report();
+
+  c.check_ledger(ledger, {net::MessageType::kQuery});
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "ledger"));
+}
+
+// --- reporting and the recording cap -------------------------------------
+
+TEST(InvariantChecker, ViolationCapCountsExactly) {
+  InvariantChecker c;
+  const int n = 100;  // > kMaxRecorded
+  for (int i = 0; i < n; ++i)
+    c.on_trace(event(TraceKind::kDeliver, 0, 1, net::MessageType::kQuery));
+  EXPECT_EQ(c.total_violations(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(c.violations().size(), InvariantChecker::kMaxRecorded);
+  const auto report = c.report();
+  EXPECT_NE(report.find("100"), std::string::npos);
+  EXPECT_NE(report.find("suppressed"), std::string::npos);
+}
+
+TEST(InvariantChecker, ReportNamesTheInvariantAndDetail) {
+  InvariantChecker c;
+  c.on_search_begin(2);
+  c.on_trace(event(TraceKind::kSend, 0, 1, net::MessageType::kQuery, 7));
+  const auto report = c.report();
+  EXPECT_NE(report.find("[ttl]"), std::string::npos) << report;
+  EXPECT_NE(report.find("outside [1, 2]"), std::string::npos) << report;
+
+  InvariantChecker clean;
+  EXPECT_NE(clean.report().find("invariant violations: 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsf::sim

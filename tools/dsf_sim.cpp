@@ -9,6 +9,11 @@
 //   dsf_sim diglib   [--repos 64] [--mode all|static|adaptive]
 //                    [--hours 2] [--json]
 //
+// Every scenario also accepts the shared fault-injection group (see
+// cli/fault_flags.h): --fault-drop/--fault-dup/--fault-delay with
+// per-type overrides, --fault-crash-rate, and --fault-check to attach
+// the invariant checker (exit code 4 on violation).
+//
 // Text output is human-readable; --json emits a machine-readable record
 // for scripting sweeps.
 
@@ -18,10 +23,12 @@
 #include <string>
 
 #include "cli/args.h"
+#include "cli/fault_flags.h"
 #include "diglib/diglib_sim.h"
 #include "gnutella/simulation.h"
 #include "metrics/json.h"
 #include "olap/olap_sim.h"
+#include "sim/invariants.h"
 #include "webcache/webcache_sim.h"
 
 namespace {
@@ -34,6 +41,39 @@ int usage() {
                "       see the header of tools/dsf_sim.cpp or README.md\n");
   return 2;
 }
+
+/// Parses the --fault-* group once, arms a scenario engine before run(),
+/// and audits the finished run when --fault-check was requested.
+struct FaultContext {
+  cli::FaultOptions opts;
+  sim::InvariantChecker checker;
+
+  explicit FaultContext(const cli::Args& args)
+      : opts(cli::parse_fault_options(args)) {}
+
+  void arm(sim::OverlayEngine& engine) {
+    engine.set_fault_plan(opts.plan);
+    engine.set_crash_model(opts.crashes);
+    if (opts.check) engine.attach_checker(&checker);
+  }
+
+  /// Exit code: 0 when clean (or unchecked), 4 on invariant violations.
+  int finish(const sim::OverlayEngine& engine) {
+    if (!opts.check) return 0;
+    checker.check_overlay(engine.overlay());
+    checker.check_ledger(engine.ledger());
+    if (!checker.ok()) {
+      std::fprintf(stderr, "%s", checker.report().c_str());
+      return 4;
+    }
+    std::fprintf(stderr,
+                 "fault-check: ok (%llu trace events, %llu crashes, "
+                 "0 violations)\n",
+                 static_cast<unsigned long long>(checker.events_seen()),
+                 static_cast<unsigned long long>(engine.crashes()));
+    return 0;
+  }
+};
 
 gnutella::SearchStrategy parse_strategy(const std::string& s) {
   if (s == "flood") return gnutella::SearchStrategy::kFlood;
@@ -57,7 +97,10 @@ int run_gnutella(const cli::Args& args, bool json) {
   c.library_growth = args.get_bool("library-growth", false);
   c.exclude_owned_songs = args.get_bool("exclude-owned", false);
 
-  const auto r = gnutella::Simulation(c).run();
+  FaultContext fault(args);
+  gnutella::Simulation sim(c);
+  fault.arm(sim);
+  const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("gnutella"))
@@ -84,7 +127,7 @@ int run_gnutella(const cli::Args& args, bool json) {
                 static_cast<unsigned long long>(r.total_messages()),
                 r.first_result_delay_s.mean() * 1e3);
   }
-  return 0;
+  return fault.finish(sim);
 }
 
 int run_webcache(const cli::Args& args, bool json) {
@@ -95,7 +138,10 @@ int run_webcache(const cli::Args& args, bool json) {
   c.sim_hours = args.get_double("hours", c.sim_hours);
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
-  const auto r = webcache::WebCacheSim(c).run();
+  FaultContext fault(args);
+  webcache::WebCacheSim sim(c);
+  fault.arm(sim);
+  const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("webcache"))
@@ -116,7 +162,7 @@ int run_webcache(const cli::Args& args, bool json) {
                 r.local_hit_rate() * 100, r.neighbor_hit_rate() * 100,
                 r.latency_s.mean() * 1e3);
   }
-  return 0;
+  return fault.finish(sim);
 }
 
 int run_olap(const cli::Args& args, bool json) {
@@ -126,7 +172,10 @@ int run_olap(const cli::Args& args, bool json) {
   c.sim_hours = args.get_double("hours", c.sim_hours);
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
 
-  const auto r = olap::OlapSim(c).run();
+  FaultContext fault(args);
+  olap::OlapSim sim(c);
+  fault.arm(sim);
+  const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("olap"))
@@ -144,7 +193,7 @@ int run_olap(const cli::Args& args, bool json) {
                 static_cast<unsigned long long>(r.queries),
                 r.peer_hit_rate() * 100, r.response_time_s.mean());
   }
-  return 0;
+  return fault.finish(sim);
 }
 
 int run_diglib(const cli::Args& args, bool json) {
@@ -164,7 +213,10 @@ int run_diglib(const cli::Args& args, bool json) {
   c.sim_hours = args.get_double("hours", c.sim_hours);
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
 
-  const auto r = diglib::DigLibSim(c).run();
+  FaultContext fault(args);
+  diglib::DigLibSim sim(c);
+  fault.arm(sim);
+  const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("diglib"))
@@ -183,7 +235,7 @@ int run_diglib(const cli::Args& args, bool json) {
                 r.hit_rate() * 100, r.recall(),
                 r.messages_per_query.mean());
   }
-  return 0;
+  return fault.finish(sim);
 }
 
 }  // namespace
