@@ -1,0 +1,307 @@
+// Perf-regression suite: the three tiers of the simulator's hot path —
+// raw event-queue operations, the flood fan-out loop, and a full
+// Gnutella simulated day — timed wall-clock and emitted as one JSON
+// document (schema dsf-perf-suite-v1) that CI archives per commit.
+// Comparing the `items_per_s` fields across commits is the regression
+// check; BENCH_PR3.json at the repo root pins the numbers this tree
+// produced when the zero-allocation queue landed.
+//
+// Usage: bench_perf_suite [--quick] [--out PATH]
+//   --quick  ~10x smaller budgets, for CI smoke runs
+//   --out    JSON output path (default: perf_suite.json in the cwd)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "core/flood_search.h"
+#include "des/event_queue.h"
+#include "des/rng.h"
+#include "gnutella/config.h"
+#include "gnutella/simulation.h"
+#include "net/delay_model.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::string name;
+  std::uint64_t items = 0;  // events / floods / messages processed
+  double wall_s = 0.0;
+  double items_per_s = 0.0;
+  std::string detail;  // free-form scenario parameters
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Peak resident set in bytes (0 when the platform offers no getrusage).
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(u.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024u;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Hold-model schedule+pop throughput at a standing population, with the
+/// representative ~24-byte dispatched capture (the closure size decides
+/// whether the callback type allocates — see bench_micro_des.cpp).
+Result run_queue_ops(std::size_t population, std::uint64_t ops) {
+  dsf::des::EventQueue q;
+  dsf::des::Rng rng(1);
+  std::uint64_t acc = 0;
+  std::uint64_t* sink = &acc;
+  for (std::size_t i = 0; i < population; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    const auto tag = static_cast<std::uint32_t>(i);
+    q.schedule(t, [sink, t, tag] {
+      *sink += static_cast<std::uint64_t>(t) + tag;
+    });
+  }
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto [t, cb] = q.pop();
+    cb();
+    const double d = rng.uniform(0.0, 100.0);
+    const auto tag = static_cast<std::uint32_t>(acc);
+    q.schedule(t + d, [sink, d, tag] {
+      *sink += static_cast<std::uint64_t>(d) + tag;
+    });
+  }
+  const double wall = seconds_since(t0);
+  Result r;
+  r.name = "queue_ops_p" + std::to_string(population);
+  r.items = ops;
+  r.wall_s = wall;
+  r.items_per_s = static_cast<double>(ops) / wall;
+  r.detail = "standing population " + std::to_string(population) +
+             ", schedule+pop+dispatch per item";
+  if (acc == 0) r.detail += " (!)";  // keep the accumulator observable
+  return r;
+}
+
+/// Timeout churn: schedule far ahead, cancel immediately.
+Result run_queue_cancel(std::uint64_t ops) {
+  dsf::des::EventQueue q;
+  std::uint64_t acc = 0;
+  std::uint64_t* sink = &acc;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto id = q.schedule(1.0e6, [sink] { ++*sink; });
+    if (!q.cancel(id)) ++acc;
+  }
+  const double wall = seconds_since(t0);
+  Result r;
+  r.name = "queue_cancel";
+  r.items = ops;
+  r.wall_s = wall;
+  r.items_per_s = static_cast<double>(ops) / wall;
+  r.detail = "schedule+cancel per item";
+  return r;
+}
+
+/// Bulk fan-out insertion then drain, the batched engine dispatch shape.
+Result run_queue_batch(std::size_t fanout, std::uint64_t rounds) {
+  dsf::des::EventQueue q;
+  dsf::des::Rng rng(11);
+  std::uint64_t acc = 0;
+  std::uint64_t* sink = &acc;
+  double now = 0.0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    q.schedule_batch(fanout, [&](std::size_t i) {
+      const double d = rng.uniform(0.0, 100.0);
+      return std::pair<dsf::des::SimTime, dsf::des::EventQueue::Callback>(
+          now + d, [sink, d, i] {
+            *sink += static_cast<std::uint64_t>(d) + i;
+          });
+    });
+    for (std::size_t i = 0; i < fanout; ++i) {
+      auto [t, cb] = q.pop();
+      cb();
+      now = t;
+    }
+  }
+  const double wall = seconds_since(t0);
+  Result r;
+  r.name = "queue_batch_f" + std::to_string(fanout);
+  r.items = rounds * fanout;
+  r.wall_s = wall;
+  r.items_per_s = static_cast<double>(r.items) / wall;
+  r.detail = "schedule_batch fan-out " + std::to_string(fanout) + " + drain";
+  return r;
+}
+
+/// The flood expansion over a 2000-node overlay — the inner loop of every
+/// Gnutella figure bench.  Items are query messages, the paper's own
+/// overhead unit.
+Result run_flood_fanout(std::uint64_t floods) {
+  const std::size_t n = 2000;
+  dsf::des::Rng rng(8);
+  std::vector<std::vector<dsf::net::NodeId>> adj(n);
+  for (dsf::net::NodeId u = 0; u < n; ++u) {
+    while (adj[u].size() < 4) {
+      const auto v = static_cast<dsf::net::NodeId>(rng.uniform_int(n));
+      if (v != u && adj[v].size() < 6) {
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+      }
+    }
+  }
+  std::vector<bool> holder(n);
+  for (std::size_t i = 0; i < n; ++i) holder[i] = rng.bernoulli(0.05);
+
+  dsf::core::VisitStamp stamps(n);
+  dsf::core::SearchScratch scratch;
+  dsf::core::SearchParams params;
+  params.max_hops = 4;
+  dsf::des::Rng delay_rng(9);
+
+  std::uint64_t messages = 0;
+  dsf::net::NodeId initiator = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t f = 0; f < floods; ++f) {
+    const auto out = dsf::core::flood_search(
+        initiator, params,
+        [&](dsf::net::NodeId x) -> const std::vector<dsf::net::NodeId>& {
+          return adj[x];
+        },
+        [&](dsf::net::NodeId x) { return static_cast<bool>(holder[x]); },
+        [&](dsf::net::NodeId, dsf::net::NodeId) {
+          return delay_rng.uniform();
+        },
+        stamps, scratch);
+    messages += out.query_messages;
+    initiator = (initiator + 1) % n;
+  }
+  const double wall = seconds_since(t0);
+  Result r;
+  r.name = "flood_fanout";
+  r.items = messages;
+  r.wall_s = wall;
+  r.items_per_s = static_cast<double>(messages) / wall;
+  r.detail = std::to_string(floods) + " floods, hops=4, 2000 nodes; " +
+             "items are query messages";
+  return r;
+}
+
+/// End-to-end: one simulated Gnutella day (or a short slice in quick
+/// mode) through the full engine stack.  Items are total wire messages.
+Result run_gnutella_day(bool quick) {
+  dsf::gnutella::Config config;
+  config.sim_hours = quick ? 2.0 : 24.0;
+  config.warmup_hours = quick ? 0.5 : 6.0;
+  config.num_users = quick ? 500 : 2000;
+  config.max_hops = 2;
+  config.seed = 42;
+  const auto t0 = Clock::now();
+  const auto result = dsf::gnutella::Simulation(config).run();
+  const double wall = seconds_since(t0);
+  Result r;
+  r.name = "gnutella_day";
+  r.items = result.traffic.total();
+  r.wall_s = wall;
+  r.items_per_s = static_cast<double>(r.items) / wall;
+  r.detail = std::to_string(config.num_users) + " users, " +
+             std::to_string(config.sim_hours) +
+             " sim-hours; items are wire messages";
+  return r;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string to_json(const std::vector<Result>& results, bool quick) {
+  char buf[128];
+  std::string j = "{\n  \"schema\": \"dsf-perf-suite-v1\",\n";
+  j += quick ? "  \"quick\": true,\n" : "  \"quick\": false,\n";
+  std::snprintf(buf, sizeof buf, "  \"peak_rss_bytes\": %llu,\n",
+                static_cast<unsigned long long>(peak_rss_bytes()));
+  j += buf;
+  j += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    j += "    {\"name\": \"";
+    json_escape_into(j, r.name);
+    std::snprintf(buf, sizeof buf,
+                  "\", \"items\": %llu, \"wall_s\": %.6f, "
+                  "\"items_per_s\": %.1f, \"detail\": \"",
+                  static_cast<unsigned long long>(r.items), r.wall_s,
+                  r.items_per_s);
+    j += buf;
+    json_escape_into(j, r.detail);
+    j += i + 1 < results.size() ? "\"},\n" : "\"}\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "perf_suite.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t ops = quick ? 200'000 : 2'000'000;
+  std::vector<Result> results;
+  results.push_back(run_queue_ops(1024, ops));
+  results.push_back(run_queue_ops(16384, ops));
+  results.push_back(run_queue_ops(262144, quick ? 200'000 : 1'000'000));
+  results.push_back(run_queue_cancel(ops));
+  results.push_back(run_queue_batch(16, ops / 16));
+  results.push_back(run_flood_fanout(quick ? 2'000 : 20'000));
+  results.push_back(run_gnutella_day(quick));
+
+  for (const Result& r : results)
+    std::printf("%-18s %12llu items  %8.3f s  %14.0f items/s\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.items),
+                r.wall_s, r.items_per_s);
+
+  const std::string json = to_json(results, quick);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs the perf-regression suite, then validates
+# that the emitted JSON is well-formed.  CI's bench-smoke job calls this
+# with --quick and archives the JSON; locally, run without arguments for
+# full budgets and compare items_per_s against BENCH_PR3.json.
+#
+# Usage: scripts/run_perf_suite.sh [--quick] [--out PATH] [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_path="${repo_root}/perf_suite.json"
+quick_flag=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick_flag="--quick"; shift ;;
+    --out) out_path="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "usage: $0 [--quick] [--out PATH] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${build_dir}/bench/bench_perf_suite" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target bench_perf_suite -j
+fi
+
+"${build_dir}/bench/bench_perf_suite" ${quick_flag} --out "${out_path}"
+
+# A truncated or malformed document must fail the job, not get archived.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${out_path}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "dsf-perf-suite-v1", "unexpected schema"
+results = doc["results"]
+assert len(results) >= 5, "suite emitted too few results"
+for r in results:
+    assert r["items"] > 0 and r["wall_s"] > 0 and r["items_per_s"] > 0, r
+print(f"validated {sys.argv[1]}: {len(results)} results")
+EOF
+else
+  grep -q '"schema": "dsf-perf-suite-v1"' "${out_path}"
+  echo "validated ${out_path} (grep only; python3 unavailable)"
+fi

@@ -8,8 +8,17 @@
 // harness uses (it is ~50× faster); this one is the ground truth the
 // equivalence tests compare against, and a template for users who need
 // queries that interact mid-flight.
+//
+// The fan-out follows the batched DES dispatch contract (DESIGN.md §1.5):
+// one node's expansion counts and stamps every neighbor first, then issues
+// a single bulk insertion into the event queue.  Each scheduled hop
+// captures a raw pointer to the flood context — which lives on the
+// caller's stack for the whole drain — plus the hop coordinates, 32 bytes
+// in total, so steady-state flooding never touches the heap allocator for
+// callbacks.
 
-#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/flood_search.h"
 #include "des/simulator.h"
@@ -28,43 +37,53 @@ SearchOutcome event_flood_search(des::Simulator& sim, net::NodeId initiator,
                                  NeighborsFn&& neighbors,
                                  HasContentFn&& has_content, DelayFn&& delay,
                                  VisitStamp& stamps) {
-  struct State {
-    SearchOutcome out;
-    double start = 0.0;
-  };
-  auto state = std::make_shared<State>();
-  state->start = sim.now();
-  stamps.begin_search();
-  stamps.mark(initiator);
-
-  // Recursive lambda via shared_ptr: deliver(node, sender, hop) runs when
-  // the query message lands on `node`.
-  struct Deliver {
+  // All flood state lives in this frame: sim.run() below drains every
+  // scheduled hop before the function returns, so events reference the
+  // context by plain pointer instead of a shared_ptr copy per hop.
+  struct Ctx {
     des::Simulator& sim;
-    std::shared_ptr<State> state;
     const SearchParams& params;
     NeighborsFn& neighbors;
     HasContentFn& has_content;
     DelayFn& delay;
     VisitStamp& stamps;
     net::NodeId initiator;
+    double start;
+    SearchOutcome out;
+
+    /// One expansion's accepted deliveries, gathered before the bulk
+    /// schedule.  Reused across expansions: send_from never recurses (it
+    /// only schedules future events), so one buffer suffices.
+    struct Pending {
+      net::NodeId nbr;
+      double arrival;
+    };
+    std::vector<Pending> fanout;
 
     void send_from(net::NodeId node, net::NodeId sender, int hop,
                    double now_rel) {
       if (hop >= params.max_hops) return;
+      fanout.clear();
       for (net::NodeId nbr : neighbors(node)) {
         if (nbr == sender) continue;
-        ++state->out.query_messages;
+        ++out.query_messages;
         if (!stamps.mark(nbr)) continue;  // counted, but receiver will drop
         const double arrival = now_rel + delay(node, nbr);
-        ++state->out.nodes_reached;
-        const int next_hop = hop + 1;
-        auto self = *this;
-        sim.schedule_at(state->start + arrival,
-                        [self, nbr, node, next_hop, arrival]() mutable {
-                          self.arrive(nbr, node, next_hop, arrival);
-                        });
+        ++out.nodes_reached;
+        fanout.push_back({nbr, arrival});
       }
+      const int next_hop = hop + 1;
+      Ctx* ctx = this;
+      sim.schedule_at_batch(fanout.size(), [&](std::size_t i) {
+        const Pending p = fanout[i];
+        auto hop_cb = [ctx, p, node, next_hop] {
+          ctx->arrive(p.nbr, node, next_hop, p.arrival);
+        };
+        static_assert(des::Callback::stores_inline<decltype(hop_cb)>(),
+                      "event-flood hop capture must fit the callback SBO");
+        return std::pair<des::SimTime, des::Callback>(start + p.arrival,
+                                                      std::move(hop_cb));
+      });
     }
 
     void arrive(net::NodeId node, net::NodeId sender, int hop,
@@ -73,8 +92,8 @@ SearchOutcome event_flood_search(des::Simulator& sim, net::NodeId initiator,
       if (has_content(node)) {
         const double reply_at = arrival + delay(node, initiator);
         if (reply_at <= params.timeout_s) {
-          ++state->out.reply_messages;
-          state->out.hits.push_back({node, hop, arrival, reply_at});
+          ++out.reply_messages;
+          out.hits.push_back({node, hop, arrival, reply_at});
         }
         if (!params.forward_when_hit) forward = false;
       }
@@ -82,11 +101,13 @@ SearchOutcome event_flood_search(des::Simulator& sim, net::NodeId initiator,
     }
   };
 
-  Deliver deliver{sim,     state,       params, neighbors,
-                  has_content, delay, stamps, initiator};
-  deliver.send_from(initiator, net::kInvalidNode, 0, 0.0);
+  Ctx ctx{sim,    params,    neighbors, has_content, delay,
+          stamps, initiator, sim.now(), {},          {}};
+  ctx.stamps.begin_search();
+  ctx.stamps.mark(initiator);
+  ctx.send_from(initiator, net::kInvalidNode, 0, 0.0);
   sim.run();
-  return state->out;
+  return ctx.out;
 }
 
 }  // namespace dsf::core

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dsf::des {
+
+/// Move-only type-erased `void()` callable with a 48-byte small-buffer
+/// optimization — the event queue's callback type.
+///
+/// Every scheduled event used to pay a `std::function` whose inline buffer
+/// (16 bytes on libstdc++) is too small for the simulators' typical
+/// captures, so steady-state scheduling heap-allocated on the hot path.
+/// `Callback` stores any capture up to kInlineBytes in place; only larger
+/// closures fall back to the heap.  Three further properties matter for
+/// the queue:
+///
+///  - move-only: a callback is dispatched exactly once, so copyability
+///    buys nothing and would force captured state to be copyable;
+///  - trivially-relocatable fast path: closures that are trivially
+///    copyable (the common `[this, u]` shape) move via a plain memcpy of
+///    the buffer, with no indirect call;
+///  - empty state is a null vtable pointer, so `cancel()` releasing a
+///    callback stores one word.
+class Callback {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  /// Inline storage alignment.  8 rather than max_align_t: pointer/
+  /// integer/double captures — every closure the simulators schedule —
+  /// need no more, and the tighter padding is what lets the event
+  /// queue's slab entry (callback + sequence number) span exactly one
+  /// cache line.  Over-aligned callables fall back to the heap.
+  static constexpr std::size_t kBufferAlign = 8;
+
+  /// True when a callable of type F (after decay) is stored inline.
+  /// Exposed so tests — and scenario authors sizing their captures — can
+  /// static_assert that a hot-path closure never allocates.
+  template <typename F>
+  static constexpr bool stores_inline() noexcept {
+    using Fn = std::remove_cvref_t<F>;
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kBufferAlign &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  Callback() noexcept = default;
+  Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (stores_inline<F>()) {
+      // Trivially-copyable contents relocate as a memcpy of the *whole*
+      // buffer — a compile-time-constant size the compiler lowers to a
+      // few vector moves, where a runtime-size copy is an out-of-line
+      // call on the hottest path in the simulator.  Zero the buffer
+      // first so the tail bytes that copy reads are initialized.
+      if constexpr (std::is_trivially_copyable_v<Fn>)
+        std::memset(buf_, 0, kInlineBytes);
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      std::memset(buf_, 0, kInlineBytes);
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  Callback(Callback&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      relocate_from(o);
+      o.vt_ = nullptr;
+    }
+  }
+
+  Callback& operator=(Callback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) {
+        relocate_from(o);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Callback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+  friend bool operator==(const Callback& c, std::nullptr_t) noexcept {
+    return c.vt_ == nullptr;
+  }
+
+  /// Invokes the stored callable.  Precondition: non-empty.
+  void operator()() {
+    assert(vt_ != nullptr && "invoking an empty Callback");
+    vt_->invoke(buf_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    /// Move-constructs into raw `to` and destroys `from`; null for
+    /// trivially-relocatable contents, which move as a fixed-size memcpy
+    /// of the whole buffer with no indirect call.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static void invoke_inline(void* self) {
+    (*std::launder(reinterpret_cast<Fn*>(self)))();
+  }
+  template <typename Fn>
+  static void relocate_inline(void* from, void* to) noexcept {
+    Fn* f = std::launder(reinterpret_cast<Fn*>(from));
+    ::new (to) Fn(std::move(*f));
+    f->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_inline(void* self) noexcept {
+    std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+  }
+
+  template <typename Fn>
+  static void invoke_heap(void* self) {
+    (**std::launder(reinterpret_cast<Fn**>(self)))();
+  }
+  template <typename Fn>
+  static void destroy_heap(void* self) noexcept {
+    delete *std::launder(reinterpret_cast<Fn**>(self));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      &invoke_inline<Fn>,
+      std::is_trivially_copyable_v<Fn> ? nullptr : &relocate_inline<Fn>,
+      &destroy_inline<Fn>};
+
+  // The heap case relocates by moving one pointer: always trivial.
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{&invoke_heap<Fn>, nullptr,
+                                      &destroy_heap<Fn>};
+
+  void relocate_from(Callback& o) noexcept {
+    if (vt_->relocate != nullptr) {
+      vt_->relocate(o.buf_, buf_);
+    } else {
+      std::memcpy(buf_, o.buf_, kInlineBytes);
+    }
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(kBufferAlign) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace dsf::des

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dsf::des {
@@ -23,33 +27,56 @@ inline unsigned sweep_threads(std::size_t jobs) {
 /// determinism is never traded for speed.
 ///
 /// `fn` must be callable as `R fn(const T&)` and safe to invoke
-/// concurrently on distinct inputs.
+/// concurrently on distinct inputs.  `R` needs no default constructor:
+/// results land in per-index optional slots and are moved out at the end.
+///
+/// If `fn` throws, the first exception (in completion order) is captured
+/// on its worker, every worker is joined, and the exception is rethrown
+/// on the calling thread — it never escapes a std::thread and terminates
+/// the process.  Workers that have not yet claimed an index stop early;
+/// in-flight jobs run to completion before the join.
 template <typename T, typename Fn>
 auto parallel_map(const std::vector<T>& inputs, Fn&& fn,
                   unsigned threads = 0)
     -> std::vector<decltype(fn(inputs.front()))> {
   using R = decltype(fn(inputs.front()));
-  std::vector<R> results(inputs.size());
+  std::vector<R> results;
   if (inputs.empty()) return results;
   if (threads == 0) threads = sweep_threads(inputs.size());
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < inputs.size(); ++i) results[i] = fn(inputs[i]);
+    results.reserve(inputs.size());
+    for (const T& input : inputs) results.push_back(fn(input));
     return results;
   }
 
+  std::vector<std::optional<R>> slots(inputs.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   auto worker = [&] {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= inputs.size()) return;
-      results[i] = fn(inputs[i]);
+      try {
+        slots[i].emplace(fn(inputs[i]));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

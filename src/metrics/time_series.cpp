@@ -12,8 +12,19 @@ TimeSeries::TimeSeries(double bucket_width_s) : width_(bucket_width_s) {
 }
 
 void TimeSeries::add(des::SimTime t, std::uint64_t n) {
+  // NaN passes every `<` comparison, so the finiteness check must come
+  // first: casting NaN (or an out-of-range value) to size_t is UB.
+  if (!std::isfinite(t))
+    throw std::invalid_argument("TimeSeries: non-finite time");
   if (t < 0.0) throw std::invalid_argument("TimeSeries: negative time");
-  const auto i = static_cast<std::size_t>(t / width_);
+  const double bucket = t / width_;
+  // A finite but astronomically large t would overflow the size_t cast
+  // (UB) before the resize ever got a chance to fail; reject it instead.
+  // The bound is far beyond any allocatable bucket vector.
+  static constexpr double kMaxBuckets = 1e15;
+  if (bucket >= kMaxBuckets)
+    throw std::length_error("TimeSeries: time exceeds bucket index range");
+  const auto i = static_cast<std::size_t>(bucket);
   if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
   buckets_[i] += n;
 }
@@ -77,6 +88,9 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  // A NaN sample fails both range checks and would reach the bin-index
+  // cast (UB); it carries no position, so it is dropped outright.
+  if (std::isnan(x)) return;
   ++count_;
   if (x < lo_) {
     ++underflow_;
@@ -91,8 +105,19 @@ double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
-  double cum = static_cast<double>(underflow_);
-  if (target <= cum) return lo_;
+  const double cum_under = static_cast<double>(underflow_);
+  // `target <= cum` alone mis-answers q=0 with an empty underflow bin
+  // (0 <= 0 short-circuits to lo_ even when all mass sits far above it):
+  // lo_ is only the answer when underflow actually holds mass.
+  if (target <= cum_under && underflow_ > 0) return lo_;
+  if (q == 0.0) {
+    // Smallest recorded value: the lower edge of the first non-empty bin
+    // (all mass in overflow degenerates to hi_).
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+      if (bins_[i] > 0) return lo_ + static_cast<double>(i) * width_;
+    return overflow_ > 0 ? hi_ : lo_;
+  }
+  double cum = cum_under;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     const double next = cum + static_cast<double>(bins_[i]);
     if (target <= next && bins_[i] > 0) {
@@ -101,6 +126,12 @@ double Histogram::quantile(double q) const {
     }
     cum = next;
   }
+  // Ran past every bin.  With overflow mass hi_ is all we can say; with
+  // none (possible only through floating-point drift at huge counts) the
+  // largest recorded value is the top edge of the last non-empty bin.
+  if (overflow_ == 0)
+    for (std::size_t i = bins_.size(); i-- > 0;)
+      if (bins_[i] > 0) return lo_ + static_cast<double>(i + 1) * width_;
   return hi_;
 }
 

@@ -1,0 +1,219 @@
+// Randomized differential test of EventQueue against an ordered-set
+// oracle.  The queue is a two-level structure (timing wheel + overflow
+// heap) whose pop order must be exactly the strict total order
+// (time, seq) — the oracle is a std::set keyed the same way, and every
+// interleaving of schedule / batch-schedule / cancel / pop / shrink must
+// agree with it event-for-event: same timestamp bits, same callback, same
+// size.  Populations are driven well past the wheel-enable threshold and
+// back down so both representations and the transitions between them
+// (enable, lap wrap, window jump, rebase, tombstone compaction) are all
+// crossed many times.
+
+#include "des/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace dsf::des {
+namespace {
+
+class DifferentialHarness {
+ public:
+  explicit DifferentialHarness(std::uint64_t seed) : rng_(seed) {}
+
+  void schedule_one(double t) {
+    const std::uint64_t tag = next_tag_++;
+    std::uint64_t* fired = &fired_tag_;
+    const EventId id = q_.schedule(t, [fired, tag] { *fired = tag; });
+    ref_.emplace(t, tag);
+    handles_.emplace(tag, std::pair<EventId, double>{id, t});
+    cancellable_.push_back(tag);
+  }
+
+  void schedule_batch(std::size_t n, double base_t) {
+    // Batch fan-outs return no handles, so these tags are never
+    // cancelled — mirroring how the engine uses the API.
+    std::vector<double> times(n);
+    for (std::size_t i = 0; i < n; ++i)
+      times[i] = base_t + 0.25 * static_cast<double>(rng_() % 64);
+    const std::uint64_t first_tag = next_tag_;
+    std::uint64_t* fired = &fired_tag_;
+    q_.schedule_batch(n, [&](std::size_t i) {
+      const std::uint64_t tag = first_tag + i;
+      return std::pair<SimTime, EventQueue::Callback>(
+          times[i], [fired, tag] { *fired = tag; });
+    });
+    for (std::size_t i = 0; i < n; ++i) ref_.emplace(times[i], first_tag + i);
+    next_tag_ += n;
+  }
+
+  void pop_one() {
+    ASSERT_FALSE(ref_.empty());
+    const auto expect = *ref_.begin();
+    ASSERT_FALSE(q_.empty());
+    EXPECT_EQ(q_.next_time(), expect.first);
+    auto [t, cb] = q_.pop();
+    EXPECT_EQ(t, expect.first);  // exact, not approximate
+    fired_tag_ = ~std::uint64_t{0};
+    cb();
+    EXPECT_EQ(fired_tag_, expect.second);
+    ref_.erase(ref_.begin());
+    gone_.insert(expect.second);
+    now_ = t;
+  }
+
+  void cancel_random() {
+    for (int attempt = 0; attempt < 8 && !cancellable_.empty(); ++attempt) {
+      const std::size_t i = rng_() % cancellable_.size();
+      const std::uint64_t tag = cancellable_[i];
+      cancellable_[i] = cancellable_.back();
+      cancellable_.pop_back();
+      if (gone_.count(tag) != 0) continue;  // already popped; try another
+      const auto [id, t] = handles_.at(tag);
+      EXPECT_TRUE(q_.cancel(id));
+      EXPECT_FALSE(q_.cancel(id));  // second cancel must fail
+      ref_.erase(ref_.find({t, tag}));
+      gone_.insert(tag);
+      return;
+    }
+  }
+
+  void drain_all() {
+    while (!ref_.empty()) {
+      pop_one();
+      // A failed ASSERT inside pop_one only returns from that helper;
+      // without this check a mismatch would loop here forever.
+      if (::testing::Test::HasFatalFailure() ||
+          ::testing::Test::HasNonfatalFailure())
+        return;
+    }
+    EXPECT_TRUE(q_.empty());
+    EXPECT_EQ(q_.size(), 0u);
+  }
+
+  void check_size() { EXPECT_EQ(q_.size(), ref_.size()); }
+
+  // One mixed phase: random ops biased toward `target` standing events.
+  void run_phase(int ops, std::size_t target) {
+    for (int op = 0; op < ops; ++op) {
+      const std::uint64_t r = rng_() % 100;
+      const bool grow = ref_.size() < target;
+      if (ref_.empty() || (grow && r < 55)) {
+        schedule_one(draw_time());
+      } else if (r < 5) {
+        schedule_batch(2 + rng_() % 15, now_ + 1.0);
+      } else if (r < 20 && !cancellable_.empty()) {
+        cancel_random();
+      } else if (r < 60) {
+        pop_one();
+      } else {
+        schedule_one(draw_time());
+      }
+      if (::testing::Test::HasFatalFailure() ||
+          ::testing::Test::HasNonfatalFailure())
+        return;
+      if ((op & 1023) == 0) check_size();
+      if ((op & 8191) == 8191) q_.shrink_to_fit();
+    }
+  }
+
+ private:
+  double draw_time() {
+    const std::uint64_t r = rng_() % 100;
+    if (r < 70) {
+      // Coarse grid around now: plenty of exact ties to exercise FIFO.
+      return now_ + 0.25 * static_cast<double>(rng_() % 256);
+    }
+    if (r < 85) {
+      // Continuous near future.
+      return now_ + static_cast<double>(rng_() % 100000) * 1e-3;
+    }
+    if (r < 95) {
+      // Far future: lands in the overflow heap, migrates at a lap.
+      return now_ + 1000.0 + static_cast<double>(rng_() % 1000);
+    }
+    // Behind the current window, possibly negative: forces a rebase.
+    return now_ - static_cast<double>(rng_() % 50);
+  }
+
+  std::mt19937_64 rng_;
+  EventQueue q_;
+  std::set<std::pair<double, std::uint64_t>> ref_;
+  std::unordered_map<std::uint64_t, std::pair<EventId, double>> handles_;
+  std::unordered_set<std::uint64_t> gone_;
+  std::vector<std::uint64_t> cancellable_;
+  std::uint64_t next_tag_ = 0;
+  std::uint64_t fired_tag_ = 0;
+  double now_ = 0.0;
+};
+
+TEST(EventQueueDifferential, HeapOnlySmallPopulation) {
+  // Stays below the wheel-enable threshold: pure heap representation.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    DifferentialHarness h(seed);
+    h.run_phase(20000, 64);
+    h.drain_all();
+  }
+}
+
+TEST(EventQueueDifferential, WheelLargePopulation) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    DifferentialHarness h(seed);
+    h.run_phase(15000, 3000);  // well past enable: wheel + overflow heap
+    h.run_phase(15000, 400);   // shrink back through the disable band
+    h.drain_all();
+  }
+}
+
+TEST(EventQueueDifferential, GrowDrainCycles) {
+  // Repeated collapse and regrowth crosses enable/disable hysteresis and
+  // the empty-wheel wrap path over and over.
+  DifferentialHarness h(31);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    h.run_phase(4000, 1500);
+    h.drain_all();
+  }
+}
+
+TEST(EventQueueDifferential, ClusteredTimeJumps) {
+  // Clusters separated by huge gaps: each drain forces the wheel window
+  // to jump directly to the overflow heap's minimum rather than lapping
+  // across the gap.
+  DifferentialHarness h(41);
+  for (int cluster = 0; cluster < 5; ++cluster) {
+    h.run_phase(3000, 800);
+    h.schedule_batch(64, 1.0e6 * static_cast<double>(cluster + 1));
+    h.drain_all();
+  }
+}
+
+TEST(EventQueueDifferential, EqualTimestampFifoAcrossRepresentations) {
+  // A thousand events at one instant, scheduled while the wheel is
+  // active, must fire in exact insertion order.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 400; ++i)
+    q.schedule(0.5 * i, [] {});  // push population past wheel enable
+  for (int i = 0; i < 1000; ++i)
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  int seen = 0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+    if (t > 1.0) break;
+  }
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    EXPECT_EQ(fired[i], static_cast<int>(i));
+  EXPECT_EQ(fired.size(), 1000u);
+  (void)seen;
+}
+
+}  // namespace
+}  // namespace dsf::des

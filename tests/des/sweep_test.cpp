@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <type_traits>
 
 #include "des/rng.h"
 
@@ -50,6 +53,78 @@ TEST(ParallelMap, MoreThreadsThanJobs) {
   const std::vector<int> in{1, 2};
   const auto out = parallel_map(in, [](int x) { return -x; }, 16);
   EXPECT_EQ(out, (std::vector<int>{-1, -2}));
+}
+
+// A result type with no default constructor: parallel_map must not
+// require one (it assembles results through optional slots).
+struct Wrapped {
+  explicit Wrapped(int x) : value(x) {}
+  int value;
+  bool operator==(const Wrapped& o) const { return value == o.value; }
+};
+
+TEST(ParallelMap, ResultTypeNeedNotBeDefaultConstructible) {
+  static_assert(!std::is_default_constructible_v<Wrapped>);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  const auto one = parallel_map(in, [](int x) { return Wrapped(x * 2); }, 1);
+  const auto many = parallel_map(in, [](int x) { return Wrapped(x * 2); }, 4);
+  ASSERT_EQ(one.size(), 5u);
+  EXPECT_EQ(one, many);
+  EXPECT_EQ(one[4].value, 10);
+}
+
+TEST(ParallelMap, ThrowPropagatesSingleThread) {
+  const std::vector<int> in{0, 1, 2, 3};
+  try {
+    parallel_map(
+        in,
+        [](int x) {
+          if (x == 2) throw std::runtime_error("job 2 failed");
+          return x;
+        },
+        1);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 2 failed");
+  }
+}
+
+TEST(ParallelMap, ThrowPropagatesAcrossWorkerThreads) {
+  // The exception is raised on a worker; the caller must see it (not
+  // std::terminate) and every other job must still run to completion
+  // before it surfaces — workers are joined, not abandoned.
+  std::vector<int> in(64);
+  std::iota(in.begin(), in.end(), 0);
+  std::atomic<int> completed{0};
+  try {
+    parallel_map(
+        in,
+        [&](int x) {
+          if (x == 17) throw std::runtime_error("job 17 failed");
+          completed.fetch_add(1, std::memory_order_relaxed);
+          return x;
+        },
+        8);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 17 failed");
+  }
+  EXPECT_LE(completed.load(), 63);
+}
+
+TEST(ParallelMap, FirstOfSeveralThrowsStillSurfaces) {
+  // More than one job throwing must not lose the exception or crash;
+  // exactly one of them is rethrown.
+  std::vector<int> in(32);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_THROW(parallel_map(
+                   in,
+                   [](int x) {
+                     if (x % 3 == 0) throw std::runtime_error("boom");
+                     return x;
+                   },
+                   4),
+               std::runtime_error);
 }
 
 TEST(SweepThreads, BoundedByJobsAndHardware) {

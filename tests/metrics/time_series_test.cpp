@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace dsf::metrics {
 namespace {
@@ -27,6 +29,24 @@ TEST(TimeSeries, BucketsByHour) {
 TEST(TimeSeries, NegativeTimeThrows) {
   TimeSeries ts(10.0);
   EXPECT_THROW(ts.add(-0.5), std::invalid_argument);
+}
+
+TEST(TimeSeries, NonFiniteTimeThrows) {
+  TimeSeries ts(10.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ts.add(nan), std::invalid_argument);
+  EXPECT_THROW(ts.add(inf), std::invalid_argument);
+  EXPECT_THROW(ts.add(-inf), std::invalid_argument);
+  EXPECT_EQ(ts.total(), 0u);  // rejected samples leave no trace
+}
+
+TEST(TimeSeries, AstronomicalTimeThrowsInsteadOfOverflowingCast) {
+  TimeSeries ts(1.0);
+  // Finite but far past any representable bucket index: must throw
+  // length_error, not silently wrap through the size_t cast.
+  EXPECT_THROW(ts.add(1e18), std::length_error);
+  EXPECT_EQ(ts.num_buckets(), 0u);
 }
 
 TEST(TimeSeries, SumOverWindow) {
@@ -124,6 +144,58 @@ TEST(Histogram, MedianOfUniformFill) {
 TEST(Histogram, EmptyQuantileIsZero) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, NanSampleIsDroppedEntirely) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);  // unperturbed by the NaNs
+}
+
+TEST(Histogram, QuantileZeroFindsFirstNonEmptyBin) {
+  Histogram h(0.0, 100.0, 100);
+  h.add(42.5);
+  h.add(87.5);
+  // No underflow mass: q=0 is the smallest recorded value's bin edge,
+  // not the histogram's lower bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+}
+
+TEST(Histogram, QuantileZeroWithUnderflowMassIsLowerBound) {
+  Histogram h(0.0, 100.0, 100);
+  h.add(-5.0);
+  h.add(42.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileOneIsTopEdgeOfLastNonEmptyBin) {
+  Histogram h(0.0, 100.0, 100);
+  h.add(12.5);
+  h.add(42.5);
+  // No overflow mass: q=1 must not report the histogram's upper bound
+  // (100) when the largest sample sits in bin [42, 43).
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 43.0);
+}
+
+TEST(Histogram, QuantileOneWithOverflowMassIsUpperBound) {
+  Histogram h(0.0, 100.0, 100);
+  h.add(42.5);
+  h.add(250.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, AllMassInOverflowQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(50.0);
+  h.add(60.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
 }
 
 }  // namespace

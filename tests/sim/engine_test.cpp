@@ -35,6 +35,7 @@ class TestEngine : public OverlayEngine {
   using OverlayEngine::sample_delay_s;
   using OverlayEngine::schedule_every;
   using OverlayEngine::send;
+  using OverlayEngine::send_batch;
   using OverlayEngine::session_rng;
   using OverlayEngine::topo_rng;
   using OverlayEngine::warmup_s;
@@ -148,6 +149,62 @@ TEST(OverlayEngine, SendAccountsTracesAndDelivers) {
   e.simulator().run();
   EXPECT_TRUE(delivered);
   EXPECT_GT(e.simulator().now(), 0.0);  // the delay sample was positive
+}
+
+TEST(OverlayEngine, SendBatchMatchesPerTargetSendExactly) {
+  // The batched fan-out is an accounting + scheduling shortcut, not a
+  // semantic change: with the same seed it must produce byte-identical
+  // ledger counts, trace streams, and delivery times as a per-target
+  // send() loop, because delays are sampled in target order either way.
+  const std::vector<net::NodeId> targets{1, 3, 5, 2, 7};
+
+  TestEngine a(small_config());
+  std::vector<TraceEvent> trace_a;
+  a.set_trace_hook([&](const TraceEvent& ev) { trace_a.push_back(ev); });
+  std::vector<std::pair<net::NodeId, double>> deliveries_a;
+  for (const auto to : targets)
+    a.send(0, to, net::MessageType::kQuery,
+           [&, to] { deliveries_a.emplace_back(to, a.simulator().now()); });
+  a.simulator().run();
+
+  TestEngine b(small_config());
+  std::vector<TraceEvent> trace_b;
+  b.set_trace_hook([&](const TraceEvent& ev) { trace_b.push_back(ev); });
+  std::vector<std::pair<net::NodeId, double>> deliveries_b;
+  b.send_batch(0, targets, net::MessageType::kQuery, [&](std::size_t i) {
+    const auto to = targets[i];
+    return [&, to] { deliveries_b.emplace_back(to, b.simulator().now()); };
+  });
+  b.simulator().run();
+
+  EXPECT_EQ(a.traffic().total(net::MessageType::kQuery), targets.size());
+  EXPECT_EQ(b.traffic().total(net::MessageType::kQuery), targets.size());
+  EXPECT_EQ(a.ledger().bytes(net::MessageType::kQuery),
+            b.ledger().bytes(net::MessageType::kQuery));
+
+  ASSERT_EQ(trace_a.size(), targets.size());
+  ASSERT_EQ(trace_b.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(trace_a[i].to, trace_b[i].to);
+    EXPECT_EQ(trace_a[i].type, trace_b[i].type);
+    EXPECT_EQ(trace_a[i].bytes, trace_b[i].bytes);
+  }
+
+  ASSERT_EQ(deliveries_a.size(), targets.size());
+  ASSERT_EQ(deliveries_b.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(deliveries_a[i].first, deliveries_b[i].first);
+    EXPECT_EQ(deliveries_a[i].second, deliveries_b[i].second);  // exact
+  }
+}
+
+TEST(OverlayEngine, SendBatchWithEmptyTargetListIsANoOp) {
+  TestEngine e(small_config());
+  const std::vector<net::NodeId> none;
+  e.send_batch(0, none, net::MessageType::kQuery,
+               [&](std::size_t) { return [] {}; });
+  EXPECT_EQ(e.traffic().total(net::MessageType::kQuery), 0u);
+  EXPECT_TRUE(e.simulator().queue().empty());
 }
 
 TEST(OverlayEngine, ScheduleEveryFiresAtFirstDelayThenEveryPeriod) {
