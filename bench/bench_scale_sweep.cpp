@@ -1,0 +1,233 @@
+// Scale-sweep driver: one Gnutella population per invocation, replicated
+// over seeds with des::parallel_map_reduce and merged deterministically
+// (per-shard Welford summaries, histograms and time series fold in input
+// order — the merged metrics are byte-identical for any --threads value).
+//
+// scripts/run_scale_sweep.sh runs this at 10k / 100k / 1M peers — one
+// process per population so peak RSS is attributable — and assembles the
+// per-run JSON documents into one dsf-scale-suite-v1 file that CI
+// archives next to the perf suite.  BENCH_PR4.json at the repo root pins
+// the numbers this tree produced when the compact scale path landed.
+//
+// Usage: bench_scale_sweep --peers N [--hours H] [--replications R]
+//                          [--seed S] [--threads T] [--out PATH]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "des/sweep.h"
+#include "gnutella/config.h"
+#include "gnutella/simulation.h"
+#include "metrics/time_series.h"
+#include "net/message.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(u.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024u;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// What one replication contributes to the merged metrics.
+struct Shard {
+  dsf::metrics::Summary delay;
+  dsf::metrics::Histogram delay_hist{0.0, 5.0, 500};
+  dsf::metrics::TimeSeries hits{3600.0};
+  dsf::metrics::TimeSeries messages{3600.0};
+  dsf::net::MessageStats traffic;
+  std::uint64_t queries = 0;
+  std::uint64_t satisfied = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t events = 0;
+  std::uint64_t overlay_bytes = 0;  ///< compact table footprint (max)
+  std::uint64_t library_bytes = 0;  ///< library pool footprint (max)
+  double wall_s = 0.0;
+};
+
+void merge(Shard& acc, Shard& s) {
+  acc.delay += s.delay;
+  acc.delay_hist += s.delay_hist;
+  acc.hits += s.hits;
+  acc.messages += s.messages;
+  acc.traffic += s.traffic;
+  acc.queries += s.queries;
+  acc.satisfied += s.satisfied;
+  acc.reconfigurations += s.reconfigurations;
+  acc.events += s.events;
+  acc.overlay_bytes = std::max(acc.overlay_bytes, s.overlay_bytes);
+  acc.library_bytes = std::max(acc.library_bytes, s.library_bytes);
+  acc.wall_s += s.wall_s;  // summed CPU-side wall; suite reports real wall too
+}
+
+struct Options {
+  std::size_t peers = 0;
+  double hours = 24.0;
+  unsigned replications = 1;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;  // 0 = one per replication, capped by hardware
+  std::string out_path = "scale_run.json";
+};
+
+Shard run_one(const Options& opt, std::uint64_t seed) {
+  dsf::gnutella::Config config;
+  config.num_users = static_cast<std::uint32_t>(opt.peers);
+  config.sim_hours = opt.hours;
+  config.warmup_hours = opt.hours > 2.0 ? 1.0 : 0.0;
+  config.seed = seed;
+  const auto t0 = Clock::now();
+  dsf::gnutella::Simulation sim(config);
+  const auto result = sim.run();
+  Shard s;
+  s.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  s.delay = result.first_result_delay_s;
+  s.delay_hist = result.first_result_delay_hist;
+  s.hits = result.hits;
+  s.messages = result.messages;
+  s.traffic = result.traffic;
+  s.queries = result.queries_issued;
+  s.satisfied = result.total_hits();
+  s.reconfigurations = result.reconfigurations;
+  s.events = result.events_executed;
+  s.overlay_bytes = sim.overlay().memory_bytes();
+  s.library_bytes = sim.libraries().memory_bytes();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--peers") == 0) {
+      opt.peers = std::strtoull(next("--peers"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--hours") == 0) {
+      opt.hours = std::strtod(next("--hours"), nullptr);
+    } else if (std::strcmp(argv[i], "--replications") == 0) {
+      opt.replications =
+          static_cast<unsigned>(std::strtoul(next("--replications"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opt.threads =
+          static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      opt.out_path = next("--out");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --peers N [--hours H] [--replications R] "
+                   "[--seed S] [--threads T] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opt.peers == 0 || opt.hours <= 0.0 || opt.replications == 0) {
+    std::fprintf(stderr, "--peers is required; hours and replications > 0\n");
+    return 2;
+  }
+
+  std::vector<std::uint64_t> seeds(opt.replications);
+  std::iota(seeds.begin(), seeds.end(), opt.seed);
+
+  const auto t0 = Clock::now();
+  Shard total = dsf::des::parallel_map_reduce(
+      seeds, [&](std::uint64_t seed) { return run_one(opt, seed); }, Shard{},
+      merge, opt.threads);
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const std::uint64_t rss = peak_rss_bytes();
+  const double hit_ratio =
+      total.queries
+          ? static_cast<double>(total.satisfied) / static_cast<double>(total.queries)
+          : 0.0;
+  const double events_per_s =
+      wall > 0.0 ? static_cast<double>(total.events) / wall : 0.0;
+  // Peak RSS divides by the peers simultaneously resident: every
+  // replication holds its own population while running.
+  const std::size_t resident_peers =
+      opt.peers * std::min<std::size_t>(opt.replications,
+                                        dsf::des::sweep_threads(seeds.size()));
+
+  char buf[256];
+  std::string j = "{\n  \"schema\": \"dsf-scale-run-v1\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"peers\": %zu,\n  \"hours\": %.3f,\n"
+                "  \"replications\": %u,\n  \"seed\": %llu,\n",
+                opt.peers, opt.hours, opt.replications,
+                static_cast<unsigned long long>(opt.seed));
+  j += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"wall_s\": %.3f,\n  \"events\": %llu,\n"
+                "  \"events_per_s\": %.0f,\n",
+                wall, static_cast<unsigned long long>(total.events),
+                events_per_s);
+  j += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"peak_rss_bytes\": %llu,\n  \"rss_per_peer\": %.1f,\n",
+                static_cast<unsigned long long>(rss),
+                static_cast<double>(rss) / static_cast<double>(resident_peers));
+  j += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"overlay_bytes\": %llu,\n  \"library_bytes\": %llu,\n",
+                static_cast<unsigned long long>(total.overlay_bytes),
+                static_cast<unsigned long long>(total.library_bytes));
+  j += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"queries\": %llu,\n  \"hits\": %llu,\n"
+                "  \"hit_ratio\": %.4f,\n  \"messages\": %llu,\n",
+                static_cast<unsigned long long>(total.queries),
+                static_cast<unsigned long long>(total.satisfied), hit_ratio,
+                static_cast<unsigned long long>(total.traffic.total()));
+  j += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"delay_mean_s\": %.4f,\n  \"delay_p50_s\": %.4f,\n"
+                "  \"delay_p95_s\": %.4f,\n  \"reconfigurations\": %llu\n}\n",
+                total.delay.mean(), total.delay_hist.quantile(0.5),
+                total.delay_hist.quantile(0.95),
+                static_cast<unsigned long long>(total.reconfigurations));
+  j += buf;
+
+  std::printf("peers=%zu events=%llu (%.0f/s) rss=%.1f MiB (%.0f B/peer) "
+              "hit_ratio=%.3f wall=%.1fs\n",
+              opt.peers, static_cast<unsigned long long>(total.events),
+              events_per_s, static_cast<double>(rss) / (1024.0 * 1024.0),
+              static_cast<double>(rss) / static_cast<double>(resident_peers),
+              hit_ratio, wall);
+
+  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opt.out_path.c_str());
+    return 1;
+  }
+  std::fwrite(j.data(), 1, j.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.out_path.c_str());
+  return 0;
+}

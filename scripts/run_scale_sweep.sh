@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs the Gnutella scale sweep — one bench_scale_sweep process per
+# population so each run's peak RSS is attributable to its population —
+# and assembles the per-run JSON documents into one dsf-scale-suite-v1
+# file.  CI's bench-smoke job calls this with --quick (small populations,
+# short horizons) and archives the suite JSON; the full sweep
+# (10k / 100k / 1M peers, a simulated day each) produced BENCH_PR4.json
+# at the repo root.
+#
+# Usage: scripts/run_scale_sweep.sh [--quick] [--out PATH] [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_path="${repo_root}/scale_suite.json"
+quick=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --out) out_path="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "usage: $0 [--quick] [--out PATH] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${build_dir}/bench/bench_scale_sweep" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target bench_scale_sweep -j
+fi
+
+# population  hours  replications — the full sweep is the paper-to-million
+# trajectory; quick mode keeps CI under a minute while still exercising
+# every code path (replicated merge included).
+if [[ "${quick}" -eq 1 ]]; then
+  runs=(
+    "10000 0.5 2"
+    "50000 0.25 1"
+  )
+else
+  runs=(
+    "10000 24 4"
+    "100000 24 2"
+    "1000000 24 1"
+  )
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+run_files=()
+for spec in "${runs[@]}"; do
+  read -r peers hours reps <<<"${spec}"
+  run_file="${tmp_dir}/run_${peers}.json"
+  echo "--- scale sweep: ${peers} peers, ${hours} sim-hours, ${reps} replication(s)"
+  "${build_dir}/bench/bench_scale_sweep" \
+    --peers "${peers}" --hours "${hours}" --replications "${reps}" \
+    --out "${run_file}"
+  run_files+=("${run_file}")
+done
+
+# Assemble and validate the suite document; a truncated or malformed run
+# file must fail the job, not get archived.
+python3 - "${out_path}" "${quick}" "${run_files[@]}" <<'EOF'
+import json, sys
+out_path, quick, run_paths = sys.argv[1], sys.argv[2] == "1", sys.argv[3:]
+runs = []
+for path in run_paths:
+    with open(path) as f:
+        run = json.load(f)
+    assert run.get("schema") == "dsf-scale-run-v1", f"bad schema in {path}"
+    assert run["events"] > 0 and run["events_per_s"] > 0, run
+    assert run["peak_rss_bytes"] > 0 and run["rss_per_peer"] > 0, run
+    assert 0.0 <= run["hit_ratio"] <= 1.0, run
+    runs.append(run)
+suite = {"schema": "dsf-scale-suite-v1", "quick": quick, "runs": runs}
+with open(out_path, "w") as f:
+    json.dump(suite, f, indent=2)
+    f.write("\n")
+print(f"validated {out_path}: {len(runs)} runs")
+EOF

@@ -1,0 +1,250 @@
+#include "core/compact_relations.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace dsf::core {
+
+// ---------------------------------------------------------------------------
+// NeighborArena
+
+std::uint32_t NeighborArena::chunk_size_for(std::uint32_t cap) noexcept {
+  if (cap <= kMinChunk) return kMinChunk;
+  return std::bit_ceil(cap);
+}
+
+int NeighborArena::class_of(std::uint32_t cap) noexcept {
+  assert(cap >= kMinChunk && std::has_single_bit(cap));
+  return std::countr_zero(cap) - std::countr_zero(kMinChunk);
+}
+
+net::NodeId* NeighborArena::allocate(std::uint32_t cap) {
+  assert(cap >= kMinChunk && std::has_single_bit(cap));
+  const int cls = class_of(cap);
+  if (net::NodeId* head = free_[cls]) {
+    // Pop the recycled chunk; its next-pointer sits in its first bytes.
+    std::memcpy(&free_[cls], head, sizeof(net::NodeId*));
+    return head;
+  }
+  if (cap > kBlockEntries) {
+    // Oversize request: a dedicated block, never bump-allocated from.
+    blocks_.push_back(std::make_unique<net::NodeId[]>(cap));
+    entries_reserved_ += cap;
+    return blocks_.back().get();
+  }
+  if (block_free_ < cap) {
+    // The tail remainder (if any) is smaller than the smallest chunk the
+    // next request could want at this class or below it would have been
+    // served from the free list; donate it to the largest class it fits.
+    while (block_free_ >= kMinChunk) {
+      const auto piece = std::bit_floor(block_free_);
+      const auto sz = static_cast<std::uint32_t>(
+          std::min<std::size_t>(piece, kBlockEntries));
+      std::memcpy(block_cursor_, &free_[class_of(sz)], sizeof(net::NodeId*));
+      free_[class_of(sz)] = block_cursor_;
+      block_cursor_ += sz;
+      block_free_ -= sz;
+    }
+    blocks_.push_back(std::make_unique<net::NodeId[]>(kBlockEntries));
+    entries_reserved_ += kBlockEntries;
+    block_cursor_ = blocks_.back().get();
+    block_free_ = kBlockEntries;
+  }
+  net::NodeId* chunk = block_cursor_;
+  block_cursor_ += cap;
+  block_free_ -= cap;
+  return chunk;
+}
+
+void NeighborArena::release(net::NodeId* chunk, std::uint32_t cap) noexcept {
+  const int cls = class_of(cap);
+  std::memcpy(chunk, &free_[cls], sizeof(net::NodeId*));
+  free_[cls] = chunk;
+}
+
+// ---------------------------------------------------------------------------
+// CompactNeighborTable
+
+bool CompactNeighborTable::ConstLists::contains(NeighborView v,
+                                                net::NodeId n) noexcept {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+CompactNeighborTable::CompactNeighborTable(std::size_t num_nodes,
+                                           RelationKind kind,
+                                           std::size_t out_capacity,
+                                           std::size_t in_capacity)
+    : kind_(kind), out_capacity_(out_capacity), in_capacity_(in_capacity) {
+  // Same capacity overrides as NeighborTable's constructor.
+  if (kind == RelationKind::kPureAsymmetric) in_capacity_ = num_nodes;
+  if (kind == RelationKind::kAllToAll) {
+    out_capacity_ = num_nodes;
+    in_capacity_ = num_nodes;
+  }
+  inline_out_ = static_cast<std::uint32_t>(
+      std::min<std::size_t>(out_capacity_, kInlineSlots));
+  inline_in_ = static_cast<std::uint32_t>(
+      std::min<std::size_t>(in_capacity_, kInlineSlots));
+
+  refs_.resize(num_nodes);
+  const std::size_t per_node = inline_out_ + inline_in_;
+  if (per_node > 0 && num_nodes > 0) {
+    inline_store_ = std::make_unique<net::NodeId[]>(num_nodes * per_node);
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      net::NodeId* base = inline_store_.get() + i * per_node;
+      refs_[i].out.data = base;
+      refs_[i].out.store = inline_out_;
+      refs_[i].in.data = base + inline_out_;
+      refs_[i].in.store = inline_in_;
+    }
+  }
+}
+
+void CompactNeighborTable::check_index(net::NodeId i) const {
+  if (i >= refs_.size())
+    throw std::out_of_range("CompactNeighborTable: node id out of range");
+}
+
+net::NodeId* CompactNeighborTable::inline_block(net::NodeId i,
+                                                Dir d) noexcept {
+  net::NodeId* base =
+      inline_store_.get() +
+      static_cast<std::size_t>(i) * (inline_out_ + inline_in_);
+  return d == Dir::kOut ? base : base + inline_out_;
+}
+
+void CompactNeighborTable::grow(net::NodeId i, Dir d) {
+  ListRef& r = ref(i, d);
+  const std::uint32_t new_store =
+      NeighborArena::chunk_size_for(r.store ? r.store * 2 : 1);
+  net::NodeId* chunk = arena_.allocate(new_store);
+  std::memcpy(chunk, r.data, r.size * sizeof(net::NodeId));
+  if (r.store > inline_slots(d)) arena_.release(r.data, r.store);
+  r.data = chunk;
+  r.store = new_store;
+}
+
+bool CompactNeighborTable::add(net::NodeId i, Dir d, net::NodeId n) {
+  ListRef& r = ref(i, d);
+  if (r.size >= limit(d)) return false;
+  const NeighborView view{r.data, r.size};
+  if (std::find(view.begin(), view.end(), n) != view.end()) return false;
+  if (r.size == r.store) grow(i, d);
+  r.data[r.size] = n;
+  ++r.size;
+  return true;
+}
+
+bool CompactNeighborTable::remove(net::NodeId i, Dir d,
+                                  net::NodeId n) noexcept {
+  ListRef& r = ref(i, d);
+  net::NodeId* const end = r.data + r.size;
+  net::NodeId* const it = std::find(r.data, end, n);
+  if (it == end) return false;
+  // Erase-and-shift, preserving the order std::vector::erase kept.
+  std::memmove(it, it + 1, static_cast<std::size_t>(end - it - 1) *
+                               sizeof(net::NodeId));
+  --r.size;
+  return true;
+}
+
+void CompactNeighborTable::clear_list(net::NodeId i, Dir d) noexcept {
+  ListRef& r = ref(i, d);
+  r.size = 0;
+  if (r.store > inline_slots(d)) {
+    // Shrink back onto the inline block so a log-off reclaims the chunk.
+    arena_.release(r.data, r.store);
+    r.data = inline_block(i, d);
+    r.store = inline_slots(d);
+  }
+}
+
+void CompactNeighborTable::clear_node(net::NodeId i) noexcept {
+  clear_list(i, Dir::kOut);
+  clear_list(i, Dir::kIn);
+}
+
+bool CompactNeighborTable::link(net::NodeId i, net::NodeId j) {
+  if (i == j || i >= refs_.size() || j >= refs_.size()) return false;
+  const Lists li = lists(i);
+  const Lists lj = lists(j);
+  if (li.has_out(j)) return false;
+
+  if (kind_ == RelationKind::kSymmetric) {
+    // A symmetric link consumes an out and an in slot at both ends.
+    if (li.out_full() || li.in_full() || lj.out_full() || lj.in_full())
+      return false;
+    li.add_out(j);
+    li.add_in(j);
+    lj.add_out(i);
+    lj.add_in(i);
+    return true;
+  }
+
+  if (li.out_full() || lj.in_full()) return false;
+  li.add_out(j);
+  lj.add_in(i);
+  return true;
+}
+
+bool CompactNeighborTable::unlink(net::NodeId i, net::NodeId j) {
+  if (i >= refs_.size() || j >= refs_.size()) return false;
+  if (!remove(i, Dir::kOut, j)) return false;
+  remove(j, Dir::kIn, i);
+  if (kind_ == RelationKind::kSymmetric) {
+    remove(j, Dir::kOut, i);
+    remove(i, Dir::kIn, j);
+  }
+  return true;
+}
+
+std::vector<net::NodeId> CompactNeighborTable::isolate(net::NodeId i) {
+  std::vector<net::NodeId> affected;
+  if (i >= refs_.size()) return affected;
+  const Lists li = lists(i);
+
+  // Peers that will lose i from their outgoing list.  The removals below
+  // touch only the *other* endpoint's lists, so iterating i's own views
+  // while they run is safe (i's storage is untouched until the clear).
+  for (net::NodeId j : li.in())
+    if (std::find(affected.begin(), affected.end(), j) == affected.end())
+      affected.push_back(j);
+
+  for (net::NodeId j : li.out()) {
+    remove(j, Dir::kIn, i);
+    if (kind_ == RelationKind::kSymmetric) remove(j, Dir::kOut, i);
+  }
+  for (net::NodeId j : li.in()) {
+    remove(j, Dir::kOut, i);
+    if (kind_ == RelationKind::kSymmetric) remove(j, Dir::kIn, i);
+  }
+  clear_node(i);
+  return affected;
+}
+
+bool CompactNeighborTable::consistent() const {
+  for (net::NodeId i = 0; i < refs_.size(); ++i) {
+    for (net::NodeId j : out_neighbors(i)) {
+      if (j >= refs_.size()) return false;
+      if (!lists(j).has_in(i)) return false;
+    }
+    if (kind_ == RelationKind::kSymmetric) {
+      const ConstLists l = lists(i);
+      if (l.out().size() != l.in().size()) return false;
+      for (net::NodeId j : l.out())
+        if (!l.has_in(j)) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t CompactNeighborTable::memory_bytes() const noexcept {
+  return refs_.capacity() * sizeof(NodeRefs) +
+         refs_.size() * (inline_out_ + inline_in_) * sizeof(net::NodeId) +
+         arena_.entries_reserved() * sizeof(net::NodeId);
+}
+
+}  // namespace dsf::core

@@ -1,0 +1,234 @@
+#pragma once
+
+// Arena-backed compact neighbor storage for million-peer overlays.
+//
+// core::NeighborTable keeps two std::vectors per node — 6 heap blocks and
+// ~144 bytes of bookkeeping per peer before a single neighbor is stored,
+// which is what caps single-process populations at the paper's few
+// thousand.  CompactNeighborTable is the same §3.1 relation table (same
+// link/unlink/isolate/consistent semantics, same insertion-order
+// iteration, same erase-and-shift removal — a representation change, not a
+// behavior change; the golden-seed fingerprints pin this) over three flat
+// allocations:
+//
+//   * refs_         — one {data*, size, store} triple per direction per
+//                     node (32 bytes/node),
+//   * inline_store_ — one contiguous block holding every node's small-
+//                     degree slots (capacity clamped to kInlineSlots), so
+//                     the common case — bounded-degree overlays like
+//                     Gnutella's 4-neighbor rule — needs no further
+//                     allocation at all,
+//   * arena_        — a chunked overflow arena for lists that outgrow
+//                     their inline block (all-to-all tables, pure-
+//                     asymmetric incoming lists).  Chunks come from
+//                     fixed-size blocks and are recycled through
+//                     power-of-two size-class free lists; a grown list
+//                     copies into a bigger chunk and frees the old one.
+//
+// Chunks and the inline store never move once allocated, so a NeighborView
+// taken from a list stays valid until that same list grows past its
+// current storage or shrinks — exactly the iterator-invalidation contract
+// std::vector gave the call sites, minus the reallocation-on-unrelated-
+// growth hazard vectors never had here anyway (each list owns its block).
+//
+// The table is index-addressed by 32-bit net::NodeId throughout; per-list
+// sizes are 32-bit.  At Gnutella's 4-neighbor symmetric overlay this is
+// 64 bytes/peer all-in — ~64 MB for a million peers.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/relations.h"
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Read-only view of one adjacency list.  std::vector converts to it
+/// implicitly, so call sites accepting NeighborView serve both tables.
+using NeighborView = std::span<const net::NodeId>;
+
+/// Chunked pool for overflow adjacency storage.  allocate() returns a
+/// pointer-stable block of exactly `cap` entries where `cap` is a power of
+/// two >= kMinChunk; release() recycles it through a per-size-class free
+/// list (the next-pointer lives in the freed chunk's first bytes).  Blocks
+/// are only ever freed wholesale with the arena.
+class NeighborArena {
+ public:
+  static constexpr std::uint32_t kMinChunk = 16;  ///< entries; >= 2 pointers
+  /// Entries per backing block (256 KiB).  Requests larger than a block
+  /// get a dedicated block of exactly their size.
+  static constexpr std::size_t kBlockEntries = std::size_t{1} << 16;
+
+  NeighborArena() = default;
+  NeighborArena(const NeighborArena&) = delete;
+  NeighborArena& operator=(const NeighborArena&) = delete;
+
+  net::NodeId* allocate(std::uint32_t cap);
+  void release(net::NodeId* chunk, std::uint32_t cap) noexcept;
+
+  /// Rounds a requested capacity up to an allocatable chunk size.
+  static std::uint32_t chunk_size_for(std::uint32_t cap) noexcept;
+
+  /// Total entries reserved from the OS (diagnostics / scale tests).
+  std::size_t entries_reserved() const noexcept { return entries_reserved_; }
+
+ private:
+  static int class_of(std::uint32_t cap) noexcept;
+
+  // Largest class actually reachable is 27 (a 2^31-entry chunk); 29 also
+  // covers countr_zero's value-0 result so the compiler can prove every
+  // free-list index in range.
+  static constexpr int kNumClasses = 29;
+  std::vector<std::unique_ptr<net::NodeId[]>> blocks_;
+  std::size_t block_free_ = 0;  ///< unused entries at the current block tail
+  net::NodeId* block_cursor_ = nullptr;
+  net::NodeId* free_[kNumClasses] = {};
+  std::size_t entries_reserved_ = 0;
+};
+
+/// Compact drop-in for core::NeighborTable (which remains the reference
+/// implementation and the differential-test oracle).  lists(i) returns a
+/// lightweight proxy by value instead of NeighborLists by reference — the
+/// proxy reads through to the table, so it stays current across
+/// link/unlink calls exactly like the reference held by the old code.
+class CompactNeighborTable {
+ public:
+  CompactNeighborTable(std::size_t num_nodes, RelationKind kind,
+                       std::size_t out_capacity, std::size_t in_capacity);
+
+  RelationKind kind() const noexcept { return kind_; }
+  std::size_t size() const noexcept { return refs_.size(); }
+
+  NeighborView out_neighbors(net::NodeId i) const {
+    const ListRef& r = refs_.at(i).out;
+    return {r.data, r.size};
+  }
+  NeighborView in_neighbors(net::NodeId i) const {
+    const ListRef& r = refs_.at(i).in;
+    return {r.data, r.size};
+  }
+
+  std::size_t out_capacity() const noexcept { return out_capacity_; }
+  std::size_t in_capacity() const noexcept { return in_capacity_; }
+
+  /// Read-only per-node proxy mirroring the NeighborLists accessors.
+  class ConstLists {
+   public:
+    NeighborView out() const { return t_->out_neighbors(i_); }
+    NeighborView in() const { return t_->in_neighbors(i_); }
+    std::size_t out_capacity() const noexcept { return t_->out_capacity_; }
+    std::size_t in_capacity() const noexcept { return t_->in_capacity_; }
+    bool out_full() const { return out().size() >= t_->out_capacity_; }
+    bool in_full() const { return in().size() >= t_->in_capacity_; }
+    bool has_out(net::NodeId n) const { return contains(out(), n); }
+    bool has_in(net::NodeId n) const { return contains(in(), n); }
+
+   protected:
+    friend class CompactNeighborTable;
+    ConstLists(const CompactNeighborTable* t, net::NodeId i) : t_(t), i_(i) {}
+    static bool contains(NeighborView v, net::NodeId n) noexcept;
+    const CompactNeighborTable* t_;
+    net::NodeId i_;
+  };
+
+  /// Mutable per-node proxy; the raw add/remove primitives bypass the
+  /// relation-kind link maintenance just like NeighborLists' did (the
+  /// differential and invariant tests seed inconsistent states through
+  /// them deliberately).
+  class Lists : public ConstLists {
+   public:
+    // The proxy is a handle: mutators are const on the handle itself.
+    bool add_out(net::NodeId n) const { return mt()->add(i_, Dir::kOut, n); }
+    bool add_in(net::NodeId n) const { return mt()->add(i_, Dir::kIn, n); }
+    bool remove_out(net::NodeId n) const noexcept {
+      return mt()->remove(i_, Dir::kOut, n);
+    }
+    bool remove_in(net::NodeId n) const noexcept {
+      return mt()->remove(i_, Dir::kIn, n);
+    }
+    void clear() const noexcept { mt()->clear_node(i_); }
+
+   private:
+    friend class CompactNeighborTable;
+    Lists(CompactNeighborTable* t, net::NodeId i) : ConstLists(t, i) {}
+    CompactNeighborTable* mt() const {
+      return const_cast<CompactNeighborTable*>(t_);
+    }
+  };
+
+  Lists lists(net::NodeId i) {
+    check_index(i);
+    return Lists(this, i);
+  }
+  ConstLists lists(net::NodeId i) const {
+    check_index(i);
+    return ConstLists(this, i);
+  }
+
+  /// Identical contract to NeighborTable::link (§3.1 maintenance).
+  bool link(net::NodeId i, net::NodeId j);
+  /// Identical contract to NeighborTable::unlink.
+  bool unlink(net::NodeId i, net::NodeId j);
+  /// Identical contract to NeighborTable::isolate: removes every edge
+  /// touching `i`, returns the nodes that lost `i` as an outgoing
+  /// neighbor, in their in-list discovery order.
+  std::vector<net::NodeId> isolate(net::NodeId i);
+  /// Identical contract to NeighborTable::consistent.
+  bool consistent() const;
+
+  /// Bytes owned by the table (refs + inline store + arena blocks) —
+  /// what the scale tests pin per-peer budgets against.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  enum class Dir : std::uint8_t { kOut, kIn };
+
+  /// One adjacency list: where it lives, how many entries, how many the
+  /// current storage holds.  `store` <= the inline clamp means the data
+  /// pointer aims into inline_store_; anything larger is an arena chunk.
+  struct ListRef {
+    net::NodeId* data = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t store = 0;
+  };
+  struct NodeRefs {
+    ListRef out;
+    ListRef in;
+  };
+
+  /// Per-direction inline slots; 8 keeps a 4-neighbor symmetric overlay
+  /// entirely inline while capping the inline store at 64 bytes/node.
+  static constexpr std::uint32_t kInlineSlots = 8;
+
+  void check_index(net::NodeId i) const;
+  ListRef& ref(net::NodeId i, Dir d) {
+    return d == Dir::kOut ? refs_[i].out : refs_[i].in;
+  }
+  net::NodeId* inline_block(net::NodeId i, Dir d) noexcept;
+  std::uint32_t limit(Dir d) const noexcept {
+    const std::size_t cap = d == Dir::kOut ? out_capacity_ : in_capacity_;
+    return cap > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(cap);
+  }
+  std::uint32_t inline_slots(Dir d) const noexcept {
+    return d == Dir::kOut ? inline_out_ : inline_in_;
+  }
+
+  bool add(net::NodeId i, Dir d, net::NodeId n);
+  bool remove(net::NodeId i, Dir d, net::NodeId n) noexcept;
+  void clear_node(net::NodeId i) noexcept;
+  void clear_list(net::NodeId i, Dir d) noexcept;
+  void grow(net::NodeId i, Dir d);
+
+  RelationKind kind_;
+  std::size_t out_capacity_ = 0;
+  std::size_t in_capacity_ = 0;
+  std::uint32_t inline_out_ = 0;  ///< inline slots per out list
+  std::uint32_t inline_in_ = 0;   ///< inline slots per in list
+  std::vector<NodeRefs> refs_;
+  std::unique_ptr<net::NodeId[]> inline_store_;
+  NeighborArena arena_;
+};
+
+}  // namespace dsf::core

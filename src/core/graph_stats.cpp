@@ -18,61 +18,4 @@ double gini(std::vector<double> values) {
   return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
 }
 
-double mean_degree(const NeighborTable& table, const NodeFilter& filter) {
-  double sum = 0.0;
-  std::size_t n = 0;
-  for (net::NodeId i = 0; i < table.size(); ++i) {
-    if (!filter(i)) continue;
-    sum += static_cast<double>(table.lists(i).out().size());
-    ++n;
-  }
-  return n ? sum / static_cast<double>(n) : 0.0;
-}
-
-double degree_gini(const NeighborTable& table, const NodeFilter& filter) {
-  std::vector<double> degrees;
-  for (net::NodeId i = 0; i < table.size(); ++i)
-    if (filter(i))
-      degrees.push_back(static_cast<double>(table.lists(i).out().size()));
-  return gini(std::move(degrees));
-}
-
-double clustering_coefficient(const NeighborTable& table,
-                              const NodeFilter& filter) {
-  double sum = 0.0;
-  std::size_t n = 0;
-  for (net::NodeId i = 0; i < table.size(); ++i) {
-    if (!filter(i)) continue;
-    const auto& nbrs = table.lists(i).out();
-    if (nbrs.size() < 2) continue;
-    std::size_t linked = 0, pairs = 0;
-    for (std::size_t a = 0; a < nbrs.size(); ++a) {
-      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
-        ++pairs;
-        if (table.lists(nbrs[a]).has_out(nbrs[b]) ||
-            table.lists(nbrs[b]).has_out(nbrs[a]))
-          ++linked;
-      }
-    }
-    sum += static_cast<double>(linked) / static_cast<double>(pairs);
-    ++n;
-  }
-  return n ? sum / static_cast<double>(n) : 0.0;
-}
-
-double same_attribute_fraction(
-    const NeighborTable& table, const NodeFilter& filter,
-    const std::function<std::uint32_t(net::NodeId)>& attribute) {
-  std::size_t same = 0, pairs = 0;
-  for (net::NodeId i = 0; i < table.size(); ++i) {
-    if (!filter(i)) continue;
-    const std::uint32_t a = attribute(i);
-    for (net::NodeId j : table.lists(i).out()) {
-      ++pairs;
-      if (attribute(j) == a) ++same;
-    }
-  }
-  return pairs ? static_cast<double>(same) / static_cast<double>(pairs) : 0.0;
-}
-
 }  // namespace dsf::core

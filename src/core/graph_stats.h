@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/relations.h"
@@ -13,31 +14,85 @@ namespace dsf::core {
 /// (typically: the on-line ones).
 using NodeFilter = std::function<bool(net::NodeId)>;
 
+/// Gini of an arbitrary non-negative sample (exposed for tests and other
+/// inequality metrics).
+double gini(std::vector<double> values);
+
+// The statistics are templates over the table type so the reference
+// NeighborTable and the compact million-peer table (compact_relations.h)
+// share one implementation — both expose size(), lists(i).out() and
+// lists(i).has_out().
+
 /// Mean outgoing degree over the nodes accepted by `filter`.
-double mean_degree(const NeighborTable& table, const NodeFilter& filter);
+template <typename Table>
+double mean_degree(const Table& table, const NodeFilter& filter) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (net::NodeId i = 0; i < table.size(); ++i) {
+    if (!filter(i)) continue;
+    sum += static_cast<double>(table.lists(i).out().size());
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
 
 /// Gini coefficient of the outgoing-degree distribution over the accepted
 /// nodes — 0 when every node has the same degree, →1 as connectivity
 /// concentrates on few nodes.  The always-accept invitation protocol tends
 /// to starve unattractive nodes; this is the one-number summary of that
 /// effect (see DESIGN.md).
-double degree_gini(const NeighborTable& table, const NodeFilter& filter);
+template <typename Table>
+double degree_gini(const Table& table, const NodeFilter& filter) {
+  std::vector<double> degrees;
+  for (net::NodeId i = 0; i < table.size(); ++i)
+    if (filter(i))
+      degrees.push_back(static_cast<double>(table.lists(i).out().size()));
+  return gini(std::move(degrees));
+}
 
 /// Mean local clustering coefficient (fraction of a node's neighbor pairs
 /// that are themselves linked), treating out-lists as undirected edges.
 /// Random overlays sit near degree/N; taste-clustered communities score an
 /// order of magnitude higher.
-double clustering_coefficient(const NeighborTable& table,
-                              const NodeFilter& filter);
+template <typename Table>
+double clustering_coefficient(const Table& table, const NodeFilter& filter) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (net::NodeId i = 0; i < table.size(); ++i) {
+    if (!filter(i)) continue;
+    const auto& nbrs = table.lists(i).out();
+    if (nbrs.size() < 2) continue;
+    std::size_t linked = 0, pairs = 0;
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        ++pairs;
+        if (table.lists(nbrs[a]).has_out(nbrs[b]) ||
+            table.lists(nbrs[b]).has_out(nbrs[a]))
+          ++linked;
+      }
+    }
+    sum += static_cast<double>(linked) / static_cast<double>(pairs);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
 
 /// Fraction of (node, out-neighbor) pairs whose `attribute` matches — the
 /// homophily measure used for "neighbors share the favourite category".
+template <typename Table>
 double same_attribute_fraction(
-    const NeighborTable& table, const NodeFilter& filter,
-    const std::function<std::uint32_t(net::NodeId)>& attribute);
-
-/// Gini of an arbitrary non-negative sample (exposed for tests and other
-/// inequality metrics).
-double gini(std::vector<double> values);
+    const Table& table, const NodeFilter& filter,
+    const std::function<std::uint32_t(net::NodeId)>& attribute) {
+  std::size_t same = 0, pairs = 0;
+  for (net::NodeId i = 0; i < table.size(); ++i) {
+    if (!filter(i)) continue;
+    const std::uint32_t a = attribute(i);
+    for (net::NodeId j : table.lists(i).out()) {
+      ++pairs;
+      if (attribute(j) == a) ++same;
+    }
+  }
+  return pairs ? static_cast<double>(same) / static_cast<double>(pairs) : 0.0;
+}
 
 }  // namespace dsf::core

@@ -10,9 +10,9 @@ std::vector<int> default_depth_ladder(int max_hops) {
 }
 
 std::vector<net::NodeId> select_directed_subset(
-    const StatsStore& stats, const std::vector<net::NodeId>& neighbors,
+    const StatsStore& stats, std::span<const net::NodeId> neighbors,
     std::size_t fanout) {
-  std::vector<net::NodeId> ranked = neighbors;
+  std::vector<net::NodeId> ranked(neighbors.begin(), neighbors.end());
   std::sort(ranked.begin(), ranked.end(),
             [&stats](net::NodeId a, net::NodeId b) {
               const double ba = stats.benefit_of(a);

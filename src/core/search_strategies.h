@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -90,7 +91,7 @@ std::vector<int> default_depth_ladder(int max_hops);
 /// ranked after known ones, by id).  Intermediate nodes flood normally, as
 /// in Yang & GM.  Returns the chosen subset via `chosen` for statistics.
 std::vector<net::NodeId> select_directed_subset(
-    const StatsStore& stats, const std::vector<net::NodeId>& neighbors,
+    const StatsStore& stats, std::span<const net::NodeId> neighbors,
     std::size_t fanout);
 
 /// Runs a flood in which the initiator uses only `subset` as its first-hop
@@ -102,7 +103,9 @@ SearchOutcome directed_flood_search(
     const std::vector<net::NodeId>& subset, NeighborsFn&& neighbors,
     HasContentFn&& has_content, DelayFn&& delay, TransmitFn&& transmit,
     VisitStamp& stamps, SearchScratch& scratch) {
-  auto patched = [&](net::NodeId n) -> const std::vector<net::NodeId>& {
+  // NeighborView so `neighbors` may return either a vector reference or a
+  // span over compact storage (both convert).
+  auto patched = [&](net::NodeId n) -> std::span<const net::NodeId> {
     if (n == initiator) return subset;
     return neighbors(n);
   };

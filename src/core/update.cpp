@@ -1,19 +1,20 @@
 #include "core/update.h"
 
 #include <algorithm>
+#include <span>
 
 namespace dsf::core {
 
 namespace {
 
-bool contains(const std::vector<net::NodeId>& v, net::NodeId n) noexcept {
+bool contains(std::span<const net::NodeId> v, net::NodeId n) noexcept {
   return std::find(v.begin(), v.end(), n) != v.end();
 }
 
 }  // namespace
 
 UpdatePlan plan_update(const StatsStore& stats,
-                       const std::vector<net::NodeId>& current_out,
+                       std::span<const net::NodeId> current_out,
                        std::size_t capacity, const EligibleFn& eligible) {
   // Candidate set: known peers plus current neighbors (the latter may have
   // no statistics yet, e.g. fresh random links).
@@ -50,7 +51,7 @@ UpdatePlan plan_update(const StatsStore& stats,
 }
 
 net::NodeId least_beneficial(const StatsStore& stats,
-                             const std::vector<net::NodeId>& list) {
+                             std::span<const net::NodeId> list) {
   net::NodeId worst = net::kInvalidNode;
   double worst_benefit = 0.0;
   for (net::NodeId n : list) {
@@ -66,7 +67,7 @@ net::NodeId least_beneficial(const StatsStore& stats,
 
 InvitationDecision decide_invitation(const StatsStore& stats,
                                      net::NodeId inviter,
-                                     const std::vector<net::NodeId>& in_list,
+                                     std::span<const net::NodeId> in_list,
                                      std::size_t capacity,
                                      InvitationPolicy policy) {
   InvitationDecision d;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/stats_store.h"
@@ -30,8 +31,10 @@ using EligibleFn = std::function<bool(net::NodeId)>;
 /// that reconfiguration never churns between equally-good peers; this also
 /// means a node with sparse statistics keeps its current neighborhood
 /// rather than shrinking it.
+/// Neighbor lists arrive as spans so both the reference and the compact
+/// overlay tables (and plain vectors in tests) can feed the planner.
 UpdatePlan plan_update(const StatsStore& stats,
-                       const std::vector<net::NodeId>& current_out,
+                       std::span<const net::NodeId> current_out,
                        std::size_t capacity, const EligibleFn& eligible);
 
 /// How an invited node reacts to a neighboring invitation (§3.4's two
@@ -70,7 +73,7 @@ struct InvitationDecision {
 /// list and statistics (Algo 4, "On Neighboring Invitation Arrival").
 InvitationDecision decide_invitation(const StatsStore& stats,
                                      net::NodeId inviter,
-                                     const std::vector<net::NodeId>& in_list,
+                                     std::span<const net::NodeId> in_list,
                                      std::size_t capacity,
                                      InvitationPolicy policy);
 
@@ -78,7 +81,7 @@ InvitationDecision decide_invitation(const StatsStore& stats,
 /// (kInvalidNode for an empty list).  Ties broken toward the higher id so
 /// older/lower ids — about which more is typically known — survive.
 net::NodeId least_beneficial(const StatsStore& stats,
-                             const std::vector<net::NodeId>& list);
+                             std::span<const net::NodeId> list);
 
 /// Reconfiguration trigger of the case study (§4.1/§4.3): a counter of
 /// requests issued since the last reconfiguration; firing at `threshold`

@@ -80,4 +80,24 @@ auto parallel_map(const std::vector<T>& inputs, Fn&& fn,
   return results;
 }
 
+/// Runs `fn` over every input in parallel and folds the per-shard results
+/// into `init` on the CALLING thread, strictly in input order.
+///
+/// The ordering is the whole point: folding shards as workers finish would
+/// make merged floating-point accumulators (Welford summaries, histogram
+/// quantile interpolation inputs) depend on the thread schedule.  Because
+/// parallel_map already lands results in per-index slots, the fold below
+/// sees shard i before shard i+1 regardless of which worker produced them
+/// or when — the merged accumulator is byte-identical for any thread
+/// count, including the sequential threads<=1 path.
+///
+/// `merge` is called as `merge(acc, shard)` and may move from `shard`.
+template <typename T, typename Fn, typename Acc, typename MergeFn>
+Acc parallel_map_reduce(const std::vector<T>& inputs, Fn&& fn, Acc init,
+                        MergeFn&& merge, unsigned threads = 0) {
+  auto shards = parallel_map(inputs, std::forward<Fn>(fn), threads);
+  for (auto& shard : shards) merge(init, shard);
+  return init;
+}
+
 }  // namespace dsf::des

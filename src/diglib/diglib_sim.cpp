@@ -94,7 +94,7 @@ void DigLibSim::issue_query(net::NodeId r) {
   params.max_hops = config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
   params.forward_when_hit = true;
 
-  const auto neighbors = [this](net::NodeId n) -> const std::vector<net::NodeId>& {
+  const auto neighbors = [this](net::NodeId n) -> core::NeighborView {
     return overlay_.out_neighbors(n);
   };
   const auto has_content = [this, doc](net::NodeId n) { return holds(n, doc); };

@@ -50,26 +50,34 @@ Simulation::Simulation(const Config& config)
       benefit_fn_(make_benefit(config.benefit)) {
   des::Rng profile_rng = rng().split();
   workload::ProfileGenerator profiles(catalog_, config.user_zipf_theta);
-  users_.resize(config.num_users);
-  for (auto& u : users_) {
-    u.profile = profiles.generate(profile_rng);
-    u.library = library_gen_.generate(u.profile, profile_rng);
+  hot_.resize(config.num_users);
+  cold_.resize(config.num_users);
+  libraries_.reserve(config.num_users,
+                     static_cast<std::size_t>(
+                         static_cast<double>(config.num_users) *
+                         config.library.mean_size));
+  for (auto& c : cold_) {
+    c.profile = profiles.generate(profile_rng);
+    // Generation order and RNG draws are identical to the per-user Library
+    // path; the pool only changes where the sorted songs end up living.
+    libraries_.append(library_gen_.generate(c.profile, profile_rng));
   }
 
   if (config.invitation_policy == core::InvitationPolicy::kSummaryGated) {
     // Libraries never change, so each user's digest is built once.  ~1%
     // false positives keeps the benefit estimate honest at window size 32.
-    digests_.reserve(users_.size());
-    for (const auto& u : users_) {
-      digests_.emplace_back(std::max<std::size_t>(u.library.size(), 16), 0.01);
-      for (workload::SongId s : u.library.songs()) digests_.back().insert(s);
+    digests_.reserve(config.num_users);
+    for (net::NodeId u = 0; u < config.num_users; ++u) {
+      const auto songs = libraries_.base(u);
+      digests_.emplace_back(std::max<std::size_t>(songs.size(), 16), 0.01);
+      for (workload::SongId s : songs) digests_.back().insert(s);
     }
   }
 }
 
 std::uint32_t Simulation::summary_estimate(net::NodeId v, net::NodeId c) const {
   std::uint32_t overlap = 0;
-  for (workload::SongId s : users_[v].recent_queries)
+  for (workload::SongId s : cold_[v].recent_queries)
     if (digests_[c].might_contain(s)) ++overlap;
   return overlap;
 }
@@ -81,13 +89,13 @@ void Simulation::prime() {
   const std::vector<net::NodeId> initially_online =
       draw_initial_online(churn, session_rng());
   for (net::NodeId u : initially_online) {
-    users_[u].online = true;
-    users_[u].online_pos = static_cast<std::uint32_t>(online_nodes_.size());
+    hot_[u].online = true;
+    hot_[u].online_pos = static_cast<std::uint32_t>(online_nodes_.size());
     online_nodes_.push_back(u);
   }
   for (net::NodeId u : initially_online) fill_with_random_neighbors(u);
-  for (net::NodeId u = 0; u < users_.size(); ++u) {
-    UserState& st = users_[u];
+  for (net::NodeId u = 0; u < hot_.size(); ++u) {
+    UserHot& st = hot_[u];
     if (st.online) {
       st.session_event = sim_.schedule_in(
           session_.draw_online_duration(session_rng()), [this, u] { log_off(u); });
@@ -100,7 +108,7 @@ void Simulation::prime() {
 }
 
 void Simulation::probe_overlay() {
-  const auto online = [this](net::NodeId n) { return users_[n].online; };
+  const auto online = [this](net::NodeId n) { return hot_[n].online; };
   ProbeSample sample;
   sample.time_s = sim_.now();
   sample.online = online_nodes_.size();
@@ -109,7 +117,7 @@ void Simulation::probe_overlay() {
   sample.clustering = core::clustering_coefficient(overlay_, online);
   sample.same_favorite = core::same_attribute_fraction(
       overlay_, online,
-      [this](net::NodeId n) { return users_[n].profile.favorite; });
+      [this](net::NodeId n) { return cold_[n].profile.favorite; });
   result_.probes.push_back(sample);
 }
 
@@ -118,7 +126,7 @@ RunResult Simulation::run() {
   if (config_.probe_period_s > 0.0)
     schedule_every(config_.probe_period_s, config_.probe_period_s,
                    [this] { probe_overlay(); });
-  run_until_horizon();
+  result_.events_executed = run_until_horizon();
   result_.warmup_bucket = static_cast<std::size_t>(config_.warmup_hours);
   result_.last_bucket = static_cast<std::size_t>(config_.sim_hours) - 1;
   result_.traffic = traffic();
@@ -147,12 +155,12 @@ void Simulation::on_link_formed() {
 }
 
 void Simulation::log_in(net::NodeId u) {
-  UserState& st = users_[u];
+  UserHot& st = hot_[u];
   assert(!st.online);
   st.online = true;
   st.online_pos = static_cast<std::uint32_t>(online_nodes_.size());
   online_nodes_.push_back(u);
-  if (!config_.persist_stats_across_sessions) st.stats.clear();
+  if (!config_.persist_stats_across_sessions) cold_[u].stats.clear();
   st.reconfig_count = 0;
 
   // Gnutella bootstrap: the rendezvous server hands out random on-line
@@ -165,7 +173,7 @@ void Simulation::log_in(net::NodeId u) {
 }
 
 void Simulation::log_off(net::NodeId u) {
-  UserState& st = users_[u];
+  UserHot& st = hot_[u];
   assert(st.online);
   st.online = false;
   if (st.has_query_event) {
@@ -177,17 +185,17 @@ void Simulation::log_off(net::NodeId u) {
   const std::uint32_t pos = st.online_pos;
   const net::NodeId moved = online_nodes_.back();
   online_nodes_[pos] = moved;
-  users_[moved].online_pos = pos;
+  hot_[moved].online_pos = pos;
   online_nodes_.pop_back();
 
   // Sever all overlay links; ex-neighbors react per scheme.
   const std::vector<net::NodeId> affected = overlay_.isolate(u);
   for (net::NodeId v : affected) {
-    if (!users_[v].online) continue;  // defensive; overlay holds online only
+    if (!hot_[v].online) continue;  // defensive; overlay holds online only
     if (config_.dynamic) {
       // §4.1(v): neighbor log-offs trigger the update process.
       reconfigure(v);
-      users_[v].reconfig_count = 0;
+      hot_[v].reconfig_count = 0;
     } else {
       // Static Gnutella: replace the lost neighbor with a random peer.
       fill_with_random_neighbors(v);
@@ -199,15 +207,15 @@ void Simulation::log_off(net::NodeId u) {
 }
 
 void Simulation::schedule_next_query(net::NodeId u) {
-  UserState& st = users_[u];
+  UserHot& st = hot_[u];
   st.query_event = sim_.schedule_in(
       session_.draw_interquery_gap(session_rng()), [this, u] { issue_query(u); });
   st.has_query_event = true;
 }
 
 void Simulation::issue_query(net::NodeId u) {
-  UserState& st = users_[u];
-  st.has_query_event = false;
+  hot_[u].has_query_event = false;
+  UserCold& st = cold_[u];
 
   // By default users search for songs they do not already own (the
   // preference distribution conditioned on non-ownership by rejection);
@@ -215,10 +223,10 @@ void Simulation::issue_query(net::NodeId u) {
   // Algo 5's pseudo-code.
   workload::SongId song = query_gen_.draw(st.profile, query_rng());
   if (config_.exclude_owned_songs) {
-    bool found = !st.library.contains(song);
+    bool found = !libraries_.contains(u, song);
     for (int tries = 0; tries < 64 && !found; ++tries) {
       song = query_gen_.draw(st.profile, query_rng());
-      found = !st.library.contains(song);
+      found = !libraries_.contains(u, song);
     }
     if (!found) {
       ++result_.local_hits;
@@ -267,7 +275,7 @@ void Simulation::issue_query(net::NodeId u) {
     // summary-gated digests deliberately stay as built at start-up —
     // digests in deployed systems are periodically rebuilt, not updated
     // per download.)
-    if (config_.library_growth) st.library.add(song);
+    if (config_.library_growth) libraries_.add(u, song);
   }
 
   if (config_.dynamic) {
@@ -283,9 +291,9 @@ void Simulation::issue_query(net::NodeId u) {
       st.stats.add(hit.node, benefit_of(info));
     }
     if (config_.reconfig_threshold > 0 &&
-        ++st.reconfig_count >= config_.reconfig_threshold) {
+        ++hot_[u].reconfig_count >= config_.reconfig_threshold) {
       reconfigure(u);
-      st.reconfig_count = 0;
+      hot_[u].reconfig_count = 0;
     }
   }
 
@@ -295,28 +303,28 @@ void Simulation::issue_query(net::NodeId u) {
 core::SearchOutcome Simulation::run_search(net::NodeId u,
                                            workload::SongId song,
                                            const core::SearchParams& params) {
-  const auto neighbors = [this](net::NodeId n) -> const std::vector<net::NodeId>& {
+  const auto neighbors = [this](net::NodeId n) -> core::NeighborView {
     return overlay_.out_neighbors(n);
   };
   const auto has_content = [this, song](net::NodeId n) {
-    return users_[n].library.contains(song);
+    return libraries_.contains(n, song);
   };
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
   };
   if (fault_layer_active())
     return sim::dispatch_search(config_.search_strategy, u, params,
-                                users_[u].stats, config_.directed_fanout,
+                                cold_[u].stats, config_.directed_fanout,
                                 neighbors, has_content, delay, transmit_fn(),
                                 stamps_, hit_stamps_, scratch_);
   return sim::dispatch_search(config_.search_strategy, u, params,
-                              users_[u].stats, config_.directed_fanout,
+                              cold_[u].stats, config_.directed_fanout,
                               neighbors, has_content, delay, stamps_,
                               hit_stamps_, scratch_);
 }
 
 void Simulation::on_peer_crashed(net::NodeId u) {
-  UserState& st = users_[u];
+  UserHot& st = hot_[u];
   if (st.has_query_event) {
     sim_.cancel(st.query_event);
     st.has_query_event = false;
@@ -330,12 +338,12 @@ void Simulation::on_peer_crashed(net::NodeId u) {
   const std::uint32_t pos = st.online_pos;
   const net::NodeId moved = online_nodes_.back();
   online_nodes_[pos] = moved;
-  users_[moved].online_pos = pos;
+  hot_[moved].online_pos = pos;
   online_nodes_.pop_back();
 }
 
 bool Simulation::invite(net::NodeId u, net::NodeId v) {
-  UserState& target = users_[v];
+  UserHot& target = hot_[v];
   if (fault_layer_active()) {
     count(net::MessageType::kInvitation);
     const auto ti = transmit(net::MessageType::kInvitation, u, v, -1);
@@ -381,7 +389,8 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
       }
     }
   } else {
-    decision = core::decide_invitation(target.stats, u, overlay_.lists(v).in(),
+    decision = core::decide_invitation(cold_[v].stats, u,
+                                       overlay_.lists(v).in(),
                                        config_.max_neighbors,
                                        config_.invitation_policy);
   }
@@ -408,11 +417,11 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
 void Simulation::evaluate_trial(net::NodeId inviter, net::NodeId invitee) {
   // The relationship may already be gone (log-off, eviction); only a
   // still-standing link is evaluated.
-  if (!users_[invitee].online || !users_[inviter].online) return;
+  if (!hot_[invitee].online || !hot_[inviter].online) return;
   if (!overlay_.lists(invitee).has_out(inviter)) return;
 
   const auto& neighbors = overlay_.out_neighbors(invitee);
-  const core::StatsStore& stats = users_[invitee].stats;
+  const core::StatsStore& stats = cold_[invitee].stats;
   bool beats_someone = false;
   for (net::NodeId w : neighbors) {
     if (w == inviter) continue;
@@ -450,17 +459,17 @@ void Simulation::evict(net::NodeId evictor, net::NodeId evictee) {
   // statistics so it does not try to reconnect in the near future; it
   // restores basic connectivity up to the configured floor and leaves the
   // remaining slots to the reorganization machinery.
-  users_[evictee].stats.reset(evictor);
+  cold_[evictee].stats.reset(evictor);
   if (config_.eviction_refill_floor > 0)
     fill_with_random_neighbors(evictee, config_.eviction_refill_floor);
 }
 
 void Simulation::reconfigure(net::NodeId u) {
   ++result_.reconfigurations;
-  UserState& st = users_[u];
+  UserCold& st = cold_[u];
   const auto plan = core::plan_update(
       st.stats, overlay_.out_neighbors(u), config_.max_neighbors,
-      [this, u](net::NodeId n) { return n != u && users_[n].online; });
+      [this, u](net::NodeId n) { return n != u && hot_[n].online; });
 
   // §4.3: at most `max_exchanges_per_reconfig` neighbors are exchanged per
   // reconfiguration (one, in the paper's experiments).  Evictions happen

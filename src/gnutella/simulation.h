@@ -21,6 +21,7 @@
 #include "sim/engine.h"
 #include "workload/catalog.h"
 #include "workload/library.h"
+#include "workload/library_pool.h"
 #include "workload/query_gen.h"
 #include "workload/session.h"
 #include "workload/user_profile.h"
@@ -60,6 +61,7 @@ struct RunResult {
   std::uint64_t evictions = 0;
   std::uint64_t trials_kept = 0;      ///< kTrialPeriod: relationships kept
   std::uint64_t trials_rejected = 0;  ///< kTrialPeriod: terminated after trial
+  std::uint64_t events_executed = 0;  ///< DES events over the whole horizon
 
   std::vector<ProbeSample> probes;  ///< overlay-structure evolution
 
@@ -116,17 +118,28 @@ class Simulation : public sim::OverlayEngine {
   /// --- instrumented access (tests, examples) ---
   const Config& config() const noexcept { return config_; }
   const workload::Catalog& catalog() const noexcept { return catalog_; }
-  bool online(net::NodeId u) const { return users_.at(u).online; }
-  const workload::Library& library(net::NodeId u) const {
-    return users_.at(u).library;
+  bool online(net::NodeId u) const { return hot_.at(u).online; }
+  /// The user's construction-time library, sorted ascending.  Songs
+  /// downloaded afterwards (library_growth) live in the pool's spill lists
+  /// and are visible through owns(), not here — mirroring the
+  /// digests-stay-as-built rule.
+  std::span<const workload::SongId> library(net::NodeId u) const {
+    return libraries_.base(u);
+  }
+  /// Ownership including downloaded songs.
+  bool owns(net::NodeId u, workload::SongId s) const {
+    return libraries_.contains(u, s);
   }
   const workload::UserProfile& profile(net::NodeId u) const {
-    return users_.at(u).profile;
+    return cold_.at(u).profile;
   }
   const core::StatsStore& stats(net::NodeId u) const {
-    return users_.at(u).stats;
+    return cold_.at(u).stats;
   }
   std::size_t online_count() const noexcept { return online_nodes_.size(); }
+  const workload::LibraryPool& libraries() const noexcept {
+    return libraries_;
+  }
 
   /// Prepares the initial event population without running (tests drive
   /// the simulator manually afterwards).
@@ -140,20 +153,28 @@ class Simulation : public sim::OverlayEngine {
   void on_peer_crashed(net::NodeId u) override;
 
  private:
-  struct UserState {
+  // Per-user state is split SoA-style.  The hot record is what every
+  // session/query event dispatch touches — 32 bytes, so a million-peer
+  // event loop walks a dense array instead of dragging profiles,
+  // statistics and query windows through the cache.  Libraries live in a
+  // shared workload::LibraryPool arena (one allocation for the whole
+  // population instead of one vector per user).
+  struct UserHot {
+    des::EventId query_event{};
+    des::EventId session_event{};
+    std::uint32_t reconfig_count = 0;
+    std::uint32_t online_pos = 0;  ///< index in online_nodes_ when online
+    bool online = false;
+    bool has_query_event = false;
+  };
+  /// Cold per-user state: read on queries and invitations, not per event.
+  struct UserCold {
     workload::UserProfile profile;
-    workload::Library library;
     core::StatsStore stats;
     /// Ring of the user's most recent query targets, matched against
     /// library digests by the summary-gated invitation policy.
     std::vector<workload::SongId> recent_queries;
     std::size_t recent_pos = 0;
-    std::uint32_t reconfig_count = 0;
-    bool online = false;
-    bool has_query_event = false;
-    des::EventId query_event{};
-    des::EventId session_event{};
-    std::uint32_t online_pos = 0;  ///< index in online_nodes_ when online
   };
   static constexpr std::size_t kRecentQueryWindow = 32;
 
@@ -199,7 +220,9 @@ class Simulation : public sim::OverlayEngine {
   workload::LibraryGenerator library_gen_;
   workload::QueryGenerator query_gen_;
   workload::SessionModel session_;
-  std::vector<UserState> users_;
+  std::vector<UserHot> hot_;
+  std::vector<UserCold> cold_;
+  workload::LibraryPool libraries_;
   /// One library digest per user (libraries are static, built once); only
   /// materialized when the summary-gated policy is active.
   std::vector<net::BloomFilter> digests_;

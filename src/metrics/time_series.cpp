@@ -38,6 +38,15 @@ std::uint64_t TimeSeries::sum(std::size_t first, std::size_t last) const noexcep
   return s;
 }
 
+TimeSeries& TimeSeries::operator+=(const TimeSeries& o) {
+  if (width_ != o.width_)
+    throw std::invalid_argument("TimeSeries: merging different bucket widths");
+  if (o.buckets_.size() > buckets_.size()) buckets_.resize(o.buckets_.size(), 0);
+  for (std::size_t i = 0; i < o.buckets_.size(); ++i)
+    buckets_[i] += o.buckets_[i];
+  return *this;
+}
+
 std::uint64_t TimeSeries::total() const noexcept {
   std::uint64_t s = 0;
   for (auto b : buckets_) s += b;
@@ -99,6 +108,16 @@ void Histogram::add(double x) noexcept {
   } else {
     ++bins_[static_cast<std::size_t>((x - lo_) / width_)];
   }
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) {
+  if (lo_ != o.lo_ || hi_ != o.hi_ || bins_.size() != o.bins_.size())
+    throw std::invalid_argument("Histogram: merging different geometries");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  count_ += o.count_;
+  underflow_ += o.underflow_;
+  overflow_ += o.overflow_;
+  return *this;
 }
 
 double Histogram::quantile(double q) const {

@@ -36,6 +36,13 @@ class TimeSeries {
     return buckets_;
   }
 
+  /// Bucket-wise merge of a shard collected with the same width (throws
+  /// std::invalid_argument otherwise).  Addition is commutative, but the
+  /// sweep layer still folds shards in input order so merged floating-point
+  /// metrics next to these counters stay byte-identical for any thread
+  /// count.
+  TimeSeries& operator+=(const TimeSeries& o);
+
  private:
   double width_;
   std::vector<std::uint64_t> buckets_;
@@ -78,6 +85,13 @@ class Histogram {
   double quantile(double q) const;  ///< q in [0, 1]
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
+  const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }
+
+  /// Bin-wise merge of a shard with identical geometry (same lo, hi and
+  /// bin count — throws std::invalid_argument otherwise).  A merged
+  /// histogram is indistinguishable from one that saw every sample
+  /// directly, so per-shard collection loses nothing.
+  Histogram& operator+=(const Histogram& o);
 
  private:
   double lo_, hi_, width_;

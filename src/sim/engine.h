@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compact_relations.h"
 #include "core/relations.h"
 #include "core/flood_search.h"
 #include "core/visit_stamp.h"
@@ -188,7 +189,9 @@ class OverlayEngine {
   OverlayEngine(const OverlayEngine&) = delete;
   OverlayEngine& operator=(const OverlayEngine&) = delete;
 
-  const core::NeighborTable& overlay() const noexcept { return overlay_; }
+  const core::CompactNeighborTable& overlay() const noexcept {
+    return overlay_;
+  }
   const net::DelayModel& delay_model() const noexcept { return delay_; }
   des::Simulator& simulator() noexcept { return sim_; }
   std::size_t num_nodes() const noexcept { return overlay_.size(); }
@@ -427,7 +430,7 @@ class OverlayEngine {
   template <typename PickFn, typename OnLinkFn>
   void fill_random_neighbors(net::NodeId u, std::size_t target, int attempts,
                              PickFn&& pick, OnLinkFn&& on_link) {
-    auto& lists = overlay_.lists(u);
+    const auto lists = overlay_.lists(u);  // value proxy, reads stay live
     while (lists.out().size() < target && !lists.out_full() &&
            attempts-- > 0) {
       const net::NodeId v = pick();
@@ -463,7 +466,7 @@ class OverlayEngine {
   des::Rng master_rng_;
   RngLanes lanes_;
   net::DelayModel delay_;
-  core::NeighborTable overlay_;
+  core::CompactNeighborTable overlay_;
   core::VisitStamp stamps_;     ///< per-search visited set
   core::SearchScratch scratch_; ///< flood frontier reuse
   des::Simulator sim_;

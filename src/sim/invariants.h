@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,8 +90,8 @@ class InvariantChecker {
   /// Audits one node's raw adjacency lists: self-loops, duplicate entries,
   /// out-of-range ids.  check_overlay calls this per node; tests call it
   /// directly with crafted lists.
-  void check_adjacency(net::NodeId node, const std::vector<net::NodeId>& out,
-                       const std::vector<net::NodeId>& in,
+  void check_adjacency(net::NodeId node, std::span<const net::NodeId> out,
+                       std::span<const net::NodeId> in,
                        std::size_t num_nodes) {
     check_list(node, out, num_nodes, "outgoing");
     check_list(node, in, num_nodes, "incoming");
@@ -100,8 +101,11 @@ class InvariantChecker {
   /// §3.1 consistency requirement (every outgoing entry mirrored by the
   /// target's incoming list).  Dangling entries pointing AT a crashed peer
   /// are legal — both sides of each link still record it — which is
-  /// exactly what makes ungraceful crashes interesting.
-  void check_overlay(const core::NeighborTable& table) {
+  /// exactly what makes ungraceful crashes interesting.  Templated over
+  /// the table type: the reference core::NeighborTable and the compact
+  /// million-peer table are audited identically.
+  template <typename Table>
+  void check_overlay(const Table& table) {
     for (net::NodeId i = 0; i < table.size(); ++i) {
       const auto& l = table.lists(i);
       check_adjacency(i, l.out(), l.in(), table.size());
@@ -233,7 +237,7 @@ class InvariantChecker {
     last_query_ttl_ = ev.ttl;
   }
 
-  void check_list(net::NodeId node, const std::vector<net::NodeId>& list,
+  void check_list(net::NodeId node, std::span<const net::NodeId> list,
                   std::size_t num_nodes, const char* which) {
     for (std::size_t a = 0; a < list.size(); ++a) {
       if (list[a] == node)

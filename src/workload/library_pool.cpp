@@ -1,0 +1,56 @@
+#include "workload/library_pool.h"
+
+#include <algorithm>
+
+namespace dsf::workload {
+
+void LibraryPool::reserve(std::size_t num_users, std::size_t expected_songs) {
+  start_.reserve(num_users + 1);
+  songs_.reserve(expected_songs);
+  if (start_.empty()) start_.push_back(0);
+}
+
+void LibraryPool::append(const Library& lib) {
+  if (start_.empty()) start_.push_back(0);
+  songs_.insert(songs_.end(), lib.songs().begin(), lib.songs().end());
+  start_.push_back(songs_.size());
+}
+
+bool LibraryPool::contains(std::uint32_t u, SongId s) const noexcept {
+  const auto b = base(u);
+  if (std::binary_search(b.begin(), b.end(), s)) return true;
+  if (spill_.empty()) return false;
+  const auto it = spill_.find(u);
+  if (it == spill_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), s);
+}
+
+std::size_t LibraryPool::size(std::uint32_t u) const {
+  std::size_t n = base(u).size();
+  if (!spill_.empty()) {
+    const auto it = spill_.find(u);
+    if (it != spill_.end()) n += it->second.size();
+  }
+  return n;
+}
+
+void LibraryPool::add(std::uint32_t u, SongId s) {
+  const auto b = base(u);
+  if (std::binary_search(b.begin(), b.end(), s)) return;
+  auto& spill = spill_[u];
+  const auto it = std::lower_bound(spill.begin(), spill.end(), s);
+  if (it == spill.end() || *it != s) spill.insert(it, s);
+}
+
+std::size_t LibraryPool::memory_bytes() const noexcept {
+  std::size_t bytes = songs_.capacity() * sizeof(SongId) +
+                      start_.capacity() * sizeof(std::uint64_t);
+  for (const auto& [u, spill] : spill_) {
+    (void)u;
+    bytes += sizeof(spill) + spill.capacity() * sizeof(SongId) +
+             64;  // rough per-entry hash-table overhead
+  }
+  return bytes;
+}
+
+}  // namespace dsf::workload

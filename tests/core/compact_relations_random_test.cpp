@@ -1,0 +1,185 @@
+// Randomized differential test: CompactNeighborTable against the
+// reference NeighborTable (the std::vector implementation it replaces in
+// the engine).  Mirrors tests/des/event_queue_random_test.cpp — the same
+// seeded operation stream drives both tables, and after every phase the
+// full adjacency state must match element-for-element, including
+// insertion order (call sites iterate lists positionally, so order is
+// part of the behavioral contract, not an implementation detail).
+//
+// The raw add/remove primitives are exercised alongside link/unlink —
+// they bypass the relation-kind maintenance exactly like ungraceful
+// crashes do, leaving dangling one-sided entries the compact table must
+// represent identically (and report identically through consistent()).
+
+#include "core/compact_relations.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relations.h"
+#include "des/rng.h"
+#include "net/node_id.h"
+
+namespace dsf::core {
+namespace {
+
+class DifferentialHarness {
+ public:
+  DifferentialHarness(std::size_t n, RelationKind kind, std::size_t out_cap,
+                      std::size_t in_cap, std::uint64_t seed)
+      : n_(n),
+        oracle_(n, kind, out_cap, in_cap),
+        compact_(n, kind, out_cap, in_cap),
+        rng_(seed) {}
+
+  void run_phase(std::size_t ops) {
+    for (std::size_t k = 0; k < ops; ++k) {
+      step();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    check_full_state();
+  }
+
+  void check_full_state() {
+    ASSERT_EQ(oracle_.size(), compact_.size());
+    for (net::NodeId i = 0; i < n_; ++i) {
+      const auto& ol = oracle_.lists(i);
+      const auto cl = compact_.lists(i);
+      ASSERT_TRUE(equal(ol.out(), cl.out())) << "out list of node " << i;
+      ASSERT_TRUE(equal(ol.in(), cl.in())) << "in list of node " << i;
+      ASSERT_EQ(ol.out_full(), cl.out_full()) << i;
+      ASSERT_EQ(ol.in_full(), cl.in_full()) << i;
+    }
+    ASSERT_EQ(oracle_.consistent(), compact_.consistent());
+  }
+
+ private:
+  static bool equal(const std::vector<net::NodeId>& v, NeighborView s) {
+    if (v.size() != s.size()) return false;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if (v[i] != s[i]) return false;
+    return true;
+  }
+
+  net::NodeId pick() { return rng_.uniform_int(n_); }
+
+  void step() {
+    const net::NodeId i = pick(), j = pick();
+    switch (rng_.uniform_int(10)) {
+      case 0:
+      case 1:
+      case 2:
+        ASSERT_EQ(oracle_.link(i, j), compact_.link(i, j))
+            << "link(" << i << ", " << j << ")";
+        break;
+      case 3:
+        ASSERT_EQ(oracle_.unlink(i, j), compact_.unlink(i, j))
+            << "unlink(" << i << ", " << j << ")";
+        break;
+      case 4: {
+        const auto a = oracle_.isolate(i);
+        const auto b = compact_.isolate(i);
+        ASSERT_EQ(a, b) << "isolate(" << i << ")";
+        break;
+      }
+      // Raw primitives: crash-style one-sided mutations.
+      case 5:
+        ASSERT_EQ(oracle_.lists(i).add_out(j), compact_.lists(i).add_out(j));
+        break;
+      case 6:
+        ASSERT_EQ(oracle_.lists(i).add_in(j), compact_.lists(i).add_in(j));
+        break;
+      case 7:
+        ASSERT_EQ(oracle_.lists(i).remove_out(j),
+                  compact_.lists(i).remove_out(j));
+        break;
+      case 8:
+        ASSERT_EQ(oracle_.lists(i).remove_in(j),
+                  compact_.lists(i).remove_in(j));
+        break;
+      case 9:
+        // Rare full clear keeps list sizes cycling through grow/shrink.
+        if (rng_.uniform_int(8) == 0) {
+          oracle_.lists(i).clear();
+          compact_.lists(i).clear();
+        } else {
+          ASSERT_EQ(oracle_.link(j, i), compact_.link(j, i));
+        }
+        break;
+    }
+  }
+
+  std::size_t n_;
+  NeighborTable oracle_;
+  CompactNeighborTable compact_;
+  des::Rng rng_;
+};
+
+TEST(CompactRelationsDifferential, SymmetricSmallDegree) {
+  // The gnutella shape: capacity 4, everything stays in inline slots.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    DifferentialHarness h(40, RelationKind::kSymmetric, 4, 4, seed);
+    for (int phase = 0; phase < 5; ++phase) {
+      h.run_phase(400);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompactRelationsDifferential, AsymmetricOverflowsInline) {
+  // Capacity 32 forces lists through the inline → arena growth path and
+  // back (isolate/clear release chunks to the free lists for reuse).
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    DifferentialHarness h(48, RelationKind::kAsymmetric, 32, 32, seed);
+    for (int phase = 0; phase < 5; ++phase) {
+      h.run_phase(600);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompactRelationsDifferential, PureAsymmetricUnboundedIn) {
+  // In-capacity is the population: in-lists grow far past the inline
+  // slots, exercising repeated chunk doubling.
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    DifferentialHarness h(64, RelationKind::kPureAsymmetric, 6, 64, seed);
+    for (int phase = 0; phase < 4; ++phase) {
+      h.run_phase(800);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompactRelationsDifferential, AllToAllLargeLists) {
+  for (std::uint64_t seed = 31; seed <= 32; ++seed) {
+    DifferentialHarness h(56, RelationKind::kAllToAll, 56, 56, seed);
+    for (int phase = 0; phase < 4; ++phase) {
+      h.run_phase(700);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompactRelationsDifferential, TinyPopulationEdgeCases) {
+  // Self-links, immediate saturation, n=2 isolate churn.
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    DifferentialHarness h(2, RelationKind::kSymmetric, 4, 4, seed);
+    for (int phase = 0; phase < 3; ++phase) {
+      h.run_phase(200);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompactRelations, MemoryBytesGrowsWithArenaUse) {
+  CompactNeighborTable t(128, RelationKind::kPureAsymmetric, 4, 128);
+  const std::size_t before = t.memory_bytes();
+  for (net::NodeId i = 1; i < 128; ++i) ASSERT_TRUE(t.link(i, 0));
+  EXPECT_GT(t.memory_bytes(), before);  // node 0's in-list left the inline block
+  EXPECT_TRUE(t.consistent());
+}
+
+}  // namespace
+}  // namespace dsf::core

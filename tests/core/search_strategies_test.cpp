@@ -117,20 +117,20 @@ TEST(DirectedSubset, PicksTopBeneficialNeighbors) {
   stats.add(1, 1.0);
   stats.add(2, 9.0);
   stats.add(3, 5.0);
-  const auto subset = select_directed_subset(stats, {1, 2, 3, 4}, 2);
+  const auto subset = select_directed_subset(stats, std::vector<net::NodeId>{1, 2, 3, 4}, 2);
   EXPECT_EQ(subset, (std::vector<net::NodeId>{2, 3}));
 }
 
 TEST(DirectedSubset, UnknownNeighborsRankLast) {
   StatsStore stats;
   stats.add(4, 0.5);
-  const auto subset = select_directed_subset(stats, {1, 2, 4}, 2);
+  const auto subset = select_directed_subset(stats, std::vector<net::NodeId>{1, 2, 4}, 2);
   EXPECT_EQ(subset, (std::vector<net::NodeId>{4, 1}));
 }
 
 TEST(DirectedSubset, FanoutLargerThanDegreeKeepsAll) {
   StatsStore stats;
-  const auto subset = select_directed_subset(stats, {3, 1}, 10);
+  const auto subset = select_directed_subset(stats, std::vector<net::NodeId>{3, 1}, 10);
   EXPECT_EQ(subset.size(), 2u);
 }
 

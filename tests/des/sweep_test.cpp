@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <numeric>
 #include <stdexcept>
 #include <type_traits>
 
 #include "des/rng.h"
+#include "metrics/time_series.h"
 
 namespace dsf::des {
 namespace {
@@ -131,6 +133,123 @@ TEST(SweepThreads, BoundedByJobsAndHardware) {
   EXPECT_EQ(sweep_threads(1), 1u);
   EXPECT_GE(sweep_threads(1000), 1u);
   EXPECT_LE(sweep_threads(2), 2u);
+}
+
+// --- deterministic shard merging ---------------------------------------
+//
+// Replicated runs collect metrics into per-shard accumulators; the sweep
+// layer folds them in input order on the calling thread.  These tests pin
+// the contract the scale sweep depends on: the merged accumulator is
+// BYTE-identical for any thread count, including the floating-point state
+// of Welford summaries, where merge order genuinely changes the bits.
+
+struct MetricShard {
+  metrics::Summary delay;
+  metrics::Histogram hist{0.0, 1.0, 50};
+  metrics::TimeSeries hits{3600.0};
+};
+
+MetricShard make_shard(std::uint64_t seed) {
+  Rng rng(seed);
+  MetricShard s;
+  for (int i = 0; i < 4096; ++i) {
+    const double x = rng.uniform();
+    s.delay.add(x);
+    s.hist.add(x * 1.2 - 0.1);  // exercises under- and overflow bins
+    s.hits.add(x * 7200.0);
+  }
+  return s;
+}
+
+void merge_shard(MetricShard& acc, MetricShard& s) {
+  acc.delay += s.delay;
+  acc.hist += s.hist;
+  acc.hits += s.hits;
+}
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+TEST(ParallelMapReduce, ShardMergeByteIdenticalForAnyThreadCount) {
+  std::vector<std::uint64_t> seeds(24);
+  std::iota(seeds.begin(), seeds.end(), 1000);
+  const auto run = [&](unsigned threads) {
+    return parallel_map_reduce(seeds, make_shard, MetricShard{}, merge_shard,
+                               threads);
+  };
+  const MetricShard a = run(1);
+  for (const unsigned threads : {2u, 4u, 7u, 13u, 32u}) {
+    const MetricShard b = run(threads);
+    // Exact bit comparison: == on doubles would also pass for -0.0 vs 0.0
+    // and hides nothing here, but bits make the intent unmissable.
+    EXPECT_EQ(bits(a.delay.mean()), bits(b.delay.mean())) << threads;
+    EXPECT_EQ(bits(a.delay.variance()), bits(b.delay.variance())) << threads;
+    EXPECT_EQ(bits(a.delay.min()), bits(b.delay.min())) << threads;
+    EXPECT_EQ(bits(a.delay.max()), bits(b.delay.max())) << threads;
+    EXPECT_EQ(a.delay.count(), b.delay.count()) << threads;
+    EXPECT_EQ(a.hist.bins(), b.hist.bins()) << threads;
+    EXPECT_EQ(a.hist.underflow(), b.hist.underflow()) << threads;
+    EXPECT_EQ(a.hist.overflow(), b.hist.overflow()) << threads;
+    EXPECT_EQ(bits(a.hist.quantile(0.95)), bits(b.hist.quantile(0.95)))
+        << threads;
+    EXPECT_EQ(a.hits.buckets(), b.hits.buckets()) << threads;
+  }
+}
+
+TEST(ParallelMapReduce, MergedCountersMatchSingleStream) {
+  // Counter-typed metrics (histogram bins, time-series buckets) merged
+  // from shards must equal one accumulator that saw every sample — the
+  // split loses nothing.
+  std::vector<std::uint64_t> seeds(8);
+  std::iota(seeds.begin(), seeds.end(), 55);
+  const MetricShard merged = parallel_map_reduce(
+      seeds, make_shard, MetricShard{}, merge_shard, 4);
+  MetricShard single;
+  for (const std::uint64_t seed : seeds) {
+    Rng rng(seed);
+    for (int i = 0; i < 4096; ++i) {
+      const double x = rng.uniform();
+      single.delay.add(x);
+      single.hist.add(x * 1.2 - 0.1);
+      single.hits.add(x * 7200.0);
+    }
+  }
+  EXPECT_EQ(merged.hist.bins(), single.hist.bins());
+  EXPECT_EQ(merged.hits.buckets(), single.hits.buckets());
+  EXPECT_EQ(merged.delay.count(), single.delay.count());
+  EXPECT_EQ(bits(merged.delay.min()), bits(single.delay.min()));
+  EXPECT_EQ(bits(merged.delay.max()), bits(single.delay.max()));
+  // Welford merge and sequential ingestion agree to rounding, not bits.
+  EXPECT_NEAR(merged.delay.mean(), single.delay.mean(), 1e-12);
+}
+
+TEST(ParallelMapReduce, FoldsInInputOrder) {
+  std::vector<int> in{1, 2, 3, 4, 5, 6};
+  const auto order = parallel_map_reduce(
+      in, [](int x) { return x; }, std::vector<int>{},
+      [](std::vector<int>& acc, int x) { acc.push_back(x); }, 4);
+  EXPECT_EQ(order, in);
+}
+
+TEST(MergeGeometry, MismatchedHistogramThrows) {
+  metrics::Histogram a(0.0, 1.0, 10), b(0.0, 2.0, 10), c(0.0, 1.0, 20);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(MergeGeometry, MismatchedTimeSeriesWidthThrows) {
+  metrics::TimeSeries a(3600.0), b(60.0);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(MergeGeometry, MergingLongerSeriesExtendsShorter) {
+  metrics::TimeSeries a(10.0), b(10.0);
+  a.add(5.0, 2);
+  b.add(95.0, 3);
+  a += b;
+  ASSERT_EQ(a.num_buckets(), 10u);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(9), 3u);
+  EXPECT_EQ(a.total(), 5u);
 }
 
 }  // namespace

@@ -148,21 +148,22 @@ TEST(InvariantChecker, DropAtCrashedPeerIsTheLegalFate) {
 
 TEST(InvariantChecker, AdjacencySelfLoopIsCaught) {
   InvariantChecker c;
-  c.check_adjacency(3, {3}, {}, 8);
+  c.check_adjacency(3, std::vector<net::NodeId>{3}, {}, 8);
   EXPECT_FALSE(c.ok());
   EXPECT_TRUE(has_violation(c, "overlay"));
 }
 
 TEST(InvariantChecker, AdjacencyDuplicateEntryIsCaught) {
   InvariantChecker c;
-  c.check_adjacency(0, {1, 2, 1}, {}, 8);
+  c.check_adjacency(0, std::vector<net::NodeId>{1, 2, 1}, {}, 8);
   EXPECT_FALSE(c.ok());
   EXPECT_TRUE(has_violation(c, "overlay"));
 }
 
 TEST(InvariantChecker, AdjacencyOutOfRangeIdIsCaught) {
   InvariantChecker c;
-  c.check_adjacency(0, {1}, {42}, 8);
+  c.check_adjacency(0, std::vector<net::NodeId>{1},
+                    std::vector<net::NodeId>{42}, 8);
   EXPECT_FALSE(c.ok());
   EXPECT_TRUE(has_violation(c, "overlay"));
 }

@@ -9,6 +9,10 @@
 //   dsf_sim diglib   [--repos 64] [--mode all|static|adaptive]
 //                    [--hours 2] [--json]
 //
+// Every scenario also accepts --peers as a uniform population flag (the
+// scale-sweep spelling); the scenario-specific spelling wins when both
+// are given.
+//
 // Every scenario also accepts the shared fault-injection group (see
 // cli/fault_flags.h): --fault-drop/--fault-dup/--fault-delay with
 // per-type overrides, --fault-crash-rate, and --fault-check to attach
@@ -75,6 +79,15 @@ struct FaultContext {
   }
 };
 
+/// Uniform population flag: every scenario accepts --peers (what the
+/// scale sweep passes); the scenario-specific spelling takes precedence.
+std::uint32_t population(const cli::Args& args, const char* specific,
+                         std::uint32_t fallback) {
+  const std::int64_t peers =
+      args.get_int("peers", static_cast<std::int64_t>(fallback));
+  return static_cast<std::uint32_t>(args.get_int(specific, peers));
+}
+
 gnutella::SearchStrategy parse_strategy(const std::string& s) {
   if (s == "flood") return gnutella::SearchStrategy::kFlood;
   if (s == "iterative") return gnutella::SearchStrategy::kIterativeDeepening;
@@ -85,7 +98,7 @@ gnutella::SearchStrategy parse_strategy(const std::string& s) {
 
 int run_gnutella(const cli::Args& args, bool json) {
   gnutella::Config c;
-  c.num_users = static_cast<std::uint32_t>(args.get_int("users", c.num_users));
+  c.num_users = population(args, "users", c.num_users);
   c.max_hops = static_cast<int>(args.get_int("hops", c.max_hops));
   c.dynamic = args.get_bool("dynamic", c.dynamic);
   c.reconfig_threshold = static_cast<std::uint32_t>(
@@ -132,8 +145,7 @@ int run_gnutella(const cli::Args& args, bool json) {
 
 int run_webcache(const cli::Args& args, bool json) {
   webcache::WebCacheConfig c;
-  c.num_proxies = static_cast<std::uint32_t>(
-      args.get_int("proxies", c.num_proxies));
+  c.num_proxies = population(args, "proxies", c.num_proxies);
   c.dynamic = args.get_bool("dynamic", c.dynamic);
   c.sim_hours = args.get_double("hours", c.sim_hours);
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
@@ -167,7 +179,7 @@ int run_webcache(const cli::Args& args, bool json) {
 
 int run_olap(const cli::Args& args, bool json) {
   olap::OlapConfig c;
-  c.num_peers = static_cast<std::uint32_t>(args.get_int("peers", c.num_peers));
+  c.num_peers = population(args, "peers", c.num_peers);
   c.dynamic = args.get_bool("dynamic", c.dynamic);
   c.sim_hours = args.get_double("hours", c.sim_hours);
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
@@ -198,8 +210,7 @@ int run_olap(const cli::Args& args, bool json) {
 
 int run_diglib(const cli::Args& args, bool json) {
   diglib::DigLibConfig c;
-  c.num_repositories = static_cast<std::uint32_t>(
-      args.get_int("repos", c.num_repositories));
+  c.num_repositories = population(args, "repos", c.num_repositories);
   const std::string mode = args.get_string("mode", "adaptive");
   if (mode == "all") {
     c.mode = diglib::ListMode::kAllToAll;
