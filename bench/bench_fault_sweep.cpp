@@ -12,12 +12,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "cli/flag_registry.h"
 #include "fig_common.h"
 #include "metrics/csv.h"
+#include "metrics/json_emitter.h"
 #include "metrics/table.h"
 #include "sim/fault.h"
 #include "sim/invariants.h"
@@ -79,7 +82,24 @@ SweepPoint run_point(const gnutella::Config& config, double loss,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cli::FlagRegistry reg(
+      "bench_fault_sweep [--out PATH] [--csv PATH]",
+      "Hit ratio vs query/reply loss, checker-clean; emits "
+      "dsf-fault-sweep-v1 JSON.  Honours DSF_FAST / DSF_SEED.");
+  reg.add_string("out", "fault_sweep.json", "JSON output path")
+      .add_string("csv", "fault_sweep_series.csv", "CSV output path");
+  try {
+    reg.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (reg.help_requested()) {
+    std::fputs(reg.help().c_str(), stdout);
+    return 0;
+  }
+
   gnutella::Config base = bench::paper_config(2);
   if (!bench::fast_mode()) {
     // Full scale is 10 runs; trim the horizon so the sweep stays tractable
@@ -112,7 +132,8 @@ int main() {
                    std::to_string(sta[i].dropped + dyn[i].dropped)});
   table.print(std::cout);
 
-  metrics::CsvWriter csv("fault_sweep_series.csv",
+  const std::string csv_path = reg.get_string("csv");
+  metrics::CsvWriter csv(csv_path,
                          {"loss", "hits_static", "queries_static",
                           "hit_ratio_static", "hits_dynamic",
                           "queries_dynamic", "hit_ratio_dynamic",
@@ -124,7 +145,35 @@ int main() {
                  std::to_string(dyn[i].hits), std::to_string(dyn[i].queries),
                  std::to_string(dyn[i].hit_ratio()),
                  std::to_string(sta[i].dropped + dyn[i].dropped)});
-  std::printf("full sweep written to fault_sweep_series.csv\n");
+  std::printf("full sweep written to %s\n", csv_path.c_str());
+
+  const std::string out_path = reg.get_string("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  metrics::JsonEmitter j(out);
+  j.begin_object();
+  j.schema("fault-sweep", 1);
+  j.field("max_hops", base.max_hops);
+  j.field("sim_hours", base.sim_hours, 1);
+  j.field("clean", clean);
+  j.begin_array("points");
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    j.begin_object();
+    j.field("loss", losses[i], 2);
+    j.field("hit_ratio_static", sta[i].hit_ratio(), 4);
+    j.field("hit_ratio_dynamic", dyn[i].hit_ratio(), 4);
+    j.field("queries_static", sta[i].queries);
+    j.field("queries_dynamic", dyn[i].queries);
+    j.field("dropped_total", sta[i].dropped + dyn[i].dropped);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.finish();
+  std::printf("wrote %s\n", out_path.c_str());
 
   if (!clean) {
     std::fprintf(stderr, "fault sweep: invariant violations detected\n");

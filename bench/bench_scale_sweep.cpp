@@ -15,39 +15,23 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <numeric>
 #include <string>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
+#include "cli/flag_registry.h"
 #include "des/sweep.h"
 #include "gnutella/config.h"
 #include "gnutella/simulation.h"
+#include "metrics/json_emitter.h"
 #include "metrics/time_series.h"
 #include "net/message.h"
+#include "obs/process_stats.h"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-std::uint64_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  rusage u{};
-  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::uint64_t>(u.ru_maxrss);  // bytes on macOS
-#else
-  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024u;  // KiB on Linux
-#endif
-#else
-  return 0;
-#endif
-}
 
 /// What one replication contributes to the merged metrics.
 struct Shard {
@@ -117,37 +101,34 @@ Shard run_one(const Options& opt, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--peers") == 0) {
-      opt.peers = std::strtoull(next("--peers"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--hours") == 0) {
-      opt.hours = std::strtod(next("--hours"), nullptr);
-    } else if (std::strcmp(argv[i], "--replications") == 0) {
-      opt.replications =
-          static_cast<unsigned>(std::strtoul(next("--replications"), nullptr, 10));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      opt.threads =
-          static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      opt.out_path = next("--out");
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s --peers N [--hours H] [--replications R] "
-                   "[--seed S] [--threads T] [--out PATH]\n",
-                   argv[0]);
-      return 2;
-    }
+  dsf::cli::FlagRegistry reg(
+      "bench_scale_sweep --peers N [--hours H] [--replications R] "
+      "[--seed S] [--threads T] [--out PATH]",
+      "One Gnutella population per invocation; emits dsf-scale-run-v1 JSON.");
+  reg.add_int("peers", 0, "population size (required)")
+      .add_double("hours", 24.0, "simulated hours per replication")
+      .add_int("replications", 1, "independent seeds to merge")
+      .add_int("seed", 42, "base seed; replication i uses seed+i")
+      .add_int("threads", 0, "worker threads (0 = one per replication)")
+      .add_string("out", "scale_run.json", "JSON output path");
+  try {
+    reg.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
+  if (reg.help_requested()) {
+    std::fputs(reg.help().c_str(), stdout);
+    return 0;
+  }
+
+  Options opt;
+  opt.peers = static_cast<std::size_t>(reg.get_int("peers"));
+  opt.hours = reg.get_double("hours");
+  opt.replications = static_cast<unsigned>(reg.get_int("replications"));
+  opt.seed = static_cast<std::uint64_t>(reg.get_int("seed"));
+  opt.threads = static_cast<unsigned>(reg.get_int("threads"));
+  opt.out_path = reg.get_string("out");
   if (opt.peers == 0 || opt.hours <= 0.0 || opt.replications == 0) {
     std::fprintf(stderr, "--peers is required; hours and replications > 0\n");
     return 2;
@@ -162,7 +143,7 @@ int main(int argc, char** argv) {
       merge, opt.threads);
   const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
 
-  const std::uint64_t rss = peak_rss_bytes();
+  const std::uint64_t rss = dsf::obs::peak_rss_bytes();
   const double hit_ratio =
       total.queries
           ? static_cast<double>(total.satisfied) / static_cast<double>(total.queries)
@@ -175,45 +156,6 @@ int main(int argc, char** argv) {
       opt.peers * std::min<std::size_t>(opt.replications,
                                         dsf::des::sweep_threads(seeds.size()));
 
-  char buf[256];
-  std::string j = "{\n  \"schema\": \"dsf-scale-run-v1\",\n";
-  std::snprintf(buf, sizeof buf,
-                "  \"peers\": %zu,\n  \"hours\": %.3f,\n"
-                "  \"replications\": %u,\n  \"seed\": %llu,\n",
-                opt.peers, opt.hours, opt.replications,
-                static_cast<unsigned long long>(opt.seed));
-  j += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"wall_s\": %.3f,\n  \"events\": %llu,\n"
-                "  \"events_per_s\": %.0f,\n",
-                wall, static_cast<unsigned long long>(total.events),
-                events_per_s);
-  j += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"peak_rss_bytes\": %llu,\n  \"rss_per_peer\": %.1f,\n",
-                static_cast<unsigned long long>(rss),
-                static_cast<double>(rss) / static_cast<double>(resident_peers));
-  j += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"overlay_bytes\": %llu,\n  \"library_bytes\": %llu,\n",
-                static_cast<unsigned long long>(total.overlay_bytes),
-                static_cast<unsigned long long>(total.library_bytes));
-  j += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"queries\": %llu,\n  \"hits\": %llu,\n"
-                "  \"hit_ratio\": %.4f,\n  \"messages\": %llu,\n",
-                static_cast<unsigned long long>(total.queries),
-                static_cast<unsigned long long>(total.satisfied), hit_ratio,
-                static_cast<unsigned long long>(total.traffic.total()));
-  j += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"delay_mean_s\": %.4f,\n  \"delay_p50_s\": %.4f,\n"
-                "  \"delay_p95_s\": %.4f,\n  \"reconfigurations\": %llu\n}\n",
-                total.delay.mean(), total.delay_hist.quantile(0.5),
-                total.delay_hist.quantile(0.95),
-                static_cast<unsigned long long>(total.reconfigurations));
-  j += buf;
-
   std::printf("peers=%zu events=%llu (%.0f/s) rss=%.1f MiB (%.0f B/peer) "
               "hit_ratio=%.3f wall=%.1fs\n",
               opt.peers, static_cast<unsigned long long>(total.events),
@@ -221,13 +163,40 @@ int main(int argc, char** argv) {
               static_cast<double>(rss) / static_cast<double>(resident_peers),
               hit_ratio, wall);
 
-  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
-  if (f == nullptr) {
+  std::ofstream out(opt.out_path);
+  if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.out_path.c_str());
     return 1;
   }
-  std::fwrite(j.data(), 1, j.size(), f);
-  std::fclose(f);
+  dsf::metrics::JsonEmitter j(out);
+  j.begin_object();
+  j.schema("scale-run", 1);
+  j.field("peers", static_cast<std::uint64_t>(opt.peers));
+  j.field("hours", opt.hours, 3);
+  j.field("replications", static_cast<std::uint64_t>(opt.replications));
+  j.field("seed", opt.seed);
+  j.field("wall_s", wall, 3);
+  j.field("events", total.events);
+  j.field("events_per_s", events_per_s, 0);
+  j.field("peak_rss_bytes", rss);
+  j.field("rss_per_peer",
+          static_cast<double>(rss) / static_cast<double>(resident_peers), 1);
+  j.field("overlay_bytes", total.overlay_bytes);
+  j.field("library_bytes", total.library_bytes);
+  j.field("queries", total.queries);
+  j.field("hits", total.satisfied);
+  j.field("hit_ratio", hit_ratio, 4);
+  j.field("messages", total.traffic.total());
+  j.field("delay_mean_s", total.delay.mean(), 4);
+  j.field("delay_p50_s", total.delay_hist.quantile(0.5), 4);
+  j.field("delay_p95_s", total.delay_hist.quantile(0.95), 4);
+  j.field("reconfigurations", total.reconfigurations);
+  j.end_object();
+  j.finish();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", opt.out_path.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", opt.out_path.c_str());
   return 0;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Flight-recorder overhead gate: runs the perf suite twice — once with the
+# NullSink (tracing compiled in but disabled) and once with a live RingSink
+# — and compares the hot-path benchmarks.  The contract this enforces:
+#
+#   * queue-ops (the engine's innermost loop, no sink in the path) must
+#     stay within --threshold (default 5%) of the NullSink run, proving
+#     the recorder costs nothing when it isn't recording;
+#   * gnutella_day (full engine with the ring attached) is reported
+#     informationally — a traced end-to-end run should also stay within a
+#     few percent, but CI machines are too noisy to gate on it.
+#
+# Both runs use --repeat best-of-N so one noisy neighbor can't fail the
+# gate.
+#
+# Usage: scripts/check_trace_overhead.sh [--build-dir DIR] [--repeat N]
+#                                        [--threshold PCT]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+repeat=3
+threshold=5
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --repeat) repeat="$2"; shift 2 ;;
+    --threshold) threshold="$2"; shift 2 ;;
+    *) echo "usage: $0 [--build-dir DIR] [--repeat N] [--threshold PCT]" >&2
+       exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${build_dir}/bench/bench_perf_suite" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target bench_perf_suite -j
+fi
+
+null_json="$(mktemp)" ring_json="$(mktemp)"
+trap 'rm -f "${null_json}" "${ring_json}"' EXIT
+
+"${build_dir}/bench/bench_perf_suite" --quick --repeat "${repeat}" \
+  --trace null --out "${null_json}"
+"${build_dir}/bench/bench_perf_suite" --quick --repeat "${repeat}" \
+  --trace ring --out "${ring_json}"
+
+python3 - "${null_json}" "${ring_json}" "${threshold}" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "dsf-perf-suite-v1", "unexpected schema"
+    return {r["name"]: r["items_per_s"] for r in doc["results"]}
+
+null_run, ring_run = load(sys.argv[1]), load(sys.argv[2])
+threshold = float(sys.argv[3])
+
+failed = False
+for name in sorted(null_run):
+    base, traced = null_run[name], ring_run[name]
+    overhead = 100.0 * (base - traced) / base
+    gated = name.startswith("queue_ops")
+    verdict = "ok"
+    if gated and overhead > threshold:
+        verdict = f"FAIL (> {threshold:.1f}%)"
+        failed = True
+    elif not gated:
+        verdict = "info"
+    print(f"{name:<20} null {base:>14.0f}/s  ring {traced:>14.0f}/s  "
+          f"overhead {overhead:+6.2f}%  [{verdict}]")
+
+if failed:
+    sys.exit(1)
+print(f"trace overhead within {threshold:.1f}% on all gated benchmarks")
+EOF

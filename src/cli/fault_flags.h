@@ -23,7 +23,7 @@
 //   --fault-check            attach the InvariantChecker and audit the
 //                            run (nonzero exit on violation)
 
-#include "cli/args.h"
+#include "cli/flag_registry.h"
 #include "sim/fault.h"
 
 namespace dsf::cli {
@@ -39,8 +39,13 @@ struct FaultOptions {
   }
 };
 
-/// Parses the `--fault-*` group; throws std::invalid_argument on bad
-/// values (out-of-range probabilities, inverted windows, ...).
-FaultOptions parse_fault_options(const Args& args);
+/// Declares the whole --fault-* group on `reg` (opens a "fault injection"
+/// group; the 27 per-type overrides are hidden behind one note line).
+void register_fault_flags(FlagRegistry& reg);
+
+/// Builds the options from a parsed registry; throws
+/// std::invalid_argument on bad values (negative rates, inverted
+/// windows, ...).
+FaultOptions fault_options_from(const FlagRegistry& reg);
 
 }  // namespace dsf::cli

@@ -101,12 +101,24 @@ void DigLibSim::issue_query(net::NodeId r) {
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
   };
+  const std::uint32_t span = obs_search_begin(r, params.max_hops, doc);
   const auto outcome =
       fault_layer_active()
           ? core::flood_search(r, params, neighbors, has_content, delay,
                                transmit_fn(), stamps_, scratch_)
           : core::flood_search(r, params, neighbors, has_content, delay,
                                stamps_, scratch_);
+  if (span != 0) {
+    int first_hop = -1;
+    double first_delay = -1.0;
+    for (const auto& hit : outcome.hits) {
+      if (first_hop < 0 || hit.reply_at_s < first_delay) {
+        first_hop = hit.hop;
+        first_delay = hit.reply_at_s;
+      }
+    }
+    obs_search_end(span, r, outcome.hits.size(), first_hop, first_delay);
+  }
 
   count(net::MessageType::kQuery, outcome.query_messages);
   count(net::MessageType::kQueryReply, outcome.reply_messages);

@@ -249,7 +249,21 @@ void Simulation::issue_query(net::NodeId u) {
   params.forward_when_hit = false;  // §4.1: repliers do not propagate
   params.timeout_s = config_.query_timeout_s;
 
+  const std::uint32_t span = obs_search_begin(u, params.max_hops, song);
   const auto outcome = run_search(u, song, params);
+  if (span != 0) {
+    // First hit = minimum reply arrival (first_result_delay_s's metric);
+    // its hop is the span's first-hit depth.
+    int first_hop = -1;
+    double first_delay = -1.0;
+    for (const auto& hit : outcome.hits) {
+      if (first_hop < 0 || hit.reply_at_s < first_delay) {
+        first_hop = hit.hop;
+        first_delay = hit.reply_at_s;
+      }
+    }
+    obs_search_end(span, u, outcome.hits.size(), first_hop, first_delay);
+  }
 
   const des::SimTime now = sim_.now();
   result_.messages.add(now, outcome.query_messages);

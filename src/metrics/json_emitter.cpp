@@ -1,0 +1,148 @@
+#include "metrics/json_emitter.h"
+
+#include <cstdio>
+
+namespace dsf::metrics {
+
+JsonEmitter::JsonEmitter(std::ostream& os) : os_(os) {}
+
+JsonEmitter::~JsonEmitter() { finish(); }
+
+void JsonEmitter::comma_and_indent() {
+  if (!stack_.empty()) {
+    if (stack_.back().has) os_ << ',';
+    stack_.back().has = true;
+    os_ << '\n';
+  }
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonEmitter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\t': os_ << "\\t"; break;
+      case '\r': os_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonEmitter::write_key(std::string_view key) {
+  comma_and_indent();
+  write_escaped(key);
+  os_ << ": ";
+}
+
+JsonEmitter& JsonEmitter::begin_object() {
+  comma_and_indent();
+  os_ << '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::begin_object(std::string_view key) {
+  write_key(key);
+  os_ << '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::end_object() {
+  const bool had = stack_.back().has;
+  stack_.pop_back();
+  if (had) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+  os_ << '}';
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::begin_array(std::string_view key) {
+  write_key(key);
+  os_ << '[';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::end_array() {
+  const bool had = stack_.back().has;
+  stack_.pop_back();
+  if (had) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, std::string_view value) {
+  write_key(key);
+  write_escaped(value);
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, std::int64_t value) {
+  write_key(key);
+  os_ << value;
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, std::uint64_t value) {
+  write_key(key);
+  os_ << value;
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, bool value) {
+  write_key(key);
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::field(std::string_view key, double value,
+                                int digits) {
+  write_key(key);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  os_ << buf;
+  return *this;
+}
+
+JsonEmitter& JsonEmitter::schema(std::string_view family, int version) {
+  return field("schema", "dsf-" + std::string(family) + "-v" +
+                             std::to_string(version));
+}
+
+void JsonEmitter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Safety net for early returns; call sites normally close explicitly.
+  while (!stack_.empty()) {
+    if (stack_.back().array) end_array();
+    else end_object();
+  }
+  os_ << '\n';
+}
+
+}  // namespace dsf::metrics

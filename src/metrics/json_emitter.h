@@ -1,0 +1,69 @@
+#pragma once
+
+// JsonEmitter: the one JSON writer behind every bench's machine-readable
+// output.  The benches used to hand-roll their documents with snprintf —
+// three separate escaping bugs waiting to happen and no shared notion of
+// schema identity.  The emitter streams a pretty-printed document with
+// correct string escaping, tracks nesting/comma state so call sites read
+// like the document they produce, and stamps a versioned schema tag
+// ("dsf-<family>-v<N>") that the run_*.sh scripts validate against.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsf::metrics {
+
+class JsonEmitter {
+ public:
+  /// Writes to `os`; emit exactly one root value (begin_object()) and
+  /// call finish() (or let the destructor do it).
+  explicit JsonEmitter(std::ostream& os);
+  ~JsonEmitter();
+
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  /// Containers.  The key-less overloads are for the root and for array
+  /// elements; keyed overloads for object members.
+  JsonEmitter& begin_object();
+  JsonEmitter& begin_object(std::string_view key);
+  JsonEmitter& end_object();
+  JsonEmitter& begin_array(std::string_view key);
+  JsonEmitter& end_array();
+
+  /// Scalar members.
+  JsonEmitter& field(std::string_view key, std::string_view value);
+  JsonEmitter& field(std::string_view key, const char* value);
+  JsonEmitter& field(std::string_view key, std::int64_t value);
+  JsonEmitter& field(std::string_view key, std::uint64_t value);
+  JsonEmitter& field(std::string_view key, int value);
+  JsonEmitter& field(std::string_view key, bool value);
+  /// `digits` = fraction digits (fixed notation, matching the precision
+  /// the hand-rolled writers chose per metric).
+  JsonEmitter& field(std::string_view key, double value, int digits = 6);
+
+  /// Stamps the document's schema identity as its first member by
+  /// convention: "schema": "dsf-<family>-v<version>".
+  JsonEmitter& schema(std::string_view family, int version);
+
+  /// Closes any open containers and the document (idempotent).
+  void finish();
+
+ private:
+  void comma_and_indent();
+  void write_key(std::string_view key);
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  struct Level {
+    bool array = false;  ///< ']' vs '}' on close
+    bool has = false;    ///< a first element was written
+  };
+  std::vector<Level> stack_;
+  bool finished_ = false;
+};
+
+}  // namespace dsf::metrics

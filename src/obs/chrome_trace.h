@@ -1,0 +1,40 @@
+#pragma once
+
+// Chrome trace_event exporter: converts a flight-recorder stream into the
+// JSON trace format that chrome://tracing and Perfetto load directly, so
+// a simulated search can be inspected on a real timeline instead of as a
+// table.  The mapping:
+//
+//   * search spans    -> async begin/end pairs ("ph":"b"/"e", id = span),
+//                        one track per initiating node;
+//   * send/recv/drop  -> instant events ("ph":"i") carrying from/to/type/
+//                        ttl/span in args;
+//   * peer crashes    -> process-scoped instant events;
+//   * heartbeats      -> counter events ("ph":"C") plotting events/sec,
+//                        queue population and RSS over the run.
+//
+// Timestamps are simulation time scaled to microseconds (the format's
+// unit).  The writer streams; it never materializes the document.
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "obs/record.h"
+
+namespace dsf::obs {
+
+/// Writes `records` (chronological) as one complete Chrome trace JSON
+/// document ({"traceEvents": [...]}).  `overwritten` (e.g. from
+/// RingSink::overwritten()) is recorded in the document's metadata so a
+/// truncated trace announces itself.
+void write_chrome_trace(std::ostream& os, std::span<const Record> records,
+                        std::uint64_t overwritten = 0);
+
+/// Convenience: open `path`, write, close.  Returns false on I/O failure.
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const Record> records,
+                             std::uint64_t overwritten = 0);
+
+}  // namespace dsf::obs

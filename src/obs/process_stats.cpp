@@ -1,0 +1,23 @@
+#include "obs/process_stats.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dsf::obs {
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(u.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024u;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dsf::obs

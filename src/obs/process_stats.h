@@ -1,0 +1,12 @@
+#pragma once
+
+// Process-level stats for heartbeat records and bench reports.
+
+#include <cstdint>
+
+namespace dsf::obs {
+
+/// Peak resident set in bytes (0 when the platform offers no getrusage).
+std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace dsf::obs

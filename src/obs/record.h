@@ -1,0 +1,86 @@
+#pragma once
+
+// The flight recorder's wire format: one fixed-size POD record per
+// observable event.  Records are designed to be cheap to stamp (a struct
+// copy into a preallocated ring, no allocation, no formatting) and rich
+// enough to reconstruct a search's full hop tree afterwards: every record
+// carries the simulation time and the id of the search span it belongs
+// to, so an exporter can group a query's begin → per-hop sends/receives →
+// terminal into one causal trace.
+//
+// The payload fields `a`/`b` (and the reused `ttl` slot) are
+// kind-specific; the table below is the authoritative encoding and the
+// exporters in chrome_trace.cpp / span_table.cpp are its only consumers:
+//
+//   kind          from        to        ttl            a              b
+//   ------------  ----------  --------  -------------  -------------  ----------------
+//   kSend         sender      receiver  hop budget     bytes          copies (dup = 2)
+//   kRecv         sender      receiver  hop budget     bytes          copies
+//   kDrop         sender      receiver  hop budget     bytes          copies
+//   kSearchBegin  initiator   invalid   max hops       target item    0
+//   kSearchEnd    initiator   invalid   first-hit hop  results        first-result
+//                                       (-1: miss)                    delay bits
+//   kPeerCrash    victim      invalid   -1             0              0
+//   kHeartbeat    queue pop.  wall ms   -1             events so far  RSS bytes
+//
+// (kSearchEnd.b is a double stored via std::bit_cast so the record stays
+// trivially copyable; kHeartbeat packs the queue population and the wall
+// clock into the two 32-bit node slots, which caps them at ~4.2e9 —
+// plenty for a progress pulse.)
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace dsf::obs {
+
+enum class RecordKind : std::uint8_t {
+  kSend = 0,     ///< a message copy was put on the wire
+  kRecv,         ///< the copy reached its receiver
+  kDrop,         ///< the copy was lost (fault rule, or receiver dead)
+  kSearchBegin,  ///< a search span opened at `from`
+  kSearchEnd,    ///< the span closed (hit or miss)
+  kPeerCrash,    ///< `from` crashed ungracefully
+  kHeartbeat,    ///< periodic progress pulse (long-run liveness)
+};
+
+inline constexpr int kNumRecordKinds =
+    static_cast<int>(RecordKind::kHeartbeat) + 1;
+
+constexpr const char* to_string(RecordKind k) noexcept {
+  switch (k) {
+    case RecordKind::kSend: return "send";
+    case RecordKind::kRecv: return "recv";
+    case RecordKind::kDrop: return "drop";
+    case RecordKind::kSearchBegin: return "search-begin";
+    case RecordKind::kSearchEnd: return "search-end";
+    case RecordKind::kPeerCrash: return "peer-crash";
+    case RecordKind::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+/// One flight-recorder record: 40 bytes, trivially copyable, no pointers.
+struct Record {
+  double time_s = 0.0;      ///< simulation time of the event
+  std::uint64_t a = 0;      ///< kind-specific payload (see table above)
+  std::uint64_t b = 0;      ///< kind-specific payload
+  std::uint32_t span = 0;   ///< enclosing search span id (0 = none)
+  std::uint32_t from = 0;   ///< kind-specific node slot
+  std::uint32_t to = 0;     ///< kind-specific node slot
+  std::int16_t ttl = -1;    ///< remaining hop budget / first-hit hop / -1
+  RecordKind kind = RecordKind::kSend;
+  std::uint8_t type = 0;    ///< net::MessageType for wire records
+
+  /// kSearchEnd helper: the first-result delay travels as raw double bits.
+  static std::uint64_t pack_delay(double delay_s) noexcept {
+    return std::bit_cast<std::uint64_t>(delay_s);
+  }
+  double unpack_delay() const noexcept { return std::bit_cast<double>(b); }
+};
+
+static_assert(std::is_trivially_copyable_v<Record>,
+              "records are raw-copied into the ring");
+static_assert(sizeof(Record) == 40, "keep the flight-recorder record compact");
+
+}  // namespace dsf::obs

@@ -1,0 +1,42 @@
+#include "obs/ring_sink.h"
+
+#include <algorithm>
+
+namespace dsf::obs {
+
+RingSink::RingSink(std::size_t capacity) {
+  buf_.resize(capacity ? capacity : 1);
+}
+
+void RingSink::record(const Record& r) noexcept {
+  buf_[next_] = r;
+  if (++next_ == buf_.size()) next_ = 0;
+  ++total_;
+}
+
+std::size_t RingSink::size() const noexcept {
+  return total_ < buf_.size() ? static_cast<std::size_t>(total_) : buf_.size();
+}
+
+std::uint64_t RingSink::overwritten() const noexcept {
+  return total_ - size();
+}
+
+std::vector<Record> RingSink::snapshot() const {
+  std::vector<Record> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // When the ring has wrapped, the oldest retained record sits at the
+  // write cursor; otherwise the buffer was filled from index 0.
+  const std::size_t start = total_ > buf_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  return out;
+}
+
+void RingSink::clear() noexcept {
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace dsf::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+// RingSink: the production flight recorder.  A fixed-size ring of POD
+// records, preallocated up front, overwritten oldest-first — recording is
+// one struct copy plus a cursor bump, so a fully traced run stays within
+// a few percent of untraced and a week-long soak holds the last N events
+// instead of an unbounded log.  snapshot() restores chronological order;
+// overwrites are counted so an exporter can say "trace truncated, oldest
+// M records lost" instead of silently presenting a partial story.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace dsf::obs {
+
+class RingSink final : public TraceSink {
+ public:
+  /// Default capacity: 64Ki records = 2.5 MiB — enough for the full hop
+  /// tree of thousands of searches while staying cache-friendly.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit RingSink(std::size_t capacity = kDefaultCapacity);
+
+  void record(const Record& r) noexcept override;
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  /// Records currently held (== min(total, capacity)).
+  std::size_t size() const noexcept;
+  /// Records ever offered to the sink.
+  std::uint64_t total() const noexcept { return total_; }
+  /// Records lost to wraparound (total - size).
+  std::uint64_t overwritten() const noexcept;
+
+  /// The retained records, oldest first.
+  std::vector<Record> snapshot() const;
+
+  /// Forgets everything; capacity is retained.
+  void clear() noexcept;
+
+ private:
+  std::vector<Record> buf_;
+  std::size_t next_ = 0;      ///< write cursor
+  std::uint64_t total_ = 0;   ///< records ever written
+};
+
+}  // namespace dsf::obs

@@ -1,0 +1,101 @@
+#include "obs/span_table.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace dsf::obs {
+
+namespace {
+
+/// Query depth implied by one send record: the begin record's hop budget
+/// minus the remaining budget, plus one (a send with full budget lands at
+/// hop 1).  Records without a TTL (replies, control) carry no depth.
+int depth_of(const SpanSummary& s, const Record& r) {
+  if (r.ttl < 0 || s.max_hops <= 0) return 0;
+  return s.max_hops - static_cast<int>(r.ttl) + 1;
+}
+
+}  // namespace
+
+std::vector<SpanSummary> reconstruct_spans(std::span<const Record> records) {
+  // Span ids are issued in increasing order, so an ordered map doubles as
+  // the output ordering.
+  std::map<std::uint32_t, SpanSummary> spans;
+  std::map<std::uint32_t, double> last_time;
+
+  for (const Record& r : records) {
+    if (r.span == 0) continue;  // spanless record (heartbeat, crash, ...)
+    SpanSummary& s = spans[r.span];
+    if (s.span == 0) {
+      s.span = r.span;
+      s.begin_s = r.time_s;
+    }
+    // Slowest observable step so far.
+    const auto lt = last_time.find(r.span);
+    if (lt != last_time.end())
+      s.slowest_gap_s = std::max(s.slowest_gap_s, r.time_s - lt->second);
+    last_time[r.span] = r.time_s;
+    s.end_s = std::max(s.end_s, r.time_s);
+
+    switch (r.kind) {
+      case RecordKind::kSearchBegin:
+        s.initiator = r.from;
+        s.item = r.a;
+        s.max_hops = r.ttl;
+        s.begin_s = r.time_s;
+        s.complete = false;  // until the end record arrives
+        break;
+      case RecordKind::kSearchEnd:
+        s.first_hit_hop = r.ttl;
+        s.results = r.a;
+        s.first_result_delay_s = r.unpack_delay();
+        s.end_s = r.time_s;
+        // Complete only if the begin was retained too (max_hops is set
+        // exclusively by the begin record).
+        s.complete = s.max_hops > 0;
+        break;
+      case RecordKind::kSend:
+        s.sends += r.b ? r.b : 1;
+        if (r.ttl >= 0) {
+          s.query_sends += r.b ? r.b : 1;
+          s.depth = std::max(s.depth, depth_of(s, r));
+          if (s.max_hops > 0 && r.ttl == s.max_hops) ++s.fanout;
+        }
+        break;
+      case RecordKind::kRecv:
+        s.delivers += r.b ? r.b : 1;
+        break;
+      case RecordKind::kDrop:
+        s.drops += r.b ? r.b : 1;
+        break;
+      case RecordKind::kPeerCrash:
+      case RecordKind::kHeartbeat:
+        break;
+    }
+  }
+
+  std::vector<SpanSummary> out;
+  out.reserve(spans.size());
+  for (auto& [id, s] : spans) out.push_back(s);
+  return out;
+}
+
+metrics::Table span_table(const std::vector<SpanSummary>& spans) {
+  metrics::Table table({"span", "initiator", "begin_s", "sends", "depth",
+                        "fanout", "results", "first_hit_hop",
+                        "first_result_ms", "slowest_gap_ms", "complete"});
+  for (const SpanSummary& s : spans) {
+    table.add_row({std::to_string(s.span), std::to_string(s.initiator),
+                   metrics::fmt(s.begin_s, 3), std::to_string(s.sends),
+                   std::to_string(s.depth), std::to_string(s.fanout),
+                   std::to_string(s.results), std::to_string(s.first_hit_hop),
+                   s.hit() ? metrics::fmt(s.first_result_delay_s * 1e3, 1)
+                           : "-",
+                   metrics::fmt(s.slowest_gap_s * 1e3, 1),
+                   s.complete ? "yes" : "partial"});
+  }
+  return table;
+}
+
+}  // namespace dsf::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+// Span reconstruction: folds a flight-recorder stream back into one
+// summary row per search span — the per-search causality the aggregate
+// curves cannot show.  A span is everything between a kSearchBegin and
+// its matching kSearchEnd with the same span id: the hop tree's sends,
+// deliveries and drops, plus the terminal verdict the scenario stamped on
+// the end record (result count, first-hit hop, first-result delay).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "metrics/table.h"
+#include "obs/record.h"
+
+namespace dsf::obs {
+
+/// One reconstructed search span.
+struct SpanSummary {
+  std::uint32_t span = 0;       ///< span id (engine-assigned, 1-based)
+  std::uint32_t initiator = 0;  ///< node that issued the search
+  std::uint64_t item = 0;       ///< target item id from the begin record
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  int max_hops = 0;             ///< hop budget from the begin record
+
+  std::uint64_t sends = 0;      ///< wire copies put on the wire
+  std::uint64_t delivers = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t query_sends = 0;  ///< kQuery copies only
+
+  int depth = 0;          ///< deepest hop a query reached (from TTLs)
+  int fanout = 0;         ///< hop-1 query sends out of the initiator
+  int first_hit_hop = -1; ///< hop of the first result (-1: miss)
+  std::uint64_t results = 0;
+  double first_result_delay_s = -1.0;  ///< -1 when the search missed
+  /// Largest simulation-time gap between consecutive records inside the
+  /// span — the slowest observable step.  Zero for eagerly expanded
+  /// floods (their hop tree is stamped at one instant); meaningful for
+  /// event-driven exchanges.
+  double slowest_gap_s = 0.0;
+
+  bool complete = false;  ///< both begin and end records were retained
+
+  bool hit() const noexcept { return first_hit_hop >= 0; }
+};
+
+/// Groups `records` (chronological, e.g. RingSink::snapshot()) into span
+/// summaries, ordered by span id.  Spans whose begin record was lost to
+/// ring wraparound — or whose end lies beyond the retained window — are
+/// reported with complete == false and whatever was observed.
+std::vector<SpanSummary> reconstruct_spans(std::span<const Record> records);
+
+/// Renders summaries as a fixed-width table (one row per span) for the
+/// CLI driver's --trace-spans output.
+metrics::Table span_table(const std::vector<SpanSummary>& spans);
+
+}  // namespace dsf::obs

@@ -77,6 +77,7 @@ void OlapSim::issue_query(net::NodeId p) {
 
     // Extensive search (§3.2): the chunk request keeps propagating up to
     // the hop limit; the closest holder (in hops, then delay) serves it.
+    const std::uint32_t span = obs_search_begin(p, config_.max_hops, chunk);
     if (faulty) begin_faulty_search(config_.max_hops);
     stamps_.begin_search();
     stamps_.mark(p);
@@ -125,6 +126,7 @@ void OlapSim::issue_query(net::NodeId p) {
       const double cost =
           config_.peer_s_per_chunk +
           2.0 * sample_delay_s(p, holder) * static_cast<double>(holder_hop);
+      obs_search_end(span, p, 1, holder_hop, cost);
       response += cost;
       if (report) ++result_.chunks_from_peers;
       if (config_.dynamic) {
@@ -134,6 +136,7 @@ void OlapSim::issue_query(net::NodeId p) {
         peer.stats.add(holder, benefit_.benefit(info));
       }
     } else {
+      obs_search_end(span, p, 0, -1, -1.0);
       response += config_.warehouse_s_per_chunk;
       if (report) ++result_.chunks_from_warehouse;
     }

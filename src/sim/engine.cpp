@@ -1,11 +1,13 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "core/unreachable.h"
 #include "des/distributions.h"
+#include "obs/process_stats.h"
 #include "sim/invariants.h"
 
 namespace dsf::sim {
@@ -112,6 +114,14 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     schedule_every(traffic_sample_period_s_, traffic_sample_period_s_,
                    [this] { sample_traffic(); });
   }
+  if (heartbeat_period_s_ > 0.0 && obs_ != nullptr) {
+    heartbeat_wall_start_s_ =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    schedule_every(heartbeat_period_s_, heartbeat_period_s_,
+                   [this] { emit_heartbeat(); });
+  }
   schedule_crash_process();
   const std::uint64_t executed = sim_.run_until(horizon_s());
   if (bootstrap_underfills_ > 0 && !underfill_reported_) {
@@ -146,6 +156,92 @@ void OverlayEngine::trace_event(TraceKind kind, net::NodeId from,
     if (checker_) checker_->on_trace(ev);
     if (trace_) trace_(ev);
   }
+  if (obs_) {
+    // One compact record covers all copies (Record.b carries the count).
+    obs::RecordKind rk = obs::RecordKind::kSend;
+    switch (kind) {
+      case TraceKind::kSend: rk = obs::RecordKind::kSend; break;
+      case TraceKind::kDeliver: rk = obs::RecordKind::kRecv; break;
+      case TraceKind::kDrop: rk = obs::RecordKind::kDrop; break;
+      case TraceKind::kCrash: rk = obs::RecordKind::kPeerCrash; break;
+    }
+    obs_record(rk, from, to, type, bytes, ttl, copies);
+  }
+}
+
+void OverlayEngine::obs_record(obs::RecordKind kind, net::NodeId from,
+                               net::NodeId to, net::MessageType type,
+                               std::uint64_t bytes, int ttl,
+                               std::uint64_t copies) {
+  obs::Record r;
+  r.time_s = sim_.now();
+  r.span = current_span_;
+  r.from = from;
+  r.to = to;
+  r.ttl = static_cast<std::int16_t>(std::clamp(ttl, -1, 32767));
+  r.kind = kind;
+  if (kind == obs::RecordKind::kPeerCrash) {
+    r.span = 0;  // crashes belong to the run, not the ambient search
+  } else {
+    r.type = static_cast<std::uint8_t>(type);
+    r.a = bytes;
+    r.b = copies;
+  }
+  obs_->record(r);
+}
+
+std::uint32_t OverlayEngine::obs_search_begin(net::NodeId initiator,
+                                              int max_ttl,
+                                              std::uint64_t item) {
+  if (!obs_) return 0;
+  const std::uint32_t span = ++next_span_;
+  current_span_ = span;
+  obs::Record r;
+  r.time_s = sim_.now();
+  r.span = span;
+  r.from = initiator;
+  r.to = net::kInvalidNode;
+  r.ttl = static_cast<std::int16_t>(std::clamp(max_ttl, 0, 32767));
+  r.kind = obs::RecordKind::kSearchBegin;
+  r.a = item;
+  obs_->record(r);
+  return span;
+}
+
+void OverlayEngine::obs_search_end(std::uint32_t span, net::NodeId initiator,
+                                   std::uint64_t results, int first_hit_hop,
+                                   double first_result_delay_s) {
+  if (span == 0 || !obs_) return;
+  obs::Record r;
+  r.time_s = sim_.now();
+  r.span = span;
+  r.from = initiator;
+  r.to = net::kInvalidNode;
+  r.ttl = static_cast<std::int16_t>(std::clamp(first_hit_hop, -1, 32767));
+  r.kind = obs::RecordKind::kSearchEnd;
+  r.a = results;
+  r.b = obs::Record::pack_delay(first_result_delay_s);
+  obs_->record(r);
+  if (current_span_ == span) current_span_ = 0;
+}
+
+void OverlayEngine::emit_heartbeat() {
+  if (!obs_) return;
+  const double wall_now_s =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const double wall_ms = (wall_now_s - heartbeat_wall_start_s_) * 1e3;
+  obs::Record r;
+  r.time_s = sim_.now();
+  r.kind = obs::RecordKind::kHeartbeat;
+  r.from = static_cast<std::uint32_t>(
+      std::min<std::size_t>(sim_.pending(), UINT32_MAX));
+  r.to = static_cast<std::uint32_t>(
+      std::min(wall_ms, static_cast<double>(UINT32_MAX)));
+  r.a = sim_.executed();
+  r.b = obs::peak_rss_bytes();
+  obs_->record(r);
 }
 
 core::TransmitResult OverlayEngine::transmit(net::MessageType type,

@@ -32,6 +32,7 @@
 #include "net/delay_model.h"
 #include "net/message.h"
 #include "net/node_id.h"
+#include "obs/sink.h"
 #include "sim/fault.h"
 #include "sim/policy.h"
 #include "sim/validate.h"
@@ -239,6 +240,28 @@ class OverlayEngine {
   const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
   const CrashModel& crash_model() const noexcept { return crash_model_; }
 
+  /// --- flight recorder (off by default: null pointer, zero records) -----
+  /// Attaches a flight-recorder sink.  Like attaching a checker, this
+  /// routes transmissions through the traced paths — draw-free when the
+  /// fault plan is empty, so a traced run replays the baseline trajectory
+  /// byte-identically.  Passing nullptr, or a sink whose enabled() is
+  /// false (obs::NullSink), detaches: the hot path sees one predicted
+  /// branch and zero virtual calls.
+  void set_trace_sink(obs::TraceSink* sink) {
+    obs_ = (sink != nullptr && sink->enabled()) ? sink : nullptr;
+    refresh_fault_active();
+  }
+  obs::TraceSink* trace_sink() const noexcept { return obs_; }
+
+  /// Enables periodic heartbeat records (events executed, queue
+  /// population, wall clock, RSS) every `period_s` simulated seconds.
+  /// Off by default — and deliberately opt-in even when tracing is on:
+  /// the heartbeat schedules real events, which shifts the queue's
+  /// insertion-order tie-breaking and therefore the fingerprint.
+  void set_heartbeat_period(double period_s) {
+    heartbeat_period_s_ = period_s;
+  }
+
   /// True once `u` crashed.  Dead peers receive nothing: any copy
   /// addressed to them is dropped on arrival.
   bool node_dead(net::NodeId u) const noexcept {
@@ -392,6 +415,22 @@ class OverlayEngine {
   };
   Transmit transmit_fn() noexcept { return Transmit{this}; }
 
+  /// --- search spans (flight recorder) ----------------------------------
+  /// Opens a search span: emits the kSearchBegin record and makes the new
+  /// id the ambient span stamped on every traced record until the span
+  /// closes.  Returns 0 — and records nothing — when no sink is attached,
+  /// so scenarios thread the id through unconditionally.  Never draws.
+  std::uint32_t obs_search_begin(net::NodeId initiator, int max_ttl,
+                                 std::uint64_t item);
+
+  /// Closes span `span` with the scenario's verdict (no-op when span is
+  /// 0).  `first_hit_hop` < 0 means the search missed;
+  /// `first_result_delay_s` < 0 when no delay is defined (miss, or a
+  /// protocol without reply latency).  Never draws.
+  void obs_search_end(std::uint32_t span, net::NodeId initiator,
+                      std::uint64_t results, int first_hit_hop,
+                      double first_result_delay_s);
+
   /// Called exactly once per crash_node(), before any further event runs.
   /// Scenarios cancel the victim's own pending activity (its queries, its
   /// session timer) here — and must NOT touch the overlay: dangling
@@ -490,9 +529,19 @@ class OverlayEngine {
                    net::MessageType type, std::uint64_t bytes, int ttl,
                    std::uint64_t copies);
 
+  /// Emits one flight-recorder record for `copies` identical copies.
+  void obs_record(obs::RecordKind kind, net::NodeId from, net::NodeId to,
+                  net::MessageType type, std::uint64_t bytes, int ttl,
+                  std::uint64_t copies);
+  void emit_heartbeat();
+
+  /// The traced paths serve three consumers: the fault plan, the
+  /// invariant checker and the flight recorder.  All three ride the same
+  /// branch because an empty-plan traced run is draw-free and therefore
+  /// byte-identical to the fast path.
   void refresh_fault_active() noexcept {
-    fault_active_ =
-        !fault_plan_.empty() || crash_model_.enabled() || checker_ != nullptr;
+    fault_active_ = !fault_plan_.empty() || crash_model_.enabled() ||
+                    checker_ != nullptr || obs_ != nullptr;
   }
   void schedule_crash_process();
   void schedule_next_crash(double at_s);
@@ -518,6 +567,14 @@ class OverlayEngine {
   std::vector<char> dead_;
   std::uint64_t crash_count_ = 0;
   bool fault_active_ = false;
+
+  /// Flight-recorder state.  `obs_` is non-null only while an *enabled*
+  /// sink is attached; span ids are issued 1-based so 0 means "no span".
+  obs::TraceSink* obs_ = nullptr;
+  std::uint32_t next_span_ = 0;
+  std::uint32_t current_span_ = 0;
+  double heartbeat_period_s_ = 0.0;
+  double heartbeat_wall_start_s_ = 0.0;
 };
 
 }  // namespace dsf::sim

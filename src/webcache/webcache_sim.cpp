@@ -89,6 +89,7 @@ void WebCacheSim::request(net::NodeId p) {
   } else {
     // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
     // origin server as the alternative repository.
+    const std::uint32_t span = obs_search_begin(p, 1, page);
     if (faulty) begin_faulty_search(1);
     double latency = 0.0;
     net::NodeId holder = net::kInvalidNode;
@@ -132,6 +133,10 @@ void WebCacheSim::request(net::NodeId p) {
       latency = config_.origin_latency_s;
       if (report) ++result_.origin_fetches;
     }
+    if (holder != net::kInvalidNode)
+      obs_search_end(span, p, 1, 1, latency);
+    else
+      obs_search_end(span, p, 0, -1, -1.0);
     if (report) result_.latency_s.add(latency);
     proxy.cache.insert(page);
   }

@@ -1,0 +1,137 @@
+// JsonEmitter feeds every bench's machine-readable output; these tests
+// parse its documents back with the test-side JSON parser to prove a
+// real consumer accepts them — nesting, comma discipline, escaping,
+// schema stamping, and the destructor's close-everything safety net.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../obs/json_check.h"
+#include "metrics/json_emitter.h"
+
+namespace dsf::metrics {
+namespace {
+
+TEST(JsonEmitter, FlatObjectRoundTrips) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.schema("perf-suite", 1);
+    j.field("quick", true);
+    j.field("items", std::uint64_t{12345});
+    j.field("wall_s", 0.125, 3);
+    j.field("name", "queue_ops");
+    j.end_object();
+    j.finish();
+  }
+  const auto doc = testjson::parse(os.str());
+  EXPECT_EQ(doc.at("schema").string, "dsf-perf-suite-v1");
+  EXPECT_TRUE(doc.at("quick").boolean);
+  EXPECT_DOUBLE_EQ(doc.at("items").number, 12345.0);
+  EXPECT_DOUBLE_EQ(doc.at("wall_s").number, 0.125);
+  EXPECT_EQ(doc.at("name").string, "queue_ops");
+}
+
+TEST(JsonEmitter, NestedArraysAndObjects) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.begin_array("results");
+    for (int i = 0; i < 3; ++i) {
+      j.begin_object();
+      j.field("index", i);
+      j.end_object();
+    }
+    j.end_array();
+    j.begin_object("meta");
+    j.field("done", true);
+    j.end_object();
+    j.end_object();
+  }  // destructor finishes
+  const auto doc = testjson::parse(os.str());
+  const auto& results = doc.at("results");
+  ASSERT_TRUE(results.is_array());
+  ASSERT_EQ(results.array.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(results.array[i].at("index").number, i);
+  EXPECT_TRUE(doc.at("meta").at("done").boolean);
+}
+
+TEST(JsonEmitter, EmptyContainersAreValid) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.begin_array("runs");
+    j.end_array();
+    j.begin_object("inner");
+    j.end_object();
+    j.end_object();
+  }
+  const auto doc = testjson::parse(os.str());
+  EXPECT_TRUE(doc.at("runs").array.empty());
+  EXPECT_TRUE(doc.at("inner").object.empty());
+}
+
+TEST(JsonEmitter, EscapesStringsCorrectly) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.field("path", "C:\\tmp\\\"x\"\n\tend");
+    j.field("ctrl", std::string("a\x01z"));
+    j.end_object();
+  }
+  const auto doc = testjson::parse(os.str());
+  EXPECT_EQ(doc.at("path").string, "C:\\tmp\\\"x\"\n\tend");
+  EXPECT_EQ(doc.at("ctrl").string, std::string("a\x01z"));
+}
+
+TEST(JsonEmitter, NegativeAndLargeNumbers) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.field("neg", std::int64_t{-42});
+    j.field("big", std::uint64_t{1} << 53);
+    j.field("delay", -1.0, 4);
+    j.end_object();
+  }
+  const auto doc = testjson::parse(os.str());
+  EXPECT_DOUBLE_EQ(doc.at("neg").number, -42.0);
+  EXPECT_DOUBLE_EQ(doc.at("big").number, 9007199254740992.0);
+  EXPECT_DOUBLE_EQ(doc.at("delay").number, -1.0);
+}
+
+TEST(JsonEmitter, FinishClosesAbandonedContainers) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.begin_array("rows");
+    j.begin_object();
+    j.field("partial", true);
+    // No explicit closes: the safety net must close object, array,
+    // object in the right order.
+  }
+  const auto doc = testjson::parse(os.str());
+  ASSERT_EQ(doc.at("rows").array.size(), 1u);
+  EXPECT_TRUE(doc.at("rows").array[0].at("partial").boolean);
+}
+
+TEST(JsonEmitter, SchemaStampFormat) {
+  std::ostringstream os;
+  {
+    JsonEmitter j(os);
+    j.begin_object();
+    j.schema("scale-run", 3);
+    j.end_object();
+  }
+  const auto doc = testjson::parse(os.str());
+  EXPECT_EQ(doc.at("schema").string, "dsf-scale-run-v3");
+}
+
+}  // namespace
+}  // namespace dsf::metrics

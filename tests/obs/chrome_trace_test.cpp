@@ -1,0 +1,136 @@
+// The Chrome-trace exporter's output must be a document a real trace
+// viewer would load: valid JSON, async begin/end pairs per span, instant
+// events for wire records, counters for heartbeats, and honest metadata
+// about ring truncation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/chrome_trace.h"
+#include "obs/record.h"
+
+namespace dsf::obs {
+namespace {
+
+std::vector<Record> sample_trace() {
+  std::vector<Record> recs;
+
+  Record begin;
+  begin.kind = RecordKind::kSearchBegin;
+  begin.time_s = 1.5;
+  begin.span = 1;
+  begin.from = 7;
+  begin.ttl = 2;
+  begin.a = 42;
+  recs.push_back(begin);
+
+  Record send;
+  send.kind = RecordKind::kSend;
+  send.time_s = 1.5;
+  send.span = 1;
+  send.from = 7;
+  send.to = 8;
+  send.ttl = 2;
+  send.a = 120;
+  send.b = 1;
+  recs.push_back(send);
+
+  Record end;
+  end.kind = RecordKind::kSearchEnd;
+  end.time_s = 1.75;
+  end.span = 1;
+  end.from = 7;
+  end.ttl = 1;
+  end.a = 3;
+  end.b = Record::pack_delay(0.25);
+  recs.push_back(end);
+
+  Record crash;
+  crash.kind = RecordKind::kPeerCrash;
+  crash.time_s = 2.0;
+  crash.from = 9;
+  recs.push_back(crash);
+
+  Record hb;
+  hb.kind = RecordKind::kHeartbeat;
+  hb.time_s = 3.0;
+  hb.from = 17;   // queue population
+  hb.to = 1200;   // wall ms
+  hb.a = 5000;    // events executed
+  hb.b = 64u << 20;  // RSS bytes
+  recs.push_back(hb);
+
+  return recs;
+}
+
+TEST(ChromeTrace, EmitsParseableDocumentWithAllEventClasses) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_trace(), /*overwritten=*/5);
+
+  const auto doc = testjson::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  EXPECT_DOUBLE_EQ(doc.at("otherData").at("records").number, 5.0);
+  EXPECT_DOUBLE_EQ(doc.at("otherData").at("overwritten").number, 5.0);
+
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  bool saw_begin = false, saw_end = false, saw_wire = false,
+       saw_crash = false;
+  int counters = 0;
+  for (const auto& e : events.array) {
+    const std::string ph = e.at("ph").string;
+    if (ph == "b") {
+      saw_begin = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 1.5e6);  // sim seconds → µs
+      EXPECT_DOUBLE_EQ(e.at("args").at("item").number, 42.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("max_hops").number, 2.0);
+    } else if (ph == "e") {
+      saw_end = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("results").number, 3.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("first_hit_hop").number, 1.0);
+    } else if (ph == "i" && e.at("name").string != "peer-crash") {
+      saw_wire = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("from").number, 7.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("to").number, 8.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("span").number, 1.0);
+    } else if (ph == "i") {
+      saw_crash = true;
+    } else if (ph == "C") {
+      ++counters;
+    }
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_wire);
+  EXPECT_TRUE(saw_crash);
+  EXPECT_EQ(counters, 3);  // events/sec, queue population, RSS
+}
+
+TEST(ChromeTrace, BeginAndEndShareTheAsyncId) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_trace());
+  const auto doc = testjson::parse(os.str());
+  double begin_id = -1.0, end_id = -2.0;
+  for (const auto& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "b") begin_id = e.at("id").number;
+    if (e.at("ph").string == "e") end_id = e.at("id").number;
+  }
+  EXPECT_DOUBLE_EQ(begin_id, 1.0);
+  EXPECT_DOUBLE_EQ(begin_id, end_id);
+}
+
+TEST(ChromeTrace, EmptyStreamIsStillValid) {
+  std::ostringstream os;
+  write_chrome_trace(os, std::vector<Record>{});
+  const auto doc = testjson::parse(os.str());
+  EXPECT_TRUE(doc.at("traceEvents").is_array());
+  EXPECT_TRUE(doc.at("traceEvents").array.empty());
+  EXPECT_DOUBLE_EQ(doc.at("otherData").at("overwritten").number, 0.0);
+}
+
+}  // namespace
+}  // namespace dsf::obs

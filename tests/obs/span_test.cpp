@@ -1,0 +1,179 @@
+// Span reconstruction: a hand-built record stream must fold back into
+// exactly the summary its encoding table promises, and a real traced
+// Gnutella run must produce internally consistent spans end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gnutella/config.h"
+#include "gnutella/simulation.h"
+#include "obs/record.h"
+#include "obs/ring_sink.h"
+#include "obs/span_table.h"
+
+namespace dsf::obs {
+namespace {
+
+Record wire(RecordKind kind, double t, std::uint32_t span, std::uint32_t from,
+            std::uint32_t to, int ttl, std::uint64_t copies = 1) {
+  Record r;
+  r.kind = kind;
+  r.time_s = t;
+  r.span = span;
+  r.from = from;
+  r.to = to;
+  r.ttl = static_cast<std::int16_t>(ttl);
+  r.a = 120;  // bytes; irrelevant to reconstruction
+  r.b = copies;
+  return r;
+}
+
+TEST(SpanReconstruct, SyntheticSearchRoundTrips) {
+  std::vector<Record> recs;
+
+  Record begin;
+  begin.kind = RecordKind::kSearchBegin;
+  begin.time_s = 10.0;
+  begin.span = 1;
+  begin.from = 7;
+  begin.ttl = 3;  // hop budget
+  begin.a = 555;  // target item
+  recs.push_back(begin);
+
+  // Hop 1: two query copies out of the initiator (full budget).
+  recs.push_back(wire(RecordKind::kSend, 10.0, 1, 7, 8, 3));
+  recs.push_back(wire(RecordKind::kSend, 10.0, 1, 7, 9, 3));
+  recs.push_back(wire(RecordKind::kRecv, 10.0, 1, 7, 8, 3));
+  recs.push_back(wire(RecordKind::kRecv, 10.0, 1, 7, 9, 3));
+  // Hop 2: one forward, one loss.
+  recs.push_back(wire(RecordKind::kSend, 10.0, 1, 8, 11, 2));
+  recs.push_back(wire(RecordKind::kDrop, 10.0, 1, 9, 12, 2));
+  // A reply travels without a hop budget: counts as a send, not a query.
+  recs.push_back(wire(RecordKind::kSend, 10.2, 1, 8, 7, -1));
+
+  Record end;
+  end.kind = RecordKind::kSearchEnd;
+  end.time_s = 10.5;
+  end.span = 1;
+  end.from = 7;
+  end.ttl = 1;  // first hit at hop 1
+  end.a = 2;    // results
+  end.b = Record::pack_delay(0.25);
+  recs.push_back(end);
+
+  const auto spans = reconstruct_spans(recs);
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanSummary& s = spans[0];
+  EXPECT_EQ(s.span, 1u);
+  EXPECT_EQ(s.initiator, 7u);
+  EXPECT_EQ(s.item, 555u);
+  EXPECT_EQ(s.max_hops, 3);
+  EXPECT_DOUBLE_EQ(s.begin_s, 10.0);
+  EXPECT_DOUBLE_EQ(s.end_s, 10.5);
+  EXPECT_EQ(s.sends, 4u);        // 2 queries hop 1 + 1 hop 2 + 1 reply
+  EXPECT_EQ(s.query_sends, 3u);  // the reply carries no hop budget
+  EXPECT_EQ(s.delivers, 2u);
+  EXPECT_EQ(s.drops, 1u);
+  EXPECT_EQ(s.depth, 2);   // budget 3 spent down to 2 → hop 2
+  EXPECT_EQ(s.fanout, 2);  // full-budget sends
+  EXPECT_EQ(s.results, 2u);
+  EXPECT_EQ(s.first_hit_hop, 1);
+  EXPECT_TRUE(s.hit());
+  EXPECT_DOUBLE_EQ(s.first_result_delay_s, 0.25);
+  EXPECT_NEAR(s.slowest_gap_s, 0.3, 1e-12);  // 10.2 → 10.5
+  EXPECT_TRUE(s.complete);
+}
+
+TEST(SpanReconstruct, DuplicatedCopiesCountViaTheCopiesField) {
+  std::vector<Record> recs;
+  recs.push_back(wire(RecordKind::kSend, 1.0, 3, 1, 2, 4, /*copies=*/2));
+  recs.push_back(wire(RecordKind::kRecv, 1.0, 3, 1, 2, 4, /*copies=*/2));
+  const auto spans = reconstruct_spans(recs);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].sends, 2u);
+  EXPECT_EQ(spans[0].delivers, 2u);
+}
+
+TEST(SpanReconstruct, EndWithoutBeginIsPartial) {
+  Record end;
+  end.kind = RecordKind::kSearchEnd;
+  end.time_s = 2.0;
+  end.span = 9;
+  end.from = 4;
+  end.ttl = -1;
+  end.b = Record::pack_delay(-1.0);
+  const std::vector<Record> recs = {end};
+  const auto spans = reconstruct_spans(recs);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].complete);
+  EXPECT_FALSE(spans[0].hit());
+}
+
+TEST(SpanReconstruct, SpanlessRecordsAreIgnored) {
+  Record hb;
+  hb.kind = RecordKind::kHeartbeat;
+  hb.span = 0;
+  const std::vector<Record> recs = {hb};
+  EXPECT_TRUE(reconstruct_spans(recs).empty());
+}
+
+TEST(SpanTable, RendersOneRowPerSpan) {
+  std::vector<Record> recs;
+  recs.push_back(wire(RecordKind::kSend, 1.0, 1, 1, 2, 2));
+  recs.push_back(wire(RecordKind::kSend, 2.0, 2, 3, 4, 2));
+  const auto table = span_table(reconstruct_spans(recs));
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("span"), std::string::npos);
+  EXPECT_NE(text.find("partial"), std::string::npos);
+}
+
+// End to end: a traced Gnutella run produces one span per issued query,
+// each internally consistent.
+TEST(SpanReconstruct, TracedGnutellaRunProducesConsistentSpans) {
+  gnutella::Config config;
+  config.num_users = 80;
+  config.sim_hours = 0.5;
+  config.warmup_hours = 0.1;
+  config.seed = 42;
+
+  RingSink ring(1u << 20);  // large enough that nothing wraps
+  gnutella::Simulation sim(config);
+  sim.set_trace_sink(&ring);
+  const auto result = sim.run();
+
+  ASSERT_GT(ring.total(), 0u);
+  ASSERT_EQ(ring.overwritten(), 0u);
+  const auto snap = ring.snapshot();
+
+  std::uint64_t begins = 0, ends = 0;
+  for (const Record& r : snap) {
+    if (r.kind == RecordKind::kSearchBegin) ++begins;
+    if (r.kind == RecordKind::kSearchEnd) ++ends;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends) << "every span must close";
+
+  const auto spans = reconstruct_spans(snap);
+  EXPECT_EQ(spans.size(), begins);
+  std::uint64_t hits = 0;
+  for (const auto& s : spans) {
+    EXPECT_TRUE(s.complete) << "span " << s.span;
+    EXPECT_GT(s.max_hops, 0);
+    EXPECT_LE(s.begin_s, s.end_s);
+    EXPECT_LE(s.depth, s.max_hops);
+    if (s.hit()) {
+      ++hits;
+      EXPECT_GE(s.first_result_delay_s, 0.0);
+      EXPECT_LE(s.first_hit_hop, s.max_hops);
+    }
+  }
+  EXPECT_GT(hits, 0u) << "golden-ish config should satisfy some queries";
+  // The traced run's metrics must agree with the span view where the two
+  // overlap: remote hits are spans that ended with results.
+  EXPECT_GT(result.queries_issued, 0u);
+}
+
+}  // namespace
+}  // namespace dsf::obs

@@ -1,0 +1,63 @@
+// Flight-recorder zero-perturbation regression: attaching a trace sink
+// must leave every scenario's metrics byte-identical to the untraced
+// baseline.  This is stronger than "tracing off is free": the recorder
+// rides the same traced transmit path as the fault layer but never draws
+// from any RNG lane, so even a fully armed RingSink cannot move a single
+// counter.  The NullSink variant additionally proves the disabled sink
+// collapses to the plain path (set_trace_sink drops it to nullptr).
+//
+// Full golden configurations (same as determinism_test.cpp), so this file
+// lives in the slow suite.
+#include <gtest/gtest.h>
+
+#include "obs/ring_sink.h"
+#include "obs/sink.h"
+#include "sim_fingerprints.h"
+
+namespace dsf {
+namespace {
+
+using simtest::fingerprint;
+
+template <typename Sim, typename Config>
+void expect_tracing_is_noop(const Config& config) {
+  const auto baseline = fingerprint(Sim(config).run());
+
+  // A disabled sink must collapse to no sink at all.
+  Sim null_sim(config);
+  null_sim.set_trace_sink(&obs::NullSink::instance());
+  EXPECT_EQ(null_sim.trace_sink(), nullptr);
+  const auto with_null = fingerprint(null_sim.run());
+  EXPECT_EQ(baseline.value(), with_null.value())
+      << "NullSink perturbed the run";
+
+  // A live ring records the run without moving any metric.
+  obs::RingSink ring;
+  Sim traced_sim(config);
+  traced_sim.set_trace_sink(&ring);
+  EXPECT_EQ(traced_sim.trace_sink(), &ring);
+  const auto traced = fingerprint(traced_sim.run());
+  EXPECT_EQ(baseline.value(), traced.value()) << "RingSink perturbed the run";
+  EXPECT_GT(ring.total(), 0u) << "sink attached but nothing was recorded";
+}
+
+TEST(TraceGolden, GnutellaTracedRunMatchesBaseline) {
+  expect_tracing_is_noop<gnutella::Simulation>(
+      simtest::golden_gnutella_config());
+}
+
+TEST(TraceGolden, DigLibTracedRunMatchesBaseline) {
+  expect_tracing_is_noop<diglib::DigLibSim>(simtest::golden_diglib_config());
+}
+
+TEST(TraceGolden, OlapTracedRunMatchesBaseline) {
+  expect_tracing_is_noop<olap::OlapSim>(simtest::golden_olap_config());
+}
+
+TEST(TraceGolden, WebCacheTracedRunMatchesBaseline) {
+  expect_tracing_is_noop<webcache::WebCacheSim>(
+      simtest::golden_webcache_config());
+}
+
+}  // namespace
+}  // namespace dsf

@@ -9,28 +9,40 @@
 //   dsf_sim diglib   [--repos 64] [--mode all|static|adaptive]
 //                    [--hours 2] [--json]
 //
-// Every scenario also accepts --peers as a uniform population flag (the
-// scale-sweep spelling); the scenario-specific spelling wins when both
-// are given.
+// Run `dsf_sim --help` for the full generated flag reference.  The whole
+// surface is declared once through cli::FlagRegistry: every scenario also
+// accepts --peers as a uniform population flag (the scale-sweep spelling;
+// the scenario-specific spelling wins when both are given), the shared
+// --fault-* injection group (cli/fault_flags.h), and the flight-recorder
+// group:
 //
-// Every scenario also accepts the shared fault-injection group (see
-// cli/fault_flags.h): --fault-drop/--fault-dup/--fault-delay with
-// per-type overrides, --fault-crash-rate, and --fault-check to attach
-// the invariant checker (exit code 4 on violation).
+//   --trace ring             record every search/transmission into the
+//                            in-memory ring (off | null | ring)
+//   --trace-buffer N         ring capacity in records (default 65536)
+//   --trace-out FILE         export the ring as Chrome trace JSON
+//                            (chrome://tracing, Perfetto)
+//   --trace-spans            print the per-search span summary table
+//   --heartbeat S            emit a progress heartbeat every S sim-seconds
+//                            (changes event ordering; off by default)
 //
+// Unknown options are rejected with a nearest-match suggestion (exit 2).
 // Text output is human-readable; --json emits a machine-readable record
 // for scripting sweeps.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
-#include "cli/args.h"
 #include "cli/fault_flags.h"
+#include "cli/flag_registry.h"
 #include "diglib/diglib_sim.h"
 #include "gnutella/simulation.h"
 #include "metrics/json.h"
+#include "obs/chrome_trace.h"
+#include "obs/ring_sink.h"
+#include "obs/span_table.h"
 #include "olap/olap_sim.h"
 #include "sim/invariants.h"
 #include "webcache/webcache_sim.h"
@@ -42,8 +54,71 @@ using namespace dsf;
 int usage() {
   std::fprintf(stderr,
                "usage: dsf_sim <gnutella|webcache|olap|diglib> [options]\n"
-               "       see the header of tools/dsf_sim.cpp or README.md\n");
+               "       dsf_sim --help for the full flag reference\n");
   return 2;
+}
+
+cli::FlagRegistry make_registry() {
+  cli::FlagRegistry reg(
+      "dsf_sim <gnutella|webcache|olap|diglib> [--flag value ...]",
+      "Scenario driver for the distributed-search simulators.");
+  reg.add_bool("json", false, "emit one machine-readable JSON record");
+
+  reg.group("scenario");
+  reg.add_int("peers", -1, "population, uniform spelling for sweeps "
+                           "(scenario-specific spelling wins)")
+      .add_int("users", -1, "gnutella population")
+      .add_int("proxies", -1, "webcache population")
+      .add_int("repos", -1, "diglib population")
+      .add_int("hops", -1, "gnutella hop limit")
+      .add_bool("dynamic", false, "adaptive neighbor selection "
+                                  "(default: scenario config)")
+      .add_int("threshold", -1, "gnutella reconfiguration threshold")
+      .add_double("hours", -1.0, "simulated hours")
+      .add_double("warmup", -1.0, "gnutella warm-up hours")
+      .add_int("seed", -1, "master seed (default 42/7/11/17 by scenario)")
+      .add_string("strategy", "flood",
+                  "gnutella search: flood|iterative|directed|local-indices")
+      .add_bool("library-growth", false, "gnutella: downloads grow libraries")
+      .add_bool("exclude-owned", false, "gnutella: re-draw owned songs")
+      .add_string("mode", "adaptive", "diglib list mode: all|static|adaptive");
+
+  reg.group("flight recorder");
+  reg.add_string("trace", "off", "off | null | ring (the flight recorder)")
+      .add_int("trace-buffer",
+               static_cast<std::int64_t>(obs::RingSink::kDefaultCapacity),
+               "ring capacity in records")
+      .add_string("trace-out", "", "export the ring as Chrome trace JSON")
+      .add_bool("trace-spans", false, "print the per-search span table")
+      .add_double("heartbeat", 0.0,
+                  "heartbeat period in sim-seconds (0: off; note: "
+                  "scheduling heartbeats changes event ordering)");
+
+  register_fault_flags(reg);
+  return reg;
+}
+
+/// Config-default fallbacks: the registry's sentinel defaults mean "not
+/// given"; each scenario keeps its own config defaults.
+std::int64_t int_or(const cli::FlagRegistry& reg, const char* name,
+                    std::int64_t fallback) {
+  return reg.was_set(name) ? reg.get_int(name) : fallback;
+}
+double double_or(const cli::FlagRegistry& reg, const char* name,
+                 double fallback) {
+  return reg.was_set(name) ? reg.get_double(name) : fallback;
+}
+bool bool_or(const cli::FlagRegistry& reg, const char* name, bool fallback) {
+  return reg.was_set(name) ? reg.get_bool(name) : fallback;
+}
+
+/// Uniform population flag: every scenario accepts --peers (what the
+/// scale sweep passes); the scenario-specific spelling takes precedence.
+std::uint32_t population(const cli::FlagRegistry& reg, const char* specific,
+                         std::uint32_t fallback) {
+  const std::int64_t peers =
+      int_or(reg, "peers", static_cast<std::int64_t>(fallback));
+  return static_cast<std::uint32_t>(int_or(reg, specific, peers));
 }
 
 /// Parses the --fault-* group once, arms a scenario engine before run(),
@@ -52,8 +127,8 @@ struct FaultContext {
   cli::FaultOptions opts;
   sim::InvariantChecker checker;
 
-  explicit FaultContext(const cli::Args& args)
-      : opts(cli::parse_fault_options(args)) {}
+  explicit FaultContext(const cli::FlagRegistry& reg)
+      : opts(cli::fault_options_from(reg)) {}
 
   void arm(sim::OverlayEngine& engine) {
     engine.set_fault_plan(opts.plan);
@@ -79,14 +154,66 @@ struct FaultContext {
   }
 };
 
-/// Uniform population flag: every scenario accepts --peers (what the
-/// scale sweep passes); the scenario-specific spelling takes precedence.
-std::uint32_t population(const cli::Args& args, const char* specific,
-                         std::uint32_t fallback) {
-  const std::int64_t peers =
-      args.get_int("peers", static_cast<std::int64_t>(fallback));
-  return static_cast<std::uint32_t>(args.get_int(specific, peers));
-}
+/// Parses the flight-recorder group, attaches the configured sink before
+/// run(), and exports/prints after.
+struct TraceContext {
+  std::string mode;
+  std::unique_ptr<obs::RingSink> ring;
+  std::string out_path;
+  bool spans = false;
+  double heartbeat_s = 0.0;
+
+  explicit TraceContext(const cli::FlagRegistry& reg)
+      : mode(reg.get_string("trace")),
+        out_path(reg.get_string("trace-out")),
+        spans(reg.get_bool("trace-spans")),
+        heartbeat_s(reg.get_double("heartbeat")) {
+    if (mode != "off" && mode != "null" && mode != "ring")
+      throw std::invalid_argument("--trace: expected off, null or ring");
+    const std::int64_t cap = reg.get_int("trace-buffer");
+    if (cap <= 0) throw std::invalid_argument("--trace-buffer: must be > 0");
+    if (mode == "ring")
+      ring = std::make_unique<obs::RingSink>(static_cast<std::size_t>(cap));
+    if ((spans || !out_path.empty()) && !ring)
+      throw std::invalid_argument(
+          "--trace-out/--trace-spans need --trace ring");
+  }
+
+  void arm(sim::OverlayEngine& engine) {
+    if (mode == "null") {
+      // Explicitly off through the same API: collapses to no attachment.
+      engine.set_trace_sink(&obs::NullSink::instance());
+      return;
+    }
+    if (!ring) return;
+    engine.set_trace_sink(ring.get());
+    if (heartbeat_s > 0.0) engine.set_heartbeat_period(heartbeat_s);
+  }
+
+  /// Exit code: 0 on success, 3 when the export file cannot be written.
+  int finish() {
+    if (!ring) return 0;
+    const auto records = ring->snapshot();
+    if (!out_path.empty()) {
+      if (!obs::write_chrome_trace_file(out_path, records,
+                                        ring->overwritten())) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     out_path.c_str());
+        return 3;
+      }
+      std::fprintf(stderr,
+                   "trace: %zu records (%llu overwritten) -> %s\n",
+                   records.size(),
+                   static_cast<unsigned long long>(ring->overwritten()),
+                   out_path.c_str());
+    }
+    if (spans) {
+      const auto summary = obs::reconstruct_spans(records);
+      obs::span_table(summary).print(std::cout);
+    }
+    return 0;
+  }
+};
 
 gnutella::SearchStrategy parse_strategy(const std::string& s) {
   if (s == "flood") return gnutella::SearchStrategy::kFlood;
@@ -96,23 +223,25 @@ gnutella::SearchStrategy parse_strategy(const std::string& s) {
   throw std::invalid_argument("--strategy: unknown value: " + s);
 }
 
-int run_gnutella(const cli::Args& args, bool json) {
+int run_gnutella(const cli::FlagRegistry& reg, bool json) {
   gnutella::Config c;
-  c.num_users = population(args, "users", c.num_users);
-  c.max_hops = static_cast<int>(args.get_int("hops", c.max_hops));
-  c.dynamic = args.get_bool("dynamic", c.dynamic);
+  c.num_users = population(reg, "users", c.num_users);
+  c.max_hops = static_cast<int>(int_or(reg, "hops", c.max_hops));
+  c.dynamic = bool_or(reg, "dynamic", c.dynamic);
   c.reconfig_threshold = static_cast<std::uint32_t>(
-      args.get_int("threshold", c.reconfig_threshold));
-  c.sim_hours = args.get_double("hours", c.sim_hours);
-  c.warmup_hours = args.get_double("warmup", c.warmup_hours);
-  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  c.search_strategy = parse_strategy(args.get_string("strategy", "flood"));
-  c.library_growth = args.get_bool("library-growth", false);
-  c.exclude_owned_songs = args.get_bool("exclude-owned", false);
+      int_or(reg, "threshold", c.reconfig_threshold));
+  c.sim_hours = double_or(reg, "hours", c.sim_hours);
+  c.warmup_hours = double_or(reg, "warmup", c.warmup_hours);
+  c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 42));
+  c.search_strategy = parse_strategy(reg.get_string("strategy"));
+  c.library_growth = reg.get_bool("library-growth");
+  c.exclude_owned_songs = reg.get_bool("exclude-owned");
 
-  FaultContext fault(args);
+  FaultContext fault(reg);
+  TraceContext trace(reg);
   gnutella::Simulation sim(c);
   fault.arm(sim);
+  trace.arm(sim);
   const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
@@ -140,19 +269,23 @@ int run_gnutella(const cli::Args& args, bool json) {
                 static_cast<unsigned long long>(r.total_messages()),
                 r.first_result_delay_s.mean() * 1e3);
   }
-  return fault.finish(sim);
+  const int trc = trace.finish();
+  const int frc = fault.finish(sim);
+  return frc ? frc : trc;
 }
 
-int run_webcache(const cli::Args& args, bool json) {
+int run_webcache(const cli::FlagRegistry& reg, bool json) {
   webcache::WebCacheConfig c;
-  c.num_proxies = population(args, "proxies", c.num_proxies);
-  c.dynamic = args.get_bool("dynamic", c.dynamic);
-  c.sim_hours = args.get_double("hours", c.sim_hours);
-  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  c.num_proxies = population(reg, "proxies", c.num_proxies);
+  c.dynamic = bool_or(reg, "dynamic", c.dynamic);
+  c.sim_hours = double_or(reg, "hours", c.sim_hours);
+  c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 7));
 
-  FaultContext fault(args);
+  FaultContext fault(reg);
+  TraceContext trace(reg);
   webcache::WebCacheSim sim(c);
   fault.arm(sim);
+  trace.arm(sim);
   const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
@@ -174,19 +307,23 @@ int run_webcache(const cli::Args& args, bool json) {
                 r.local_hit_rate() * 100, r.neighbor_hit_rate() * 100,
                 r.latency_s.mean() * 1e3);
   }
-  return fault.finish(sim);
+  const int trc = trace.finish();
+  const int frc = fault.finish(sim);
+  return frc ? frc : trc;
 }
 
-int run_olap(const cli::Args& args, bool json) {
+int run_olap(const cli::FlagRegistry& reg, bool json) {
   olap::OlapConfig c;
-  c.num_peers = population(args, "peers", c.num_peers);
-  c.dynamic = args.get_bool("dynamic", c.dynamic);
-  c.sim_hours = args.get_double("hours", c.sim_hours);
-  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  c.num_peers = population(reg, "peers", c.num_peers);
+  c.dynamic = bool_or(reg, "dynamic", c.dynamic);
+  c.sim_hours = double_or(reg, "hours", c.sim_hours);
+  c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 11));
 
-  FaultContext fault(args);
+  FaultContext fault(reg);
+  TraceContext trace(reg);
   olap::OlapSim sim(c);
   fault.arm(sim);
+  trace.arm(sim);
   const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
@@ -205,13 +342,15 @@ int run_olap(const cli::Args& args, bool json) {
                 static_cast<unsigned long long>(r.queries),
                 r.peer_hit_rate() * 100, r.response_time_s.mean());
   }
-  return fault.finish(sim);
+  const int trc = trace.finish();
+  const int frc = fault.finish(sim);
+  return frc ? frc : trc;
 }
 
-int run_diglib(const cli::Args& args, bool json) {
+int run_diglib(const cli::FlagRegistry& reg, bool json) {
   diglib::DigLibConfig c;
-  c.num_repositories = population(args, "repos", c.num_repositories);
-  const std::string mode = args.get_string("mode", "adaptive");
+  c.num_repositories = population(reg, "repos", c.num_repositories);
+  const std::string mode = reg.get_string("mode");
   if (mode == "all") {
     c.mode = diglib::ListMode::kAllToAll;
   } else if (mode == "static") {
@@ -221,12 +360,14 @@ int run_diglib(const cli::Args& args, bool json) {
   } else {
     throw std::invalid_argument("--mode: unknown value: " + mode);
   }
-  c.sim_hours = args.get_double("hours", c.sim_hours);
-  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
+  c.sim_hours = double_or(reg, "hours", c.sim_hours);
+  c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 17));
 
-  FaultContext fault(args);
+  FaultContext fault(reg);
+  TraceContext trace(reg);
   diglib::DigLibSim sim(c);
   fault.arm(sim);
+  trace.arm(sim);
   const auto r = sim.run();
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
@@ -246,34 +387,33 @@ int run_diglib(const cli::Args& args, bool json) {
                 r.hit_rate() * 100, r.recall(),
                 r.messages_per_query.mean());
   }
-  return fault.finish(sim);
+  const int trc = trace.finish();
+  const int frc = fault.finish(sim);
+  return frc ? frc : trc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    cli::Args args(argc, argv);
+    cli::FlagRegistry reg = make_registry();
+    const cli::Args& args = reg.parse(argc, argv);
+    if (reg.help_requested()) {
+      std::fputs(reg.help().c_str(), stdout);
+      return 0;
+    }
     if (args.positional().size() != 1) return usage();
-    const bool json = args.get_bool("json", false);
+    const bool json = reg.get_bool("json");
 
     const std::string& scenario = args.positional().front();
-    int rc;
-    if (scenario == "gnutella") {
-      rc = run_gnutella(args, json);
-    } else if (scenario == "webcache") {
-      rc = run_webcache(args, json);
-    } else if (scenario == "olap") {
-      rc = run_olap(args, json);
-    } else if (scenario == "diglib") {
-      rc = run_diglib(args, json);
-    } else {
-      return usage();
-    }
-
-    for (const auto& key : args.unrecognized())
-      std::fprintf(stderr, "warning: unrecognized option --%s\n", key.c_str());
-    return rc;
+    if (scenario == "gnutella") return run_gnutella(reg, json);
+    if (scenario == "webcache") return run_webcache(reg, json);
+    if (scenario == "olap") return run_olap(reg, json);
+    if (scenario == "diglib") return run_diglib(reg, json);
+    return usage();
+  } catch (const dsf::cli::UnknownFlag& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
