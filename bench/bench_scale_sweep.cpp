@@ -10,7 +10,12 @@
 // the numbers this tree produced when the compact scale path landed.
 //
 // Usage: bench_scale_sweep --peers N [--hours H] [--replications R]
-//                          [--seed S] [--threads T] [--out PATH]
+//                          [--seed S] [--threads T] [--shards N] [--out PATH]
+//
+// --threads parallelizes ACROSS replications (independent seeds);
+// --shards/-j parallelizes WITHIN one run via the sharded engine.  The
+// two compose, but the useful configurations are threads>1 shards=1
+// (many small runs) or threads=1 shards>1 (one huge run).
 
 #include <chrono>
 #include <cstdint>
@@ -69,7 +74,8 @@ struct Options {
   double hours = 24.0;
   unsigned replications = 1;
   std::uint64_t seed = 42;
-  unsigned threads = 0;  // 0 = one per replication, capped by hardware
+  unsigned threads = dsf::des::kAutoThreads;  // one per replication, capped
+  std::uint32_t shards = 1;                   // per-run engine sharding
   std::string out_path = "scale_run.json";
 };
 
@@ -81,6 +87,7 @@ Shard run_one(const Options& opt, std::uint64_t seed) {
   config.seed = seed;
   const auto t0 = Clock::now();
   dsf::gnutella::Simulation sim(config);
+  if (opt.shards > 1) sim.set_shards(opt.shards);
   const auto result = sim.run();
   Shard s;
   s.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -110,7 +117,10 @@ int main(int argc, char** argv) {
       .add_int("replications", 1, "independent seeds to merge")
       .add_int("seed", 42, "base seed; replication i uses seed+i")
       .add_int("threads", 0, "worker threads (0 = one per replication)")
+      .add_int("shards", 1,
+               "engine shards within each run (1 = serial reference path)")
       .add_string("out", "scale_run.json", "JSON output path");
+  reg.alias("j", "shards");
   try {
     reg.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -127,12 +137,23 @@ int main(int argc, char** argv) {
   opt.hours = reg.get_double("hours");
   opt.replications = static_cast<unsigned>(reg.get_int("replications"));
   opt.seed = static_cast<std::uint64_t>(reg.get_int("seed"));
-  opt.threads = static_cast<unsigned>(reg.get_int("threads"));
+  // CLI keeps "0 = auto"; parallel_map_reduce itself rejects an explicit 0.
+  opt.threads = reg.get_int("threads") == 0
+                    ? dsf::des::kAutoThreads
+                    : static_cast<unsigned>(reg.get_int("threads"));
   opt.out_path = reg.get_string("out");
   if (opt.peers == 0 || opt.hours <= 0.0 || opt.replications == 0) {
     std::fprintf(stderr, "--peers is required; hours and replications > 0\n");
     return 2;
   }
+  const std::int64_t shards_arg = reg.get_int("shards");
+  if (shards_arg < 1 || static_cast<std::uint64_t>(shards_arg) > opt.peers) {
+    std::fprintf(stderr,
+                 "error: --shards must be >= 1 and <= --peers (%zu)\n",
+                 opt.peers);
+    return 2;
+  }
+  opt.shards = static_cast<std::uint32_t>(shards_arg);
 
   std::vector<std::uint64_t> seeds(opt.replications);
   std::iota(seeds.begin(), seeds.end(), opt.seed);
@@ -174,6 +195,7 @@ int main(int argc, char** argv) {
   j.field("peers", static_cast<std::uint64_t>(opt.peers));
   j.field("hours", opt.hours, 3);
   j.field("replications", static_cast<std::uint64_t>(opt.replications));
+  j.field("shards", static_cast<std::uint64_t>(opt.shards));
   j.field("seed", opt.seed);
   j.field("wall_s", wall, 3);
   j.field("events", total.events);

@@ -7,8 +7,20 @@ namespace dsf::cli {
 
 namespace {
 
-bool is_option(const std::string& arg) {
+bool is_long_option(const std::string& arg) {
   return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+// Exactly `-c` for one alphabetic character.  Restricting to letters keeps
+// negative numbers (`--offset -5`) parsing as values, not flags.
+bool is_short_option(const std::string& arg) {
+  return arg.size() == 2 && arg[0] == '-' &&
+         ((arg[1] >= 'a' && arg[1] <= 'z') ||
+          (arg[1] >= 'A' && arg[1] <= 'Z'));
+}
+
+bool is_option(const std::string& arg) {
+  return is_long_option(arg) || is_short_option(arg);
 }
 
 }  // namespace
@@ -20,7 +32,7 @@ Args::Args(int argc, const char* const* argv) {
       positional_.push_back(arg);
       continue;
     }
-    const std::string body = arg.substr(2);
+    const std::string body = arg.substr(is_long_option(arg) ? 2 : 1);
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
       options_[body.substr(0, eq)] = body.substr(eq + 1);

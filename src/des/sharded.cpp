@@ -1,0 +1,171 @@
+#include "des/sharded.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dsf::des {
+
+namespace detail {
+thread_local std::uint32_t tls_current_shard = kNoShard;
+}  // namespace detail
+
+ShardedSimulator::ShardedSimulator(std::uint32_t shards, SimTime window_s)
+    : num_shards_(shards), window_s_(window_s) {
+  if (shards == 0)
+    throw std::invalid_argument("ShardedSimulator: shards must be >= 1");
+  if (!(window_s > 0.0))
+    throw std::invalid_argument("ShardedSimulator: window_s must be > 0");
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s)
+    shards_.emplace_back(std::make_unique<Simulator>());
+  mail_.resize(static_cast<std::size_t>(shards) * shards);
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      quit_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+std::size_t ShardedSimulator::pending() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& s : shards_) sum += s->pending();
+  return sum;
+}
+
+std::uint64_t ShardedSimulator::executed() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->executed();
+  return sum;
+}
+
+void ShardedSimulator::post(std::uint32_t dst, SimTime t, Callback cb) {
+  const std::uint32_t src = detail::tls_current_shard;
+  if (src == kNoShard || src == dst) {
+    // Outside a window (single-threaded) or a shard posting to itself:
+    // insert directly; schedule_at clamps past times to the shard clock.
+    Simulator& sim = *shards_[dst];
+    if (t < sim.now()) clamps_.fetch_add(1, std::memory_order_relaxed);
+    sim.schedule_at(t, std::move(cb));
+    return;
+  }
+  mail_[static_cast<std::size_t>(src) * num_shards_ + dst].push_back(
+      Post{t, std::move(cb)});
+}
+
+void ShardedSimulator::run_shard_window(std::uint32_t s, SimTime wend,
+                                        bool inclusive) {
+  detail::tls_current_shard = s;
+  shards_[s]->run_window(wend, inclusive);
+  detail::tls_current_shard = kNoShard;
+}
+
+void ShardedSimulator::worker_loop(std::uint32_t s) {
+  std::uint64_t my_epoch = 0;
+  for (;;) {
+    SimTime wend;
+    bool inclusive;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return quit_ || epoch_ != my_epoch; });
+      if (quit_) return;
+      my_epoch = epoch_;
+      wend = window_end_;
+      inclusive = window_inclusive_;
+    }
+    run_shard_window(s, wend, inclusive);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (++done_ == num_shards_ - 1) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::start_workers() {
+  if (!workers_.empty() || num_shards_ <= 1) return;
+  workers_.reserve(num_shards_ - 1);
+  for (std::uint32_t s = 1; s < num_shards_; ++s)
+    workers_.emplace_back([this, s] { worker_loop(s); });
+}
+
+void ShardedSimulator::drain_mailbox() {
+  // Canonical order: for each destination, rows from source shard 0..N-1,
+  // FIFO within a row.  Sequence numbers — and therefore same-time
+  // tie-breaking on the destination queue — depend only on this order,
+  // never on worker timing.
+  for (std::uint32_t dst = 0; dst < num_shards_; ++dst) {
+    Simulator& sim = *shards_[dst];
+    const SimTime now = sim.now();
+    for (std::uint32_t src = 0; src < num_shards_; ++src) {
+      auto& row = mail_[static_cast<std::size_t>(src) * num_shards_ + dst];
+      if (row.empty()) continue;
+      for (const Post& p : row)
+        if (p.t < now) clamps_.fetch_add(1, std::memory_order_relaxed);
+      sim.queue().schedule_batch(row.size(), [&](std::size_t i) {
+        Post& p = row[i];
+        return std::pair<SimTime, Callback>(p.t < now ? now : p.t,
+                                            std::move(p.cb));
+      });
+      row.clear();
+    }
+  }
+}
+
+std::uint64_t ShardedSimulator::run_until(SimTime end) {
+  start_workers();
+  std::uint64_t before = 0;
+  for (const auto& s : shards_) before += s->executed();
+
+  for (;;) {
+    SimTime tmin = std::numeric_limits<SimTime>::infinity();
+    for (const auto& s : shards_)
+      if (s->pending() > 0) tmin = std::min(tmin, s->queue().next_time());
+    if (tmin > end) break;  // nothing left inside the horizon
+
+    const SimTime wend = std::min(tmin + window_s_, end);
+    // The final window is closed ([wbase, end]) to preserve run_until's
+    // events-exactly-at-the-horizon-execute semantics; interior windows
+    // are half-open so a boundary event runs in the window it opens.
+    const bool inclusive = wend >= end;
+
+    if (num_shards_ > 1) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        window_end_ = wend;
+        window_inclusive_ = inclusive;
+        done_ = 0;
+        ++epoch_;
+      }
+      cv_start_.notify_all();
+      run_shard_window(0, wend, inclusive);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_done_.wait(lock, [&] { return done_ == num_shards_ - 1; });
+      }
+    } else {
+      run_shard_window(0, wend, inclusive);
+    }
+    ++windows_;
+    drain_mailbox();
+    if (barrier_hook_) barrier_hook_(wend);
+    if (inclusive) break;
+  }
+
+  // Mirror Simulator::run_until: clocks advance to the horizon even when
+  // the queues drained (or never held anything) before it.
+  if (end < std::numeric_limits<SimTime>::infinity())
+    for (auto& s : shards_)
+      if (s->now() < end) s->run_window(end, true);
+
+  std::uint64_t after = 0;
+  for (const auto& s : shards_) after += s->executed();
+  return after - before;
+}
+
+}  // namespace dsf::des

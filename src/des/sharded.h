@@ -1,0 +1,148 @@
+#pragma once
+
+// Conservative parallel DES: N independent Simulator instances (one event
+// queue and clock per shard) advanced in bounded time windows by a pool of
+// worker threads.  The window width is the minimum cross-shard messaging
+// delay (the lookahead), so every event a shard executes inside a window
+// can only influence *other* shards at or after the window's end — the
+// classic conservative-synchronization argument, with the paper's own
+// delay-model floor supplying the lookahead for free.
+//
+// Protocol per window:
+//   1. the coordinator computes tmin = min over shards of next event time;
+//      the window is [tmin, min(tmin + window, end));
+//   2. all shards run their local events inside the window concurrently
+//      (Simulator::run_window), buffering cross-shard messages into a
+//      per-(source, destination) mailbox row — each row is written by
+//      exactly one worker, so the mailbox needs no locks;
+//   3. at the barrier the coordinator drains the mailbox in canonical
+//      order (destination, then source shard 0..N-1, then FIFO within a
+//      row) through the queue's schedule_batch bulk path, so mailbox
+//      drain order — and with it every sequence number it assigns — is
+//      independent of worker timing.
+//
+// A post whose delivery time falls below the receiving shard's clock
+// (possible only when the configured window exceeds the true minimum
+// delay) is clamped to the clock and counted in lookahead_clamps();
+// the determinism contract in DESIGN.md §1.8 covers when that matters.
+//
+// Determinism: for a fixed shard count, the DES layer itself is
+// deterministic — shard-local pop order is the sequential (time, seq)
+// order and the mailbox drain is canonical.  What a *model* does with
+// shared mutable state across shards is the model's contract, not ours.
+
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace dsf::des {
+
+/// Sentinel for "this thread is not executing any shard's events".
+inline constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+namespace detail {
+/// Which shard the current thread is executing events for (kNoShard
+/// outside a window).  Exposed so hot-path accessors can inline the read.
+extern thread_local std::uint32_t tls_current_shard;
+}  // namespace detail
+
+class ShardedSimulator {
+ public:
+  /// `shards` >= 1; `window_s` > 0 is the conservative lookahead window.
+  ShardedSimulator(std::uint32_t shards, SimTime window_s);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::uint32_t shards() const noexcept { return num_shards_; }
+  SimTime window_s() const noexcept { return window_s_; }
+
+  Simulator& shard(std::uint32_t i) noexcept { return *shards_[i]; }
+  const Simulator& shard(std::uint32_t i) const noexcept {
+    return *shards_[i];
+  }
+
+  /// The shard whose events the calling thread is executing, or kNoShard
+  /// (e.g. on the coordinator between windows, or before run_until).
+  static std::uint32_t current_shard() noexcept {
+    return detail::tls_current_shard;
+  }
+
+  /// Schedules `cb` at absolute time `t` on shard `dst`'s queue.  From
+  /// within dst's own window this is a direct (immediate) insertion; from
+  /// another shard's window the post is buffered in the mailbox and
+  /// drained at the next barrier; outside any window (bootstrap, between
+  /// runs) it is a direct single-threaded insertion.  Times below the
+  /// destination clock are clamped and counted.
+  void post(std::uint32_t dst, SimTime t, Callback cb);
+
+  /// Installs a hook the coordinator invokes at every window barrier
+  /// (after the mailbox drain) with the window's end time.  All workers
+  /// are parked at that point, so the hook may read any shard state.
+  void set_barrier_hook(std::function<void(SimTime)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  /// Runs all shards to `end` (inclusive, like Simulator::run_until) in
+  /// lookahead windows.  Returns the number of events executed across all
+  /// shards by this call.  Must be called from one thread at a time.
+  std::uint64_t run_until(SimTime end);
+
+  /// Cross-shard posts whose delivery time had to be clamped forward to
+  /// the receiving shard's clock (lookahead violations).
+  std::uint64_t lookahead_clamps() const noexcept {
+    return clamps_.load(std::memory_order_relaxed);
+  }
+  /// Synchronization windows executed so far.
+  std::uint64_t windows() const noexcept { return windows_; }
+  /// Total pending events across all shards (coordinator-only: racy if
+  /// called while a window is executing).
+  std::size_t pending() const noexcept;
+  /// Total events executed across all shards over the object's lifetime.
+  std::uint64_t executed() const noexcept;
+
+ private:
+  struct Post {
+    SimTime t;
+    Callback cb;
+  };
+
+  void start_workers();
+  void worker_loop(std::uint32_t s);
+  void run_shard_window(std::uint32_t s, SimTime wend, bool inclusive);
+  void drain_mailbox();
+
+  std::uint32_t num_shards_;
+  SimTime window_s_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  /// mail_[src * num_shards_ + dst]: rows written only by the worker
+  /// executing shard `src`, drained only by the coordinator at barriers.
+  std::vector<std::vector<Post>> mail_;
+  std::function<void(SimTime)> barrier_hook_;
+  /// Atomic: the same-shard fast path of post() may clamp from a worker.
+  std::atomic<std::uint64_t> clamps_{0};
+  std::uint64_t windows_ = 0;
+
+  // Worker pool (shards 1..N-1; shard 0 runs on the coordinator thread).
+  // Generation-counter barrier: bumping `epoch_` under the mutex releases
+  // every worker for one window; the last worker to finish signals done.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t done_ = 0;
+  SimTime window_end_ = 0.0;
+  bool window_inclusive_ = false;
+  bool quit_ = false;
+};
+
+}  // namespace dsf::des

@@ -4,16 +4,28 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace dsf::des {
 
+/// Explicit "pick the thread count for me" sentinel for parallel_map /
+/// parallel_map_reduce.  An explicit `threads == 0` is rejected with
+/// std::invalid_argument instead of being silently reinterpreted: a
+/// caller that computed 0 (an empty config field, a failed parse) almost
+/// certainly did not mean "auto", and 0 workers would otherwise hang the
+/// sweep (no worker ever claims an index).
+inline constexpr unsigned kAutoThreads = std::numeric_limits<unsigned>::max();
+
 /// Number of worker threads to use for a sweep of `jobs` independent
 /// simulations: one per job, bounded by the hardware concurrency.
+/// hardware_concurrency() is allowed to return 0 ("unknown"); that is
+/// clamped to 1 so the sweep always makes progress.
 inline unsigned sweep_threads(std::size_t jobs) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   return static_cast<unsigned>(std::min<std::size_t>(jobs, hw));
@@ -37,12 +49,18 @@ inline unsigned sweep_threads(std::size_t jobs) {
 /// in-flight jobs run to completion before the join.
 template <typename T, typename Fn>
 auto parallel_map(const std::vector<T>& inputs, Fn&& fn,
-                  unsigned threads = 0)
+                  unsigned threads = kAutoThreads)
     -> std::vector<decltype(fn(inputs.front()))> {
   using R = decltype(fn(inputs.front()));
+  if (threads == 0)
+    throw std::invalid_argument(
+        "parallel_map: threads must be >= 1 (pass kAutoThreads to size "
+        "from hardware_concurrency)");
   std::vector<R> results;
   if (inputs.empty()) return results;
-  if (threads == 0) threads = sweep_threads(inputs.size());
+  if (threads == kAutoThreads) threads = sweep_threads(inputs.size());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, inputs.size()));
 
   if (threads <= 1) {
     results.reserve(inputs.size());
@@ -94,7 +112,7 @@ auto parallel_map(const std::vector<T>& inputs, Fn&& fn,
 /// `merge` is called as `merge(acc, shard)` and may move from `shard`.
 template <typename T, typename Fn, typename Acc, typename MergeFn>
 Acc parallel_map_reduce(const std::vector<T>& inputs, Fn&& fn, Acc init,
-                        MergeFn&& merge, unsigned threads = 0) {
+                        MergeFn&& merge, unsigned threads = kAutoThreads) {
   auto shards = parallel_map(inputs, std::forward<Fn>(fn), threads);
   for (auto& shard : shards) merge(init, shard);
   return init;

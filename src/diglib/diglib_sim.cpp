@@ -86,71 +86,83 @@ bool DigLibSim::holds(net::NodeId r, DocId doc) const {
 
 void DigLibSim::issue_query(net::NodeId r) {
   if (node_dead(r)) return;  // a crashed repository stops querying for good
-  const DocId doc = draw_doc(repos_[r].topic);
+  {
+    // Holdings and copy counts are immutable after construction and the
+    // search only reads the overlay, so shards search concurrently under
+    // the shared section (a no-op serially); reorganizations run
+    // exclusively via schedule_every.
+    const Section lock = shared_section();
+    const DocId doc = draw_doc(repos_[r].topic);
 
-  // Extensive search (§3.2): the goal is many copies, so holders keep
-  // forwarding; all-to-all needs a single hop by construction.
-  core::SearchParams params;
-  params.max_hops = config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
-  params.forward_when_hit = true;
+    // Extensive search (§3.2): the goal is many copies, so holders keep
+    // forwarding; all-to-all needs a single hop by construction.
+    core::SearchParams params;
+    params.max_hops =
+        config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
+    params.forward_when_hit = true;
 
-  const auto neighbors = [this](net::NodeId n) -> core::NeighborView {
-    return overlay_.out_neighbors(n);
-  };
-  const auto has_content = [this, doc](net::NodeId n) { return holds(n, doc); };
-  const auto delay = [this](net::NodeId a, net::NodeId b) {
-    return sample_delay_s(a, b);
-  };
-  const std::uint32_t span = obs_search_begin(r, params.max_hops, doc);
-  const auto outcome =
-      fault_layer_active()
-          ? core::flood_search(r, params, neighbors, has_content, delay,
-                               transmit_fn(), stamps_, scratch_)
-          : core::flood_search(r, params, neighbors, has_content, delay,
-                               stamps_, scratch_);
-  if (span != 0) {
-    int first_hop = -1;
-    double first_delay = -1.0;
-    for (const auto& hit : outcome.hits) {
-      if (first_hop < 0 || hit.reply_at_s < first_delay) {
-        first_hop = hit.hop;
-        first_delay = hit.reply_at_s;
+    const auto neighbors = [this](net::NodeId n) -> core::NeighborView {
+      return overlay_.out_neighbors(n);
+    };
+    const auto has_content = [this, doc](net::NodeId n) {
+      return holds(n, doc);
+    };
+    const auto delay = [this](net::NodeId a, net::NodeId b) {
+      return sample_delay_s(a, b);
+    };
+    const std::uint32_t span = obs_search_begin(r, params.max_hops, doc);
+    const auto outcome =
+        fault_layer_active()
+            ? core::flood_search(r, params, neighbors, has_content, delay,
+                                 transmit_fn(), visit_stamps(),
+                                 search_scratch())
+            : core::flood_search(r, params, neighbors, has_content, delay,
+                                 visit_stamps(), search_scratch());
+    if (span != 0) {
+      int first_hop = -1;
+      double first_delay = -1.0;
+      for (const auto& hit : outcome.hits) {
+        if (first_hop < 0 || hit.reply_at_s < first_delay) {
+          first_hop = hit.hop;
+          first_delay = hit.reply_at_s;
+        }
+      }
+      obs_search_end(span, r, outcome.hits.size(), first_hop, first_delay);
+    }
+
+    count(net::MessageType::kQuery, outcome.query_messages);
+    count(net::MessageType::kQueryReply, outcome.reply_messages);
+    if (reporting()) {
+      DigLibResult& out = res();
+      ++out.queries;
+      if (outcome.satisfied()) ++out.satisfied;
+      out.messages_per_query.add(
+          static_cast<double>(outcome.query_messages));
+      out.copies_found += outcome.hits.size();
+      // Copies available elsewhere (the initiator's own copy, if any, does
+      // not count: it would not be searched for).
+      std::uint32_t available = copy_count_[doc];
+      if (holds(r, doc) && available > 0) --available;
+      out.copies_available += available;
+      if (outcome.satisfied())
+        out.first_result_delay_s.add(outcome.first_result_delay_s());
+    }
+
+    if (config_.mode == ListMode::kAdaptive) {
+      for (const auto& hit : outcome.hits) {
+        core::ResultInfo info;
+        info.responder = hit.node;
+        // Result-count dilution (the paper's R denominator): a repository
+        // that answers queries nobody else can answer is worth more than
+        // one of many holders of a ubiquitous document.
+        info.items = 1.0 / static_cast<double>(outcome.hits.size());
+        info.latency_s = hit.reply_at_s;
+        repos_[r].stats.add(hit.node, benefit_.benefit(info));
       }
     }
-    obs_search_end(span, r, outcome.hits.size(), first_hop, first_delay);
   }
 
-  count(net::MessageType::kQuery, outcome.query_messages);
-  count(net::MessageType::kQueryReply, outcome.reply_messages);
-  if (reporting()) {
-    ++result_.queries;
-    if (outcome.satisfied()) ++result_.satisfied;
-    result_.messages_per_query.add(
-        static_cast<double>(outcome.query_messages));
-    result_.copies_found += outcome.hits.size();
-    // Copies available elsewhere (the initiator's own copy, if any, does
-    // not count: it would not be searched for).
-    std::uint32_t available = copy_count_[doc];
-    if (holds(r, doc) && available > 0) --available;
-    result_.copies_available += available;
-    if (outcome.satisfied())
-      result_.first_result_delay_s.add(outcome.first_result_delay_s());
-  }
-
-  if (config_.mode == ListMode::kAdaptive) {
-    for (const auto& hit : outcome.hits) {
-      core::ResultInfo info;
-      info.responder = hit.node;
-      // Result-count dilution (the paper's R denominator): a repository
-      // that answers queries nobody else can answer is worth more than
-      // one of many holders of a ubiquitous document.
-      info.items = 1.0 / static_cast<double>(outcome.hits.size());
-      info.latency_s = hit.reply_at_s;
-      repos_[r].stats.add(hit.node, benefit_.benefit(info));
-    }
-  }
-
-  sim_.schedule_in(interquery_.sample(rng()), [this, r] { issue_query(r); });
+  schedule_self(r, interquery_.sample(rng()), [this, r] { issue_query(r); });
 }
 
 void DigLibSim::update_neighbors(net::NodeId r) {
@@ -237,8 +249,10 @@ void DigLibSim::update_neighbors(net::NodeId r) {
 }
 
 DigLibResult DigLibSim::run() {
+  if (parallel()) shard_results_.assign(shards(), DigLibResult{});
   for (net::NodeId r = 0; r < config_.num_repositories; ++r) {
-    sim_.schedule_in(interquery_.sample(rng()), [this, r] { issue_query(r); });
+    schedule_self(r, interquery_.sample(rng()),
+                  [this, r] { issue_query(r); });
     if (config_.mode == ListMode::kAdaptive) {
       schedule_every(rng().uniform(0.0, config_.update_period_s),
                      config_.update_period_s,
@@ -246,8 +260,19 @@ DigLibResult DigLibSim::run() {
     }
   }
   run_until_horizon();
+  for (const DigLibResult& r : shard_results_) merge_results(result_, r);
+  shard_results_.clear();
   result_.traffic = traffic();
   return result_;
+}
+
+void merge_results(DigLibResult& into, const DigLibResult& shard) {
+  into.queries += shard.queries;
+  into.satisfied += shard.satisfied;
+  into.copies_found += shard.copies_found;
+  into.copies_available += shard.copies_available;
+  into.first_result_delay_s += shard.first_result_delay_s;
+  into.messages_per_query += shard.messages_per_query;
 }
 
 }  // namespace dsf::diglib

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "core/graph_stats.h"
 #include "core/unreachable.h"
@@ -97,12 +98,20 @@ void Simulation::prime() {
   for (net::NodeId u = 0; u < hot_.size(); ++u) {
     UserHot& st = hot_[u];
     if (st.online) {
-      st.session_event = sim_.schedule_in(
-          session_.draw_online_duration(session_rng()), [this, u] { log_off(u); });
+      st.session_event =
+          schedule_self(u, session_.draw_online_duration(session_rng()),
+                        [this, u] {
+                          const Section lock = exclusive_section();
+                          log_off(u);
+                        });
       schedule_next_query(u);
     } else {
-      st.session_event = sim_.schedule_in(
-          session_.draw_offline_duration(session_rng()), [this, u] { log_in(u); });
+      st.session_event =
+          schedule_self(u, session_.draw_offline_duration(session_rng()),
+                        [this, u] {
+                          const Section lock = exclusive_section();
+                          log_in(u);
+                        });
     }
   }
 }
@@ -110,7 +119,7 @@ void Simulation::prime() {
 void Simulation::probe_overlay() {
   const auto online = [this](net::NodeId n) { return hot_[n].online; };
   ProbeSample sample;
-  sample.time_s = sim_.now();
+  sample.time_s = now_s();
   sample.online = online_nodes_.size();
   sample.mean_degree = core::mean_degree(overlay_, online);
   sample.degree_gini = core::degree_gini(overlay_, online);
@@ -122,15 +131,52 @@ void Simulation::probe_overlay() {
 }
 
 RunResult Simulation::run() {
+  if (parallel()) {
+    // Downloads append to the shared library spill lists mid-search, which
+    // concurrent readers on other shards would observe torn.
+    if (config_.library_growth)
+      throw std::invalid_argument(
+          "gnutella: library_growth is unsupported with --shards > 1");
+    shard_results_.assign(shards(), RunResult{});
+    shard_hit_stamps_.clear();
+    shard_hit_stamps_.reserve(shards());
+    for (std::uint32_t s = 0; s < shards(); ++s)
+      shard_hit_stamps_.emplace_back(config_.num_users);
+  }
   prime();
   if (config_.probe_period_s > 0.0)
     schedule_every(config_.probe_period_s, config_.probe_period_s,
                    [this] { probe_overlay(); });
   result_.events_executed = run_until_horizon();
+  for (const RunResult& r : shard_results_) merge_results(result_, r);
+  shard_results_.clear();
+  shard_hit_stamps_.clear();
   result_.warmup_bucket = static_cast<std::size_t>(config_.warmup_hours);
   result_.last_bucket = static_cast<std::size_t>(config_.sim_hours) - 1;
   result_.traffic = traffic();
   return result_;
+}
+
+void merge_results(RunResult& into, const RunResult& shard) {
+  into.hits += shard.hits;
+  into.messages += shard.messages;
+  into.results += shard.results;
+  into.first_result_delay_s += shard.first_result_delay_s;
+  into.first_result_delay_hist += shard.first_result_delay_hist;
+  into.queries_issued += shard.queries_issued;
+  into.local_hits += shard.local_hits;
+  into.nodes_reached += shard.nodes_reached;
+  into.queries_favorite += shard.queries_favorite;
+  into.hits_favorite += shard.hits_favorite;
+  into.queries_side += shard.queries_side;
+  into.hits_side += shard.hits_side;
+  into.reconfigurations += shard.reconfigurations;
+  into.invitations_accepted += shard.invitations_accepted;
+  into.evictions += shard.evictions;
+  into.trials_kept += shard.trials_kept;
+  into.trials_rejected += shard.trials_rejected;
+  into.probes.insert(into.probes.end(), shard.probes.begin(),
+                     shard.probes.end());
 }
 
 void Simulation::fill_with_random_neighbors(net::NodeId u,
@@ -167,8 +213,12 @@ void Simulation::log_in(net::NodeId u) {
   // addresses; the neighborhood starts random in both schemes.
   fill_with_random_neighbors(u);
 
-  st.session_event = sim_.schedule_in(
-      session_.draw_online_duration(session_rng()), [this, u] { log_off(u); });
+  st.session_event =
+      schedule_self(u, session_.draw_online_duration(session_rng()),
+                    [this, u] {
+                      const Section lock = exclusive_section();
+                      log_off(u);
+                    });
   schedule_next_query(u);
 }
 
@@ -177,7 +227,7 @@ void Simulation::log_off(net::NodeId u) {
   assert(st.online);
   st.online = false;
   if (st.has_query_event) {
-    sim_.cancel(st.query_event);
+    cancel_self(u, st.query_event);
     st.has_query_event = false;
   }
 
@@ -202,14 +252,19 @@ void Simulation::log_off(net::NodeId u) {
     }
   }
 
-  st.session_event = sim_.schedule_in(
-      session_.draw_offline_duration(session_rng()), [this, u] { log_in(u); });
+  st.session_event =
+      schedule_self(u, session_.draw_offline_duration(session_rng()),
+                    [this, u] {
+                      const Section lock = exclusive_section();
+                      log_in(u);
+                    });
 }
 
 void Simulation::schedule_next_query(net::NodeId u) {
   UserHot& st = hot_[u];
-  st.query_event = sim_.schedule_in(
-      session_.draw_interquery_gap(session_rng()), [this, u] { issue_query(u); });
+  st.query_event =
+      schedule_self(u, session_.draw_interquery_gap(session_rng()),
+                    [this, u] { issue_query(u); });
   st.has_query_event = true;
 }
 
@@ -217,98 +272,112 @@ void Simulation::issue_query(net::NodeId u) {
   hot_[u].has_query_event = false;
   UserCold& st = cold_[u];
 
-  // By default users search for songs they do not already own (the
-  // preference distribution conditioned on non-ownership by rejection);
-  // with exclude_owned_songs=false, Send Query floods the raw draw, as in
-  // Algo 5's pseudo-code.
-  workload::SongId song = query_gen_.draw(st.profile, query_rng());
-  if (config_.exclude_owned_songs) {
-    bool found = !libraries_.contains(u, song);
-    for (int tries = 0; tries < 64 && !found; ++tries) {
-      song = query_gen_.draw(st.profile, query_rng());
-      found = !libraries_.contains(u, song);
-    }
-    if (!found) {
-      ++result_.local_hits;
-      schedule_next_query(u);
-      return;
-    }
-  }
+  // The search itself only reads shared overlay/library state, so
+  // concurrent shards may search together; reconfiguration mutates the
+  // overlay and is deferred past the shared scope.  Serially both
+  // sections are no-ops.
+  bool do_reconfig = false;
+  {
+    const Section lock = shared_section();
 
-  if (config_.invitation_policy == core::InvitationPolicy::kSummaryGated) {
-    if (st.recent_queries.size() < kRecentQueryWindow) {
-      st.recent_queries.push_back(song);
-    } else {
-      st.recent_queries[st.recent_pos] = song;
-      st.recent_pos = (st.recent_pos + 1) % kRecentQueryWindow;
-    }
-  }
-
-  core::SearchParams params;
-  params.max_hops = config_.max_hops;
-  params.forward_when_hit = false;  // §4.1: repliers do not propagate
-  params.timeout_s = config_.query_timeout_s;
-
-  const std::uint32_t span = obs_search_begin(u, params.max_hops, song);
-  const auto outcome = run_search(u, song, params);
-  if (span != 0) {
-    // First hit = minimum reply arrival (first_result_delay_s's metric);
-    // its hop is the span's first-hit depth.
-    int first_hop = -1;
-    double first_delay = -1.0;
-    for (const auto& hit : outcome.hits) {
-      if (first_hop < 0 || hit.reply_at_s < first_delay) {
-        first_hop = hit.hop;
-        first_delay = hit.reply_at_s;
+    // By default users search for songs they do not already own (the
+    // preference distribution conditioned on non-ownership by rejection);
+    // with exclude_owned_songs=false, Send Query floods the raw draw, as
+    // in Algo 5's pseudo-code.
+    workload::SongId song = query_gen_.draw(st.profile, query_rng());
+    if (config_.exclude_owned_songs) {
+      bool found = !libraries_.contains(u, song);
+      for (int tries = 0; tries < 64 && !found; ++tries) {
+        song = query_gen_.draw(st.profile, query_rng());
+        found = !libraries_.contains(u, song);
+      }
+      if (!found) {
+        ++res().local_hits;
+        schedule_next_query(u);
+        return;
       }
     }
-    obs_search_end(span, u, outcome.hits.size(), first_hop, first_delay);
-  }
 
-  const des::SimTime now = sim_.now();
-  result_.messages.add(now, outcome.query_messages);
-  count(net::MessageType::kQuery, outcome.query_messages);
-  count(net::MessageType::kQueryReply, outcome.reply_messages);
-  if (reporting()) {
-    ++result_.queries_issued;
-    result_.nodes_reached.add(outcome.nodes_reached);
-    const bool favorite = catalog_.category_of(song) == st.profile.favorite;
-    ++(favorite ? result_.queries_favorite : result_.queries_side);
-    if (outcome.satisfied())
-      ++(favorite ? result_.hits_favorite : result_.hits_side);
-  }
-  if (outcome.satisfied()) {
-    result_.hits.add(now, 1);
-    result_.results.add(now, outcome.hits.size());
+    if (config_.invitation_policy == core::InvitationPolicy::kSummaryGated) {
+      if (st.recent_queries.size() < kRecentQueryWindow) {
+        st.recent_queries.push_back(song);
+      } else {
+        st.recent_queries[st.recent_pos] = song;
+        st.recent_pos = (st.recent_pos + 1) % kRecentQueryWindow;
+      }
+    }
+
+    core::SearchParams params;
+    params.max_hops = config_.max_hops;
+    params.forward_when_hit = false;  // §4.1: repliers do not propagate
+    params.timeout_s = config_.query_timeout_s;
+
+    const std::uint32_t span = obs_search_begin(u, params.max_hops, song);
+    const auto outcome = run_search(u, song, params);
+    if (span != 0) {
+      // First hit = minimum reply arrival (first_result_delay_s's metric);
+      // its hop is the span's first-hit depth.
+      int first_hop = -1;
+      double first_delay = -1.0;
+      for (const auto& hit : outcome.hits) {
+        if (first_hop < 0 || hit.reply_at_s < first_delay) {
+          first_hop = hit.hop;
+          first_delay = hit.reply_at_s;
+        }
+      }
+      obs_search_end(span, u, outcome.hits.size(), first_hop, first_delay);
+    }
+
+    const des::SimTime now = now_s();
+    RunResult& out = res();
+    out.messages.add(now, outcome.query_messages);
+    count(net::MessageType::kQuery, outcome.query_messages);
+    count(net::MessageType::kQueryReply, outcome.reply_messages);
     if (reporting()) {
-      const double delay = outcome.first_result_delay_s();
-      result_.first_result_delay_s.add(delay);
-      result_.first_result_delay_hist.add(delay);
+      ++out.queries_issued;
+      out.nodes_reached.add(outcome.nodes_reached);
+      const bool favorite = catalog_.category_of(song) == st.profile.favorite;
+      ++(favorite ? out.queries_favorite : out.queries_side);
+      if (outcome.satisfied())
+        ++(favorite ? out.hits_favorite : out.hits_side);
     }
-    // Extension: the user downloads the song and becomes a holder.  (The
-    // summary-gated digests deliberately stay as built at start-up —
-    // digests in deployed systems are periodically rebuilt, not updated
-    // per download.)
-    if (config_.library_growth) libraries_.add(u, song);
+    if (outcome.satisfied()) {
+      out.hits.add(now, 1);
+      out.results.add(now, outcome.hits.size());
+      if (reporting()) {
+        const double delay = outcome.first_result_delay_s();
+        out.first_result_delay_s.add(delay);
+        out.first_result_delay_hist.add(delay);
+      }
+      // Extension: the user downloads the song and becomes a holder.  (The
+      // summary-gated digests deliberately stay as built at start-up —
+      // digests in deployed systems are periodically rebuilt, not updated
+      // per download.)
+      if (config_.library_growth) libraries_.add(u, song);
+    }
+
+    if (config_.dynamic) {
+      // Combined search & exploration (§4.1): every result feeds statistics.
+      const auto total = static_cast<std::uint32_t>(outcome.hits.size());
+      for (const auto& hit : outcome.hits) {
+        core::ResultInfo info;
+        info.responder = hit.node;
+        info.bandwidth_kbps = config_.benefit_bandwidth_weights[static_cast<int>(
+            delay_.node_class(hit.node))];
+        info.latency_s = hit.reply_at_s;
+        info.total_results = total;
+        st.stats.add(hit.node, benefit_of(info));
+      }
+      if (config_.reconfig_threshold > 0 &&
+          ++hot_[u].reconfig_count >= config_.reconfig_threshold)
+        do_reconfig = true;
+    }
   }
 
-  if (config_.dynamic) {
-    // Combined search & exploration (§4.1): every result feeds statistics.
-    const auto total = static_cast<std::uint32_t>(outcome.hits.size());
-    for (const auto& hit : outcome.hits) {
-      core::ResultInfo info;
-      info.responder = hit.node;
-      info.bandwidth_kbps = config_.benefit_bandwidth_weights[static_cast<int>(
-          delay_.node_class(hit.node))];
-      info.latency_s = hit.reply_at_s;
-      info.total_results = total;
-      st.stats.add(hit.node, benefit_of(info));
-    }
-    if (config_.reconfig_threshold > 0 &&
-        ++hot_[u].reconfig_count >= config_.reconfig_threshold) {
-      reconfigure(u);
-      hot_[u].reconfig_count = 0;
-    }
+  if (do_reconfig) {
+    const Section lock = exclusive_section();
+    reconfigure(u);
+    hot_[u].reconfig_count = 0;
   }
 
   schedule_next_query(u);
@@ -330,20 +399,20 @@ core::SearchOutcome Simulation::run_search(net::NodeId u,
     return sim::dispatch_search(config_.search_strategy, u, params,
                                 cold_[u].stats, config_.directed_fanout,
                                 neighbors, has_content, delay, transmit_fn(),
-                                stamps_, hit_stamps_, scratch_);
+                                visit_stamps(), hit_stamps(), search_scratch());
   return sim::dispatch_search(config_.search_strategy, u, params,
                               cold_[u].stats, config_.directed_fanout,
-                              neighbors, has_content, delay, stamps_,
-                              hit_stamps_, scratch_);
+                              neighbors, has_content, delay, visit_stamps(),
+                              hit_stamps(), search_scratch());
 }
 
 void Simulation::on_peer_crashed(net::NodeId u) {
   UserHot& st = hot_[u];
   if (st.has_query_event) {
-    sim_.cancel(st.query_event);
+    cancel_self(u, st.query_event);
     st.has_query_event = false;
   }
-  sim_.cancel(st.session_event);
+  cancel_self(u, st.session_event);
   if (!st.online) return;
   st.online = false;
   // Swap-pop from the on-line roster so the bootstrap server stops
@@ -413,7 +482,7 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
   if (decision.evict != net::kInvalidNode) evict(v, decision.evict);
   if (!overlay_.link(u, v)) return false;  // u saturated meanwhile
   on_link_formed();
-  ++result_.invitations_accepted;
+  ++res().invitations_accepted;
   // Accepting resets the invited node's own counter to damp cascades
   // (§4.1); the ablation knob leaves the counter running.
   if (config_.damp_cascades) target.reconfig_count = 0;
@@ -422,8 +491,13 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
   // period, v keeps u only if the statistics gathered meanwhile rank u
   // above at least one other neighbor.
   if (config_.invitation_policy == core::InvitationPolicy::kTrialPeriod) {
-    sim_.schedule_in(config_.trial_period_s,
-                     [this, u, v] { evaluate_trial(u, v); });
+    // The evaluation reads v's statistics and may evict, so it runs as an
+    // exclusive event on v's shard (mailbox-routed: the inviter's shard
+    // may differ).
+    schedule_for(v, config_.trial_period_s, [this, u, v] {
+      const Section lock = exclusive_section();
+      evaluate_trial(u, v);
+    });
   }
   return true;
 }
@@ -448,10 +522,10 @@ void Simulation::evaluate_trial(net::NodeId inviter, net::NodeId invitee) {
   // disconnect the node for nothing.
   if (neighbors.size() <= 1) beats_someone = true;
   if (!beats_someone) {
-    ++result_.trials_rejected;
+    ++res().trials_rejected;
     evict(invitee, inviter);
   } else {
-    ++result_.trials_kept;
+    ++res().trials_kept;
   }
 }
 
@@ -467,7 +541,7 @@ void Simulation::evict(net::NodeId evictor, net::NodeId evictee) {
     evictee_reacts = t.deliver;
   }
   overlay_.unlink(evictor, evictee);
-  ++result_.evictions;
+  ++res().evictions;
   if (!evictee_reacts) return;
   // Process Eviction (§4.1): the evicted node resets the evictor's
   // statistics so it does not try to reconnect in the near future; it
@@ -479,7 +553,7 @@ void Simulation::evict(net::NodeId evictor, net::NodeId evictee) {
 }
 
 void Simulation::reconfigure(net::NodeId u) {
-  ++result_.reconfigurations;
+  ++res().reconfigurations;
   UserCold& st = cold_[u];
   const auto plan = core::plan_update(
       st.stats, overlay_.out_neighbors(u), config_.max_neighbors,

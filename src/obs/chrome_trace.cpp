@@ -50,6 +50,13 @@ class EventWriter {
 
 std::string u64(std::uint64_t v) { return std::to_string(v); }
 
+/// Trace lane for a record: sharded parallel runs lay records out per
+/// shard (shard field is shard + 1); serial records keep the historical
+/// per-node lanes.
+std::string tid(const Record& r) {
+  return r.shard != 0 ? u64(r.shard) : u64(r.from);
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, std::span<const Record> records,
@@ -66,7 +73,7 @@ void write_chrome_trace(std::ostream& os, std::span<const Record> records,
       case RecordKind::kSearchBegin:
         w.open(r, "search", "b", "search");
         w.field("id", u64(r.span));
-        w.field("tid", u64(r.from));
+        w.field("tid", tid(r));
         w.field("args", "{\"initiator\": " + u64(r.from) +
                             ", \"item\": " + u64(r.a) +
                             ", \"max_hops\": " + std::to_string(r.ttl) + "}");
@@ -75,7 +82,7 @@ void write_chrome_trace(std::ostream& os, std::span<const Record> records,
       case RecordKind::kSearchEnd:
         w.open(r, "search", "e", "search");
         w.field("id", u64(r.span));
-        w.field("tid", u64(r.from));
+        w.field("tid", tid(r));
         w.field("args",
                 "{\"results\": " + u64(r.a) + ", \"first_hit_hop\": " +
                     std::to_string(r.ttl) + "}");
@@ -86,7 +93,7 @@ void write_chrome_trace(std::ostream& os, std::span<const Record> records,
       case RecordKind::kDrop: {
         w.open(r, to_string(r.kind), "i", "wire");
         w.field("s", "\"t\"");
-        w.field("tid", u64(r.from));
+        w.field("tid", tid(r));
         w.field("args", std::string("{\"type\": \"") + type_name(r.type) +
                             "\", \"from\": " + u64(r.from) +
                             ", \"to\": " + u64(r.to) +
@@ -98,7 +105,7 @@ void write_chrome_trace(std::ostream& os, std::span<const Record> records,
       case RecordKind::kPeerCrash:
         w.open(r, "peer-crash", "i", "fault");
         w.field("s", "\"p\"");
-        w.field("tid", u64(r.from));
+        w.field("tid", tid(r));
         w.field("args", "{\"victim\": " + u64(r.from) + "}");
         w.close();
         break;

@@ -50,101 +50,124 @@ OlapSim::OlapSim(const OlapConfig& config)
 void OlapSim::issue_query(net::NodeId p) {
   if (node_dead(p)) return;  // a crashed peer stops querying for good
   Peer& peer = peers_[p];
-  const bool report = reporting();
-  const bool faulty = fault_layer_active();
+  {
+    // Searches only read the overlay, so shards may search concurrently;
+    // per-peer caches get stripe guards because holders mutate their own
+    // LRU recency while remote searches probe it.  Serially every guard
+    // is a no-op.
+    const Section lock = shared_section();
+    core::VisitStamp& stamps = visit_stamps();
+    const bool report = reporting();
+    const bool faulty = fault_layer_active();
 
-  // Query template: `query_span` consecutive chunks anchored at a popular
-  // chunk of an interest region (OLAP queries hit contiguous cube slices).
-  const std::uint32_t chunks_per_region =
-      config_.num_chunks / config_.num_regions;
-  std::uint32_t region = peer.region;
-  if (!rng().bernoulli(config_.region_share))
-    region = static_cast<std::uint32_t>(rng().uniform_int(config_.num_regions));
-  const auto anchor_rank = static_cast<std::uint32_t>(chunk_zipf_.sample(rng()));
-  const ChunkId base = region * chunks_per_region +
-                       std::min(anchor_rank, chunks_per_region -
-                                                 config_.query_span);
+    // Query template: `query_span` consecutive chunks anchored at a popular
+    // chunk of an interest region (OLAP queries hit contiguous cube slices).
+    const std::uint32_t chunks_per_region =
+        config_.num_chunks / config_.num_regions;
+    std::uint32_t region = peer.region;
+    if (!rng().bernoulli(config_.region_share))
+      region =
+          static_cast<std::uint32_t>(rng().uniform_int(config_.num_regions));
+    const auto anchor_rank =
+        static_cast<std::uint32_t>(chunk_zipf_.sample(rng()));
+    const ChunkId base = region * chunks_per_region +
+                         std::min(anchor_rank, chunks_per_region -
+                                                   config_.query_span);
 
-  double response = 0.0;
-  if (report) ++result_.queries;
-  for (std::uint32_t i = 0; i < config_.query_span; ++i) {
-    const ChunkId chunk = base + i;
-    if (report) ++result_.chunks_requested;
-    if (peer.cache.touch(chunk)) {
-      if (report) ++result_.chunks_local;
-      continue;
-    }
+    double response = 0.0;
+    if (report) ++res().queries;
+    for (std::uint32_t i = 0; i < config_.query_span; ++i) {
+      const ChunkId chunk = base + i;
+      if (report) ++res().chunks_requested;
+      bool local;
+      {
+        const auto guard = peer_section(p);
+        local = peer.cache.touch(chunk);
+      }
+      if (local) {
+        if (report) ++res().chunks_local;
+        continue;
+      }
 
-    // Extensive search (§3.2): the chunk request keeps propagating up to
-    // the hop limit; the closest holder (in hops, then delay) serves it.
-    const std::uint32_t span = obs_search_begin(p, config_.max_hops, chunk);
-    if (faulty) begin_faulty_search(config_.max_hops);
-    stamps_.begin_search();
-    stamps_.mark(p);
-    struct Frontier {
-      net::NodeId node;
-      net::NodeId sender;
-      int hop;
-    };
-    std::vector<Frontier> queue{{p, net::kInvalidNode, 0}};
-    net::NodeId holder = net::kInvalidNode;
-    int holder_hop = 0;
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-      const auto cur = queue[head];
-      if (holder != net::kInvalidNode && cur.hop + 1 > holder_hop) break;
-      for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
-        if (q == cur.sender) continue;
-        count(net::MessageType::kQuery);
-        if (faulty) {
-          const auto tq = transmit(net::MessageType::kQuery, cur.node, q,
-                                   config_.max_hops - cur.hop);
-          if (tq.duplicate) count(net::MessageType::kQuery);
-          if (!tq.deliver) continue;  // lost: q stays reachable via others
-        }
-        if (!stamps_.mark(q)) continue;
-        const int hop = cur.hop + 1;
-        if (peers_[q].cache.contains(chunk) && holder == net::kInvalidNode) {
+      // Extensive search (§3.2): the chunk request keeps propagating up to
+      // the hop limit; the closest holder (in hops, then delay) serves it.
+      const std::uint32_t span = obs_search_begin(p, config_.max_hops, chunk);
+      if (faulty) begin_faulty_search(config_.max_hops);
+      stamps.begin_search();
+      stamps.mark(p);
+      struct Frontier {
+        net::NodeId node;
+        net::NodeId sender;
+        int hop;
+      };
+      std::vector<Frontier> queue{{p, net::kInvalidNode, 0}};
+      net::NodeId holder = net::kInvalidNode;
+      int holder_hop = 0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const auto cur = queue[head];
+        if (holder != net::kInvalidNode && cur.hop + 1 > holder_hop) break;
+        for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
+          if (q == cur.sender) continue;
+          count(net::MessageType::kQuery);
           if (faulty) {
-            count(net::MessageType::kQueryReply);
-            const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
-            if (tr.duplicate) count(net::MessageType::kQueryReply);
-            if (tr.deliver) {
+            const auto tq = transmit(net::MessageType::kQuery, cur.node, q,
+                                     config_.max_hops - cur.hop);
+            if (tq.duplicate) count(net::MessageType::kQuery);
+            if (!tq.deliver) continue;  // lost: q stays reachable via others
+          }
+          if (!stamps.mark(q)) continue;
+          const int hop = cur.hop + 1;
+          bool has_chunk;
+          {
+            const auto guard = peer_section(q);
+            has_chunk = peers_[q].cache.contains(chunk);
+          }
+          if (has_chunk && holder == net::kInvalidNode) {
+            if (faulty) {
+              count(net::MessageType::kQueryReply);
+              const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
+              if (tr.duplicate) count(net::MessageType::kQueryReply);
+              if (tr.deliver) {
+                holder = q;
+                holder_hop = hop;
+              }
+            } else {
               holder = q;
               holder_hop = hop;
+              count(net::MessageType::kQueryReply);
             }
-          } else {
-            holder = q;
-            holder_hop = hop;
-            count(net::MessageType::kQueryReply);
           }
+          if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
         }
-        if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
       }
-    }
 
-    if (holder != net::kInvalidNode) {
-      const double cost =
-          config_.peer_s_per_chunk +
-          2.0 * sample_delay_s(p, holder) * static_cast<double>(holder_hop);
-      obs_search_end(span, p, 1, holder_hop, cost);
-      response += cost;
-      if (report) ++result_.chunks_from_peers;
-      if (config_.dynamic) {
-        core::ResultInfo info;
-        info.responder = holder;
-        info.processing_time_saved_s = config_.warehouse_s_per_chunk - cost;
-        peer.stats.add(holder, benefit_.benefit(info));
+      if (holder != net::kInvalidNode) {
+        const double cost =
+            config_.peer_s_per_chunk +
+            2.0 * sample_delay_s(p, holder) * static_cast<double>(holder_hop);
+        obs_search_end(span, p, 1, holder_hop, cost);
+        response += cost;
+        if (report) ++res().chunks_from_peers;
+        if (config_.dynamic) {
+          core::ResultInfo info;
+          info.responder = holder;
+          info.processing_time_saved_s = config_.warehouse_s_per_chunk - cost;
+          peer.stats.add(holder, benefit_.benefit(info));
+        }
+      } else {
+        obs_search_end(span, p, 0, -1, -1.0);
+        response += config_.warehouse_s_per_chunk;
+        if (report) ++res().chunks_from_warehouse;
       }
-    } else {
-      obs_search_end(span, p, 0, -1, -1.0);
-      response += config_.warehouse_s_per_chunk;
-      if (report) ++result_.chunks_from_warehouse;
+      {
+        const auto guard = peer_section(p);
+        peer.cache.insert(chunk);
+      }
     }
-    peer.cache.insert(chunk);
+    if (report) res().response_time_s.add(response);
   }
-  if (report) result_.response_time_s.add(response);
 
-  sim_.schedule_in(interquery_.sample(rng()), [this, p] { issue_query(p); });
+  schedule_self(p, interquery_.sample(rng()), [this, p] { issue_query(p); });
 }
 
 void OlapSim::update_neighbors(net::NodeId p) {
@@ -163,17 +186,32 @@ void OlapSim::update_neighbors(net::NodeId p) {
 }
 
 OlapResult OlapSim::run() {
+  if (parallel()) shard_results_.assign(shards(), OlapResult{});
   for (net::NodeId p = 0; p < config_.num_peers; ++p) {
-    sim_.schedule_in(interquery_.sample(rng()), [this, p] { issue_query(p); });
+    schedule_self(p, interquery_.sample(rng()),
+                  [this, p] { issue_query(p); });
     if (config_.dynamic) {
+      // Reorganizations mutate the overlay, so schedule_every keeps them
+      // exclusive (and on the coordinator shard) in parallel runs.
       schedule_every(rng().uniform(0.0, config_.update_period_s),
                      config_.update_period_s,
                      [this, p] { update_neighbors(p); });
     }
   }
   run_until_horizon();
+  for (const OlapResult& r : shard_results_) merge_results(result_, r);
+  shard_results_.clear();
   result_.traffic = traffic();
   return result_;
+}
+
+void merge_results(OlapResult& into, const OlapResult& shard) {
+  into.queries += shard.queries;
+  into.chunks_requested += shard.chunks_requested;
+  into.chunks_local += shard.chunks_local;
+  into.chunks_from_peers += shard.chunks_from_peers;
+  into.chunks_from_warehouse += shard.chunks_from_warehouse;
+  into.response_time_s += shard.response_time_s;
 }
 
 }  // namespace dsf::olap

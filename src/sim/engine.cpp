@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 #include "core/unreachable.h"
@@ -78,10 +79,85 @@ OverlayEngine::OverlayEngine(EngineConfig cfg)
   query_ = four ? &lanes_.query : &master_rng_;
 }
 
+namespace {
+/// Fixed stream salts for the per-shard RNG derivations.  Like the fault
+/// lane, shard lanes are hashed from the scenario seed — never split off
+/// the master stream — so configuring shards cannot perturb the serial
+/// trajectory's draws.
+constexpr std::uint64_t kShardMasterStream = 0x736872'6400000000ULL;
+constexpr std::uint64_t kShardFaultStream = 0x736872'6446000000ULL;
+}  // namespace
+
+void OverlayEngine::set_shards(std::uint32_t n, double window_s) {
+  if (n == 0)
+    throw std::invalid_argument(cfg_.name + ": --shards must be >= 1");
+  if (n > num_nodes())
+    throw std::invalid_argument(
+        cfg_.name + ": --shards (" + std::to_string(n) +
+        ") exceeds the peer count (" + std::to_string(num_nodes()) + ")");
+  if (sim_.pending() > 0 || sim_.now() > 0.0 || sharded_)
+    throw std::logic_error(
+        cfg_.name + ": set_shards must run before anything is scheduled");
+  if (n == 1) return;  // the serial path stays untouched (byte-identity)
+
+  if (window_s <= 0.0) window_s = cfg_.delay_params.floor_s;
+  sharded_ = std::make_unique<des::ShardedSimulator>(n, window_s);
+  shard_block_ =
+      static_cast<net::NodeId>((num_nodes() + n - 1) / n);
+  shard_ctx_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s)
+    shard_ctx_.emplace_back(
+        des::Rng(des::hash_seed(cfg_.seed, kShardMasterStream + s)),
+        cfg_.rng_layout,
+        make_fault_lane(des::hash_seed(cfg_.seed, kShardFaultStream + s)),
+        num_nodes());
+}
+
+void OverlayEngine::merge_shard_ledgers() {
+  for (ShardContext& c : shard_ctx_) {
+    ledger_ += c.ledger;
+    c.ledger = MessageLedger();  // fold exactly once per run
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> OverlayEngine::ledger_totals()
+    const noexcept {
+  std::uint64_t messages = ledger_.stats().total();
+  std::uint64_t bytes = ledger_.total_bytes();
+  for (const ShardContext& c : shard_ctx_) {
+    messages += c.ledger.stats().total();
+    bytes += c.ledger.total_bytes();
+  }
+  return {messages, bytes};
+}
+
 void OverlayEngine::schedule_every(double first_delay_s, double period_s,
                                    std::function<void()> fn) {
+  if (sharded_) {
+    // Global periodic in a parallel run: shard 0 hosts the tick and the
+    // body runs under the exclusive section, since by definition it looks
+    // at state owned by every shard.
+    auto guarded = std::make_shared<std::function<void()>>(
+        [this, body = std::move(fn)] {
+          const Section lock = exclusive_section();
+          body();
+        });
+    schedule_periodic_for(0, first_delay_s, period_s, std::move(guarded));
+    return;
+  }
   schedule_periodic(first_delay_s, period_s,
                     std::make_shared<std::function<void()>>(std::move(fn)));
+}
+
+void OverlayEngine::schedule_every_for(net::NodeId owner,
+                                       double first_delay_s, double period_s,
+                                       std::function<void()> fn) {
+  if (!sharded_) {
+    schedule_every(first_delay_s, period_s, std::move(fn));
+    return;
+  }
+  schedule_periodic_for(owner, first_delay_s, period_s,
+                        std::make_shared<std::function<void()>>(std::move(fn)));
 }
 
 void OverlayEngine::schedule_periodic(
@@ -93,11 +169,23 @@ void OverlayEngine::schedule_periodic(
   });
 }
 
+void OverlayEngine::schedule_periodic_for(
+    net::NodeId owner, double delay_s, double period_s,
+    std::shared_ptr<std::function<void()>> fn) {
+  // The reschedule runs from the owner's own handler, so the direct
+  // same-shard insertion of schedule_self is always legal here.
+  schedule_self(owner, delay_s, [this, owner, period_s, fn] {
+    (*fn)();
+    schedule_periodic_for(owner, period_s, period_s, fn);
+  });
+}
+
 void OverlayEngine::sample_traffic() {
   TrafficSample s;
-  s.time_s = sim_.now();
-  s.messages = ledger_.stats().total();
-  s.bytes = ledger_.total_bytes();
+  s.time_s = sharded_ ? next_traffic_sample_s_ : sim_.now();
+  const auto [messages, bytes] = ledger_totals();
+  s.messages = messages;
+  s.bytes = bytes;
   traffic_samples_.push_back(s);
   if (traffic_series_) {
     // Per-bucket increments: the series holds new messages per period.
@@ -108,7 +196,55 @@ void OverlayEngine::sample_traffic() {
   }
 }
 
+void OverlayEngine::on_barrier(double wend) {
+  // Every worker is parked: per-shard ledgers and simulator counters are
+  // safe to read.  Samples fire at their nominal period marks, which the
+  // window grid may overshoot — the sample carries the nominal time so
+  // the series bucketing matches the serial run's.
+  if (traffic_sample_period_s_ > 0.0) {
+    while (next_traffic_sample_s_ <= wend) {
+      sample_traffic();
+      next_traffic_sample_s_ += traffic_sample_period_s_;
+    }
+  }
+  if (heartbeat_period_s_ > 0.0 && obs_ != nullptr) {
+    while (next_heartbeat_s_ <= wend) {
+      emit_heartbeat();
+      next_heartbeat_s_ += heartbeat_period_s_;
+    }
+  }
+}
+
 std::uint64_t OverlayEngine::run_until_horizon() {
+  if (sharded_) {
+    if (crash_model_.enabled())
+      throw std::invalid_argument(
+          cfg_.name +
+          ": CrashModel is unsupported with --shards > 1 (crash-time event"
+          " cancellation cannot cross shard queues safely); run crashes "
+          "with --shards 1");
+    if (traffic_sample_period_s_ > 0.0) {
+      traffic_series_.emplace(traffic_sample_period_s_);
+      next_traffic_sample_s_ = traffic_sample_period_s_;
+    }
+    if (heartbeat_period_s_ > 0.0 && obs_ != nullptr) {
+      heartbeat_wall_start_s_ =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      next_heartbeat_s_ = heartbeat_period_s_;
+    }
+    sharded_->set_barrier_hook([this](double wend) { on_barrier(wend); });
+    const std::uint64_t executed = sharded_->run_until(horizon_s());
+    merge_shard_ledgers();
+    if (bootstrap_underfills_ > 0 && !underfill_reported_) {
+      underfill_reported_ = true;
+      warn(cfg_.name + ": " + std::to_string(bootstrap_underfills_) +
+           " bootstrap fill(s) exhausted the attempt budget before "
+           "reaching the target degree");
+    }
+    return executed;
+  }
   if (traffic_sample_period_s_ > 0.0) {
     traffic_series_.emplace(traffic_sample_period_s_);
     schedule_every(traffic_sample_period_s_, traffic_sample_period_s_,
@@ -144,17 +280,27 @@ void OverlayEngine::warn(const std::string& message) {
 // --- fault layer ----------------------------------------------------------
 
 void OverlayEngine::begin_faulty_search(int max_ttl) {
-  if (checker_) checker_->on_search_begin(max_ttl);
+  if (!checker_) return;
+  std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
+  if (sharded_) lock.lock();
+  checker_->on_search_begin(max_ttl);
 }
 
 void OverlayEngine::trace_event(TraceKind kind, net::NodeId from,
                                 net::NodeId to, net::MessageType type,
                                 std::uint64_t bytes, int ttl,
                                 std::uint64_t copies) {
-  for (std::uint64_t i = 0; i < copies; ++i) {
-    const TraceEvent ev{kind, sim_.now(), from, to, type, bytes, ttl};
-    if (checker_) checker_->on_trace(ev);
-    if (trace_) trace_(ev);
+  if (checker_ || trace_) {
+    // Checker and hook are engine-global consumers; parallel shards feed
+    // them under obs_mu_ (acquired, per the lock order, only while no
+    // stripe is held).
+    std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
+    if (sharded_) lock.lock();
+    for (std::uint64_t i = 0; i < copies; ++i) {
+      const TraceEvent ev{kind, now_s(), from, to, type, bytes, ttl};
+      if (checker_) checker_->on_trace(ev);
+      if (trace_) trace_(ev);
+    }
   }
   if (obs_) {
     // One compact record covers all copies (Record.b carries the count).
@@ -173,9 +319,13 @@ void OverlayEngine::obs_record(obs::RecordKind kind, net::NodeId from,
                                net::NodeId to, net::MessageType type,
                                std::uint64_t bytes, int ttl,
                                std::uint64_t copies) {
+  ShardContext* c = active_ctx();
   obs::Record r;
-  r.time_s = sim_.now();
-  r.span = current_span_;
+  r.time_s = now_s();
+  r.span = c ? c->current_span : current_span_;
+  r.shard = c ? static_cast<std::uint16_t>(
+                    des::ShardedSimulator::current_shard() + 1)
+              : 0;
   r.from = from;
   r.to = to;
   r.ttl = static_cast<std::int16_t>(std::clamp(ttl, -1, 32767));
@@ -187,6 +337,8 @@ void OverlayEngine::obs_record(obs::RecordKind kind, net::NodeId from,
     r.a = bytes;
     r.b = copies;
   }
+  std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
+  if (sharded_) lock.lock();
   obs_->record(r);
 }
 
@@ -194,16 +346,23 @@ std::uint32_t OverlayEngine::obs_search_begin(net::NodeId initiator,
                                               int max_ttl,
                                               std::uint64_t item) {
   if (!obs_) return 0;
-  const std::uint32_t span = ++next_span_;
-  current_span_ = span;
+  ShardContext* c = active_ctx();
+  const std::uint32_t span =
+      next_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+  (c ? c->current_span : current_span_) = span;
   obs::Record r;
-  r.time_s = sim_.now();
+  r.time_s = now_s();
   r.span = span;
+  r.shard = c ? static_cast<std::uint16_t>(
+                    des::ShardedSimulator::current_shard() + 1)
+              : 0;
   r.from = initiator;
   r.to = net::kInvalidNode;
   r.ttl = static_cast<std::int16_t>(std::clamp(max_ttl, 0, 32767));
   r.kind = obs::RecordKind::kSearchBegin;
   r.a = item;
+  std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
+  if (sharded_) lock.lock();
   obs_->record(r);
   return span;
 }
@@ -212,17 +371,26 @@ void OverlayEngine::obs_search_end(std::uint32_t span, net::NodeId initiator,
                                    std::uint64_t results, int first_hit_hop,
                                    double first_result_delay_s) {
   if (span == 0 || !obs_) return;
+  ShardContext* c = active_ctx();
   obs::Record r;
-  r.time_s = sim_.now();
+  r.time_s = now_s();
   r.span = span;
+  r.shard = c ? static_cast<std::uint16_t>(
+                    des::ShardedSimulator::current_shard() + 1)
+              : 0;
   r.from = initiator;
   r.to = net::kInvalidNode;
   r.ttl = static_cast<std::int16_t>(std::clamp(first_hit_hop, -1, 32767));
   r.kind = obs::RecordKind::kSearchEnd;
   r.a = results;
   r.b = obs::Record::pack_delay(first_result_delay_s);
-  obs_->record(r);
-  if (current_span_ == span) current_span_ = 0;
+  {
+    std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
+    if (sharded_) lock.lock();
+    obs_->record(r);
+  }
+  std::uint32_t& ambient = c ? c->current_span : current_span_;
+  if (ambient == span) ambient = 0;
 }
 
 void OverlayEngine::emit_heartbeat() {
@@ -233,13 +401,15 @@ void OverlayEngine::emit_heartbeat() {
           .count();
   const double wall_ms = (wall_now_s - heartbeat_wall_start_s_) * 1e3;
   obs::Record r;
-  r.time_s = sim_.now();
+  // Parallel heartbeats fire from the window barrier at their nominal
+  // period mark, aggregating over all shard queues.
+  r.time_s = sharded_ ? next_heartbeat_s_ : sim_.now();
   r.kind = obs::RecordKind::kHeartbeat;
-  r.from = static_cast<std::uint32_t>(
-      std::min<std::size_t>(sim_.pending(), UINT32_MAX));
+  r.from = static_cast<std::uint32_t>(std::min<std::size_t>(
+      sharded_ ? sharded_->pending() : sim_.pending(), UINT32_MAX));
   r.to = static_cast<std::uint32_t>(
       std::min(wall_ms, static_cast<double>(UINT32_MAX)));
-  r.a = sim_.executed();
+  r.a = sharded_ ? sharded_->executed() : sim_.executed();
   r.b = obs::peak_rss_bytes();
   obs_->record(r);
 }
@@ -248,7 +418,7 @@ core::TransmitResult OverlayEngine::transmit(net::MessageType type,
                                              net::NodeId from, net::NodeId to,
                                              int ttl) {
   FaultDecision d;
-  if (!fault_plan_.empty()) d = fault_plan_.decide(type, sim_.now(), fault_rng_);
+  if (!fault_plan_.empty()) d = fault_plan_.decide(type, now_s(), fault_lane());
   core::TransmitResult res;
   res.duplicate = d.duplicate;
   res.extra_delay_s = d.extra_delay_s;
@@ -257,10 +427,10 @@ core::TransmitResult OverlayEngine::transmit(net::MessageType type,
   const std::uint64_t b = default_message_bytes(type);
   trace_event(TraceKind::kSend, from, to, type, b, ttl, copies);
   if (res.deliver) {
-    ledger_.count_delivered(type, copies);
+    ledger_ref().count_delivered(type, copies);
     trace_event(TraceKind::kDeliver, from, to, type, b, ttl, copies);
   } else {
-    ledger_.count_dropped(type, copies);
+    ledger_ref().count_dropped(type, copies);
     trace_event(TraceKind::kDrop, from, to, type, b, ttl, copies);
   }
   return res;
@@ -274,12 +444,12 @@ void OverlayEngine::send_faulty(net::NodeId from, net::NodeId to,
   // fast path would, so checker-only runs replay byte-identically.
   const double base_delay = sample_delay_s(from, to);
   FaultDecision d;
-  if (!fault_plan_.empty()) d = fault_plan_.decide(type, sim_.now(), fault_rng_);
-  if (d.duplicate) ledger_.count(type, 1, bytes);  // the extra copy's send
+  if (!fault_plan_.empty()) d = fault_plan_.decide(type, now_s(), fault_lane());
+  if (d.duplicate) ledger_ref().count(type, 1, bytes);  // extra copy's send
   const std::uint64_t copies = d.duplicate ? 2 : 1;
   trace_event(TraceKind::kSend, from, to, type, bytes, -1, copies);
   if (d.drop) {
-    ledger_.count_dropped(type, copies);
+    ledger_ref().count_dropped(type, copies);
     trace_event(TraceKind::kDrop, from, to, type, bytes, -1, copies);
     return;
   }
@@ -294,14 +464,14 @@ void OverlayEngine::deliver_copy(double delay_s, net::NodeId from,
                                  net::NodeId to, net::MessageType type,
                                  std::uint64_t bytes,
                                  std::function<void()> on_deliver) {
-  sim_.schedule_in(
-      delay_s, [this, from, to, type, bytes, fn = std::move(on_deliver)] {
+  schedule_for(
+      to, delay_s, [this, from, to, type, bytes, fn = std::move(on_deliver)] {
         if (node_dead(to)) {
-          ledger_.count_dropped(type, 1);
+          ledger_ref().count_dropped(type, 1);
           trace_event(TraceKind::kDrop, from, to, type, bytes, -1, 1);
           return;
         }
-        ledger_.count_delivered(type, 1);
+        ledger_ref().count_delivered(type, 1);
         trace_event(TraceKind::kDeliver, from, to, type, bytes, -1, 1);
         fn();
       });

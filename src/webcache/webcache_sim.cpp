@@ -75,73 +75,95 @@ PageId WebCacheSim::draw_page(net::NodeId p) {
 
 void WebCacheSim::request(net::NodeId p) {
   if (node_dead(p)) return;  // a crashed proxy stops serving its clients
-  const PageId page = draw_page(p);
   Proxy& proxy = proxies_[p];
-  const bool report = reporting();
-  const bool faulty = fault_layer_active();
-  if (report) ++result_.requests;
+  {
+    // Requests only read the overlay, so shards serve concurrently under
+    // the shared section; per-proxy caches get stripe guards because the
+    // probe reads remote caches (and a hierarchy miss warms the parent's)
+    // while owners mutate their own LRU state.  Serially every guard is a
+    // no-op.
+    const Section lock = shared_section();
+    const PageId page = draw_page(p);
+    const bool report = reporting();
+    const bool faulty = fault_layer_active();
+    if (report) ++res().requests;
 
-  if (proxy.cache.touch(page)) {
-    if (report) {
-      ++result_.local_hits;
-      result_.latency_s.add(0.001);  // local service time
+    bool local;
+    {
+      const auto guard = peer_section(p);
+      local = proxy.cache.touch(page);
     }
-  } else {
-    // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
-    // origin server as the alternative repository.
-    const std::uint32_t span = obs_search_begin(p, 1, page);
-    if (faulty) begin_faulty_search(1);
-    double latency = 0.0;
-    net::NodeId holder = net::kInvalidNode;
-    for (net::NodeId q : overlay_.out_neighbors(p)) {
-      count(net::MessageType::kQuery);
-      if (faulty) {
-        const auto tq = transmit(net::MessageType::kQuery, p, q, 1);
-        if (tq.duplicate) count(net::MessageType::kQuery);
-        if (!tq.deliver) continue;  // probe lost or neighbor crashed
+    if (local) {
+      if (report) {
+        ++res().local_hits;
+        res().latency_s.add(0.001);  // local service time
       }
-      count(net::MessageType::kQueryReply);
-      if (faulty) {
-        const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
-        if (tr.duplicate) count(net::MessageType::kQueryReply);
-        if (!tr.deliver) continue;  // reply lost: the probe goes unanswered
-      }
-      if (holder == net::kInvalidNode && proxies_[q].cache.contains(page))
-        holder = q;
-    }
-    if (holder != net::kInvalidNode) {
-      // Request + page transfer from the neighbor.
-      latency = 2.0 * sample_delay_s(p, holder);
-      if (report) ++result_.neighbor_hits;
-      if (config_.dynamic) {
-        core::ResultInfo info;
-        info.responder = holder;
-        info.items = 1.0;
-        info.latency_s = latency;
-        proxy.stats.add(holder, benefit_.benefit(info));
-      }
-    } else if (config_.num_parents > 0 && !overlay_.out_neighbors(p).empty() &&
-               !node_dead(overlay_.out_neighbors(p).front())) {
-      // Hierarchy: the miss resolves at the origin *through* the primary
-      // parent, which caches the page on the way — the aggregation that
-      // makes top-level proxies worth having.
-      const net::NodeId parent = overlay_.out_neighbors(p).front();
-      latency = config_.origin_latency_s + 2.0 * sample_delay_s(p, parent);
-      proxies_[parent].cache.insert(page);
-      if (report) ++result_.origin_fetches;
     } else {
-      latency = config_.origin_latency_s;
-      if (report) ++result_.origin_fetches;
+      // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
+      // origin server as the alternative repository.
+      const std::uint32_t span = obs_search_begin(p, 1, page);
+      if (faulty) begin_faulty_search(1);
+      double latency = 0.0;
+      net::NodeId holder = net::kInvalidNode;
+      for (net::NodeId q : overlay_.out_neighbors(p)) {
+        count(net::MessageType::kQuery);
+        if (faulty) {
+          const auto tq = transmit(net::MessageType::kQuery, p, q, 1);
+          if (tq.duplicate) count(net::MessageType::kQuery);
+          if (!tq.deliver) continue;  // probe lost or neighbor crashed
+        }
+        count(net::MessageType::kQueryReply);
+        if (faulty) {
+          const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
+          if (tr.duplicate) count(net::MessageType::kQueryReply);
+          if (!tr.deliver) continue;  // reply lost: the probe goes unanswered
+        }
+        if (holder == net::kInvalidNode) {
+          const auto guard = peer_section(q);
+          if (proxies_[q].cache.contains(page)) holder = q;
+        }
+      }
+      if (holder != net::kInvalidNode) {
+        // Request + page transfer from the neighbor.
+        latency = 2.0 * sample_delay_s(p, holder);
+        if (report) ++res().neighbor_hits;
+        if (config_.dynamic) {
+          core::ResultInfo info;
+          info.responder = holder;
+          info.items = 1.0;
+          info.latency_s = latency;
+          proxy.stats.add(holder, benefit_.benefit(info));
+        }
+      } else if (config_.num_parents > 0 &&
+                 !overlay_.out_neighbors(p).empty() &&
+                 !node_dead(overlay_.out_neighbors(p).front())) {
+        // Hierarchy: the miss resolves at the origin *through* the primary
+        // parent, which caches the page on the way — the aggregation that
+        // makes top-level proxies worth having.
+        const net::NodeId parent = overlay_.out_neighbors(p).front();
+        latency = config_.origin_latency_s + 2.0 * sample_delay_s(p, parent);
+        {
+          const auto guard = peer_section(parent);
+          proxies_[parent].cache.insert(page);
+        }
+        if (report) ++res().origin_fetches;
+      } else {
+        latency = config_.origin_latency_s;
+        if (report) ++res().origin_fetches;
+      }
+      if (holder != net::kInvalidNode)
+        obs_search_end(span, p, 1, 1, latency);
+      else
+        obs_search_end(span, p, 0, -1, -1.0);
+      if (report) res().latency_s.add(latency);
+      {
+        const auto guard = peer_section(p);
+        proxy.cache.insert(page);
+      }
     }
-    if (holder != net::kInvalidNode)
-      obs_search_end(span, p, 1, 1, latency);
-    else
-      obs_search_end(span, p, 0, -1, -1.0);
-    if (report) result_.latency_s.add(latency);
-    proxy.cache.insert(page);
   }
 
-  sim_.schedule_in(interrequest_.sample(rng()), [this, p] { request(p); });
+  schedule_self(p, interrequest_.sample(rng()), [this, p] { request(p); });
 }
 
 void WebCacheSim::explore_from(net::NodeId p) {
@@ -224,11 +246,13 @@ void WebCacheSim::rebuild_digest(net::NodeId p) {
 }
 
 WebCacheResult WebCacheSim::run() {
+  if (parallel()) shard_results_.assign(shards(), WebCacheResult{});
   for (net::NodeId p = 0; p < config_.num_proxies; ++p) {
     // Parents have no client population of their own; they serve (and are
     // warmed by) leaf misses only.
     if (!is_parent(p))
-      sim_.schedule_in(interrequest_.sample(rng()), [this, p] { request(p); });
+      schedule_self(p, interrequest_.sample(rng()),
+                    [this, p] { request(p); });
     if (is_parent(p)) {
       if (config_.digest_rebuild_period_s > 0.0) {
         schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
@@ -251,8 +275,18 @@ WebCacheResult WebCacheSim::run() {
     }
   }
   run_until_horizon();
+  for (const WebCacheResult& r : shard_results_) merge_results(result_, r);
+  shard_results_.clear();
   result_.traffic = traffic();
   return result_;
+}
+
+void merge_results(WebCacheResult& into, const WebCacheResult& shard) {
+  into.requests += shard.requests;
+  into.local_hits += shard.local_hits;
+  into.neighbor_hits += shard.neighbor_hits;
+  into.origin_fetches += shard.origin_fetches;
+  into.latency_s += shard.latency_s;
 }
 
 }  // namespace dsf::webcache

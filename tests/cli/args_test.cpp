@@ -78,5 +78,28 @@ TEST(Args, NegativeNumbersAsValues) {
   EXPECT_EQ(a.get_int("offset", 0), -5);
 }
 
+TEST(Args, ShortOptionWithValue) {
+  const Args a = make({"-j", "4"});
+  EXPECT_EQ(a.get_int("j", 0), 4);
+}
+
+TEST(Args, ShortOptionAsBoolean) {
+  const Args a = make({"-v", "--peers", "100"});
+  EXPECT_TRUE(a.get_bool("v", false));
+  EXPECT_EQ(a.get_int("peers", 0), 100);
+}
+
+TEST(Args, ShortOptionDoesNotSwallowNegativeValue) {
+  // A short option followed by a negative number takes it as a value
+  // (a digit after '-' is never an option).
+  const Args a = make({"-j", "-1"});
+  EXPECT_EQ(a.get_int("j", 0), -1);
+}
+
+TEST(Args, DashDigitAndBareDashAreNotOptions) {
+  const Args a = make({"-7", "-"});
+  EXPECT_EQ(a.positional(), (std::vector<std::string>{"-7", "-"}));
+}
+
 }  // namespace
 }  // namespace dsf::cli

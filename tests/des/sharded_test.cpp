@@ -1,0 +1,240 @@
+#include "des/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "des/rng.h"
+#include "des/simulator.h"
+
+namespace dsf::des {
+namespace {
+
+TEST(ShardedSimulator, RejectsBadConstruction) {
+  EXPECT_THROW(ShardedSimulator(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ShardedSimulator(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(ShardedSimulator(2, -1.0), std::invalid_argument);
+}
+
+TEST(ShardedSimulator, SingleShardMatchesPlainSimulator) {
+  // One shard, windowed execution: same events, same order, same clock as
+  // a plain Simulator run.
+  std::vector<int> sharded_order;
+  ShardedSimulator ss(1, 0.5);
+  for (int i = 0; i < 10; ++i)
+    ss.post(0, 0.3 * i, [&sharded_order, i] { sharded_order.push_back(i); });
+  const std::uint64_t ran = ss.run_until(10.0);
+
+  std::vector<int> plain_order;
+  Simulator sim;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(0.3 * i, [&plain_order, i] { plain_order.push_back(i); });
+  sim.run_until(10.0);
+
+  EXPECT_EQ(ran, 10u);
+  EXPECT_EQ(sharded_order, plain_order);
+  EXPECT_DOUBLE_EQ(ss.shard(0).now(), 10.0);
+  EXPECT_EQ(ss.lookahead_clamps(), 0u);
+}
+
+TEST(ShardedSimulator, EventExactlyOnWindowBoundary) {
+  // Two events at t=0 and t=window: the boundary event must not run in the
+  // first window (interior windows are half-open) yet must still run, in
+  // the window it opens, before the horizon.
+  ShardedSimulator ss(2, 1.0);
+  std::vector<std::pair<int, double>> log;
+  std::mutex log_mu;
+  auto mark = [&](int tag) {
+    return [&, tag] {
+      const std::lock_guard<std::mutex> lock(log_mu);
+      const std::uint32_t s = ShardedSimulator::current_shard();
+      log.emplace_back(tag, ss.shard(s).now());
+    };
+  };
+  ss.post(0, 0.0, mark(1));
+  ss.post(0, 1.0, mark(2));  // exactly at the first window's end
+  ss.post(1, 1.0, mark(3));  // same boundary, other shard
+  ss.run_until(5.0);
+
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_DOUBLE_EQ(log[0].second, 0.0);
+  // Events 2 and 3 run concurrently on different shards at t=1.0; only
+  // their times are deterministic, not their relative log order.
+  EXPECT_DOUBLE_EQ(log[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(log[2].second, 1.0);
+  // The first window was [0, 1): the boundary event opened a second one.
+  EXPECT_GE(ss.windows(), 2u);
+}
+
+TEST(ShardedSimulator, EventExactlyAtHorizonRuns) {
+  // run_until is closed at the horizon, like Simulator::run_until.
+  ShardedSimulator ss(2, 1.0);
+  bool at_horizon = false;
+  ss.post(1, 3.0, [&] { at_horizon = true; });
+  ss.run_until(3.0);
+  EXPECT_TRUE(at_horizon);
+  EXPECT_DOUBLE_EQ(ss.shard(0).now(), 3.0);
+  EXPECT_DOUBLE_EQ(ss.shard(1).now(), 3.0);
+}
+
+TEST(ShardedSimulator, CrossShardPostArrivesAfterBarrier) {
+  // A post from shard 0's window into shard 1 with delay >= window must be
+  // executed by shard 1 at exactly the posted time.
+  ShardedSimulator ss(2, 1.0);
+  double delivered_at = -1.0;
+  std::uint32_t delivered_on = kNoShard;
+  ss.post(0, 0.5, [&] {
+    const double t = ss.shard(0).now();
+    ss.post(1, t + 1.0, [&] {
+      delivered_at = ss.shard(1).now();
+      delivered_on = ShardedSimulator::current_shard();
+    });
+  });
+  ss.run_until(10.0);
+  EXPECT_DOUBLE_EQ(delivered_at, 1.5);
+  EXPECT_EQ(delivered_on, 1u);
+  EXPECT_EQ(ss.lookahead_clamps(), 0u);
+}
+
+TEST(ShardedSimulator, LookaheadViolationIsClampedAndCounted) {
+  // Posting with a delay *below* the window (a model whose configured
+  // window exceeds its true minimum delay) may land in the destination's
+  // past; the post is clamped to the destination clock and counted.
+  ShardedSimulator ss(2, 1.0);
+  double delivered_at = -1.0;
+  ss.post(0, 0.9, [&] {
+    // Shard 1's clock will be at the window end (1.0) when this drains.
+    ss.post(1, 0.95, [&] { delivered_at = ss.shard(1).now(); });
+  });
+  ss.run_until(10.0);
+  EXPECT_GE(delivered_at, 0.95);
+  EXPECT_EQ(ss.lookahead_clamps(), 1u);
+}
+
+// Differential harness: a small random workload where every shard streams
+// timestamped ticks; the multiset of (shard, time, tag) triples must be
+// identical for any shard count, and per-shard subsequences must be in
+// the sequential order.
+struct Tick {
+  std::uint32_t shard;
+  double t;
+  int tag;
+  bool operator==(const Tick& o) const {
+    return shard == o.shard && t == o.t && tag == o.tag;
+  }
+  bool operator<(const Tick& o) const {
+    if (shard != o.shard) return shard < o.shard;
+    if (t != o.t) return t < o.t;
+    return tag < o.tag;
+  }
+};
+
+std::vector<Tick> run_workload(std::uint32_t shards, std::uint64_t seed) {
+  // Model: `shards` logical domains; each event re-posts to a random
+  // domain with delay in [window, 2*window) so lookahead always holds.
+  const double window = 0.25;
+  ShardedSimulator ss(shards, window);
+  std::vector<Tick> ticks;
+  std::mutex mu;
+  // One RNG per logical domain, seeded identically for every shard count,
+  // touched only by the domain's own events — trajectories are identical
+  // regardless of which thread runs them.
+  std::vector<Rng> rngs;
+  for (std::uint32_t d = 0; d < shards; ++d)
+    rngs.push_back(Rng(hash_seed(seed, d)));
+
+  std::function<void(std::uint32_t, int)> hop = [&](std::uint32_t d,
+                                                    int depth) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ticks.push_back(Tick{d, ss.shard(d).now(), depth});
+    }
+    if (depth >= 40) return;
+    Rng& r = rngs[d];
+    const auto next = static_cast<std::uint32_t>(r.uniform_int(
+        static_cast<std::uint64_t>(shards)));
+    const double delay = window + window * r.uniform();
+    ss.post(next, ss.shard(d).now() + delay,
+            [&hop, next, depth] { hop(next, depth + 1); });
+  };
+  for (std::uint32_t d = 0; d < shards; ++d)
+    ss.post(d, 0.01 * (d + 1), [&hop, d] { hop(d, 0); });
+  ss.run_until(100.0);
+  return ticks;
+}
+
+TEST(ShardedSimulator, FixedShardCountIsDeterministic) {
+  auto a = run_workload(4, 20260809);
+  auto b = run_workload(4, 20260809);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedSimulator, RepostingWorkloadTerminates) {
+  // Smoke the barrier protocol under contention: plenty of windows, all
+  // chains hit the depth cap, nothing deadlocks.
+  const auto ticks = run_workload(8, 7);
+  EXPECT_EQ(ticks.size(), 8u * 41u);
+}
+
+TEST(ShardedSimulator, BarrierHookSeesQuiescentShards) {
+  // The hook runs between windows with all workers parked; summing the
+  // shard clocks there must never observe a torn window (all clocks equal
+  // the window end handed to the hook).
+  ShardedSimulator ss(4, 0.5);
+  std::atomic<int> violations{0};
+  ss.set_barrier_hook([&](SimTime wend) {
+    for (std::uint32_t s = 0; s < 4; ++s)
+      if (ss.shard(s).now() != wend) violations.fetch_add(1);
+  });
+  for (std::uint32_t s = 0; s < 4; ++s)
+    for (int i = 0; i < 5; ++i)
+      ss.post(s, 0.4 * i, [] {});
+  ss.run_until(2.0);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(ss.windows(), 0u);
+}
+
+TEST(ShardedSimulator, RunUntilIsResumable) {
+  // Back-to-back run_until calls behave like one long run.
+  ShardedSimulator ss(2, 1.0);
+  std::vector<double> times;
+  std::mutex mu;
+  for (int i = 0; i < 6; ++i) {
+    const auto dst = static_cast<std::uint32_t>(i % 2);
+    ss.post(dst, 1.5 * i, [&, dst] {
+      const std::lock_guard<std::mutex> lock(mu);
+      times.push_back(ss.shard(dst).now());
+    });
+  }
+  const std::uint64_t first = ss.run_until(4.0);
+  const std::uint64_t second = ss.run_until(10.0);
+  EXPECT_EQ(first + second, 6u);
+  EXPECT_EQ(times.size(), 6u);
+  EXPECT_DOUBLE_EQ(ss.shard(0).now(), 10.0);
+  EXPECT_DOUBLE_EQ(ss.shard(1).now(), 10.0);
+}
+
+TEST(ShardedSimulator, ExecutedAndPendingAggregate) {
+  ShardedSimulator ss(3, 1.0);
+  for (std::uint32_t s = 0; s < 3; ++s) ss.post(s, 1.0 + s, [] {});
+  EXPECT_EQ(ss.pending(), 3u);
+  ss.run_until(0.5);
+  EXPECT_EQ(ss.executed(), 0u);
+  EXPECT_EQ(ss.pending(), 3u);
+  ss.run_until(5.0);
+  EXPECT_EQ(ss.executed(), 3u);
+  EXPECT_EQ(ss.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace dsf::des

@@ -135,6 +135,43 @@ TEST(SweepThreads, BoundedByJobsAndHardware) {
   EXPECT_LE(sweep_threads(2), 2u);
 }
 
+TEST(ParallelMap, ExplicitZeroThreadsThrows) {
+  // threads == 0 used to fall through to "auto"; a caller that computed 0
+  // (bad config, failed parse) now gets a loud error instead of a silently
+  // different thread count — and never a hung sweep.
+  const std::vector<int> in{1, 2, 3};
+  EXPECT_THROW(parallel_map(in, [](int x) { return x; }, 0),
+               std::invalid_argument);
+  EXPECT_THROW(parallel_map_reduce(
+                   in, [](int x) { return x; }, 0,
+                   [](int& acc, int v) { acc += v; }, 0),
+               std::invalid_argument);
+  // Even an empty input validates the thread count first.
+  const std::vector<int> empty;
+  EXPECT_THROW(parallel_map(empty, [](int x) { return x; }, 0),
+               std::invalid_argument);
+}
+
+TEST(ParallelMap, AutoSentinelMatchesExplicitChoice) {
+  std::vector<int> in(24);
+  std::iota(in.begin(), in.end(), 0);
+  const auto auto_out = parallel_map(in, [](int x) { return 3 * x; },
+                                     kAutoThreads);
+  const auto one_out = parallel_map(in, [](int x) { return 3 * x; }, 1);
+  EXPECT_EQ(auto_out, one_out);
+  // kAutoThreads is also the default argument.
+  const auto def_out = parallel_map(in, [](int x) { return 3 * x; });
+  EXPECT_EQ(def_out, one_out);
+}
+
+TEST(ParallelMap, OversizedThreadCountIsClampedToJobs) {
+  // More threads than jobs must not spawn idle workers that fight over the
+  // index counter; result is identical either way.
+  const std::vector<int> in{5, 6};
+  const auto out = parallel_map(in, [](int x) { return x * x; }, 64);
+  EXPECT_EQ(out, (std::vector<int>{25, 36}));
+}
+
 // --- deterministic shard merging ---------------------------------------
 //
 // Replicated runs collect metrics into per-shard accumulators; the sweep

@@ -1,0 +1,193 @@
+// Differential tests for the sharded parallel execution path (DESIGN.md
+// §1.8's determinism contract):
+//
+//  * `--shards 1` is a no-op: metric fingerprints are byte-identical to
+//    the serial engine for all four simulators.
+//  * `--shards N` is statistically pinned: a sharded run is a different
+//    but valid interleaving, so aggregate rates must agree with the
+//    serial oracle within loose tolerances, and an attached
+//    InvariantChecker (which upgrades searches to exclusive sections and
+//    audits TTL/conservation/dead-delivery invariants on every trace
+//    record) must come back clean.
+//  * Invalid parallel configurations are rejected up front: more shards
+//    than peers, enabling the crash model, gnutella's library_growth,
+//    and resharding after events exist.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/invariants.h"
+#include "sim_fingerprints.h"
+
+namespace dsf {
+namespace {
+
+using simtest::fingerprint;
+
+// Loose relative agreement for counters: sharded runs draw from per-shard
+// RNG lanes, so only the statistics are pinned, not the trajectories.
+void expect_close(double oracle, double sharded, double rel,
+                  const char* what) {
+  const double denom = std::abs(oracle) > 1e-12 ? std::abs(oracle) : 1.0;
+  EXPECT_LE(std::abs(oracle - sharded) / denom, rel)
+      << what << ": oracle=" << oracle << " sharded=" << sharded;
+}
+
+// Small configs keep the differential sweep inside the fast tier.
+gnutella::Config small_gnutella() {
+  gnutella::Config c = simtest::golden_gnutella_config();
+  c.num_users = 120;
+  c.sim_hours = 2.0;
+  c.warmup_hours = 0.5;
+  return c;
+}
+
+olap::OlapConfig small_olap() {
+  olap::OlapConfig c = simtest::golden_olap_config();
+  c.sim_hours = 0.5;
+  c.warmup_hours = 0.1;
+  return c;
+}
+
+TEST(ShardedDifferential, SingleShardIsByteIdenticalForAllSims) {
+  {
+    const auto serial = gnutella::Simulation(small_gnutella()).run();
+    gnutella::Simulation one(small_gnutella());
+    one.set_shards(1);
+    EXPECT_EQ(fingerprint(serial).value(), fingerprint(one.run()).value());
+  }
+  {
+    const auto serial =
+        diglib::DigLibSim(simtest::golden_diglib_config()).run();
+    diglib::DigLibSim one(simtest::golden_diglib_config());
+    one.set_shards(1);
+    EXPECT_EQ(fingerprint(serial).value(), fingerprint(one.run()).value());
+  }
+  {
+    const auto serial = olap::OlapSim(small_olap()).run();
+    olap::OlapSim one(small_olap());
+    one.set_shards(1);
+    EXPECT_EQ(fingerprint(serial).value(), fingerprint(one.run()).value());
+  }
+  {
+    const auto serial =
+        webcache::WebCacheSim(simtest::golden_webcache_config()).run();
+    webcache::WebCacheSim one(simtest::golden_webcache_config());
+    one.set_shards(1);
+    EXPECT_EQ(fingerprint(serial).value(), fingerprint(one.run()).value());
+  }
+}
+
+// The tentpole differential: gnutella (four-lane RNG, dynamic overlay,
+// invitations/evictions) sharded at N in {2, 4, 8} against the serial
+// oracle, with the checker certifying every sharded run.
+TEST(ShardedDifferential, GnutellaShardedMatchesSerialOracleStatistically) {
+  const auto oracle = gnutella::Simulation(small_gnutella()).run();
+  ASSERT_GT(oracle.queries_issued, 0u);
+
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    gnutella::Simulation sim(small_gnutella());
+    sim.set_shards(n);
+    sim::InvariantChecker checker;
+    sim.attach_checker(&checker);
+    const auto r = sim.run();
+
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    EXPECT_GT(r.queries_issued, 0u);
+    expect_close(static_cast<double>(oracle.queries_issued),
+                 static_cast<double>(r.queries_issued), 0.25,
+                 "queries_issued");
+    expect_close(static_cast<double>(oracle.total_messages()),
+                 static_cast<double>(r.total_messages()), 0.35,
+                 "total_messages");
+    expect_close(static_cast<double>(oracle.traffic.total()),
+                 static_cast<double>(r.traffic.total()), 0.35,
+                 "traffic.total");
+    // Hit rate is the paper's headline metric; compare as an absolute gap.
+    const auto rate = [](const gnutella::RunResult& x) {
+      return x.queries_issued ? static_cast<double>(x.total_hits()) /
+                                    static_cast<double>(x.queries_issued)
+                              : 0.0;
+    };
+    EXPECT_NEAR(rate(oracle), rate(r), 0.15);
+    EXPECT_LE(r.total_hits(), r.queries_issued);
+  }
+}
+
+// Same sweep for a compact-layout scenario with per-peer mutable caches
+// (stripe-guard coverage): olap at N in {2, 4, 8}.
+TEST(ShardedDifferential, OlapShardedMatchesSerialOracleStatistically) {
+  const auto oracle = olap::OlapSim(small_olap()).run();
+  ASSERT_GT(oracle.chunks_requested, 0u);
+
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    olap::OlapSim sim(small_olap());
+    sim.set_shards(n);
+    sim::InvariantChecker checker;
+    sim.attach_checker(&checker);
+    const auto r = sim.run();
+
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    EXPECT_GT(r.queries, 0u);
+    EXPECT_EQ(r.chunks_requested,
+              r.chunks_local + r.chunks_from_peers + r.chunks_from_warehouse);
+    expect_close(static_cast<double>(oracle.queries),
+                 static_cast<double>(r.queries), 0.25, "queries");
+    expect_close(static_cast<double>(oracle.chunks_requested),
+                 static_cast<double>(r.chunks_requested), 0.25,
+                 "chunks_requested");
+    EXPECT_NEAR(oracle.peer_hit_rate(), r.peer_hit_rate(), 0.2);
+  }
+}
+
+// A fixed shard count must give the same answer on every run, regardless
+// of thread scheduling: the mailbox drains in canonical order and every
+// lane is owned by exactly one shard.
+TEST(ShardedDifferential, FixedShardCountIsReproducible) {
+  auto cfg = small_gnutella();
+  cfg.sim_hours = 1.0;
+  cfg.warmup_hours = 0.25;
+  gnutella::Simulation a(cfg);
+  a.set_shards(4);
+  gnutella::Simulation b(cfg);
+  b.set_shards(4);
+  EXPECT_EQ(fingerprint(a.run()).value(), fingerprint(b.run()).value());
+}
+
+TEST(ShardedDifferential, ShardsExceedingPeerCountThrow) {
+  auto cfg = simtest::golden_olap_config();
+  olap::OlapSim sim(cfg);
+  EXPECT_THROW(sim.set_shards(cfg.num_peers + 1), std::invalid_argument);
+  EXPECT_THROW(sim.set_shards(0), std::invalid_argument);
+}
+
+TEST(ShardedDifferential, CrashModelIsRejectedWhenSharded) {
+  webcache::WebCacheSim sim(simtest::golden_webcache_config());
+  sim.set_shards(2);
+  sim::CrashModel crashes;
+  crashes.rate_per_hour = 4.0;
+  sim.set_crash_model(crashes);
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(ShardedDifferential, LibraryGrowthIsRejectedWhenSharded) {
+  auto cfg = small_gnutella();
+  cfg.library_growth = true;
+  gnutella::Simulation sim(cfg);
+  sim.set_shards(2);
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(ShardedDifferential, ReshardingAfterPrimeThrows) {
+  gnutella::Simulation sim(small_gnutella());
+  sim.prime();  // events now pending: the partition may no longer change
+  EXPECT_THROW(sim.set_shards(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dsf

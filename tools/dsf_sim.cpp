@@ -25,6 +25,14 @@
 //   --heartbeat S            emit a progress heartbeat every S sim-seconds
 //                            (changes event ordering; off by default)
 //
+// Every scenario also accepts the parallel-execution group:
+//
+//   --shards N (-j N)        run the simulation sharded over N worker
+//                            threads (1 = serial reference path; invalid
+//                            partitions exit 2)
+//   --shard-window S         conservative sync window in sim-seconds
+//                            (default: the delay-model floor)
+//
 // Unknown options are rejected with a nearest-match suggestion (exit 2).
 // Text output is human-readable; --json emits a machine-readable record
 // for scripting sweeps.
@@ -83,6 +91,15 @@ cli::FlagRegistry make_registry() {
       .add_bool("exclude-owned", false, "gnutella: re-draw owned songs")
       .add_string("mode", "adaptive", "diglib list mode: all|static|adaptive");
 
+  reg.group("parallel execution");
+  reg.add_int("shards", 1,
+              "worker shards for one run (1 = the serial reference path, "
+              "byte-identical to no flag at all)")
+      .add_double("shard-window", 0.0,
+                  "conservative sync window in sim-seconds "
+                  "(0: the delay-model floor)");
+  reg.alias("j", "shards");
+
   reg.group("flight recorder");
   reg.add_string("trace", "off", "off | null | ring (the flight recorder)")
       .add_int("trace-buffer",
@@ -119,6 +136,25 @@ std::uint32_t population(const cli::FlagRegistry& reg, const char* specific,
   const std::int64_t peers =
       int_or(reg, "peers", static_cast<std::int64_t>(fallback));
   return static_cast<std::uint32_t>(int_or(reg, specific, peers));
+}
+
+/// Applies --shards / --shard-window before anything is scheduled.
+/// Returns 0 on success, 2 when the partition is invalid (shards < 1 or
+/// more shards than peers).
+int apply_shards(const cli::FlagRegistry& reg, sim::OverlayEngine& engine) {
+  const std::int64_t n = reg.get_int("shards");
+  if (n < 1) {
+    std::fprintf(stderr, "error: --shards must be >= 1\n");
+    return 2;
+  }
+  try {
+    engine.set_shards(static_cast<std::uint32_t>(n),
+                      reg.get_double("shard-window"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
 }
 
 /// Parses the --fault-* group once, arms a scenario engine before run(),
@@ -240,6 +276,7 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   gnutella::Simulation sim(c);
+  if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
@@ -284,6 +321,7 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   webcache::WebCacheSim sim(c);
+  if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
@@ -322,6 +360,7 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   olap::OlapSim sim(c);
+  if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
@@ -366,6 +405,7 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   diglib::DigLibSim sim(c);
+  if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
