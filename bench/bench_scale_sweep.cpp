@@ -11,11 +11,18 @@
 //
 // Usage: bench_scale_sweep --peers N [--hours H] [--replications R]
 //                          [--seed S] [--threads T] [--shards N] [--out PATH]
+//                          [--save-snapshot PATH@T] [--load-snapshot PATH]
 //
 // --threads parallelizes ACROSS replications (independent seeds);
 // --shards/-j parallelizes WITHIN one run via the sharded engine.  The
 // two compose, but the useful configurations are threads>1 shards=1
 // (many small runs) or threads=1 shards>1 (one huge run).
+//
+// The snapshot flags checkpoint/resume a single serial run (they require
+// --replications 1 and --shards 1): bootstrap a large population once with
+// --save-snapshot, then fork as many what-if continuations as needed from
+// the file with --load-snapshot — each resumed run is byte-identical to
+// the uninterrupted one.
 
 #include <chrono>
 #include <cstdint>
@@ -33,6 +40,7 @@
 #include "metrics/time_series.h"
 #include "net/message.h"
 #include "obs/process_stats.h"
+#include "snap/snapshot.h"
 
 namespace {
 
@@ -77,6 +85,9 @@ struct Options {
   unsigned threads = dsf::des::kAutoThreads;  // one per replication, capped
   std::uint32_t shards = 1;                   // per-run engine sharding
   std::string out_path = "scale_run.json";
+  std::string snapshot_save_path;  // empty: no checkpoint
+  double snapshot_save_at_s = 0.0;
+  std::string snapshot_load_path;  // empty: fresh run
 };
 
 Shard run_one(const Options& opt, std::uint64_t seed) {
@@ -87,6 +98,10 @@ Shard run_one(const Options& opt, std::uint64_t seed) {
   config.seed = seed;
   const auto t0 = Clock::now();
   dsf::gnutella::Simulation sim(config);
+  if (!opt.snapshot_load_path.empty())
+    sim.load_snapshot(opt.snapshot_load_path);
+  if (!opt.snapshot_save_path.empty())
+    sim.request_snapshot_save(opt.snapshot_save_path, opt.snapshot_save_at_s);
   if (opt.shards > 1) sim.set_shards(opt.shards);
   const auto result = sim.run();
   Shard s;
@@ -119,7 +134,13 @@ int main(int argc, char** argv) {
       .add_int("threads", 0, "worker threads (0 = one per replication)")
       .add_int("shards", 1,
                "engine shards within each run (1 = serial reference path)")
-      .add_string("out", "scale_run.json", "JSON output path");
+      .add_string("out", "scale_run.json", "JSON output path")
+      .add_string("save-snapshot", "",
+                  "checkpoint the run at sim-second T: PATH@T "
+                  "(requires --replications 1 and --shards 1)")
+      .add_string("load-snapshot", "",
+                  "resume from a checkpoint written by --save-snapshot "
+                  "(same --peers/--hours/--seed required)");
   reg.alias("j", "shards");
   try {
     reg.parse(argc, argv);
@@ -155,13 +176,49 @@ int main(int argc, char** argv) {
   }
   opt.shards = static_cast<std::uint32_t>(shards_arg);
 
+  opt.snapshot_load_path = reg.get_string("load-snapshot");
+  const std::string save = reg.get_string("save-snapshot");
+  if (!save.empty()) {
+    const std::size_t at = save.rfind('@');
+    std::size_t used = 0;
+    if (at != std::string::npos && at > 0 && at + 1 < save.size()) {
+      const std::string when = save.substr(at + 1);
+      try {
+        opt.snapshot_save_at_s = std::stod(when, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != when.size()) used = 0;
+    }
+    if (used == 0 || !(opt.snapshot_save_at_s > 0.0)) {
+      std::fprintf(stderr,
+                   "error: --save-snapshot expects PATH@T with T a positive "
+                   "sim-second count\n");
+      return 2;
+    }
+    opt.snapshot_save_path = save.substr(0, at);
+  }
+  if ((!opt.snapshot_save_path.empty() || !opt.snapshot_load_path.empty()) &&
+      (opt.replications != 1 || opt.shards != 1)) {
+    std::fprintf(stderr,
+                 "error: snapshot flags require --replications 1 and "
+                 "--shards 1 (one serial run per checkpoint)\n");
+    return 2;
+  }
+
   std::vector<std::uint64_t> seeds(opt.replications);
   std::iota(seeds.begin(), seeds.end(), opt.seed);
 
   const auto t0 = Clock::now();
-  Shard total = dsf::des::parallel_map_reduce(
-      seeds, [&](std::uint64_t seed) { return run_one(opt, seed); }, Shard{},
-      merge, opt.threads);
+  Shard total;
+  try {
+    total = dsf::des::parallel_map_reduce(
+        seeds, [&](std::uint64_t seed) { return run_one(opt, seed); }, Shard{},
+        merge, opt.threads);
+  } catch (const dsf::snap::SnapshotError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  }
   const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
 
   const std::uint64_t rss = dsf::obs::peak_rss_bytes();

@@ -180,6 +180,30 @@ class EventQueue {
   /// Number of live (non-cancelled) events.
   std::size_t size() const noexcept { return live_; }
 
+  /// Visits every live event as (time, seq, id) in unspecified order —
+  /// the checkpoint layer enumerates pending events through this and
+  /// re-sorts by (time, seq) itself.  Cancelled/fired slots are skipped;
+  /// callbacks are not exposed (they are reconstructed from a registry,
+  /// never serialized).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    if (bucket_mask_ != 0) {
+      for (std::size_t i = 0; i <= bucket_mask_; ++i) {
+        const Bucket& b = buckets_[i];
+        for (std::size_t j = b.head; j < b.v.size(); ++j) {
+          if (!is_dead(b.v[j].slot))
+            fn(time_from_key(b.v[j].time_key), b.v[j].seq,
+               EventId{b.v[j].slot, b.v[j].seq});
+        }
+      }
+    }
+    for (const HeapNode& node : heap_) {
+      if (!is_dead(node.slot))
+        fn(time_from_key(node.time_key), node.seq,
+           EventId{node.slot, node.seq});
+    }
+  }
+
   /// Total events scheduled over the queue's lifetime.
   std::uint64_t total_scheduled() const noexcept { return next_seq_; }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -51,6 +52,18 @@ class Rng {
   /// this generator's next outputs, so parent and child sequences do not
   /// overlap in practice.
   Rng split() noexcept;
+
+  /// The full 256-bit state, for checkpointing.  Restoring the returned
+  /// words with set_state() resumes the stream at exactly this position.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 #include "des/event_queue.h"
 
@@ -98,6 +99,18 @@ class Simulator {
 
   /// Total events executed over the simulator's lifetime.
   std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Checkpoint restore: sets the clock and the lifetime executed count
+  /// as saved at the snapshot boundary.  Only valid before any events
+  /// are scheduled into the fresh queue — the restore path re-schedules
+  /// pending events (all strictly later than `now`) after this call, so
+  /// schedule_at never sees a past time.
+  void restore_clock(SimTime now, std::uint64_t executed) {
+    if (pending() != 0 || now_ != 0.0)
+      throw std::logic_error("restore_clock: simulator already in use");
+    now_ = now;
+    executed_ = executed;
+  }
 
   /// Direct access for tests and advanced scheduling patterns.
   EventQueue& queue() noexcept { return queue_; }

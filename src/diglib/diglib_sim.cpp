@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/update.h"
+#include "snap/codec.h"
 
 namespace dsf::diglib {
 
@@ -162,7 +163,8 @@ void DigLibSim::issue_query(net::NodeId r) {
     }
   }
 
-  schedule_self(r, interquery_.sample(rng()), [this, r] { issue_query(r); });
+  schedule_keyed_self(r, interquery_.sample(rng()), kLibQuery, r, 0,
+                      [this, r] { issue_query(r); });
 }
 
 void DigLibSim::update_neighbors(net::NodeId r) {
@@ -250,13 +252,22 @@ void DigLibSim::update_neighbors(net::NodeId r) {
 
 DigLibResult DigLibSim::run() {
   if (parallel()) shard_results_.assign(shards(), DigLibResult{});
+  // A resumed run takes its pending query events from the snapshot and must
+  // not draw the initial delays, but it still registers the per-repository
+  // update periodics in the same order so indices line up with the file.
   for (net::NodeId r = 0; r < config_.num_repositories; ++r) {
-    schedule_self(r, interquery_.sample(rng()),
-                  [this, r] { issue_query(r); });
+    if (!resumed())
+      schedule_keyed_self(r, interquery_.sample(rng()), kLibQuery, r, 0,
+                          [this, r] { issue_query(r); });
     if (config_.mode == ListMode::kAdaptive) {
-      schedule_every(rng().uniform(0.0, config_.update_period_s),
-                     config_.update_period_s,
-                     [this, r] { update_neighbors(r); });
+      if (resumed()) {
+        register_periodic(config_.update_period_s,
+                          [this, r] { update_neighbors(r); });
+      } else {
+        schedule_every(rng().uniform(0.0, config_.update_period_s),
+                       config_.update_period_s,
+                       [this, r] { update_neighbors(r); });
+      }
     }
   }
   run_until_horizon();
@@ -273,6 +284,45 @@ void merge_results(DigLibResult& into, const DigLibResult& shard) {
   into.copies_available += shard.copies_available;
   into.first_result_delay_s += shard.first_result_delay_s;
   into.messages_per_query += shard.messages_per_query;
+}
+
+void DigLibSim::save_domain(snap::Writer::Out& out) const {
+  for (const Repository& repo : repos_) {
+    snap::put_stats_store(out, repo.stats);
+    out.u32(repo.exploration_link);
+  }
+  // traffic is assigned at the end of run() from the restored ledger.
+  out.u64(result_.queries);
+  out.u64(result_.satisfied);
+  out.u64(result_.copies_found);
+  out.u64(result_.copies_available);
+  snap::put_summary(out, result_.first_result_delay_s);
+  snap::put_summary(out, result_.messages_per_query);
+}
+
+void DigLibSim::load_domain(snap::Reader::In& in) {
+  for (Repository& repo : repos_) {
+    snap::get_stats_store(in, repo.stats);
+    repo.exploration_link = in.u32();
+  }
+  result_.queries = in.u64();
+  result_.satisfied = in.u64();
+  result_.copies_found = in.u64();
+  result_.copies_available = in.u64();
+  snap::get_summary(in, result_.first_result_delay_s);
+  snap::get_summary(in, result_.messages_per_query);
+}
+
+void DigLibSim::restore_keyed_event(double t, std::uint32_t kind,
+                                    std::uint64_t a, std::uint64_t b) {
+  if (kind == kLibQuery) {
+    if (a >= repos_.size())
+      throw snap::SnapshotError("diglib: query event repository out of range");
+    const auto r = static_cast<net::NodeId>(a);
+    schedule_keyed_at(t, kLibQuery, a, 0, [this, r] { issue_query(r); });
+    return;
+  }
+  OverlayEngine::restore_keyed_event(t, kind, a, b);
 }
 
 }  // namespace dsf::diglib

@@ -96,7 +96,19 @@ class DigLibSim : public sim::OverlayEngine {
   /// Copies of `doc` across the federation (exposed for tests).
   std::uint32_t copies_of(DocId doc) const { return copy_count_.at(doc); }
 
+ protected:
+  /// Snapshot hooks: per-repository benefit statistics and exploration
+  /// links plus the result accumulators.  Holdings and copy counts are
+  /// immutable and come from the constructor.
+  void save_domain(snap::Writer::Out& out) const override;
+  void load_domain(snap::Reader::In& in) override;
+  void restore_keyed_event(double t, std::uint32_t kind, std::uint64_t a,
+                           std::uint64_t b) override;
+
  private:
+  /// Keyed event kinds (snapshot pending-event records).
+  static constexpr std::uint32_t kLibQuery = kKeyedUserBase + 0;  ///< a = r
+
   struct Repository {
     std::vector<DocId> holdings;  ///< sorted for binary search
     core::StatsStore stats;

@@ -6,6 +6,7 @@
 
 #include "core/graph_stats.h"
 #include "core/unreachable.h"
+#include "snap/codec.h"
 #include "workload/user_profile.h"
 
 namespace dsf::gnutella {
@@ -98,20 +99,20 @@ void Simulation::prime() {
   for (net::NodeId u = 0; u < hot_.size(); ++u) {
     UserHot& st = hot_[u];
     if (st.online) {
-      st.session_event =
-          schedule_self(u, session_.draw_online_duration(session_rng()),
-                        [this, u] {
-                          const Section lock = exclusive_section();
-                          log_off(u);
-                        });
+      st.session_event = schedule_keyed_self(
+          u, session_.draw_online_duration(session_rng()), kGnuSession, u, 0,
+          [this, u] {
+            const Section lock = exclusive_section();
+            log_off(u);
+          });
       schedule_next_query(u);
     } else {
-      st.session_event =
-          schedule_self(u, session_.draw_offline_duration(session_rng()),
-                        [this, u] {
-                          const Section lock = exclusive_section();
-                          log_in(u);
-                        });
+      st.session_event = schedule_keyed_self(
+          u, session_.draw_offline_duration(session_rng()), kGnuSession, u, 0,
+          [this, u] {
+            const Section lock = exclusive_section();
+            log_in(u);
+          });
     }
   }
 }
@@ -143,10 +144,17 @@ RunResult Simulation::run() {
     for (std::uint32_t s = 0; s < shards(); ++s)
       shard_hit_stamps_.emplace_back(config_.num_users);
   }
-  prime();
-  if (config_.probe_period_s > 0.0)
-    schedule_every(config_.probe_period_s, config_.probe_period_s,
-                   [this] { probe_overlay(); });
+  // A resumed run skips priming (hot/cold state, roster and pending events
+  // come from the snapshot) but must still register its periodics in the
+  // same order as a fresh run so periodic indices line up with the file.
+  if (!resumed()) prime();
+  if (config_.probe_period_s > 0.0) {
+    if (resumed())
+      register_periodic(config_.probe_period_s, [this] { probe_overlay(); });
+    else
+      schedule_every(config_.probe_period_s, config_.probe_period_s,
+                     [this] { probe_overlay(); });
+  }
   result_.events_executed = run_until_horizon();
   for (const RunResult& r : shard_results_) merge_results(result_, r);
   shard_results_.clear();
@@ -213,12 +221,12 @@ void Simulation::log_in(net::NodeId u) {
   // addresses; the neighborhood starts random in both schemes.
   fill_with_random_neighbors(u);
 
-  st.session_event =
-      schedule_self(u, session_.draw_online_duration(session_rng()),
-                    [this, u] {
-                      const Section lock = exclusive_section();
-                      log_off(u);
-                    });
+  st.session_event = schedule_keyed_self(
+      u, session_.draw_online_duration(session_rng()), kGnuSession, u, 0,
+      [this, u] {
+        const Section lock = exclusive_section();
+        log_off(u);
+      });
   schedule_next_query(u);
 }
 
@@ -252,19 +260,19 @@ void Simulation::log_off(net::NodeId u) {
     }
   }
 
-  st.session_event =
-      schedule_self(u, session_.draw_offline_duration(session_rng()),
-                    [this, u] {
-                      const Section lock = exclusive_section();
-                      log_in(u);
-                    });
+  st.session_event = schedule_keyed_self(
+      u, session_.draw_offline_duration(session_rng()), kGnuSession, u, 0,
+      [this, u] {
+        const Section lock = exclusive_section();
+        log_in(u);
+      });
 }
 
 void Simulation::schedule_next_query(net::NodeId u) {
   UserHot& st = hot_[u];
-  st.query_event =
-      schedule_self(u, session_.draw_interquery_gap(session_rng()),
-                    [this, u] { issue_query(u); });
+  st.query_event = schedule_keyed_self(
+      u, session_.draw_interquery_gap(session_rng()), kGnuQuery, u, 0,
+      [this, u] { issue_query(u); });
   st.has_query_event = true;
 }
 
@@ -494,10 +502,11 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
     // The evaluation reads v's statistics and may evict, so it runs as an
     // exclusive event on v's shard (mailbox-routed: the inviter's shard
     // may differ).
-    schedule_for(v, config_.trial_period_s, [this, u, v] {
-      const Section lock = exclusive_section();
-      evaluate_trial(u, v);
-    });
+    schedule_keyed_for(v, config_.trial_period_s, kGnuTrial, u, v,
+                       [this, u, v] {
+                         const Section lock = exclusive_section();
+                         evaluate_trial(u, v);
+                       });
   }
   return true;
 }
@@ -578,6 +587,183 @@ void Simulation::reconfigure(net::NodeId u) {
   // Remaining free slots are refilled through the rendezvous server, the
   // same exploration primitive both schemes use at login.
   fill_with_random_neighbors(u);
+}
+
+void Simulation::save_domain(snap::Writer::Out& out) const {
+  for (const UserHot& h : hot_) {
+    out.u8(h.online ? 1 : 0);
+    out.u8(h.has_query_event ? 1 : 0);
+    out.u32(h.reconfig_count);
+    out.u32(h.online_pos);
+  }
+  out.u64(online_nodes_.size());
+  for (net::NodeId u : online_nodes_) out.u32(u);
+  for (const UserCold& c : cold_) {
+    snap::put_stats_store(out, c.stats);
+    out.u64(c.recent_queries.size());
+    for (workload::SongId s : c.recent_queries) out.u64(s);
+    out.u64(c.recent_pos);
+  }
+  // Downloaded songs (library_growth): spill lists keyed by user, sorted so
+  // identical state writes identical bytes.
+  std::vector<std::uint32_t> spill_users;
+  spill_users.reserve(libraries_.spill().size());
+  for (const auto& [u, songs] : libraries_.spill()) spill_users.push_back(u);
+  std::sort(spill_users.begin(), spill_users.end());
+  out.u64(spill_users.size());
+  for (std::uint32_t u : spill_users) {
+    const auto& songs = libraries_.spill().at(u);
+    out.u32(u);
+    out.u64(songs.size());
+    for (workload::SongId s : songs) out.u64(s);
+  }
+  // Result accumulators.  events_executed, warmup_bucket, last_bucket and
+  // traffic are assigned at the end of run() (from engine state that the
+  // core section restores), so they are not part of the domain image.
+  snap::put_time_series(out, result_.hits);
+  snap::put_time_series(out, result_.messages);
+  snap::put_time_series(out, result_.results);
+  snap::put_summary(out, result_.first_result_delay_s);
+  snap::put_histogram(out, result_.first_result_delay_hist);
+  out.u64(result_.queries_issued);
+  out.u64(result_.local_hits);
+  snap::put_summary(out, result_.nodes_reached);
+  out.u64(result_.queries_favorite);
+  out.u64(result_.hits_favorite);
+  out.u64(result_.queries_side);
+  out.u64(result_.hits_side);
+  out.u64(result_.reconfigurations);
+  out.u64(result_.invitations_accepted);
+  out.u64(result_.evictions);
+  out.u64(result_.trials_kept);
+  out.u64(result_.trials_rejected);
+  out.u64(result_.probes.size());
+  for (const ProbeSample& p : result_.probes) {
+    out.f64(p.time_s);
+    out.f64(p.mean_degree);
+    out.f64(p.degree_gini);
+    out.f64(p.same_favorite);
+    out.f64(p.clustering);
+    out.u64(p.online);
+  }
+}
+
+void Simulation::load_domain(snap::Reader::In& in) {
+  for (UserHot& h : hot_) {
+    h.online = in.u8() != 0;
+    h.has_query_event = in.u8() != 0;
+    h.reconfig_count = in.u32();
+    h.online_pos = in.u32();
+    // Event handles are re-established by restore_keyed_event.
+    h.query_event = des::EventId{};
+    h.session_event = des::EventId{};
+  }
+  online_nodes_.clear();
+  const std::uint64_t online_count = in.u64();
+  online_nodes_.reserve(static_cast<std::size_t>(online_count));
+  for (std::uint64_t i = 0; i < online_count; ++i) {
+    const net::NodeId u = in.u32();
+    if (u >= hot_.size())
+      throw snap::SnapshotError("gnutella: on-line roster entry out of range");
+    online_nodes_.push_back(u);
+  }
+  for (UserCold& c : cold_) {
+    snap::get_stats_store(in, c.stats);
+    c.recent_queries.clear();
+    const std::uint64_t nq = in.u64();
+    if (nq > kRecentQueryWindow)
+      throw snap::SnapshotError("gnutella: recent-query window overflow");
+    c.recent_queries.reserve(static_cast<std::size_t>(nq));
+    for (std::uint64_t i = 0; i < nq; ++i)
+      c.recent_queries.push_back(static_cast<workload::SongId>(in.u64()));
+    c.recent_pos = static_cast<std::size_t>(in.u64());
+  }
+  const std::uint64_t spill_users = in.u64();
+  for (std::uint64_t i = 0; i < spill_users; ++i) {
+    const std::uint32_t u = in.u32();
+    if (u >= hot_.size())
+      throw snap::SnapshotError("gnutella: spill-list user out of range");
+    const std::uint64_t nsongs = in.u64();
+    for (std::uint64_t j = 0; j < nsongs; ++j)
+      libraries_.add(u, static_cast<workload::SongId>(in.u64()));
+  }
+  snap::get_time_series(in, result_.hits);
+  snap::get_time_series(in, result_.messages);
+  snap::get_time_series(in, result_.results);
+  snap::get_summary(in, result_.first_result_delay_s);
+  snap::get_histogram(in, result_.first_result_delay_hist);
+  result_.queries_issued = in.u64();
+  result_.local_hits = in.u64();
+  snap::get_summary(in, result_.nodes_reached);
+  result_.queries_favorite = in.u64();
+  result_.hits_favorite = in.u64();
+  result_.queries_side = in.u64();
+  result_.hits_side = in.u64();
+  result_.reconfigurations = in.u64();
+  result_.invitations_accepted = in.u64();
+  result_.evictions = in.u64();
+  result_.trials_kept = in.u64();
+  result_.trials_rejected = in.u64();
+  result_.probes.clear();
+  const std::uint64_t nprobes = in.u64();
+  result_.probes.reserve(static_cast<std::size_t>(nprobes));
+  for (std::uint64_t i = 0; i < nprobes; ++i) {
+    ProbeSample p;
+    p.time_s = in.f64();
+    p.mean_degree = in.f64();
+    p.degree_gini = in.f64();
+    p.same_favorite = in.f64();
+    p.clustering = in.f64();
+    p.online = static_cast<std::size_t>(in.u64());
+    result_.probes.push_back(p);
+  }
+}
+
+void Simulation::restore_keyed_event(double t, std::uint32_t kind,
+                                     std::uint64_t a, std::uint64_t b) {
+  switch (kind) {
+    case kGnuSession: {
+      if (a >= hot_.size())
+        throw snap::SnapshotError("gnutella: session event user out of range");
+      const auto u = static_cast<net::NodeId>(a);
+      if (hot_[u].online) {
+        hot_[u].session_event =
+            schedule_keyed_at(t, kGnuSession, a, 0, [this, u] {
+              const Section lock = exclusive_section();
+              log_off(u);
+            });
+      } else {
+        hot_[u].session_event =
+            schedule_keyed_at(t, kGnuSession, a, 0, [this, u] {
+              const Section lock = exclusive_section();
+              log_in(u);
+            });
+      }
+      return;
+    }
+    case kGnuQuery: {
+      if (a >= hot_.size())
+        throw snap::SnapshotError("gnutella: query event user out of range");
+      const auto u = static_cast<net::NodeId>(a);
+      hot_[u].query_event = schedule_keyed_at(
+          t, kGnuQuery, a, 0, [this, u] { issue_query(u); });
+      hot_[u].has_query_event = true;
+      return;
+    }
+    case kGnuTrial: {
+      if (a >= hot_.size() || b >= hot_.size())
+        throw snap::SnapshotError("gnutella: trial event node out of range");
+      const auto u = static_cast<net::NodeId>(a);
+      const auto v = static_cast<net::NodeId>(b);
+      schedule_keyed_at(t, kGnuTrial, a, b, [this, u, v] {
+        const Section lock = exclusive_section();
+        evaluate_trial(u, v);
+      });
+      return;
+    }
+    default:
+      OverlayEngine::restore_keyed_event(t, kind, a, b);
+  }
 }
 
 }  // namespace dsf::gnutella

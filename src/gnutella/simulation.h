@@ -152,6 +152,14 @@ class Simulation : public sim::OverlayEngine {
   /// and their future sends to it are dropped on arrival.
   void on_peer_crashed(net::NodeId u) override;
 
+  /// Snapshot hooks: per-user hot/cold mutable state, the on-line roster,
+  /// library growth spills and the result accumulators.  Catalog,
+  /// profiles, libraries and digests are reconstructed by the constructor.
+  void save_domain(snap::Writer::Out& out) const override;
+  void load_domain(snap::Reader::In& in) override;
+  void restore_keyed_event(double t, std::uint32_t kind, std::uint64_t a,
+                           std::uint64_t b) override;
+
  private:
   // Per-user state is split SoA-style.  The hot record is what every
   // session/query event dispatch touches — 32 bytes, so a million-peer
@@ -177,6 +185,14 @@ class Simulation : public sim::OverlayEngine {
     std::size_t recent_pos = 0;
   };
   static constexpr std::size_t kRecentQueryWindow = 32;
+
+  /// Keyed event kinds (snapshot pending-event records).  A session wake's
+  /// direction (log_in vs log_off) is not stored: it is re-derived from the
+  /// restored hot_[u].online flag, which is exact by construction.
+  static constexpr std::uint32_t kGnuSession = kKeyedUserBase + 0;  ///< a = u
+  static constexpr std::uint32_t kGnuQuery = kKeyedUserBase + 1;    ///< a = u
+  static constexpr std::uint32_t kGnuTrial =
+      kKeyedUserBase + 2;  ///< a = inviter, b = invitee
 
   /// Validates the config and builds the engine parameterization.
   static sim::EngineConfig make_engine_config(const Config& config);

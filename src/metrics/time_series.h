@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "des/event_queue.h"
@@ -43,6 +45,13 @@ class TimeSeries {
   /// count.
   TimeSeries& operator+=(const TimeSeries& o);
 
+  /// Checkpoint restore: replaces the bucket vector verbatim.  Trailing
+  /// zero buckets are preserved exactly — rebuilding through add() would
+  /// drop them, and the snapshot contract is byte-identity.
+  void restore(std::vector<std::uint64_t> buckets) {
+    buckets_ = std::move(buckets);
+  }
+
  private:
   double width_;
   std::vector<std::uint64_t> buckets_;
@@ -63,6 +72,24 @@ class Summary {
   double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
   Summary& operator+=(const Summary& o) noexcept;  ///< parallel merge
+
+  /// Raw Welford accumulator state, for exact checkpoint round-trips
+  /// (m2_ is not recoverable from variance() without rounding).
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Raw raw() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  void restore(const Raw& r) noexcept {
+    n_ = r.n;
+    mean_ = r.mean;
+    m2_ = r.m2;
+    min_ = r.min;
+    max_ = r.max;
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -92,6 +119,18 @@ class Histogram {
   /// histogram is indistinguishable from one that saw every sample
   /// directly, so per-shard collection loses nothing.
   Histogram& operator+=(const Histogram& o);
+
+  /// Checkpoint restore onto a histogram constructed with the original
+  /// geometry; the bin vector must match the constructed size.
+  void restore(std::vector<std::uint64_t> bins, std::uint64_t count,
+               std::uint64_t underflow, std::uint64_t overflow) {
+    if (bins.size() != bins_.size())
+      throw std::invalid_argument("Histogram::restore: bin count mismatch");
+    bins_ = std::move(bins);
+    count_ = count;
+    underflow_ = underflow;
+    overflow_ = overflow;
+  }
 
  private:
   double lo_, hi_, width_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace dsf::net {
@@ -40,6 +41,15 @@ class BloomFilter {
   /// Bitwise union with a same-geometry filter (e.g. merging the digests
   /// of several peers).  Throws on geometry mismatch.
   BloomFilter& merge(const BloomFilter& other);
+
+  /// Raw bit words, for checkpointing mutable digests (rebuilt-over-time
+  /// cache digests; construction-time digests are reconstructed instead).
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+  void restore_words(const std::vector<std::uint64_t>& w) {
+    if (w.size() != words_.size())
+      throw std::invalid_argument("BloomFilter::restore_words: geometry");
+    words_ = w;
+  }
 
  private:
   static std::uint64_t mix(std::uint64_t x) noexcept;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/codec.h"
+
 namespace dsf::olap {
 
 sim::EngineConfig OlapSim::make_engine_config(const OlapConfig& config) {
@@ -167,7 +169,8 @@ void OlapSim::issue_query(net::NodeId p) {
     if (report) res().response_time_s.add(response);
   }
 
-  schedule_self(p, interquery_.sample(rng()), [this, p] { issue_query(p); });
+  schedule_keyed_self(p, interquery_.sample(rng()), kOlapQuery, p, 0,
+                      [this, p] { issue_query(p); });
 }
 
 void OlapSim::update_neighbors(net::NodeId p) {
@@ -187,15 +190,24 @@ void OlapSim::update_neighbors(net::NodeId p) {
 
 OlapResult OlapSim::run() {
   if (parallel()) shard_results_.assign(shards(), OlapResult{});
+  // A resumed run takes its pending query events from the snapshot and must
+  // not draw the initial delays, but it still registers the per-peer update
+  // periodics in the same order so indices line up with the file.
   for (net::NodeId p = 0; p < config_.num_peers; ++p) {
-    schedule_self(p, interquery_.sample(rng()),
-                  [this, p] { issue_query(p); });
+    if (!resumed())
+      schedule_keyed_self(p, interquery_.sample(rng()), kOlapQuery, p, 0,
+                          [this, p] { issue_query(p); });
     if (config_.dynamic) {
-      // Reorganizations mutate the overlay, so schedule_every keeps them
-      // exclusive (and on the coordinator shard) in parallel runs.
-      schedule_every(rng().uniform(0.0, config_.update_period_s),
-                     config_.update_period_s,
-                     [this, p] { update_neighbors(p); });
+      if (resumed()) {
+        register_periodic(config_.update_period_s,
+                          [this, p] { update_neighbors(p); });
+      } else {
+        // Reorganizations mutate the overlay, so schedule_every keeps them
+        // exclusive (and on the coordinator shard) in parallel runs.
+        schedule_every(rng().uniform(0.0, config_.update_period_s),
+                       config_.update_period_s,
+                       [this, p] { update_neighbors(p); });
+      }
     }
   }
   run_until_horizon();
@@ -212,6 +224,45 @@ void merge_results(OlapResult& into, const OlapResult& shard) {
   into.chunks_from_peers += shard.chunks_from_peers;
   into.chunks_from_warehouse += shard.chunks_from_warehouse;
   into.response_time_s += shard.response_time_s;
+}
+
+void OlapSim::save_domain(snap::Writer::Out& out) const {
+  for (const Peer& peer : peers_) {
+    snap::put_lru(out, peer.cache);
+    snap::put_stats_store(out, peer.stats);
+  }
+  // traffic is assigned at the end of run() from the restored ledger.
+  out.u64(result_.queries);
+  out.u64(result_.chunks_requested);
+  out.u64(result_.chunks_local);
+  out.u64(result_.chunks_from_peers);
+  out.u64(result_.chunks_from_warehouse);
+  snap::put_summary(out, result_.response_time_s);
+}
+
+void OlapSim::load_domain(snap::Reader::In& in) {
+  for (Peer& peer : peers_) {
+    snap::get_lru(in, peer.cache);
+    snap::get_stats_store(in, peer.stats);
+  }
+  result_.queries = in.u64();
+  result_.chunks_requested = in.u64();
+  result_.chunks_local = in.u64();
+  result_.chunks_from_peers = in.u64();
+  result_.chunks_from_warehouse = in.u64();
+  snap::get_summary(in, result_.response_time_s);
+}
+
+void OlapSim::restore_keyed_event(double t, std::uint32_t kind,
+                                  std::uint64_t a, std::uint64_t b) {
+  if (kind == kOlapQuery) {
+    if (a >= peers_.size())
+      throw snap::SnapshotError("olap: query event peer out of range");
+    const auto p = static_cast<net::NodeId>(a);
+    schedule_keyed_at(t, kOlapQuery, a, 0, [this, p] { issue_query(p); });
+    return;
+  }
+  OverlayEngine::restore_keyed_event(t, kind, a, b);
 }
 
 }  // namespace dsf::olap

@@ -70,7 +70,18 @@ class OlapSim : public sim::OverlayEngine {
 
   OlapResult run();
 
+ protected:
+  /// Snapshot hooks: per-peer caches and benefit statistics plus the result
+  /// accumulators.  Regions and the RNG replay come from the constructor.
+  void save_domain(snap::Writer::Out& out) const override;
+  void load_domain(snap::Reader::In& in) override;
+  void restore_keyed_event(double t, std::uint32_t kind, std::uint64_t a,
+                           std::uint64_t b) override;
+
  private:
+  /// Keyed event kinds (snapshot pending-event records).
+  static constexpr std::uint32_t kOlapQuery = kKeyedUserBase + 0;  ///< a = p
+
   struct Peer {
     webcache::LruCache<ChunkId> cache;
     core::StatsStore stats;

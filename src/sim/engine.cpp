@@ -95,10 +95,16 @@ void OverlayEngine::set_shards(std::uint32_t n, double window_s) {
     throw std::invalid_argument(
         cfg_.name + ": --shards (" + std::to_string(n) +
         ") exceeds the peer count (" + std::to_string(num_nodes()) + ")");
+  if (n == 1) return;  // the serial path stays untouched (byte-identity)
+  if (save_requested_ || resumed_)
+    throw std::invalid_argument(
+        cfg_.name +
+        ": snapshots are unsupported with --shards > 1 (per-shard clocks and "
+        "RNG lanes cannot be reconciled with the serial checkpoint); run "
+        "with --shards 1");
   if (sim_.pending() > 0 || sim_.now() > 0.0 || sharded_)
     throw std::logic_error(
         cfg_.name + ": set_shards must run before anything is scheduled");
-  if (n == 1) return;  // the serial path stays untouched (byte-identity)
 
   if (window_s <= 0.0) window_s = cfg_.delay_params.floor_s;
   sharded_ = std::make_unique<des::ShardedSimulator>(n, window_s);
@@ -145,8 +151,8 @@ void OverlayEngine::schedule_every(double first_delay_s, double period_s,
     schedule_periodic_for(0, first_delay_s, period_s, std::move(guarded));
     return;
   }
-  schedule_periodic(first_delay_s, period_s,
-                    std::make_shared<std::function<void()>>(std::move(fn)));
+  const std::size_t idx = register_periodic(period_s, std::move(fn));
+  start_periodic(idx, first_delay_s);
 }
 
 void OverlayEngine::schedule_every_for(net::NodeId owner,
@@ -160,13 +166,23 @@ void OverlayEngine::schedule_every_for(net::NodeId owner,
                         std::make_shared<std::function<void()>>(std::move(fn)));
 }
 
-void OverlayEngine::schedule_periodic(
-    double delay_s, double period_s,
-    std::shared_ptr<std::function<void()>> fn) {
-  sim_.schedule_in(delay_s, [this, period_s, fn] {
-    (*fn)();
-    schedule_periodic(period_s, period_s, fn);
-  });
+std::size_t OverlayEngine::register_periodic(double period_s,
+                                             std::function<void()> body) {
+  periodics_.push_back(Periodic{period_s, std::move(body)});
+  return periodics_.size() - 1;
+}
+
+void OverlayEngine::start_periodic(std::size_t idx, double first_delay_s) {
+  // Same single insertion point as the old trailing-self-reschedule
+  // recursion, so a run that never snapshots replays byte-identically.
+  const des::EventId id =
+      sim_.schedule_in(first_delay_s, [this, idx] { run_periodic_tick(idx); });
+  if (snap_track_) note_keyed(id.seq, kKeyedPeriodic, idx, 0);
+}
+
+void OverlayEngine::run_periodic_tick(std::size_t idx) {
+  periodics_[idx].body();
+  start_periodic(idx, periodics_[idx].period_s);
 }
 
 void OverlayEngine::schedule_periodic_for(
@@ -245,28 +261,52 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     }
     return executed;
   }
+  // Engine periodics register on fresh and resumed runs alike (identical
+  // indices); only fresh runs draw start offsets and schedule first ticks.
   if (traffic_sample_period_s_ > 0.0) {
-    traffic_series_.emplace(traffic_sample_period_s_);
-    schedule_every(traffic_sample_period_s_, traffic_sample_period_s_,
-                   [this] { sample_traffic(); });
+    if (!traffic_series_) traffic_series_.emplace(traffic_sample_period_s_);
+    const std::size_t idx = register_periodic(traffic_sample_period_s_,
+                                              [this] { sample_traffic(); });
+    if (!resumed_) start_periodic(idx, traffic_sample_period_s_);
   }
   if (heartbeat_period_s_ > 0.0 && obs_ != nullptr) {
     heartbeat_wall_start_s_ =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count();
-    schedule_every(heartbeat_period_s_, heartbeat_period_s_,
-                   [this] { emit_heartbeat(); });
+    const std::size_t idx =
+        register_periodic(heartbeat_period_s_, [this] { emit_heartbeat(); });
+    if (!resumed_) start_periodic(idx, heartbeat_period_s_);
   }
-  schedule_crash_process();
-  const std::uint64_t executed = sim_.run_until(horizon_s());
+  if (!resumed_ || (crash_model_.enabled() && !saved_crash_armed_)) {
+    // Fresh runs start the crash process as configured.  A resumed run
+    // normally inherits the saved run's crash tick through event replay —
+    // but a warm-start fork arming a crash model the saved run did not
+    // have gets no tick from the file, so start the process here, from
+    // the restored clock (the fault lane was untouched by the saved run).
+    schedule_crash_process();
+  }
+  replay_restored_events();
+  if (save_requested_) {
+    // Segmented horizon: run to the boundary, checkpoint, continue.  After
+    // run_until(T) every pending event is strictly later than T and no
+    // callback is mid-flight, so T is a clean cut; the second segment then
+    // executes the exact events the unsegmented run would.
+    save_requested_ = false;
+    sim_.run_until(std::min(save_at_s_, horizon_s()));
+    save_snapshot(save_path_);
+  }
+  sim_.run_until(horizon_s());
   if (bootstrap_underfills_ > 0 && !underfill_reported_) {
     underfill_reported_ = true;
     warn(cfg_.name + ": " + std::to_string(bootstrap_underfills_) +
          " bootstrap fill(s) exhausted the attempt budget before reaching "
          "the target degree");
   }
-  return executed;
+  // Lifetime count, not this call's: a resumed run restores the executed
+  // counter at the boundary, so reported event totals stay continuous with
+  // the straight-through run.
+  return sim_.executed();
 }
 
 void OverlayEngine::warn(const std::string& message) {
@@ -496,26 +536,353 @@ void OverlayEngine::schedule_crash_process() {
 
 void OverlayEngine::schedule_next_crash(double at_s) {
   if (at_s >= crash_model_.end_s || at_s > horizon_s()) return;
-  sim_.schedule_at(at_s, [this] {
-    if (crash_count_ >= crash_model_.max_crashes) return;
-    // Victim: uniform over still-alive nodes, by rejection sampling from
-    // the fault lane (bounded so a mostly-dead population terminates).
-    net::NodeId victim = net::kInvalidNode;
-    for (int attempt = 0; attempt < 64; ++attempt) {
-      const auto pick = static_cast<net::NodeId>(
-          fault_rng_.uniform_int(static_cast<std::uint64_t>(num_nodes())));
-      if (!node_dead(pick)) {
-        victim = pick;
-        break;
-      }
+  schedule_keyed_at(at_s, kKeyedCrashTick, 0, 0, [this] { run_crash_tick(); });
+}
+
+void OverlayEngine::run_crash_tick() {
+  if (crash_count_ >= crash_model_.max_crashes) return;
+  // Victim: uniform over still-alive nodes, by rejection sampling from
+  // the fault lane (bounded so a mostly-dead population terminates).
+  net::NodeId victim = net::kInvalidNode;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto pick = static_cast<net::NodeId>(
+        fault_rng_.uniform_int(static_cast<std::uint64_t>(num_nodes())));
+    if (!node_dead(pick)) {
+      victim = pick;
+      break;
     }
-    if (victim != net::kInvalidNode) crash_node(victim);
-    if (crash_count_ < crash_model_.max_crashes) {
-      const double mean_gap_s = 3600.0 / crash_model_.rate_per_hour;
-      schedule_next_crash(sim_.now() +
-                          des::Exponential(mean_gap_s).sample(fault_rng_));
-    }
+  }
+  if (victim != net::kInvalidNode) crash_node(victim);
+  if (crash_count_ < crash_model_.max_crashes) {
+    const double mean_gap_s = 3600.0 / crash_model_.rate_per_hour;
+    schedule_next_crash(sim_.now() +
+                        des::Exponential(mean_gap_s).sample(fault_rng_));
+  }
+}
+
+// --- snapshot/restore -----------------------------------------------------
+
+namespace {
+const char* kShardSnapshotError =
+    ": snapshots are unsupported with --shards > 1 (per-shard clocks and RNG"
+    " lanes cannot be reconciled with the serial checkpoint); run with"
+    " --shards 1";
+}  // namespace
+
+void OverlayEngine::note_keyed(std::uint64_t seq, std::uint32_t kind,
+                               std::uint64_t a, std::uint64_t b) {
+  keyed_notes_[seq] = KeyedNote{kind, a, b};
+  // Fired events never erase their notes eagerly; rebuild from the live
+  // queue once the table outgrows twice the pending population (amortized
+  // O(1) per schedule, bounded memory).
+  if (keyed_notes_.size() > 64 && keyed_notes_.size() > 2 * sim_.pending())
+    sweep_keyed_notes();
+}
+
+void OverlayEngine::sweep_keyed_notes() {
+  std::unordered_map<std::uint64_t, KeyedNote> live;
+  live.reserve(sim_.pending());
+  sim_.queue().for_each_live([&](double, std::uint64_t seq, des::EventId) {
+    auto it = keyed_notes_.find(seq);
+    if (it != keyed_notes_.end()) live.emplace(seq, it->second);
   });
+  keyed_notes_ = std::move(live);
+}
+
+void OverlayEngine::request_snapshot_save(std::string path, double at_s) {
+  if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
+  if (!(at_s > 0.0))
+    throw std::invalid_argument(cfg_.name +
+                                ": snapshot time must be positive");
+  save_path_ = std::move(path);
+  save_at_s_ = at_s;
+  save_requested_ = true;
+  snap_track_ = true;  // key every event scheduled from here on
+}
+
+void OverlayEngine::save_snapshot(const std::string& path) {
+  if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
+  snap::Writer w;
+  auto& id = w.section(snap::SectionId::kIdentity);
+  id.str(cfg_.name);
+  id.u64(num_nodes());
+  id.u64(cfg_.seed);
+  write_engine_core(w.section(snap::SectionId::kEngineCore));
+  write_overlay(w.section(snap::SectionId::kOverlay));
+  write_events(w.section(snap::SectionId::kEvents));
+  save_domain(w.section(snap::SectionId::kDomain));
+  w.write_file(path);
+}
+
+void OverlayEngine::load_snapshot(const std::string& path) {
+  if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
+  if (resumed_ || sim_.pending() != 0 || sim_.now() != 0.0)
+    throw std::logic_error(
+        cfg_.name +
+        ": load_snapshot must run on a freshly constructed simulation");
+  const snap::Reader r(path);  // validates the whole file up front
+  auto id = r.section(snap::SectionId::kIdentity);
+  const std::string name = id.str();
+  const std::uint64_t nodes = id.u64();
+  const std::uint64_t seed = id.u64();
+  if (name != cfg_.name || nodes != num_nodes() || seed != cfg_.seed)
+    throw snap::SnapshotError(
+        "file was written by scenario '" + name + "' (" +
+        std::to_string(nodes) + " nodes, seed " + std::to_string(seed) +
+        "); this run is '" + cfg_.name + "' (" +
+        std::to_string(num_nodes()) + " nodes, seed " +
+        std::to_string(cfg_.seed) + ")");
+  // Resolve every section before applying any state, so a structurally
+  // incomplete file cannot leave a half-restored simulation behind.
+  auto core = r.section(snap::SectionId::kEngineCore);
+  auto overlay = r.section(snap::SectionId::kOverlay);
+  auto events = r.section(snap::SectionId::kEvents);
+  auto domain = r.section(snap::SectionId::kDomain);
+  read_engine_core(core);
+  read_overlay(overlay);
+  read_events(events);
+  load_domain(domain);
+  resumed_ = true;
+}
+
+void OverlayEngine::write_engine_core(snap::Writer::Out& out) {
+  out.f64(sim_.now());
+  out.u64(sim_.executed());
+  const auto put_rng = [&out](const des::Rng& r) {
+    for (std::uint64_t word : r.state()) out.u64(word);
+  };
+  put_rng(master_rng_);
+  put_rng(lanes_.topo);
+  put_rng(lanes_.session);
+  put_rng(lanes_.query);
+  put_rng(lanes_.delay);
+  put_rng(fault_rng_);
+  out.u64(dead_.size());
+  for (char d : dead_) out.u8(static_cast<std::uint8_t>(d));
+  out.u64(crash_count_);
+  out.u64(bootstrap_underfills_);
+  out.u8(underfill_reported_ ? 1 : 0);
+  for (int t = 0; t < net::kNumMessageTypes; ++t)
+    out.u64(ledger_.stats().total(static_cast<net::MessageType>(t)));
+  for (int t = 0; t < net::kNumMessageTypes; ++t)
+    out.u64(ledger_.bytes(static_cast<net::MessageType>(t)));
+  for (int t = 0; t < net::kNumMessageTypes; ++t)
+    out.u64(ledger_.delivered(static_cast<net::MessageType>(t)));
+  for (int t = 0; t < net::kNumMessageTypes; ++t)
+    out.u64(ledger_.dropped(static_cast<net::MessageType>(t)));
+  out.f64(traffic_sample_period_s_);
+  out.u64(traffic_samples_.size());
+  for (const TrafficSample& s : traffic_samples_) {
+    out.f64(s.time_s);
+    out.u64(s.messages);
+    out.u64(s.bytes);
+  }
+  out.u8(traffic_series_ ? 1 : 0);
+  if (traffic_series_) {
+    out.f64(traffic_series_->bucket_width());
+    out.u64(traffic_series_->buckets().size());
+    for (std::uint64_t b : traffic_series_->buckets()) out.u64(b);
+  }
+  out.u32(next_span_.load(std::memory_order_relaxed));
+  // Period per registered periodic: the resumed run re-registers the
+  // bodies and replay validates its table against this one.
+  out.u64(periodics_.size());
+  for (const Periodic& p : periodics_) out.f64(p.period_s);
+  out.u8(crash_model_.enabled() ? 1 : 0);
+}
+
+void OverlayEngine::read_engine_core(snap::Reader::In& in) {
+  const double now = in.f64();
+  const std::uint64_t executed = in.u64();
+  const auto get_rng = [&in](des::Rng& r) {
+    std::array<std::uint64_t, 4> s;
+    for (std::uint64_t& word : s) word = in.u64();
+    r.set_state(s);
+  };
+  get_rng(master_rng_);
+  get_rng(lanes_.topo);
+  get_rng(lanes_.session);
+  get_rng(lanes_.query);
+  get_rng(lanes_.delay);
+  get_rng(fault_rng_);
+  if (in.u64() != dead_.size())
+    throw snap::SnapshotError(cfg_.name + ": dead-set size mismatch");
+  for (char& d : dead_) d = static_cast<char>(in.u8());
+  crash_count_ = in.u64();
+  bootstrap_underfills_ = in.u64();
+  underfill_reported_ = in.u8() != 0;
+  net::MessageStats stats;
+  for (int t = 0; t < net::kNumMessageTypes; ++t)
+    stats.count(static_cast<net::MessageType>(t), in.u64());
+  std::array<std::uint64_t, net::kNumMessageTypes> bytes{};
+  std::array<std::uint64_t, net::kNumMessageTypes> delivered{};
+  std::array<std::uint64_t, net::kNumMessageTypes> dropped{};
+  for (std::uint64_t& v : bytes) v = in.u64();
+  for (std::uint64_t& v : delivered) v = in.u64();
+  for (std::uint64_t& v : dropped) v = in.u64();
+  ledger_.restore(stats, bytes, delivered, dropped);
+  const double sample_period = in.f64();
+  if (sample_period != traffic_sample_period_s_)
+    throw snap::SnapshotError(
+        cfg_.name +
+        ": traffic sample period differs from the snapshot's; resume with "
+        "the same sampling flags");
+  traffic_samples_.clear();
+  const std::uint64_t num_samples = in.u64();
+  traffic_samples_.reserve(static_cast<std::size_t>(num_samples));
+  for (std::uint64_t i = 0; i < num_samples; ++i) {
+    TrafficSample s;
+    s.time_s = in.f64();
+    s.messages = in.u64();
+    s.bytes = in.u64();
+    traffic_samples_.push_back(s);
+  }
+  if (in.u8() != 0) {
+    const double width = in.f64();
+    std::vector<std::uint64_t> buckets(static_cast<std::size_t>(in.u64()));
+    for (std::uint64_t& b : buckets) b = in.u64();
+    traffic_series_.emplace(width);
+    traffic_series_->restore(std::move(buckets));
+  }
+  next_span_.store(in.u32(), std::memory_order_relaxed);
+  restored_periods_.clear();
+  const std::uint64_t num_periodics = in.u64();
+  restored_periods_.reserve(static_cast<std::size_t>(num_periodics));
+  for (std::uint64_t i = 0; i < num_periodics; ++i)
+    restored_periods_.push_back(in.f64());
+  saved_crash_armed_ = in.u8() != 0;
+  sim_.restore_clock(now, executed);
+}
+
+void OverlayEngine::write_overlay(snap::Writer::Out& out) {
+  // Raw per-node lists in iteration order — including dangling entries
+  // left by crashes, which are semantically meaningful state.
+  for (net::NodeId u = 0; u < num_nodes(); ++u) {
+    const auto lists = overlay_.lists(u);
+    const auto outn = lists.out();
+    out.u32(static_cast<std::uint32_t>(outn.size()));
+    for (net::NodeId v : outn) out.u32(v);
+    const auto inn = lists.in();
+    out.u32(static_cast<std::uint32_t>(inn.size()));
+    for (net::NodeId v : inn) out.u32(v);
+  }
+}
+
+void OverlayEngine::read_overlay(snap::Reader::In& in) {
+  // The constructor-built overlay is discarded wholesale; the raw add_*
+  // mutators bypass link maintenance so restored lists reproduce the saved
+  // iteration order (and any deliberate dangling entries) exactly.
+  for (net::NodeId u = 0; u < num_nodes(); ++u) overlay_.lists(u).clear();
+  for (net::NodeId u = 0; u < num_nodes(); ++u) {
+    const auto lists = overlay_.lists(u);
+    const std::uint32_t n_out = in.u32();
+    for (std::uint32_t i = 0; i < n_out; ++i)
+      if (!lists.add_out(in.u32()))
+        throw snap::SnapshotError(cfg_.name + ": overlay out-list restore "
+                                              "failed (capacity mismatch?)");
+    const std::uint32_t n_in = in.u32();
+    for (std::uint32_t i = 0; i < n_in; ++i)
+      if (!lists.add_in(in.u32()))
+        throw snap::SnapshotError(cfg_.name + ": overlay in-list restore "
+                                              "failed (capacity mismatch?)");
+  }
+}
+
+void OverlayEngine::write_events(snap::Writer::Out& out) {
+  struct Rec {
+    double t;
+    std::uint64_t seq;
+    std::uint32_t kind;
+    std::uint64_t a, b;
+  };
+  std::vector<Rec> recs;
+  recs.reserve(sim_.pending());
+  sim_.queue().for_each_live([&](double t, std::uint64_t seq, des::EventId) {
+    auto it = keyed_notes_.find(seq);
+    if (it == keyed_notes_.end())
+      throw snap::SnapshotError(
+          cfg_.name +
+          ": a pending event was scheduled outside the keyed API and cannot "
+          "be checkpointed");
+    recs.push_back({t, seq, it->second.kind, it->second.a, it->second.b});
+  });
+  // (time, seq) is the queue's pop order; replay re-schedules in this
+  // order with fresh ascending sequence numbers, preserving FIFO ties.
+  std::sort(recs.begin(), recs.end(), [](const Rec& x, const Rec& y) {
+    return x.t != y.t ? x.t < y.t : x.seq < y.seq;
+  });
+  out.u64(recs.size());
+  for (const Rec& r : recs) {
+    out.f64(r.t);
+    out.u32(r.kind);
+    out.u64(r.a);
+    out.u64(r.b);
+  }
+}
+
+void OverlayEngine::read_events(snap::Reader::In& in) {
+  restored_events_.clear();
+  const std::uint64_t n = in.u64();
+  restored_events_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PendingRecord r;
+    r.t = in.f64();
+    r.kind = in.u32();
+    r.a = in.u64();
+    r.b = in.u64();
+    restored_events_.push_back(r);
+  }
+}
+
+void OverlayEngine::replay_restored_events() {
+  if (!resumed_) return;
+  if (restored_periods_.size() != periodics_.size())
+    throw snap::SnapshotError(
+        cfg_.name + ": this run registered " +
+        std::to_string(periodics_.size()) + " periodic(s) but the snapshot " +
+        "recorded " + std::to_string(restored_periods_.size()) +
+        "; resume with the same scenario flags");
+  for (std::size_t i = 0; i < periodics_.size(); ++i)
+    if (restored_periods_[i] != periodics_[i].period_s)
+      throw snap::SnapshotError(cfg_.name + ": periodic " +
+                                std::to_string(i) +
+                                "'s period differs from the snapshot's");
+  std::vector<PendingRecord> records = std::move(restored_events_);
+  restored_events_.clear();
+  for (const PendingRecord& r : records)
+    restore_keyed_event(r.t, r.kind, r.a, r.b);
+}
+
+void OverlayEngine::restore_keyed_event(double t, std::uint32_t kind,
+                                        std::uint64_t a, std::uint64_t /*b*/) {
+  switch (kind) {
+    case kKeyedPeriodic: {
+      const std::size_t idx = static_cast<std::size_t>(a);
+      if (idx >= periodics_.size())
+        throw snap::SnapshotError(cfg_.name +
+                                  ": periodic index out of range in snapshot");
+      schedule_keyed_at(t, kKeyedPeriodic, a, 0,
+                        [this, idx] { run_periodic_tick(idx); });
+      return;
+    }
+    case kKeyedCrashTick:
+      schedule_keyed_at(t, kKeyedCrashTick, 0, 0,
+                        [this] { run_crash_tick(); });
+      return;
+    default:
+      throw snap::SnapshotError(cfg_.name + ": unknown keyed event kind " +
+                                std::to_string(kind) + " in snapshot");
+  }
+}
+
+void OverlayEngine::save_domain(snap::Writer::Out&) const {
+  throw snap::SnapshotError(cfg_.name +
+                            ": scenario does not implement snapshots");
+}
+
+void OverlayEngine::load_domain(snap::Reader::In&) {
+  throw snap::SnapshotError(cfg_.name +
+                            ": scenario does not implement snapshots");
 }
 
 }  // namespace dsf::sim

@@ -23,6 +23,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/compact_relations.h"
@@ -37,6 +38,7 @@
 #include "net/message.h"
 #include "net/node_id.h"
 #include "obs/sink.h"
+#include "snap/snapshot.h"
 #include "sim/fault.h"
 #include "sim/policy.h"
 #include "sim/validate.h"
@@ -156,6 +158,18 @@ class MessageLedger {
       dropped_[i] += other.dropped_[i];
     }
     return *this;
+  }
+
+  /// Checkpoint restore: replaces every counter with the saved totals.
+  void restore(
+      const net::MessageStats& stats,
+      const std::array<std::uint64_t, net::kNumMessageTypes>& bytes,
+      const std::array<std::uint64_t, net::kNumMessageTypes>& delivered,
+      const std::array<std::uint64_t, net::kNumMessageTypes>& dropped) noexcept {
+    stats_ = stats;
+    bytes_ = bytes;
+    delivered_ = delivered;
+    dropped_ = dropped;
   }
 
  private:
@@ -342,6 +356,37 @@ class OverlayEngine {
     return traffic_series_;
   }
 
+  /// --- snapshot/restore (DESIGN.md §1.9) --------------------------------
+  /// Arms a mid-run snapshot: the serial horizon loop runs to `at_s`,
+  /// writes the full simulation state to `path`, then continues to the
+  /// horizon.  The segmented run executes the exact event sequence an
+  /// uninterrupted run does (run_until(T) leaves every pending event
+  /// strictly later than T), so arming a save never perturbs the
+  /// trajectory.  Must be called before run; rejected under --shards > 1.
+  void request_snapshot_save(std::string path, double at_s);
+
+  /// Restores a snapshot written by request_snapshot_save into this
+  /// freshly constructed simulation.  The scenario name, population and
+  /// seed must match the snapshot's identity section — everything the
+  /// constructor derives from the config (catalogs, profiles, holdings,
+  /// delay classes) is reconstructed, and the snapshot supplies only the
+  /// mutable state on top.  The whole file is validated (magic, version,
+  /// framing, per-section CRCs) before any state is touched: a corrupt
+  /// file throws snap::SnapshotError and leaves the simulation unmodified.
+  /// Rejected under --shards > 1.
+  void load_snapshot(const std::string& path);
+
+  /// Writes the current state to `path` immediately.  Normally invoked by
+  /// the armed request at its boundary; public so tests can checkpoint at
+  /// custom points.
+  void save_snapshot(const std::string& path);
+
+  /// True when this simulation was restored from a snapshot.  Scenarios
+  /// branch on this in run(): skip the initial scheduling draws, register
+  /// periodic bodies only (in the exact fresh-run order), and let the
+  /// engine replay the snapshot's pending events.
+  bool resumed() const noexcept { return resumed_; }
+
  protected:
   explicit OverlayEngine(EngineConfig cfg);
   ~OverlayEngine() = default;
@@ -485,6 +530,52 @@ class OverlayEngine {
     if (!sharded_) return sim_.cancel(id);
     return sharded_->shard(shard_of(owner)).cancel(id);
   }
+
+  /// --- snapshot-keyed scheduling ---------------------------------------
+  /// Closures cannot be serialized, so every event that may be pending at
+  /// a snapshot boundary is scheduled through a keyed variant: `kind`
+  /// (engine kinds below; scenario kinds start at kKeyedUserBase) plus two
+  /// integer payloads say how to rebuild the callback, and a seq-to-key
+  /// note table joins live queue entries with their keys at save time.
+  /// With no snapshot armed the keyed variants collapse to the plain
+  /// ones — same draws, same insertion order, zero tracking overhead.
+  static constexpr std::uint32_t kKeyedPeriodic = 1;   ///< a = periodic index
+  static constexpr std::uint32_t kKeyedCrashTick = 2;  ///< crash-process tick
+  static constexpr std::uint32_t kKeyedUserBase = 16;  ///< scenario kinds
+
+  des::EventId schedule_keyed_self(net::NodeId owner, double delay_s,
+                                   std::uint32_t kind, std::uint64_t a,
+                                   std::uint64_t b, des::Callback cb) {
+    const des::EventId id = schedule_self(owner, delay_s, std::move(cb));
+    if (!sharded_ && snap_track_) note_keyed(id.seq, kind, a, b);
+    return id;
+  }
+  void schedule_keyed_for(net::NodeId owner, double delay_s,
+                          std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+                          des::Callback cb) {
+    if (sharded_) {
+      schedule_for(owner, delay_s, std::move(cb));
+      return;
+    }
+    const des::EventId id = sim_.schedule_in(delay_s, std::move(cb));
+    if (snap_track_) note_keyed(id.seq, kind, a, b);
+  }
+  /// Absolute-time variant (crash process, restore replay); serial only.
+  des::EventId schedule_keyed_at(double at_s, std::uint32_t kind,
+                                 std::uint64_t a, std::uint64_t b,
+                                 des::Callback cb) {
+    const des::EventId id = sim_.schedule_at(at_s, std::move(cb));
+    if (snap_track_) note_keyed(id.seq, kind, a, b);
+    return id;
+  }
+
+  /// Splits schedule_every into its two halves so a restored run can
+  /// rebuild periodic bodies without re-drawing their start offsets:
+  /// registration appends the body to an index-stable table (identical
+  /// call order fresh and resumed, hence identical indices), and
+  /// start_periodic — fresh runs only — schedules the first keyed tick.
+  std::size_t register_periodic(double period_s, std::function<void()> body);
+  void start_periodic(std::size_t idx, double first_delay_s);
 
   /// --- cross-shard critical sections (all no-ops when serial) -----------
   /// RAII guard over the engine-wide reader/writer lock plus the 64
@@ -669,6 +760,24 @@ class OverlayEngine {
   /// neighbor entries are the point of an ungraceful crash.
   virtual void on_peer_crashed(net::NodeId /*u*/) {}
 
+  /// --- scenario snapshot hooks -----------------------------------------
+  /// Serialize/restore the scenario's own mutable state (caches, stats,
+  /// partial results).  Immutable construction-time state (catalogs,
+  /// holdings, profiles, initial digests) is deliberately NOT written: the
+  /// restoring side reconstructs it by running the constructor with the
+  /// same config.  The defaults fail closed for scenarios that never
+  /// implemented checkpointing.
+  virtual void save_domain(snap::Writer::Out& out) const;
+  virtual void load_domain(snap::Reader::In& in);
+
+  /// Rebuilds the callback for one pending-event record from the snapshot
+  /// and schedules it at absolute time `t` (through schedule_keyed_at, so
+  /// a later save sees it again).  Scenario overrides handle their own
+  /// kinds (>= kKeyedUserBase) and defer engine kinds to this base
+  /// implementation; an unknown kind throws snap::SnapshotError.
+  virtual void restore_keyed_event(double t, std::uint32_t kind,
+                                   std::uint64_t a, std::uint64_t b);
+
   /// Reports one warning line through the sink (default: stderr).
   void warn(const std::string& message);
 
@@ -755,12 +864,45 @@ class OverlayEngine {
   MessageLedger ledger_;
 
  private:
-  void schedule_periodic(double delay_s, double period_s,
-                         std::shared_ptr<std::function<void()>> fn);
   void schedule_periodic_for(net::NodeId owner, double delay_s,
                              double period_s,
                              std::shared_ptr<std::function<void()>> fn);
   void sample_traffic();
+
+  /// --- snapshot plumbing ------------------------------------------------
+  struct KeyedNote {
+    std::uint32_t kind = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  struct PendingRecord {
+    double t = 0.0;
+    std::uint32_t kind = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  struct Periodic {
+    double period_s = 0.0;
+    std::function<void()> body;
+  };
+
+  void note_keyed(std::uint64_t seq, std::uint32_t kind, std::uint64_t a,
+                  std::uint64_t b);
+  /// Drops notes whose events already fired (amortized: rebuilds from the
+  /// live queue when the table outgrows twice the pending population).
+  void sweep_keyed_notes();
+  void run_periodic_tick(std::size_t idx);
+  void run_crash_tick();
+  /// Re-schedules the snapshot's pending events after the resumed run has
+  /// registered its periodics; validates the registration against the
+  /// saved table first (count and periods must match).
+  void replay_restored_events();
+  void write_engine_core(snap::Writer::Out& out);
+  void write_overlay(snap::Writer::Out& out);
+  void write_events(snap::Writer::Out& out);
+  void read_engine_core(snap::Reader::In& in);
+  void read_overlay(snap::Reader::In& in);
+  void read_events(snap::Reader::In& in);
 
   /// Window-barrier work for parallel runs: due traffic samples and
   /// heartbeats (every worker is parked, so global reads are safe).
@@ -845,6 +987,23 @@ class OverlayEngine {
   std::mutex obs_mu_;  ///< trace hook + checker + sink, parallel only
   double next_traffic_sample_s_ = 0.0;
   double next_heartbeat_s_ = 0.0;
+
+  /// Snapshot state.  All empty/false on runs that never arm a snapshot,
+  /// so the keyed scheduling variants reduce to the plain ones.
+  std::vector<Periodic> periodics_;
+  std::unordered_map<std::uint64_t, KeyedNote> keyed_notes_;
+  std::vector<PendingRecord> restored_events_;
+  std::vector<double> restored_periods_;
+  std::string save_path_;
+  double save_at_s_ = 0.0;
+  bool save_requested_ = false;
+  bool snap_track_ = false;
+  bool resumed_ = false;
+  /// Whether the saved run carried an armed crash process.  A resumed run
+  /// that arms one when this is false (warm-start fault forks) starts the
+  /// process from the restored clock; when true the restored crash tick —
+  /// or its absence, if the chain had already ended — is authoritative.
+  bool saved_crash_armed_ = false;
 };
 
 }  // namespace dsf::sim

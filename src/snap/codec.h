@@ -1,0 +1,132 @@
+#pragma once
+
+// Shared (de)serializers for the container types that appear in scenario
+// snapshot sections.  Conventions:
+//
+//  - unordered containers are sorted by key at write time, so identical
+//    state always produces identical bytes (the save-twice test);
+//  - restore targets are freshly constructed objects with the original
+//    geometry — helpers replay content, constructors supply shape;
+//  - metrics restore exactly (raw Welford state, trailing zero buckets),
+//    because the resume-equals-straight-through contract is byte-level.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/stats_store.h"
+#include "metrics/time_series.h"
+#include "net/bloom.h"
+#include "snap/snapshot.h"
+
+namespace dsf::snap {
+
+inline void put_summary(Writer::Out& out, const metrics::Summary& s) {
+  const metrics::Summary::Raw r = s.raw();
+  out.u64(r.n);
+  out.f64(r.mean);
+  out.f64(r.m2);
+  out.f64(r.min);
+  out.f64(r.max);
+}
+
+inline void get_summary(Reader::In& in, metrics::Summary& s) {
+  metrics::Summary::Raw r;
+  r.n = in.u64();
+  r.mean = in.f64();
+  r.m2 = in.f64();
+  r.min = in.f64();
+  r.max = in.f64();
+  s.restore(r);
+}
+
+inline void put_time_series(Writer::Out& out, const metrics::TimeSeries& t) {
+  out.u64(t.buckets().size());
+  for (std::uint64_t b : t.buckets()) out.u64(b);
+}
+
+inline void get_time_series(Reader::In& in, metrics::TimeSeries& t) {
+  std::vector<std::uint64_t> buckets(static_cast<std::size_t>(in.u64()));
+  for (std::uint64_t& b : buckets) b = in.u64();
+  t.restore(std::move(buckets));
+}
+
+inline void put_histogram(Writer::Out& out, const metrics::Histogram& h) {
+  out.u64(h.bins().size());
+  for (std::uint64_t b : h.bins()) out.u64(b);
+  out.u64(h.count());
+  out.u64(h.underflow());
+  out.u64(h.overflow());
+}
+
+inline void get_histogram(Reader::In& in, metrics::Histogram& h) {
+  std::vector<std::uint64_t> bins(static_cast<std::size_t>(in.u64()));
+  for (std::uint64_t& b : bins) b = in.u64();
+  const std::uint64_t count = in.u64();
+  const std::uint64_t underflow = in.u64();
+  const std::uint64_t overflow = in.u64();
+  try {
+    h.restore(std::move(bins), count, underflow, overflow);
+  } catch (const std::invalid_argument& e) {
+    throw SnapshotError(e.what());
+  }
+}
+
+/// Benefit entries sorted by peer id.  Restore replays through add();
+/// iteration-order consumers (plan_update, top_k) apply total-order sorts
+/// with id tie-breaks, so the rebuilt map's layout is behavior-neutral.
+inline void put_stats_store(Writer::Out& out, const core::StatsStore& s) {
+  std::vector<std::pair<net::NodeId, double>> entries(s.entries().begin(),
+                                                      s.entries().end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u64(entries.size());
+  for (const auto& [peer, benefit] : entries) {
+    out.u32(peer);
+    out.f64(benefit);
+  }
+}
+
+inline void get_stats_store(Reader::In& in, core::StatsStore& s) {
+  s.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::NodeId peer = in.u32();
+    s.add(peer, in.f64());
+  }
+}
+
+/// LRU cache content in recency order (MRU first, matching order()).
+template <typename Cache>
+void put_lru(Writer::Out& out, const Cache& c) {
+  out.u64(c.order().size());
+  for (const auto& key : c.order()) out.u64(key);
+}
+
+/// Restore by inserting LRU-to-MRU into a fresh same-capacity cache: the
+/// saved population never exceeds capacity, so no insert evicts, and the
+/// final recency order equals the saved one.
+template <typename Cache>
+void get_lru(Reader::In& in, Cache& c) {
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(in.u64()));
+  for (std::uint64_t& k : keys) k = in.u64();
+  for (std::size_t i = keys.size(); i-- > 0;) c.insert(keys[i]);
+}
+
+inline void put_bloom(Writer::Out& out, const net::BloomFilter& f) {
+  out.u64(f.words().size());
+  for (std::uint64_t w : f.words()) out.u64(w);
+}
+
+inline void get_bloom(Reader::In& in, net::BloomFilter& f) {
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(in.u64()));
+  for (std::uint64_t& w : words) w = in.u64();
+  try {
+    f.restore_words(words);
+  } catch (const std::invalid_argument& e) {
+    throw SnapshotError(e.what());
+  }
+}
+
+}  // namespace dsf::snap

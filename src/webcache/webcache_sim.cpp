@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/codec.h"
+
 namespace dsf::webcache {
 
 sim::EngineConfig WebCacheSim::make_engine_config(const WebCacheConfig& config) {
@@ -163,7 +165,8 @@ void WebCacheSim::request(net::NodeId p) {
     }
   }
 
-  schedule_self(p, interrequest_.sample(rng()), [this, p] { request(p); });
+  schedule_keyed_self(p, interrequest_.sample(rng()), kWebRequest, p, 0,
+                      [this, p] { request(p); });
 }
 
 void WebCacheSim::explore_from(net::NodeId p) {
@@ -247,30 +250,49 @@ void WebCacheSim::rebuild_digest(net::NodeId p) {
 
 WebCacheResult WebCacheSim::run() {
   if (parallel()) shard_results_.assign(shards(), WebCacheResult{});
+  // A resumed run takes its pending request events from the snapshot and
+  // must not draw the initial delays, but it still registers every periodic
+  // in the same order so indices line up with the file.
+  const bool fresh = !resumed();
   for (net::NodeId p = 0; p < config_.num_proxies; ++p) {
     // Parents have no client population of their own; they serve (and are
     // warmed by) leaf misses only.
-    if (!is_parent(p))
-      schedule_self(p, interrequest_.sample(rng()),
-                    [this, p] { request(p); });
+    if (!is_parent(p) && fresh)
+      schedule_keyed_self(p, interrequest_.sample(rng()), kWebRequest, p, 0,
+                          [this, p] { request(p); });
     if (is_parent(p)) {
       if (config_.digest_rebuild_period_s > 0.0) {
-        schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
-                       config_.digest_rebuild_period_s,
-                       [this, p] { rebuild_digest(p); });
+        if (fresh)
+          schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
+                         config_.digest_rebuild_period_s,
+                         [this, p] { rebuild_digest(p); });
+        else
+          register_periodic(config_.digest_rebuild_period_s,
+                            [this, p] { rebuild_digest(p); });
       }
       continue;
     }
     if (config_.dynamic) {
-      schedule_every(rng().uniform(0.0, config_.explore_period_s),
-                     config_.explore_period_s, [this, p] { explore_from(p); });
-      schedule_every(rng().uniform(0.0, config_.update_period_s),
-                     config_.update_period_s,
-                     [this, p] { update_neighbors(p); });
-      if (config_.digest_rebuild_period_s > 0.0) {
-        schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
-                       config_.digest_rebuild_period_s,
-                       [this, p] { rebuild_digest(p); });
+      if (fresh) {
+        schedule_every(rng().uniform(0.0, config_.explore_period_s),
+                       config_.explore_period_s,
+                       [this, p] { explore_from(p); });
+        schedule_every(rng().uniform(0.0, config_.update_period_s),
+                       config_.update_period_s,
+                       [this, p] { update_neighbors(p); });
+        if (config_.digest_rebuild_period_s > 0.0) {
+          schedule_every(rng().uniform(0.0, config_.digest_rebuild_period_s),
+                         config_.digest_rebuild_period_s,
+                         [this, p] { rebuild_digest(p); });
+        }
+      } else {
+        register_periodic(config_.explore_period_s,
+                          [this, p] { explore_from(p); });
+        register_periodic(config_.update_period_s,
+                          [this, p] { update_neighbors(p); });
+        if (config_.digest_rebuild_period_s > 0.0)
+          register_periodic(config_.digest_rebuild_period_s,
+                            [this, p] { rebuild_digest(p); });
       }
     }
   }
@@ -287,6 +309,45 @@ void merge_results(WebCacheResult& into, const WebCacheResult& shard) {
   into.neighbor_hits += shard.neighbor_hits;
   into.origin_fetches += shard.origin_fetches;
   into.latency_s += shard.latency_s;
+}
+
+void WebCacheSim::save_domain(snap::Writer::Out& out) const {
+  for (const Proxy& proxy : proxies_) {
+    snap::put_lru(out, proxy.cache);
+    snap::put_stats_store(out, proxy.stats);
+    snap::put_bloom(out, proxy.digest);
+  }
+  // traffic is assigned at the end of run() from the restored ledger.
+  out.u64(result_.requests);
+  out.u64(result_.local_hits);
+  out.u64(result_.neighbor_hits);
+  out.u64(result_.origin_fetches);
+  snap::put_summary(out, result_.latency_s);
+}
+
+void WebCacheSim::load_domain(snap::Reader::In& in) {
+  for (Proxy& proxy : proxies_) {
+    snap::get_lru(in, proxy.cache);
+    snap::get_stats_store(in, proxy.stats);
+    snap::get_bloom(in, proxy.digest);
+  }
+  result_.requests = in.u64();
+  result_.local_hits = in.u64();
+  result_.neighbor_hits = in.u64();
+  result_.origin_fetches = in.u64();
+  snap::get_summary(in, result_.latency_s);
+}
+
+void WebCacheSim::restore_keyed_event(double t, std::uint32_t kind,
+                                      std::uint64_t a, std::uint64_t b) {
+  if (kind == kWebRequest) {
+    if (a >= proxies_.size())
+      throw snap::SnapshotError("webcache: request event proxy out of range");
+    const auto p = static_cast<net::NodeId>(a);
+    schedule_keyed_at(t, kWebRequest, a, 0, [this, p] { request(p); });
+    return;
+  }
+  OverlayEngine::restore_keyed_event(t, kind, a, b);
 }
 
 }  // namespace dsf::webcache

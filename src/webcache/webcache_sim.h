@@ -95,7 +95,18 @@ class WebCacheSim : public sim::OverlayEngine {
 
   const WebCacheConfig& config() const noexcept { return config_; }
 
+ protected:
+  /// Snapshot hooks: per-proxy caches, benefit statistics and content
+  /// digests (mutable — rebuilt periodically) plus the result accumulators.
+  void save_domain(snap::Writer::Out& out) const override;
+  void load_domain(snap::Reader::In& in) override;
+  void restore_keyed_event(double t, std::uint32_t kind, std::uint64_t a,
+                           std::uint64_t b) override;
+
  private:
+  /// Keyed event kinds (snapshot pending-event records).
+  static constexpr std::uint32_t kWebRequest = kKeyedUserBase + 0;  ///< a = p
+
   struct Proxy {
     LruCache<PageId> cache;
     core::StatsStore stats;

@@ -61,6 +61,15 @@ class LibraryPool {
   /// the scale tests pin per-peer budgets against.
   std::size_t memory_bytes() const noexcept;
 
+  /// Growth-spill lists, for checkpointing.  The map is unordered: the
+  /// snapshot writer sorts by user id so identical state always produces
+  /// identical bytes.  Restore replays each entry through add(), which
+  /// re-establishes the sorted/disjoint invariant.
+  const std::unordered_map<std::uint32_t, std::vector<SongId>>& spill()
+      const noexcept {
+    return spill_;
+  }
+
  private:
   std::vector<SongId> songs_;        ///< all users' songs, concatenated
   std::vector<std::uint64_t> start_; ///< slice bounds; size num_users()+1

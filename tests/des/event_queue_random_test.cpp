@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -191,6 +193,100 @@ TEST(EventQueueDifferential, ClusteredTimeJumps) {
     h.run_phase(3000, 800);
     h.schedule_batch(64, 1.0e6 * static_cast<double>(cluster + 1));
     h.drain_all();
+  }
+}
+
+TEST(EventQueueDifferential, SnapshotRoundTripPreservesPopOrder) {
+  // Mirrors how the checkpoint layer serializes the event section: live
+  // events are enumerated through for_each_live (unspecified order, dead
+  // slots skipped), sorted by (time, seq) and re-scheduled into a fresh
+  // queue with new ascending seqs.  Because the sort key IS the pop
+  // order, FIFO ties survive the re-numbering: the restored queue must
+  // drain in exactly the oracle's order, bit-exact timestamps included.
+  std::mt19937_64 rng(77);
+  for (int round = 0; round < 4; ++round) {
+    EventQueue q;
+    std::set<std::pair<double, std::uint64_t>> oracle;  // (time, tag)
+    std::unordered_map<std::uint64_t, std::uint64_t> tag_by_seq;
+    std::vector<std::pair<EventId, std::pair<double, std::uint64_t>>> live;
+    std::uint64_t next_tag = 0;
+    double now = 0.0;
+
+    const auto draw = [&]() -> double {
+      const std::uint64_t r = rng() % 100;
+      if (r < 60) return now + 0.25 * static_cast<double>(rng() % 256);
+      if (r < 90) return now + static_cast<double>(rng() % 100000) * 1e-3;
+      return now + 2000.0 + static_cast<double>(rng() % 1000);  // overflow heap
+    };
+
+    for (int op = 0; op < 6000; ++op) {
+      const std::uint64_t r = rng() % 100;
+      if (oracle.size() < 2500 || r < 55) {
+        const double t = draw();
+        const std::uint64_t tag = next_tag++;
+        const EventId id = q.schedule(t, [] {});
+        tag_by_seq.emplace(id.seq, tag);
+        oracle.emplace(t, tag);
+        live.push_back({id, {t, tag}});
+      } else if (r < 70 && !live.empty()) {
+        // Cancelled events must be invisible to for_each_live.
+        const std::size_t i = rng() % live.size();
+        ASSERT_TRUE(q.cancel(live[i].first));
+        oracle.erase(live[i].second);
+        tag_by_seq.erase(live[i].first.seq);
+        live[i] = live.back();
+        live.pop_back();
+      } else if (!oracle.empty()) {
+        auto [t, cb] = q.pop();
+        EXPECT_EQ(t, oracle.begin()->first);
+        const std::uint64_t popped_tag = oracle.begin()->second;
+        oracle.erase(oracle.begin());
+        const auto it = std::find_if(
+            live.begin(), live.end(),
+            [&](const auto& e) { return e.second.second == popped_tag; });
+        ASSERT_NE(it, live.end());
+        tag_by_seq.erase(it->first.seq);
+        *it = live.back();
+        live.pop_back();
+        now = t;
+      }
+    }
+    ASSERT_FALSE(oracle.empty());
+
+    // --- Save: enumerate, join with the note table, sort by (time, seq).
+    struct Rec {
+      double t;
+      std::uint64_t seq;
+      std::uint64_t tag;
+    };
+    std::vector<Rec> recs;
+    q.for_each_live([&](double t, std::uint64_t seq, EventId) {
+      const auto it = tag_by_seq.find(seq);
+      ASSERT_NE(it, tag_by_seq.end()) << "dead event leaked into the walk";
+      recs.push_back({t, seq, it->second});
+    });
+    ASSERT_EQ(recs.size(), oracle.size());
+    std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+      return std::tie(a.t, a.seq) < std::tie(b.t, b.seq);
+    });
+
+    // --- Restore: replay into a fresh queue in sorted order.
+    EventQueue fresh;
+    std::uint64_t fired = ~std::uint64_t{0};
+    for (const Rec& r : recs)
+      fresh.schedule(r.t, [&fired, tag = r.tag] { fired = tag; });
+
+    // --- Drain: the restored queue agrees with the oracle event-for-event.
+    for (const auto& [t, tag] : oracle) {
+      ASSERT_FALSE(fresh.empty());
+      auto [pt, cb] = fresh.pop();
+      EXPECT_EQ(pt, t);
+      fired = ~std::uint64_t{0};
+      cb();
+      EXPECT_EQ(fired, tag);
+      if (::testing::Test::HasNonfatalFailure()) return;
+    }
+    EXPECT_TRUE(fresh.empty());
   }
 }
 

@@ -17,7 +17,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "sim/invariants.h"
 #include "sim_fingerprints.h"
@@ -187,6 +189,40 @@ TEST(ShardedDifferential, ReshardingAfterPrimeThrows) {
   gnutella::Simulation sim(small_gnutella());
   sim.prime();  // events now pending: the partition may no longer change
   EXPECT_THROW(sim.set_shards(2), std::logic_error);
+}
+
+TEST(ShardedDifferential, SnapshotsAreMutuallyExclusiveWithSharding) {
+  // DESIGN.md §1.9: the checkpoint captures one serial clock and one set
+  // of RNG lanes, which per-shard clocks cannot be reconciled with — so
+  // snapshot use and --shards > 1 reject each other in both orders.
+  const std::string path = ::testing::TempDir() + "dsf_sharded_snap.snap";
+  {
+    olap::OlapSim saver(small_olap());
+    saver.request_snapshot_save(path, 120.0);
+    saver.run();
+  }
+  {
+    // A sharded engine refuses both snapshot directions up front.
+    olap::OlapSim sim(small_olap());
+    sim.set_shards(2);
+    EXPECT_THROW(sim.load_snapshot(path), std::invalid_argument);
+    EXPECT_THROW(sim.request_snapshot_save(path + ".x", 60.0),
+                 std::invalid_argument);
+  }
+  {
+    // ...and a loaded engine refuses to shard — but --shards 1 (the serial
+    // no-op dsf_sim always applies) must stay allowed after a load.
+    olap::OlapSim sim(small_olap());
+    sim.load_snapshot(path);
+    EXPECT_THROW(sim.set_shards(2), std::invalid_argument);
+    sim.set_shards(1);
+  }
+  {
+    olap::OlapSim sim(small_olap());
+    sim.request_snapshot_save(path + ".y", 60.0);
+    EXPECT_THROW(sim.set_shards(2), std::invalid_argument);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -33,9 +33,21 @@
 //   --shard-window S         conservative sync window in sim-seconds
 //                            (default: the delay-model floor)
 //
+// and the snapshot group (serial runs only; snapshots compose with every
+// other flag except --shards > 1):
+//
+//   --save-snapshot PATH@T   run to sim-second T, write a checkpoint of the
+//                            full simulation state to PATH, continue to the
+//                            horizon
+//   --load-snapshot PATH     resume from a checkpoint instead of starting
+//                            fresh; the remainder of the run is
+//                            byte-identical to the uninterrupted one.  The
+//                            scenario flags must match the saving run.
+//
 // Unknown options are rejected with a nearest-match suggestion (exit 2).
-// Text output is human-readable; --json emits a machine-readable record
-// for scripting sweeps.
+// Corrupt, truncated or mismatched snapshot files exit 5 without partial
+// state mutation.  Text output is human-readable; --json emits a
+// machine-readable record for scripting sweeps.
 
 #include <cstdio>
 #include <iostream>
@@ -53,6 +65,7 @@
 #include "obs/span_table.h"
 #include "olap/olap_sim.h"
 #include "sim/invariants.h"
+#include "snap/snapshot.h"
 #include "webcache/webcache_sim.h"
 
 namespace {
@@ -99,6 +112,14 @@ cli::FlagRegistry make_registry() {
                   "conservative sync window in sim-seconds "
                   "(0: the delay-model floor)");
   reg.alias("j", "shards");
+
+  reg.group("snapshot");
+  reg.add_string("save-snapshot", "",
+                 "write a checkpoint at sim-second T: PATH@T "
+                 "(serial runs only)")
+      .add_string("load-snapshot", "",
+                  "resume from a checkpoint written by --save-snapshot "
+                  "(same scenario flags required)");
 
   reg.group("flight recorder");
   reg.add_string("trace", "off", "off | null | ring (the flight recorder)")
@@ -156,6 +177,43 @@ int apply_shards(const cli::FlagRegistry& reg, sim::OverlayEngine& engine) {
   }
   return 0;
 }
+
+/// Parses the snapshot group once and arms a freshly constructed scenario
+/// engine: a load must precede everything else (the engine rejects resuming
+/// into a used simulation), and both requests must precede set_shards so an
+/// incompatible --shards value is rejected before any thread is spawned.
+struct SnapshotContext {
+  std::string save_path;
+  double save_at_s = 0.0;
+  std::string load_path;
+
+  explicit SnapshotContext(const cli::FlagRegistry& reg)
+      : load_path(reg.get_string("load-snapshot")) {
+    const std::string save = reg.get_string("save-snapshot");
+    if (save.empty()) return;
+    const std::size_t at = save.rfind('@');
+    if (at == std::string::npos || at == 0 || at + 1 == save.size())
+      throw std::invalid_argument(
+          "--save-snapshot: expected PATH@T with T in sim-seconds");
+    save_path = save.substr(0, at);
+    const std::string when = save.substr(at + 1);
+    std::size_t used = 0;
+    try {
+      save_at_s = std::stod(when, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != when.size() || !(save_at_s > 0.0))
+      throw std::invalid_argument(
+          "--save-snapshot: T must be a positive sim-second count, got '" +
+          when + "'");
+  }
+
+  void arm(sim::OverlayEngine& engine) {
+    if (!load_path.empty()) engine.load_snapshot(load_path);
+    if (!save_path.empty()) engine.request_snapshot_save(save_path, save_at_s);
+  }
+};
 
 /// Parses the --fault-* group once, arms a scenario engine before run(),
 /// and audits the finished run when --fault-check was requested.
@@ -275,7 +333,9 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
 
   FaultContext fault(reg);
   TraceContext trace(reg);
+  SnapshotContext snap(reg);
   gnutella::Simulation sim(c);
+  snap.arm(sim);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -320,7 +380,9 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
 
   FaultContext fault(reg);
   TraceContext trace(reg);
+  SnapshotContext snap(reg);
   webcache::WebCacheSim sim(c);
+  snap.arm(sim);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -359,7 +421,9 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
 
   FaultContext fault(reg);
   TraceContext trace(reg);
+  SnapshotContext snap(reg);
   olap::OlapSim sim(c);
+  snap.arm(sim);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -404,7 +468,9 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
 
   FaultContext fault(reg);
   TraceContext trace(reg);
+  SnapshotContext snap(reg);
   diglib::DigLibSim sim(c);
+  snap.arm(sim);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -454,6 +520,11 @@ int main(int argc, char** argv) {
   } catch (const dsf::cli::UnknownFlag& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  } catch (const dsf::snap::SnapshotError& e) {
+    // A corrupt, truncated or mismatched snapshot file fails closed: no
+    // partial state was applied and no simulation ran.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
