@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the open-loop load sweep (bench_load_sweep) and validates the
+# resulting dsf-load-sweep-v1 document: schema tag, non-empty point list,
+# the admission conservation laws on every point, and a sane rejection
+# rate.  CI's bench-smoke job calls this with --quick (DSF_FAST, a step
+# overload schedule) and archives the validated JSON; the full constant
+# sweep produced BENCH_PR8.json at the repo root.
+#
+# Usage: scripts/run_load_sweep.sh [--quick] [--out PATH] [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_path="${repo_root}/load_sweep.json"
+quick=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --out) out_path="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "usage: $0 [--quick] [--out PATH] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${build_dir}/bench/bench_load_sweep" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target bench_load_sweep -j
+fi
+
+csv_path="${out_path%.json}_series.csv"
+if [[ "${quick}" -eq 1 ]]; then
+  # Step overload at 4x baseline under DSF_FAST: the shortest run that
+  # still drives the federation through its saturation knee.
+  DSF_FAST=1 "${build_dir}/bench/bench_load_sweep" \
+    --schedule step --overload 4 \
+    --out "${out_path}" --csv "${csv_path}"
+else
+  "${build_dir}/bench/bench_load_sweep" \
+    --out "${out_path}" --csv "${csv_path}"
+fi
+
+# Validate before anything archives it; a malformed or
+# conservation-violating document must fail the job.
+python3 - "${out_path}" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "dsf-load-sweep-v1", f"bad schema in {path}"
+assert doc.get("clean") is True, "sweep was not checker-clean"
+points = doc.get("points", [])
+assert points, "no sweep points"
+for p in points:
+    assert p["offered"] == p["admitted"] + p["rejected"], p
+    assert p["admitted"] == p["completed"] + p["shed"] + p["pending"], p
+    assert 0.0 <= p["rejection_rate"] <= 1.0, p
+    assert p["latency_p50_ms"] <= p["latency_p95_ms"] <= p["latency_p99_ms"], p
+p99s = [p["latency_p99_ms"] for p in points]
+assert all(a <= b * 1.05 for a, b in zip(p99s, p99s[1:])), \
+    f"p99 not monotone across offered-load steps: {p99s}"
+print(f"validated {path}: {len(points)} points, "
+      f"p99 {p99s[0]:.0f} -> {p99s[-1]:.0f} ms")
+EOF

@@ -64,10 +64,20 @@ std::int64_t Args::get_int(const std::string& key,
                            std::int64_t fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
+  // std::stoll throws std::out_of_range for values that parse but do not
+  // fit — surface both failure modes as the typed FlagError instead of
+  // letting the overflow escape and abort the driver.
   std::size_t pos = 0;
-  const std::int64_t parsed = std::stoll(*v, &pos);
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(*v, &pos);
+  } catch (const std::out_of_range&) {
+    throw FlagError("--" + key + ": integer out of range: " + *v);
+  } catch (const std::invalid_argument&) {
+    pos = std::string::npos;
+  }
   if (pos != v->size())
-    throw std::invalid_argument("--" + key + ": not an integer: " + *v);
+    throw FlagError("--" + key + ": not an integer: " + *v);
   return parsed;
 }
 
@@ -75,9 +85,16 @@ double Args::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
   std::size_t pos = 0;
-  const double parsed = std::stod(*v, &pos);
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(*v, &pos);
+  } catch (const std::out_of_range&) {
+    throw FlagError("--" + key + ": number out of range: " + *v);
+  } catch (const std::invalid_argument&) {
+    pos = std::string::npos;
+  }
   if (pos != v->size())
-    throw std::invalid_argument("--" + key + ": not a number: " + *v);
+    throw FlagError("--" + key + ": not a number: " + *v);
   return parsed;
 }
 
@@ -86,7 +103,7 @@ bool Args::get_bool(const std::string& key, bool fallback) const {
   if (!v) return fallback;
   if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
   if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
-  throw std::invalid_argument("--" + key + ": not a boolean: " + *v);
+  throw FlagError("--" + key + ": not a boolean: " + *v);
 }
 
 std::vector<std::string> Args::unrecognized() const {

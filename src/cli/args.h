@@ -4,10 +4,24 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace dsf::cli {
+
+/// The typed flag error: everything a *user* can cause from the command
+/// line — unknown options, values that do not parse as the declared type,
+/// and values that parse but overflow the type (`--peers
+/// 99999999999999999999` used to escape as an uncaught std::out_of_range
+/// from std::stoll).  Drivers catch this one type and exit with the usage
+/// status; it remains a std::invalid_argument so existing handlers keep
+/// working.  Programming errors (reading an undeclared flag) stay
+/// std::logic_error and are *not* FlagError.
+class FlagError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Minimal command-line parser for the `dsf_sim` driver: GNU-style
 /// `--key value` / `--key=value` options plus bare positional arguments.
@@ -29,8 +43,8 @@ class Args {
   /// Raw string value (nullopt if absent).
   std::optional<std::string> get(const std::string& key) const;
 
-  /// Typed getters with defaults; throw std::invalid_argument when the
-  /// value does not parse as the requested type.
+  /// Typed getters with defaults; throw FlagError when the value does not
+  /// parse as the requested type or does not fit in it.
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;

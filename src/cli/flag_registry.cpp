@@ -186,15 +186,20 @@ std::string FlagRegistry::get_string(const std::string& name) const {
 std::int64_t FlagRegistry::get_int(const std::string& name) const {
   const Flag& f = find(name);
   if (!f.set) return f.def_int;
+  // Distinguish "does not parse" from "parses but does not fit": the old
+  // blanket catch folded std::out_of_range into "not an integer", which
+  // told a user typing --peers 99999999999999999999 the wrong thing.
   std::size_t pos = 0;
   std::int64_t parsed = 0;
   try {
     parsed = std::stoll(f.value, &pos);
+  } catch (const std::out_of_range&) {
+    throw FlagError("--" + name + ": integer out of range: " + f.value);
   } catch (const std::exception&) {
     pos = std::string::npos;
   }
   if (pos != f.value.size())
-    throw std::invalid_argument("--" + name + ": not an integer: " + f.value);
+    throw FlagError("--" + name + ": not an integer: " + f.value);
   return parsed;
 }
 
@@ -205,11 +210,13 @@ double FlagRegistry::get_double(const std::string& name) const {
   double parsed = 0.0;
   try {
     parsed = std::stod(f.value, &pos);
+  } catch (const std::out_of_range&) {
+    throw FlagError("--" + name + ": number out of range: " + f.value);
   } catch (const std::exception&) {
     pos = std::string::npos;
   }
   if (pos != f.value.size())
-    throw std::invalid_argument("--" + name + ": not a number: " + f.value);
+    throw FlagError("--" + name + ": not a number: " + f.value);
   return parsed;
 }
 
@@ -219,7 +226,7 @@ bool FlagRegistry::get_bool(const std::string& name) const {
   const std::string& v = f.value;
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  throw std::invalid_argument("--" + name + ": not a boolean: " + v);
+  throw FlagError("--" + name + ": not a boolean: " + v);
 }
 
 bool FlagRegistry::was_set(const std::string& name) const {

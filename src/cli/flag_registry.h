@@ -23,10 +23,12 @@
 namespace dsf::cli {
 
 /// Thrown by parse() for an option no flag declares.  The message names
-/// the closest declared flag when one is plausibly intended.
-class UnknownFlag : public std::invalid_argument {
+/// the closest declared flag when one is plausibly intended.  A FlagError
+/// like every other user-caused parse failure, so drivers can catch the
+/// whole family with one handler and exit with the usage status.
+class UnknownFlag : public FlagError {
  public:
-  using std::invalid_argument::invalid_argument;
+  using FlagError::FlagError;
 };
 
 /// Edit distance used for the typo suggestion (exposed for tests).
@@ -63,8 +65,8 @@ class FlagRegistry {
   FlagRegistry& note(std::string text);
 
   /// Tokenizes argv and binds values.  Throws UnknownFlag for an
-  /// undeclared option (with a suggestion) and std::invalid_argument for
-  /// a value that does not parse as the declared type.  `--help` is
+  /// undeclared option (with a suggestion) and FlagError for a value that
+  /// does not parse as — or overflow — the declared type.  `--help` is
   /// always declared; test help_requested() before reading flags.
   const Args& parse(int argc, const char* const* argv);
 
@@ -74,7 +76,7 @@ class FlagRegistry {
 
   /// Typed accessors: the bound value, or the declared default.  Throw
   /// std::logic_error for an undeclared name (a programming error) and
-  /// std::invalid_argument for a type mismatch.
+  /// FlagError for a type mismatch or an out-of-range value.
   std::string get_string(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;

@@ -13,6 +13,7 @@ sim::EngineConfig DigLibSim::make_engine_config(const DigLibConfig& config) {
   sim::require_positive("diglib", "num_neighbors", config.num_neighbors);
   sim::require_divides("diglib", "num_docs", config.num_docs, "num_topics",
                        config.num_topics);
+  sim::require_positive("diglib", "query_timeout_s", config.query_timeout_s);
   sim::EngineConfig ec;
   ec.name = "diglib";
   ec.num_nodes = config.num_repositories;
@@ -71,18 +72,72 @@ DigLibSim::DigLibSim(const DigLibConfig& config)
   }
 }
 
-DocId DigLibSim::draw_doc(std::uint32_t home_topic) {
+DocId DigLibSim::draw_doc(std::uint32_t home_topic, des::Rng& r) {
   const std::uint32_t docs_per_topic = config_.num_docs / config_.num_topics;
   std::uint32_t topic = home_topic;
-  if (!rng().bernoulli(config_.topic_share))
-    topic = static_cast<std::uint32_t>(rng().uniform_int(config_.num_topics));
-  const auto rank = static_cast<std::uint32_t>(doc_zipf_.sample(rng()));
+  if (!r.bernoulli(config_.topic_share))
+    topic = static_cast<std::uint32_t>(r.uniform_int(config_.num_topics));
+  const auto rank = static_cast<std::uint32_t>(doc_zipf_.sample(r));
   return topic * docs_per_topic + rank;
 }
 
 bool DigLibSim::holds(net::NodeId r, DocId doc) const {
   const auto& h = repos_[r].holdings;
   return std::binary_search(h.begin(), h.end(), doc);
+}
+
+core::SearchOutcome DigLibSim::search_doc(net::NodeId from, DocId doc) {
+  // Extensive search (§3.2): the goal is many copies, so holders keep
+  // forwarding; all-to-all needs a single hop by construction.
+  core::SearchParams params;
+  params.max_hops = config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
+  params.forward_when_hit = true;
+
+  const auto neighbors = [this](net::NodeId n) -> core::NeighborView {
+    return overlay_.out_neighbors(n);
+  };
+  const auto has_content = [this, doc](net::NodeId n) {
+    return holds(n, doc);
+  };
+  const auto delay = [this](net::NodeId a, net::NodeId b) {
+    return sample_delay_s(a, b);
+  };
+  const std::uint32_t span = obs_search_begin(from, params.max_hops, doc);
+  const auto outcome =
+      fault_layer_active()
+          ? core::flood_search(from, params, neighbors, has_content, delay,
+                               transmit_fn(), visit_stamps(),
+                               search_scratch())
+          : core::flood_search(from, params, neighbors, has_content, delay,
+                               visit_stamps(), search_scratch());
+  if (span != 0) {
+    int first_hop = -1;
+    double first_delay = -1.0;
+    for (const auto& hit : outcome.hits) {
+      if (first_hop < 0 || hit.reply_at_s < first_delay) {
+        first_hop = hit.hop;
+        first_delay = hit.reply_at_s;
+      }
+    }
+    obs_search_end(span, from, outcome.hits.size(), first_hop, first_delay);
+  }
+
+  count(net::MessageType::kQuery, outcome.query_messages);
+  count(net::MessageType::kQueryReply, outcome.reply_messages);
+
+  if (config_.mode == ListMode::kAdaptive) {
+    for (const auto& hit : outcome.hits) {
+      core::ResultInfo info;
+      info.responder = hit.node;
+      // Result-count dilution (the paper's R denominator): a repository
+      // that answers queries nobody else can answer is worth more than
+      // one of many holders of a ubiquitous document.
+      info.items = 1.0 / static_cast<double>(outcome.hits.size());
+      info.latency_s = hit.reply_at_s;
+      repos_[from].stats.add(hit.node, benefit_.benefit(info));
+    }
+  }
+  return outcome;
 }
 
 void DigLibSim::issue_query(net::NodeId r) {
@@ -94,45 +149,7 @@ void DigLibSim::issue_query(net::NodeId r) {
     // exclusively via schedule_every.
     const Section lock = shared_section();
     const DocId doc = draw_doc(repos_[r].topic);
-
-    // Extensive search (§3.2): the goal is many copies, so holders keep
-    // forwarding; all-to-all needs a single hop by construction.
-    core::SearchParams params;
-    params.max_hops =
-        config_.mode == ListMode::kAllToAll ? 1 : config_.max_hops;
-    params.forward_when_hit = true;
-
-    const auto neighbors = [this](net::NodeId n) -> core::NeighborView {
-      return overlay_.out_neighbors(n);
-    };
-    const auto has_content = [this, doc](net::NodeId n) {
-      return holds(n, doc);
-    };
-    const auto delay = [this](net::NodeId a, net::NodeId b) {
-      return sample_delay_s(a, b);
-    };
-    const std::uint32_t span = obs_search_begin(r, params.max_hops, doc);
-    const auto outcome =
-        fault_layer_active()
-            ? core::flood_search(r, params, neighbors, has_content, delay,
-                                 transmit_fn(), visit_stamps(),
-                                 search_scratch())
-            : core::flood_search(r, params, neighbors, has_content, delay,
-                                 visit_stamps(), search_scratch());
-    if (span != 0) {
-      int first_hop = -1;
-      double first_delay = -1.0;
-      for (const auto& hit : outcome.hits) {
-        if (first_hop < 0 || hit.reply_at_s < first_delay) {
-          first_hop = hit.hop;
-          first_delay = hit.reply_at_s;
-        }
-      }
-      obs_search_end(span, r, outcome.hits.size(), first_hop, first_delay);
-    }
-
-    count(net::MessageType::kQuery, outcome.query_messages);
-    count(net::MessageType::kQueryReply, outcome.reply_messages);
+    const auto outcome = search_doc(r, doc);
     if (reporting()) {
       DigLibResult& out = res();
       ++out.queries;
@@ -148,23 +165,26 @@ void DigLibSim::issue_query(net::NodeId r) {
       if (outcome.satisfied())
         out.first_result_delay_s.add(outcome.first_result_delay_s());
     }
-
-    if (config_.mode == ListMode::kAdaptive) {
-      for (const auto& hit : outcome.hits) {
-        core::ResultInfo info;
-        info.responder = hit.node;
-        // Result-count dilution (the paper's R denominator): a repository
-        // that answers queries nobody else can answer is worth more than
-        // one of many holders of a ubiquitous document.
-        info.items = 1.0 / static_cast<double>(outcome.hits.size());
-        info.latency_s = hit.reply_at_s;
-        repos_[r].stats.add(hit.node, benefit_.benefit(info));
-      }
-    }
   }
 
   schedule_keyed_self(r, interquery_.sample(rng()), kLibQuery, r, 0,
                       [this, r] { issue_query(r); });
+}
+
+load::Served DigLibSim::serve_injected_query(net::NodeId r,
+                                             std::uint64_t item) {
+  // Open-loop runs are serial, so the section is a no-op; taking it anyway
+  // keeps the path identical to closed-loop service.
+  const Section lock = shared_section();
+  const DocId doc = item == load::kAnyItem
+                        ? draw_doc(repos_[r].topic, load_lane())
+                        : static_cast<DocId>(item % config_.num_docs);
+  const auto outcome = search_doc(r, doc);
+  load::Served served;
+  served.hit = outcome.satisfied();
+  served.latency_s =
+      served.hit ? outcome.first_result_delay_s() : config_.query_timeout_s;
+  return served;
 }
 
 void DigLibSim::update_neighbors(net::NodeId r) {

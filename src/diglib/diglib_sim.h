@@ -48,6 +48,10 @@ struct DigLibConfig {
   std::uint32_t num_neighbors = 3;  ///< bounded-list capacity
   int max_hops = 2;
   double mean_interquery_s = 5.0;  ///< per repository (client arrivals)
+  /// Client-visible deadline for a query that retrieves no copy — the
+  /// latency an open-loop injected miss occupies its server for (closed
+  /// loop has no deadline: unsatisfied queries simply score no delay).
+  double query_timeout_s = 4.0;
   ListMode mode = ListMode::kAdaptive;
   double update_period_s = 600.0;  ///< Algo-3 trigger for kAdaptive
   double sim_hours = 2.0;
@@ -97,6 +101,15 @@ class DigLibSim : public sim::OverlayEngine {
   std::uint32_t copies_of(DocId doc) const { return copy_count_.at(doc); }
 
  protected:
+  /// Open-loop injection: serves one external document query at
+  /// repository `r` through the same extensive flood search as closed-loop
+  /// queries (ledger-accounted, span-visible, adaptive statistics fed)
+  /// without touching the closed-loop DigLibResult counters.  `item` is a
+  /// DocId, or load::kAnyItem to draw from `r`'s topic mix on the load
+  /// lane.  A query that retrieves no copy serves for query_timeout_s.
+  load::Served serve_injected_query(net::NodeId r,
+                                    std::uint64_t item) override;
+
   /// Snapshot hooks: per-repository benefit statistics and exploration
   /// links plus the result accumulators.  Holdings and copy counts are
   /// immutable and come from the constructor.
@@ -124,8 +137,15 @@ class DigLibSim : public sim::OverlayEngine {
   static sim::EngineConfig make_engine_config(const DigLibConfig& config);
 
   void issue_query(net::NodeId r);
+  /// The search path shared by closed-loop queries and open-loop
+  /// injection: extensive flood from `from`, span recording, message
+  /// accounting and (kAdaptive) benefit-statistics feeding.
+  core::SearchOutcome search_doc(net::NodeId from, DocId doc);
   void update_neighbors(net::NodeId r);
-  DocId draw_doc(std::uint32_t home_topic);
+  DocId draw_doc(std::uint32_t home_topic) {
+    return draw_doc(home_topic, rng());
+  }
+  DocId draw_doc(std::uint32_t home_topic, des::Rng& r);
   bool holds(net::NodeId r, DocId doc) const;
 
   /// Shard-local accumulator during parallel windows, `result_` otherwise.

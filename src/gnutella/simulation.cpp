@@ -391,6 +391,76 @@ void Simulation::issue_query(net::NodeId u) {
   schedule_next_query(u);
 }
 
+load::Served Simulation::serve_injected_query(net::NodeId u,
+                                              std::uint64_t item) {
+  UserCold& st = cold_[u];
+  bool do_reconfig = false;
+  load::Served served;
+  served.latency_s = config_.query_timeout_s;  // a miss serves the timeout
+  {
+    const Section lock = shared_section();
+    const workload::SongId song =
+        item == load::kAnyItem
+            ? query_gen_.draw(st.profile, load_lane())
+            : static_cast<workload::SongId>(item % catalog_.num_songs());
+
+    core::SearchParams params;
+    params.max_hops = config_.max_hops;
+    params.forward_when_hit = false;
+    params.timeout_s = config_.query_timeout_s;
+
+    const std::uint32_t span = obs_search_begin(u, params.max_hops, song);
+    const auto outcome = run_search(u, song, params);
+    if (span != 0) {
+      int first_hop = -1;
+      double first_delay = -1.0;
+      for (const auto& hit : outcome.hits) {
+        if (first_hop < 0 || hit.reply_at_s < first_delay) {
+          first_hop = hit.hop;
+          first_delay = hit.reply_at_s;
+        }
+      }
+      obs_search_end(span, u, outcome.hits.size(), first_hop, first_delay);
+    }
+
+    // Injected traffic is real traffic to the network (ledger, checker,
+    // flight recorder) but is reported through LoadStats, not the
+    // closed-loop RunResult series.
+    count(net::MessageType::kQuery, outcome.query_messages);
+    count(net::MessageType::kQueryReply, outcome.reply_messages);
+    if (outcome.satisfied()) {
+      served.hit = true;
+      served.latency_s = outcome.first_result_delay_s();
+    }
+
+    if (config_.dynamic) {
+      // Injected results feed Algo 5's statistics exactly like the user's
+      // own: the saturation experiments compare reconfiguration's effect
+      // under overload, so the control loop must see the load.
+      const auto total = static_cast<std::uint32_t>(outcome.hits.size());
+      for (const auto& hit : outcome.hits) {
+        core::ResultInfo info;
+        info.responder = hit.node;
+        info.bandwidth_kbps = config_.benefit_bandwidth_weights[static_cast<int>(
+            delay_.node_class(hit.node))];
+        info.latency_s = hit.reply_at_s;
+        info.total_results = total;
+        st.stats.add(hit.node, benefit_of(info));
+      }
+      if (config_.reconfig_threshold > 0 &&
+          ++hot_[u].reconfig_count >= config_.reconfig_threshold)
+        do_reconfig = true;
+    }
+  }
+
+  if (do_reconfig) {
+    const Section lock = exclusive_section();
+    reconfigure(u);
+    hot_[u].reconfig_count = 0;
+  }
+  return served;
+}
+
 core::SearchOutcome Simulation::run_search(net::NodeId u,
                                            workload::SongId song,
                                            const core::SearchParams& params) {

@@ -152,6 +152,15 @@ class Simulation : public sim::OverlayEngine {
   /// and their future sends to it are dropped on arrival.
   void on_peer_crashed(net::NodeId u) override;
 
+  /// Open-loop injection: serves one external query at `u` through the
+  /// same strategy dispatch as closed-loop searches (ledger-accounted,
+  /// span-visible, dynamic statistics fed), without touching the
+  /// closed-loop RunResult series.  `item` is a SongId, or load::kAnyItem
+  /// to draw from `u`'s preference profile on the load lane.  A miss
+  /// serves for the full query timeout.
+  load::Served serve_injected_query(net::NodeId u,
+                                    std::uint64_t item) override;
+
   /// Snapshot hooks: per-user hot/cold mutable state, the on-line roster,
   /// library growth spills and the result accumulators.  Catalog,
   /// profiles, libraries and digests are reconstructed by the constructor.

@@ -1,0 +1,36 @@
+#include "load/report.h"
+
+namespace dsf::load {
+
+void write_load_stats(metrics::JsonEmitter& j, const LoadStats& s,
+                      double measure_s) {
+  j.field("offered", s.offered);
+  j.field("admitted", s.admitted);
+  j.field("rejected", s.rejected);
+  j.field("completed", s.completed);
+  j.field("shed", s.shed);
+  j.field("pending", s.pending);
+  j.field("hits", s.hits);
+  j.field("completed_after_warmup", s.completed_after_warmup);
+  j.field("hits_after_warmup", s.hits_after_warmup);
+  j.field("rejection_rate",
+          s.offered ? static_cast<double>(s.rejected) /
+                          static_cast<double>(s.offered)
+                    : 0.0,
+          6);
+  if (measure_s > 0.0) {
+    j.field("goodput_qps",
+            static_cast<double>(s.completed_after_warmup) / measure_s, 4);
+    j.field("hit_qps",
+            static_cast<double>(s.hits_after_warmup) / measure_s, 4);
+  }
+  j.field("latency_p50_ms", s.sojourn_hist.quantile(0.50) * 1000.0, 3);
+  j.field("latency_p95_ms", s.sojourn_hist.quantile(0.95) * 1000.0, 3);
+  j.field("latency_p99_ms", s.sojourn_hist.quantile(0.99) * 1000.0, 3);
+  j.field("latency_mean_ms", s.sojourn_s.mean() * 1000.0, 3);
+  j.field("latency_max_ms", s.sojourn_s.max() * 1000.0, 3);
+  j.field("queue_depth_mean", s.queue_depth.mean(), 4);
+  j.field("queue_depth_peak", s.peak_queue_depth);
+}
+
+}  // namespace dsf::load

@@ -1,0 +1,73 @@
+#include "load/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsf::load {
+
+ScheduleKind parse_schedule(const std::string& name) {
+  if (name == "constant") return ScheduleKind::kConstant;
+  if (name == "diurnal") return ScheduleKind::kDiurnal;
+  if (name == "flash") return ScheduleKind::kFlash;
+  if (name == "step") return ScheduleKind::kStep;
+  throw std::invalid_argument(
+      "unknown arrival schedule: " + name +
+      " (expected constant, diurnal, flash or step)");
+}
+
+const char* schedule_name(ScheduleKind kind) noexcept {
+  switch (kind) {
+    case ScheduleKind::kConstant: return "constant";
+    case ScheduleKind::kDiurnal: return "diurnal";
+    case ScheduleKind::kFlash: return "flash";
+    case ScheduleKind::kStep: return "step";
+  }
+  return "?";
+}
+
+double ArrivalSchedule::rate_at(double t) const noexcept {
+  switch (kind) {
+    case ScheduleKind::kConstant:
+      return base_qps;
+    case ScheduleKind::kDiurnal: {
+      // Trough base_qps at t = 0, crest base_qps * overload half a period
+      // in: rate = base * (1 + (overload-1) * (1 - cos) / 2).
+      const double phase = 2.0 * 3.14159265358979323846 * t / diurnal_period_s;
+      return base_qps *
+             (1.0 + (overload - 1.0) * 0.5 * (1.0 - std::cos(phase)));
+    }
+    case ScheduleKind::kFlash:
+      return (t >= flash_start_s && t < flash_start_s + flash_duration_s)
+                 ? base_qps * overload
+                 : base_qps;
+    case ScheduleKind::kStep:
+      return t >= step_at_s ? base_qps * overload : base_qps;
+  }
+  return base_qps;
+}
+
+double ArrivalSchedule::peak_qps() const noexcept {
+  return kind == ScheduleKind::kConstant ? base_qps : base_qps * overload;
+}
+
+ArrivalSchedule make_schedule(ScheduleKind kind, double base_qps,
+                              double overload, double horizon_s) {
+  if (!(base_qps > 0.0) || !std::isfinite(base_qps))
+    throw std::invalid_argument("arrival rate must be finite and > 0");
+  if (!(overload >= 1.0) || !(overload <= 100.0))
+    throw std::invalid_argument("overload factor must be in [1, 100]");
+  if (!(horizon_s > 0.0) || !std::isfinite(horizon_s))
+    throw std::invalid_argument("schedule horizon must be finite and > 0");
+  ArrivalSchedule s;
+  s.kind = kind;
+  s.base_qps = base_qps;
+  s.overload = overload;
+  s.diurnal_period_s = std::min(86400.0, horizon_s);
+  s.flash_start_s = 0.4 * horizon_s;
+  s.flash_duration_s = 0.2 * horizon_s;
+  s.step_at_s = 0.5 * horizon_s;
+  return s;
+}
+
+}  // namespace dsf::load

@@ -1,0 +1,61 @@
+#pragma once
+
+// Arrival-rate schedules for the open-loop load generator: the offered
+// query rate as a deterministic function of simulated time.  Arrivals are
+// drawn as a non-homogeneous Poisson process by thinning — candidate
+// points at peak_qps(), each accepted with probability rate_at(t)/peak —
+// so one schedule shape is one pure function here and zero special cases
+// in the engine's arrival loop.
+
+#include <cstdint>
+#include <string>
+
+namespace dsf::load {
+
+/// The built-in offered-load shapes.  `overload` below is the peak
+/// multiplier applied by the non-constant shapes (the 2–10x band of the
+/// saturation experiments).
+enum class ScheduleKind : std::uint8_t {
+  kConstant,  ///< flat at base_qps for the whole run
+  kDiurnal,   ///< sinusoid: trough base_qps, crest base_qps * overload
+  kFlash,     ///< flash crowd: base_qps, spiking inside one window
+  kStep,      ///< step overload: base_qps, then base_qps * overload forever
+};
+
+/// Parses a schedule name ("constant", "diurnal", "flash", "step");
+/// throws std::invalid_argument for anything else.
+ScheduleKind parse_schedule(const std::string& name);
+const char* schedule_name(ScheduleKind kind) noexcept;
+
+/// One fully specified arrival schedule.  Build via make_schedule so the
+/// shape windows default to sensible fractions of the horizon.
+struct ArrivalSchedule {
+  ScheduleKind kind = ScheduleKind::kConstant;
+  double base_qps = 0.0;  ///< baseline aggregate arrival rate
+  double overload = 4.0;  ///< peak multiplier (flash / step / diurnal crest)
+  /// Shape geometry (seconds).  The diurnal wave completes one full
+  /// period over `diurnal_period_s`; the flash crowd occupies
+  /// [flash_start_s, flash_start_s + flash_duration_s); the step fires at
+  /// step_at_s.
+  double diurnal_period_s = 86400.0;
+  double flash_start_s = 0.0;
+  double flash_duration_s = 0.0;
+  double step_at_s = 0.0;
+
+  /// Instantaneous offered rate at time `t` (queries per second).
+  double rate_at(double t) const noexcept;
+  /// Least upper bound of rate_at over the run, used as the thinning
+  /// envelope.
+  double peak_qps() const noexcept;
+};
+
+/// Builds a schedule whose shape windows are derived from the horizon:
+/// the diurnal wave spans min(24 h, horizon) so short runs still see a
+/// full crest, the flash crowd occupies the [40%, 60%) slice of the run,
+/// and the step fires at mid-run.  Throws std::invalid_argument for a
+/// non-positive/non-finite base rate, an overload outside [1, 100], or a
+/// non-positive horizon.
+ArrivalSchedule make_schedule(ScheduleKind kind, double base_qps,
+                              double overload, double horizon_s);
+
+}  // namespace dsf::load

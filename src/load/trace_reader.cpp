@@ -1,0 +1,56 @@
+#include "load/trace_reader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsf::load {
+
+bool parse_trace_line(const std::string& line, TraceArrival* out) {
+  std::string::size_type first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') return false;
+  std::istringstream in(line);
+  double t = 0.0;
+  long long peer = 0;
+  long long item = 0;
+  if (!(in >> t >> peer >> item))
+    throw std::invalid_argument("expected `time_s peer item`");
+  std::string rest;
+  if (in >> rest)
+    throw std::invalid_argument("trailing token: " + rest);
+  if (!std::isfinite(t) || t < 0.0)
+    throw std::invalid_argument("time must be finite and >= 0");
+  if (peer < -1) throw std::invalid_argument("peer must be >= -1");
+  if (item < -1) throw std::invalid_argument("item must be >= -1");
+  out->time_s = t;
+  out->peer = peer;
+  out->item = item == -1 ? kAnyItem : static_cast<std::uint64_t>(item);
+  return true;
+}
+
+std::vector<TraceArrival> read_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open load trace: " + path);
+  std::vector<TraceArrival> arrivals;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    TraceArrival a;
+    try {
+      if (parse_trace_line(line, &a)) arrivals.push_back(a);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) + ": " +
+                                  e.what());
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const TraceArrival& a, const TraceArrival& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return arrivals;
+}
+
+}  // namespace dsf::load

@@ -1,0 +1,41 @@
+#pragma once
+
+// Trace-driven arrivals: instead of the built-in generator, an open-loop
+// run can replay an external query stream from a whitespace-separated
+// text file, one arrival per line:
+//
+//   time_s  peer  item
+//
+// `peer` and `item` may be -1 ("any"): the engine then draws them from
+// the dedicated load RNG lane at injection time, so a trace can pin just
+// the arrival times while leaving targeting to the workload model.
+// Blank lines and lines starting with '#' are skipped.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsf::load {
+
+/// Sentinel for "draw from the load lane at injection time".
+inline constexpr std::uint64_t kAnyItem = ~std::uint64_t{0};
+inline constexpr std::int64_t kAnyPeer = -1;
+
+struct TraceArrival {
+  double time_s = 0.0;
+  std::int64_t peer = kAnyPeer;      ///< kAnyPeer = draw uniformly
+  std::uint64_t item = kAnyItem;     ///< kAnyItem = draw from the workload
+};
+
+/// Parses one trace file.  Arrivals are returned sorted by time (stable,
+/// so equal-time lines keep file order).  Throws std::invalid_argument
+/// naming the offending line for malformed input (missing fields,
+/// non-numeric tokens, negative or non-finite times), and
+/// std::runtime_error when the file cannot be opened.
+std::vector<TraceArrival> read_trace(const std::string& path);
+
+/// Line-level parser (exposed for tests): parses `line`, returning false
+/// for blank/comment lines, true with `out` filled for arrivals.
+bool parse_trace_line(const std::string& line, TraceArrival* out);
+
+}  // namespace dsf::load

@@ -7,8 +7,11 @@
 namespace dsf::metrics {
 
 TimeSeries::TimeSeries(double bucket_width_s) : width_(bucket_width_s) {
-  if (!(bucket_width_s > 0.0))
-    throw std::invalid_argument("TimeSeries: bucket width must be > 0");
+  // `> 0.0` alone rejects NaN and non-positives but admits +inf, which
+  // would fold every sample into bucket 0 while still comparing equal in
+  // the operator+= geometry check — a silently wrong series.
+  if (!std::isfinite(bucket_width_s) || !(bucket_width_s > 0.0))
+    throw std::invalid_argument("TimeSeries: bucket width must be finite and > 0");
 }
 
 void TimeSeries::add(des::SimTime t, std::uint64_t n) {
@@ -92,6 +95,11 @@ Summary& Summary::operator+=(const Summary& o) noexcept {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       bins_(bins, 0) {
+  // An infinite edge passes `hi > lo` but makes the bin width infinite
+  // (every in-range add computes a NaN index — UB at the cast), so the
+  // geometry must be finite outright.
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("Histogram: edges must be finite");
   if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
   if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
 }
@@ -121,6 +129,12 @@ Histogram& Histogram::operator+=(const Histogram& o) {
 }
 
 double Histogram::quantile(double q) const {
+  // NaN survives std::clamp (every comparison is false) and then fails
+  // every cumulative-mass test below, silently falling through to the
+  // hi_-edge answer; a non-finite quantile rank is a caller bug, so it
+  // throws instead of clamping.
+  if (!std::isfinite(q))
+    throw std::invalid_argument("Histogram::quantile: non-finite q");
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);

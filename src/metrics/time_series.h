@@ -109,7 +109,11 @@ class Histogram {
   void add(double x) noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
-  double quantile(double q) const;  ///< q in [0, 1]
+  /// Linearly interpolated quantile; `q` is clamped into [0, 1].  An
+  /// empty histogram answers 0.0 (the documented sentinel — callers that
+  /// must distinguish check count() first); a non-finite q throws
+  /// std::invalid_argument rather than silently clamping.
+  double quantile(double q) const;
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
   const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }

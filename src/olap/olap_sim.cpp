@@ -49,128 +49,158 @@ OlapSim::OlapSim(const OlapConfig& config)
   }
 }
 
-void OlapSim::issue_query(net::NodeId p) {
-  if (node_dead(p)) return;  // a crashed peer stops querying for good
+ChunkId OlapSim::draw_query_base(net::NodeId p, des::Rng& r) {
+  // Query template: `query_span` consecutive chunks anchored at a popular
+  // chunk of an interest region (OLAP queries hit contiguous cube slices).
+  const std::uint32_t chunks_per_region =
+      config_.num_chunks / config_.num_regions;
+  std::uint32_t region = peers_[p].region;
+  if (!r.bernoulli(config_.region_share))
+    region = static_cast<std::uint32_t>(r.uniform_int(config_.num_regions));
+  const auto anchor_rank = static_cast<std::uint32_t>(chunk_zipf_.sample(r));
+  return region * chunks_per_region +
+         std::min(anchor_rank, chunks_per_region - config_.query_span);
+}
+
+double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
+                             bool* peer_served) {
   Peer& peer = peers_[p];
-  {
-    // Searches only read the overlay, so shards may search concurrently;
-    // per-peer caches get stripe guards because holders mutate their own
-    // LRU recency while remote searches probe it.  Serially every guard
-    // is a no-op.
-    const Section lock = shared_section();
-    core::VisitStamp& stamps = visit_stamps();
-    const bool report = reporting();
-    const bool faulty = fault_layer_active();
+  core::VisitStamp& stamps = visit_stamps();
+  const bool faulty = fault_layer_active();
+  if (peer_served) *peer_served = false;
+  const bool report = record;
+  double response = 0.0;
+  for (std::uint32_t i = 0; i < config_.query_span; ++i) {
+    const ChunkId chunk = base + i;
+    if (report) ++res().chunks_requested;
+    bool local;
+    {
+      const auto guard = peer_section(p);
+      local = peer.cache.touch(chunk);
+    }
+    if (local) {
+      if (report) ++res().chunks_local;
+      continue;
+    }
 
-    // Query template: `query_span` consecutive chunks anchored at a popular
-    // chunk of an interest region (OLAP queries hit contiguous cube slices).
-    const std::uint32_t chunks_per_region =
-        config_.num_chunks / config_.num_regions;
-    std::uint32_t region = peer.region;
-    if (!rng().bernoulli(config_.region_share))
-      region =
-          static_cast<std::uint32_t>(rng().uniform_int(config_.num_regions));
-    const auto anchor_rank =
-        static_cast<std::uint32_t>(chunk_zipf_.sample(rng()));
-    const ChunkId base = region * chunks_per_region +
-                         std::min(anchor_rank, chunks_per_region -
-                                                   config_.query_span);
-
-    double response = 0.0;
-    if (report) ++res().queries;
-    for (std::uint32_t i = 0; i < config_.query_span; ++i) {
-      const ChunkId chunk = base + i;
-      if (report) ++res().chunks_requested;
-      bool local;
-      {
-        const auto guard = peer_section(p);
-        local = peer.cache.touch(chunk);
-      }
-      if (local) {
-        if (report) ++res().chunks_local;
-        continue;
-      }
-
-      // Extensive search (§3.2): the chunk request keeps propagating up to
-      // the hop limit; the closest holder (in hops, then delay) serves it.
-      const std::uint32_t span = obs_search_begin(p, config_.max_hops, chunk);
-      if (faulty) begin_faulty_search(config_.max_hops);
-      stamps.begin_search();
-      stamps.mark(p);
-      struct Frontier {
-        net::NodeId node;
-        net::NodeId sender;
-        int hop;
-      };
-      std::vector<Frontier> queue{{p, net::kInvalidNode, 0}};
-      net::NodeId holder = net::kInvalidNode;
-      int holder_hop = 0;
-      for (std::size_t head = 0; head < queue.size(); ++head) {
-        const auto cur = queue[head];
-        if (holder != net::kInvalidNode && cur.hop + 1 > holder_hop) break;
-        for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
-          if (q == cur.sender) continue;
-          count(net::MessageType::kQuery);
+    // Extensive search (§3.2): the chunk request keeps propagating up to
+    // the hop limit; the closest holder (in hops, then delay) serves it.
+    const std::uint32_t span = obs_search_begin(p, config_.max_hops, chunk);
+    if (faulty) begin_faulty_search(config_.max_hops);
+    stamps.begin_search();
+    stamps.mark(p);
+    struct Frontier {
+      net::NodeId node;
+      net::NodeId sender;
+      int hop;
+    };
+    std::vector<Frontier> queue{{p, net::kInvalidNode, 0}};
+    net::NodeId holder = net::kInvalidNode;
+    int holder_hop = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto cur = queue[head];
+      if (holder != net::kInvalidNode && cur.hop + 1 > holder_hop) break;
+      for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
+        if (q == cur.sender) continue;
+        count(net::MessageType::kQuery);
+        if (faulty) {
+          const auto tq = transmit(net::MessageType::kQuery, cur.node, q,
+                                   config_.max_hops - cur.hop);
+          if (tq.duplicate) count(net::MessageType::kQuery);
+          if (!tq.deliver) continue;  // lost: q stays reachable via others
+        }
+        if (!stamps.mark(q)) continue;
+        const int hop = cur.hop + 1;
+        bool has_chunk;
+        {
+          const auto guard = peer_section(q);
+          has_chunk = peers_[q].cache.contains(chunk);
+        }
+        if (has_chunk && holder == net::kInvalidNode) {
           if (faulty) {
-            const auto tq = transmit(net::MessageType::kQuery, cur.node, q,
-                                     config_.max_hops - cur.hop);
-            if (tq.duplicate) count(net::MessageType::kQuery);
-            if (!tq.deliver) continue;  // lost: q stays reachable via others
-          }
-          if (!stamps.mark(q)) continue;
-          const int hop = cur.hop + 1;
-          bool has_chunk;
-          {
-            const auto guard = peer_section(q);
-            has_chunk = peers_[q].cache.contains(chunk);
-          }
-          if (has_chunk && holder == net::kInvalidNode) {
-            if (faulty) {
-              count(net::MessageType::kQueryReply);
-              const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
-              if (tr.duplicate) count(net::MessageType::kQueryReply);
-              if (tr.deliver) {
-                holder = q;
-                holder_hop = hop;
-              }
-            } else {
+            count(net::MessageType::kQueryReply);
+            const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
+            if (tr.duplicate) count(net::MessageType::kQueryReply);
+            if (tr.deliver) {
               holder = q;
               holder_hop = hop;
-              count(net::MessageType::kQueryReply);
             }
+          } else {
+            holder = q;
+            holder_hop = hop;
+            count(net::MessageType::kQueryReply);
           }
-          if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
         }
-      }
-
-      if (holder != net::kInvalidNode) {
-        const double cost =
-            config_.peer_s_per_chunk +
-            2.0 * sample_delay_s(p, holder) * static_cast<double>(holder_hop);
-        obs_search_end(span, p, 1, holder_hop, cost);
-        response += cost;
-        if (report) ++res().chunks_from_peers;
-        if (config_.dynamic) {
-          core::ResultInfo info;
-          info.responder = holder;
-          info.processing_time_saved_s = config_.warehouse_s_per_chunk - cost;
-          peer.stats.add(holder, benefit_.benefit(info));
-        }
-      } else {
-        obs_search_end(span, p, 0, -1, -1.0);
-        response += config_.warehouse_s_per_chunk;
-        if (report) ++res().chunks_from_warehouse;
-      }
-      {
-        const auto guard = peer_section(p);
-        peer.cache.insert(chunk);
+        if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});
       }
     }
-    if (report) res().response_time_s.add(response);
+
+    if (holder != net::kInvalidNode) {
+      const double cost =
+          config_.peer_s_per_chunk +
+          2.0 * sample_delay_s(p, holder) * static_cast<double>(holder_hop);
+      obs_search_end(span, p, 1, holder_hop, cost);
+      response += cost;
+      if (peer_served) *peer_served = true;
+      if (report) ++res().chunks_from_peers;
+      if (config_.dynamic) {
+        core::ResultInfo info;
+        info.responder = holder;
+        info.processing_time_saved_s = config_.warehouse_s_per_chunk - cost;
+        peer.stats.add(holder, benefit_.benefit(info));
+      }
+    } else {
+      obs_search_end(span, p, 0, -1, -1.0);
+      response += config_.warehouse_s_per_chunk;
+      if (report) ++res().chunks_from_warehouse;
+    }
+    {
+      const auto guard = peer_section(p);
+      peer.cache.insert(chunk);
+    }
+  }
+  if (report) res().response_time_s.add(response);
+  return response;
+}
+
+void OlapSim::issue_query(net::NodeId p) {
+  if (node_dead(p)) return;  // a crashed peer stops querying for good
+  {
+    // Searches only read the overlay, so shards may search concurrently;
+    // per-peer caches get stripe guards inside serve_chunks because
+    // holders mutate their own LRU recency while remote searches probe
+    // it.  Serially every guard is a no-op.
+    const Section lock = shared_section();
+    const ChunkId base = draw_query_base(p, rng());
+    if (reporting()) ++res().queries;
+    serve_chunks(p, base, reporting(), nullptr);
   }
 
   schedule_keyed_self(p, interquery_.sample(rng()), kOlapQuery, p, 0,
                       [this, p] { issue_query(p); });
+}
+
+load::Served OlapSim::serve_injected_query(net::NodeId p, std::uint64_t item) {
+  // Open-loop runs are serial, so the sections are no-ops; taking them
+  // anyway keeps the path identical to closed-loop service.
+  const Section lock = shared_section();
+  ChunkId base;
+  if (item == load::kAnyItem) {
+    base = draw_query_base(p, load_lane());
+  } else {
+    // Anchor the span at the requested chunk, clamped so it fits inside
+    // the chunk's region (the same geometry closed-loop templates obey).
+    const std::uint32_t chunks_per_region =
+        config_.num_chunks / config_.num_regions;
+    const auto chunk = static_cast<ChunkId>(item % config_.num_chunks);
+    const std::uint32_t region = chunk / chunks_per_region;
+    const std::uint32_t offset = chunk % chunks_per_region;
+    base = region * chunks_per_region +
+           std::min(offset, chunks_per_region - config_.query_span);
+  }
+  load::Served served;
+  served.latency_s = serve_chunks(p, base, /*record=*/false, &served.hit);
+  return served;
 }
 
 void OlapSim::update_neighbors(net::NodeId p) {

@@ -71,6 +71,17 @@ class OlapSim : public sim::OverlayEngine {
   OlapResult run();
 
  protected:
+  /// Open-loop injection: serves one external OLAP query at peer `p`
+  /// through the same chunk-decomposition/extensive-search/warehouse path
+  /// as closed-loop queries (caches warm, dynamic statistics fed,
+  /// span-visible) without touching the closed-loop OlapResult counters.
+  /// `item` anchors the chunk span (clamped into its region), or
+  /// load::kAnyItem to draw from `p`'s region mix on the load lane.  Every
+  /// query is answered (the warehouse always computes missing chunks);
+  /// hit means at least one chunk came from a peer cache.
+  load::Served serve_injected_query(net::NodeId p,
+                                    std::uint64_t item) override;
+
   /// Snapshot hooks: per-peer caches and benefit statistics plus the result
   /// accumulators.  Regions and the RNG replay come from the constructor.
   void save_domain(snap::Writer::Out& out) const override;
@@ -93,6 +104,16 @@ class OlapSim : public sim::OverlayEngine {
   static sim::EngineConfig make_engine_config(const OlapConfig& config);
 
   void issue_query(net::NodeId p);
+  /// Draws one query template on `r`: `query_span` consecutive chunks
+  /// anchored at a popular chunk of an interest region.
+  ChunkId draw_query_base(net::NodeId p, des::Rng& r);
+  /// The service path shared by closed-loop queries and open-loop
+  /// injection: per-chunk local touch, extensive search, warehouse
+  /// fallback.  Returns the total response time; sets *peer_served when at
+  /// least one chunk came from a peer cache.  `record` gates the
+  /// OlapResult counters (false for injected queries).
+  double serve_chunks(net::NodeId p, ChunkId base, bool record,
+                      bool* peer_served);
   void update_neighbors(net::NodeId p);
 
   /// Shard-local accumulator during parallel windows, `result_` otherwise.

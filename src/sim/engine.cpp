@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -61,6 +62,14 @@ std::uint64_t default_message_bytes(net::MessageType t) {
   core::unreachable_enum("net::MessageType");
 }
 
+namespace {
+/// Fixed stream salt for the open-loop load lane ("load" in ASCII).  Like
+/// the fault lane, it is hashed from the scenario seed — never split off
+/// the master stream — so arming the layer cannot perturb the baseline
+/// trajectory's draws.
+constexpr std::uint64_t kLoadStream = 0x6c6f'6164'00000000ULL;
+}  // namespace
+
 OverlayEngine::OverlayEngine(EngineConfig cfg)
     : cfg_(std::move(cfg)),
       master_rng_(cfg_.seed),
@@ -70,7 +79,8 @@ OverlayEngine::OverlayEngine(EngineConfig cfg)
                cfg_.in_capacity),
       stamps_(cfg_.num_nodes),
       fault_rng_(make_fault_lane(cfg_.seed)),
-      dead_(cfg_.num_nodes, 0) {
+      dead_(cfg_.num_nodes, 0),
+      load_rng_(des::hash_seed(cfg_.seed, kLoadStream)) {
   // Unused lanes alias the master stream so compact-layout scenarios keep
   // drawing from the sequence they always did.
   const bool four = cfg_.rng_layout == RngLayout::kFourLane;
@@ -102,6 +112,11 @@ void OverlayEngine::set_shards(std::uint32_t n, double window_s) {
         ": snapshots are unsupported with --shards > 1 (per-shard clocks and "
         "RNG lanes cannot be reconciled with the serial checkpoint); run "
         "with --shards 1");
+  if (load_opts_.enabled)
+    throw std::invalid_argument(
+        cfg_.name +
+        ": open-loop injection is unsupported with --shards > 1 (admission "
+        "queues and the load lane are serial state); run with --shards 1");
   if (sim_.pending() > 0 || sim_.now() > 0.0 || sharded_)
     throw std::logic_error(
         cfg_.name + ": set_shards must run before anything is scheduled");
@@ -286,6 +301,7 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     // the restored clock (the fault lane was untouched by the saved run).
     schedule_crash_process();
   }
+  if (load_opts_.enabled) arm_open_loop();
   replay_restored_events();
   if (save_requested_) {
     // Segmented horizon: run to the boundary, checkpoint, continue.  After
@@ -297,6 +313,11 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     save_snapshot(save_path_);
   }
   sim_.run_until(horizon_s());
+  if (load_opts_.enabled) {
+    std::uint64_t pending = 0;
+    for (const load::PeerQueue& q : load_queues_) pending += q.depth();
+    load_stats_.pending = pending;
+  }
   if (bootstrap_underfills_ > 0 && !underfill_reported_) {
     underfill_reported_ = true;
     warn(cfg_.name + ": " + std::to_string(bootstrap_underfills_) +
@@ -567,6 +588,9 @@ const char* kShardSnapshotError =
     ": snapshots are unsupported with --shards > 1 (per-shard clocks and RNG"
     " lanes cannot be reconciled with the serial checkpoint); run with"
     " --shards 1";
+const char* kLoadSnapshotError =
+    ": open-loop injection and snapshots are mutually exclusive (injected"
+    " arrivals and admission queues are not keyed for checkpoint replay)";
 }  // namespace
 
 void OverlayEngine::note_keyed(std::uint64_t seq, std::uint32_t kind,
@@ -591,6 +615,8 @@ void OverlayEngine::sweep_keyed_notes() {
 
 void OverlayEngine::request_snapshot_save(std::string path, double at_s) {
   if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
+  if (load_opts_.enabled)
+    throw std::invalid_argument(cfg_.name + kLoadSnapshotError);
   if (!(at_s > 0.0))
     throw std::invalid_argument(cfg_.name +
                                 ": snapshot time must be positive");
@@ -616,6 +642,8 @@ void OverlayEngine::save_snapshot(const std::string& path) {
 
 void OverlayEngine::load_snapshot(const std::string& path) {
   if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
+  if (load_opts_.enabled)
+    throw std::invalid_argument(cfg_.name + kLoadSnapshotError);
   if (resumed_ || sim_.pending() != 0 || sim_.now() != 0.0)
     throw std::logic_error(
         cfg_.name +
@@ -883,6 +911,170 @@ void OverlayEngine::save_domain(snap::Writer::Out&) const {
 void OverlayEngine::load_domain(snap::Reader::In&) {
   throw snap::SnapshotError(cfg_.name +
                             ": scenario does not implement snapshots");
+}
+
+// --- open-loop load layer -------------------------------------------------
+
+load::Served OverlayEngine::serve_injected_query(net::NodeId, std::uint64_t) {
+  throw std::logic_error(
+      cfg_.name +
+      ": open-loop injection is not supported by this scenario (no "
+      "serve_injected_query override)");
+}
+
+void OverlayEngine::set_open_loop(load::OpenLoopOptions opts) {
+  if (!opts.enabled) {
+    load_opts_ = load::OpenLoopOptions{};
+    return;
+  }
+  if (parallel())
+    throw std::invalid_argument(
+        cfg_.name +
+        ": open-loop injection is unsupported with --shards > 1 (admission "
+        "queues and the load lane are serial state); run with --shards 1");
+  if (save_requested_ || resumed_)
+    throw std::invalid_argument(cfg_.name + kLoadSnapshotError);
+  if (sim_.now() > 0.0)
+    throw std::logic_error(cfg_.name + ": set_open_loop must run before run");
+  if (opts.admission_cap == 0)
+    throw std::invalid_argument(cfg_.name + ": --admission-cap must be >= 1");
+  if (opts.trace.empty() && !(opts.schedule.base_qps > 0.0))
+    throw std::invalid_argument(
+        cfg_.name +
+        ": open-loop injection needs --arrival-rate > 0 or a --load-trace "
+        "file");
+  for (const load::TraceArrival& a : opts.trace)
+    if (a.peer != load::kAnyPeer &&
+        a.peer >= static_cast<std::int64_t>(num_nodes()))
+      throw std::invalid_argument(
+          cfg_.name + ": load trace names peer " + std::to_string(a.peer) +
+          " but the population is " + std::to_string(num_nodes()));
+  load_opts_ = std::move(opts);
+}
+
+void OverlayEngine::arm_open_loop() {
+  load_queues_.assign(num_nodes(), load::PeerQueue{});
+  load_trace_idx_ = 0;
+  load_live_depth_ = 0;
+  if (load_opts_.queue_sample_period_s > 0.0)
+    sim_.schedule_in(load_opts_.queue_sample_period_s,
+                     [this] { sample_load_queues(); });
+  if (!load_opts_.trace.empty())
+    schedule_next_trace_arrival();
+  else
+    schedule_next_generated_arrival(0.0);
+}
+
+void OverlayEngine::schedule_next_generated_arrival(double from_s) {
+  // Non-homogeneous Poisson by thinning: candidate points at the
+  // schedule's peak rate, each kept with probability rate(t)/peak.  All
+  // draws come from the load lane.
+  const double peak = load_opts_.schedule.peak_qps();
+  double t = from_s;
+  while (true) {
+    t += -std::log1p(-load_rng_.uniform()) / peak;
+    if (t >= horizon_s()) return;
+    if (load_rng_.uniform() * peak <= load_opts_.schedule.rate_at(t)) break;
+  }
+  sim_.schedule_at(t, [this] {
+    // Crashed peers still attract offered load; their arrivals are
+    // refused at admission, not silently skipped.
+    const auto peer = static_cast<net::NodeId>(
+        load_rng_.uniform_int(static_cast<std::uint64_t>(num_nodes())));
+    const double now = sim_.now();
+    handle_load_arrival(peer, load::kAnyItem);
+    schedule_next_generated_arrival(now);
+  });
+}
+
+void OverlayEngine::schedule_next_trace_arrival() {
+  while (load_trace_idx_ < load_opts_.trace.size()) {
+    const load::TraceArrival a = load_opts_.trace[load_trace_idx_++];
+    if (a.time_s >= horizon_s()) return;  // sorted: the rest is past the end
+    sim_.schedule_at(std::max(a.time_s, sim_.now()), [this, a] {
+      const net::NodeId peer =
+          a.peer == load::kAnyPeer
+              ? static_cast<net::NodeId>(load_rng_.uniform_int(
+                    static_cast<std::uint64_t>(num_nodes())))
+              : static_cast<net::NodeId>(a.peer);
+      handle_load_arrival(peer, a.item);
+      schedule_next_trace_arrival();
+    });
+    return;
+  }
+}
+
+void OverlayEngine::handle_load_arrival(net::NodeId peer, std::uint64_t item) {
+  const double now = sim_.now();
+  ++load_stats_.offered;
+  load_stats_.offered_series.add(now, 1);
+  load::PeerQueue& q = load_queues_[peer];
+  if (node_dead(peer) || q.depth() >= load_opts_.admission_cap) {
+    ++load_stats_.rejected;
+    load_stats_.rejected_series.add(now, 1);
+    return;
+  }
+  ++load_stats_.admitted;
+  q.waiting.push_back(load::PendingQuery{now, item});
+  ++load_live_depth_;
+  if (load_live_depth_ > load_stats_.peak_queue_depth)
+    load_stats_.peak_queue_depth = load_live_depth_;
+  if (!q.busy) start_load_service(peer);
+}
+
+void OverlayEngine::start_load_service(net::NodeId peer) {
+  load::PeerQueue& q = load_queues_[peer];
+  if (q.busy || q.waiting.empty()) return;
+  if (node_dead(peer)) {
+    shed_load_queue(peer);
+    return;
+  }
+  const load::PendingQuery job = q.waiting.front();
+  q.waiting.pop_front();
+  q.busy = true;
+  const load::Served served = serve_injected_query(peer, job.item);
+  const double latency_s = served.latency_s > 0.0 ? served.latency_s : 0.0;
+  sim_.schedule_in(latency_s,
+                   [this, peer, arrival = job.arrival_s, hit = served.hit] {
+                     finish_load_service(peer, arrival, hit);
+                   });
+}
+
+void OverlayEngine::finish_load_service(net::NodeId peer, double arrival_s,
+                                        bool hit) {
+  load::PeerQueue& q = load_queues_[peer];
+  q.busy = false;
+  --load_live_depth_;
+  ++load_stats_.completed;
+  if (hit) ++load_stats_.hits;
+  const double now = sim_.now();
+  if (now >= warmup_s()) {
+    ++load_stats_.completed_after_warmup;
+    if (hit) ++load_stats_.hits_after_warmup;
+    load_stats_.sojourn_s.add(now - arrival_s);
+    load_stats_.sojourn_hist.add(now - arrival_s);
+  }
+  // A peer that crashed mid-service completes the in-flight query (the
+  // analytic latency was already determined) but its queue is shed.
+  if (node_dead(peer)) {
+    shed_load_queue(peer);
+    return;
+  }
+  start_load_service(peer);
+}
+
+void OverlayEngine::shed_load_queue(net::NodeId peer) {
+  load::PeerQueue& q = load_queues_[peer];
+  load_stats_.shed += q.waiting.size();
+  load_live_depth_ -= q.waiting.size();
+  q.waiting.clear();
+}
+
+void OverlayEngine::sample_load_queues() {
+  load_stats_.queue_depth.add(static_cast<double>(load_live_depth_));
+  const double period = load_opts_.queue_sample_period_s;
+  if (sim_.now() + period <= horizon_s())
+    sim_.schedule_in(period, [this] { sample_load_queues(); });
 }
 
 }  // namespace dsf::sim

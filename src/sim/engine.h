@@ -33,6 +33,7 @@
 #include "des/rng.h"
 #include "des/sharded.h"
 #include "des/simulator.h"
+#include "load/open_loop.h"
 #include "metrics/time_series.h"
 #include "net/delay_model.h"
 #include "net/message.h"
@@ -387,6 +388,26 @@ class OverlayEngine {
   /// engine replay the snapshot's pending events.
   bool resumed() const noexcept { return resumed_; }
 
+  /// --- open-loop load injection (off by default: zero draws, zero
+  /// events, so closed-loop runs stay byte-identical with the layer
+  /// compiled in) ---------------------------------------------------------
+  /// Arms the open-loop front-end: an external query stream (trace file
+  /// or built-in generator with an arrival-rate schedule) is injected on
+  /// top of the scenario's own closed-loop workload, through a bounded
+  /// per-peer admission queue.  Every arrival/targeting decision draws
+  /// from a dedicated load lane (derived via des::hash_seed from the
+  /// scenario seed, like the fault lane), never from the master stream.
+  /// Must be called before run.  Serial only: rejected with --shards > 1
+  /// and mutually exclusive with snapshots (both std::invalid_argument).
+  void set_open_loop(load::OpenLoopOptions opts);
+
+  /// True when the open-loop front-end is armed.
+  bool open_loop() const noexcept { return load_opts_.enabled; }
+
+  /// Admission/latency accounting of the armed open-loop run (zeros when
+  /// the layer is off).  `pending` is filled in at end of run.
+  const load::LoadStats& load_stats() const noexcept { return load_stats_; }
+
  protected:
   explicit OverlayEngine(EngineConfig cfg);
   ~OverlayEngine() = default;
@@ -451,6 +472,9 @@ class OverlayEngine {
     ShardContext* c = active_ctx();
     return c ? c->fault : fault_rng_;
   }
+  /// The open-loop layer's dedicated lane (arrival thinning, peer/item
+  /// targeting).  Serial only — the layer rejects sharded runs.
+  des::Rng& load_lane() noexcept { return load_rng_; }
 
   /// Per-search visited stamps / flood scratch (per-shard when parallel:
   /// two concurrent searches on different shards must not share
@@ -754,6 +778,17 @@ class OverlayEngine {
                       std::uint64_t results, int first_hit_hop,
                       double first_result_delay_s);
 
+  /// --- open-loop injection hook ----------------------------------------
+  /// Serves one injected query at `peer` synchronously: runs the
+  /// scenario's search machinery (messages accounted through the ledger,
+  /// spans visible in the flight recorder) and returns the service
+  /// latency plus the hit verdict.  `item` is a scenario-defined object
+  /// id, or load::kAnyItem to draw one from the workload model using the
+  /// load lane.  Called only while the open-loop layer is armed; the
+  /// default fails closed for scenarios without an override.
+  virtual load::Served serve_injected_query(net::NodeId peer,
+                                            std::uint64_t item);
+
   /// Called exactly once per crash_node(), before any further event runs.
   /// Scenarios cancel the victim's own pending activity (its queries, its
   /// session timer) here — and must NOT touch the overlay: dangling
@@ -943,6 +978,16 @@ class OverlayEngine {
   void schedule_crash_process();
   void schedule_next_crash(double at_s);
 
+  /// --- open-loop machinery (serial only) --------------------------------
+  void arm_open_loop();
+  void schedule_next_generated_arrival(double from_s);
+  void schedule_next_trace_arrival();
+  void handle_load_arrival(net::NodeId peer, std::uint64_t item);
+  void start_load_service(net::NodeId peer);
+  void finish_load_service(net::NodeId peer, double arrival_s, bool hit);
+  void shed_load_queue(net::NodeId peer);
+  void sample_load_queues();
+
   des::Rng* topo_ = nullptr;
   des::Rng* session_ = nullptr;
   des::Rng* query_ = nullptr;
@@ -964,6 +1009,16 @@ class OverlayEngine {
   std::vector<char> dead_;
   std::uint64_t crash_count_ = 0;
   bool fault_active_ = false;
+
+  /// Open-loop load state.  The lane is derived (never split) from the
+  /// scenario seed; with the layer off nothing here schedules events or
+  /// draws, which is the closed-loop byte-identity half of the contract.
+  load::OpenLoopOptions load_opts_;
+  des::Rng load_rng_;
+  load::LoadStats load_stats_;
+  std::vector<load::PeerQueue> load_queues_;
+  std::size_t load_trace_idx_ = 0;
+  std::uint64_t load_live_depth_ = 0;  ///< queued + in-service, all peers
 
   /// Flight-recorder state.  `obs_` is non-null only while an *enabled*
   /// sink is attached; span ids are issued 1-based so 0 means "no span".

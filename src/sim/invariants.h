@@ -38,7 +38,7 @@ namespace dsf::sim {
 /// One detected violation: which invariant class, when, and what happened.
 struct InvariantViolation {
   std::string invariant;  ///< "conservation", "ttl", "dead-delivery",
-                          ///< "overlay", or "ledger"
+                          ///< "overlay", "ledger", or "admission"
   std::string detail;
   double time_s = 0.0;
 };
@@ -157,6 +157,32 @@ class InvariantChecker {
                     std::to_string(ledger.stats().total(t)),
                 last_time_s_);
     }
+  }
+
+  /// Certifies the open-loop admission accounting at end of run: every
+  /// offered arrival was either admitted or rejected, and every admitted
+  /// query ended the run completed, shed, or still pending.  Call with
+  /// OverlayEngine::load_stats() after run (no-op on all-zero stats, so
+  /// closed-loop certification paths can call it unconditionally).
+  void check_admission(const load::LoadStats& s) {
+    if (s.admitted + s.rejected != s.offered)
+      violate("admission",
+              "offered (" + std::to_string(s.offered) +
+                  ") != admitted (" + std::to_string(s.admitted) +
+                  ") + rejected (" + std::to_string(s.rejected) + ")",
+              last_time_s_);
+    if (s.completed + s.shed + s.pending != s.admitted)
+      violate("admission",
+              "admitted (" + std::to_string(s.admitted) +
+                  ") != completed (" + std::to_string(s.completed) +
+                  ") + shed (" + std::to_string(s.shed) + ") + pending (" +
+                  std::to_string(s.pending) + ")",
+              last_time_s_);
+    if (s.hits > s.completed)
+      violate("admission",
+              "hits (" + std::to_string(s.hits) + ") exceed completions (" +
+                  std::to_string(s.completed) + ")",
+              last_time_s_);
   }
 
   /// --- counters ---------------------------------------------------------

@@ -63,110 +63,128 @@ WebCacheSim::WebCacheSim(const WebCacheConfig& config)
   }
 }
 
-PageId WebCacheSim::draw_page(net::NodeId p) {
+PageId WebCacheSim::draw_page(net::NodeId p, des::Rng& r) {
   // topic_share of requests in the proxy's own community, the rest uniform
   // over all topics — the cross-topic tail is what adaptive neighbor choice
   // cannot help with, keeping the comparison honest.
   const std::uint32_t pages_per_topic = config_.num_pages / config_.num_topics;
   std::uint32_t topic = proxies_[p].topic;
-  if (!rng().bernoulli(config_.topic_share))
-    topic = static_cast<std::uint32_t>(rng().uniform_int(config_.num_topics));
-  const auto rank = static_cast<std::uint32_t>(page_zipf_.sample(rng()));
+  if (!r.bernoulli(config_.topic_share))
+    topic = static_cast<std::uint32_t>(r.uniform_int(config_.num_topics));
+  const auto rank = static_cast<std::uint32_t>(page_zipf_.sample(r));
   return topic * pages_per_topic + rank;
+}
+
+double WebCacheSim::serve_page(net::NodeId p, PageId page, bool record,
+                               bool* hit) {
+  Proxy& proxy = proxies_[p];
+  const bool faulty = fault_layer_active();
+  bool local;
+  {
+    const auto guard = peer_section(p);
+    local = proxy.cache.touch(page);
+  }
+  if (local) {
+    if (record) {
+      ++res().local_hits;
+      res().latency_s.add(0.001);  // local service time
+    }
+    if (hit) *hit = true;
+    return 0.001;
+  }
+  // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
+  // origin server as the alternative repository.
+  const std::uint32_t span = obs_search_begin(p, 1, page);
+  if (faulty) begin_faulty_search(1);
+  double latency = 0.0;
+  net::NodeId holder = net::kInvalidNode;
+  for (net::NodeId q : overlay_.out_neighbors(p)) {
+    count(net::MessageType::kQuery);
+    if (faulty) {
+      const auto tq = transmit(net::MessageType::kQuery, p, q, 1);
+      if (tq.duplicate) count(net::MessageType::kQuery);
+      if (!tq.deliver) continue;  // probe lost or neighbor crashed
+    }
+    count(net::MessageType::kQueryReply);
+    if (faulty) {
+      const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
+      if (tr.duplicate) count(net::MessageType::kQueryReply);
+      if (!tr.deliver) continue;  // reply lost: the probe goes unanswered
+    }
+    if (holder == net::kInvalidNode) {
+      const auto guard = peer_section(q);
+      if (proxies_[q].cache.contains(page)) holder = q;
+    }
+  }
+  if (holder != net::kInvalidNode) {
+    // Request + page transfer from the neighbor.
+    latency = 2.0 * sample_delay_s(p, holder);
+    if (record) ++res().neighbor_hits;
+    if (config_.dynamic) {
+      core::ResultInfo info;
+      info.responder = holder;
+      info.items = 1.0;
+      info.latency_s = latency;
+      proxy.stats.add(holder, benefit_.benefit(info));
+    }
+  } else if (config_.num_parents > 0 && !overlay_.out_neighbors(p).empty() &&
+             !node_dead(overlay_.out_neighbors(p).front())) {
+    // Hierarchy: the miss resolves at the origin *through* the primary
+    // parent, which caches the page on the way — the aggregation that
+    // makes top-level proxies worth having.
+    const net::NodeId parent = overlay_.out_neighbors(p).front();
+    latency = config_.origin_latency_s + 2.0 * sample_delay_s(p, parent);
+    {
+      const auto guard = peer_section(parent);
+      proxies_[parent].cache.insert(page);
+    }
+    if (record) ++res().origin_fetches;
+  } else {
+    latency = config_.origin_latency_s;
+    if (record) ++res().origin_fetches;
+  }
+  if (holder != net::kInvalidNode)
+    obs_search_end(span, p, 1, 1, latency);
+  else
+    obs_search_end(span, p, 0, -1, -1.0);
+  if (record) res().latency_s.add(latency);
+  {
+    const auto guard = peer_section(p);
+    proxy.cache.insert(page);
+  }
+  if (hit) *hit = holder != net::kInvalidNode;
+  return latency;
 }
 
 void WebCacheSim::request(net::NodeId p) {
   if (node_dead(p)) return;  // a crashed proxy stops serving its clients
-  Proxy& proxy = proxies_[p];
   {
     // Requests only read the overlay, so shards serve concurrently under
-    // the shared section; per-proxy caches get stripe guards because the
-    // probe reads remote caches (and a hierarchy miss warms the parent's)
-    // while owners mutate their own LRU state.  Serially every guard is a
-    // no-op.
+    // the shared section; per-proxy caches get stripe guards inside
+    // serve_page because the probe reads remote caches (and a hierarchy
+    // miss warms the parent's) while owners mutate their own LRU state.
+    // Serially every guard is a no-op.
     const Section lock = shared_section();
     const PageId page = draw_page(p);
-    const bool report = reporting();
-    const bool faulty = fault_layer_active();
-    if (report) ++res().requests;
-
-    bool local;
-    {
-      const auto guard = peer_section(p);
-      local = proxy.cache.touch(page);
-    }
-    if (local) {
-      if (report) {
-        ++res().local_hits;
-        res().latency_s.add(0.001);  // local service time
-      }
-    } else {
-      // One-hop probe of the outgoing neighbors (Squid: hops = 1), then the
-      // origin server as the alternative repository.
-      const std::uint32_t span = obs_search_begin(p, 1, page);
-      if (faulty) begin_faulty_search(1);
-      double latency = 0.0;
-      net::NodeId holder = net::kInvalidNode;
-      for (net::NodeId q : overlay_.out_neighbors(p)) {
-        count(net::MessageType::kQuery);
-        if (faulty) {
-          const auto tq = transmit(net::MessageType::kQuery, p, q, 1);
-          if (tq.duplicate) count(net::MessageType::kQuery);
-          if (!tq.deliver) continue;  // probe lost or neighbor crashed
-        }
-        count(net::MessageType::kQueryReply);
-        if (faulty) {
-          const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
-          if (tr.duplicate) count(net::MessageType::kQueryReply);
-          if (!tr.deliver) continue;  // reply lost: the probe goes unanswered
-        }
-        if (holder == net::kInvalidNode) {
-          const auto guard = peer_section(q);
-          if (proxies_[q].cache.contains(page)) holder = q;
-        }
-      }
-      if (holder != net::kInvalidNode) {
-        // Request + page transfer from the neighbor.
-        latency = 2.0 * sample_delay_s(p, holder);
-        if (report) ++res().neighbor_hits;
-        if (config_.dynamic) {
-          core::ResultInfo info;
-          info.responder = holder;
-          info.items = 1.0;
-          info.latency_s = latency;
-          proxy.stats.add(holder, benefit_.benefit(info));
-        }
-      } else if (config_.num_parents > 0 &&
-                 !overlay_.out_neighbors(p).empty() &&
-                 !node_dead(overlay_.out_neighbors(p).front())) {
-        // Hierarchy: the miss resolves at the origin *through* the primary
-        // parent, which caches the page on the way — the aggregation that
-        // makes top-level proxies worth having.
-        const net::NodeId parent = overlay_.out_neighbors(p).front();
-        latency = config_.origin_latency_s + 2.0 * sample_delay_s(p, parent);
-        {
-          const auto guard = peer_section(parent);
-          proxies_[parent].cache.insert(page);
-        }
-        if (report) ++res().origin_fetches;
-      } else {
-        latency = config_.origin_latency_s;
-        if (report) ++res().origin_fetches;
-      }
-      if (holder != net::kInvalidNode)
-        obs_search_end(span, p, 1, 1, latency);
-      else
-        obs_search_end(span, p, 0, -1, -1.0);
-      if (report) res().latency_s.add(latency);
-      {
-        const auto guard = peer_section(p);
-        proxy.cache.insert(page);
-      }
-    }
+    if (reporting()) ++res().requests;
+    serve_page(p, page, reporting(), nullptr);
   }
 
   schedule_keyed_self(p, interrequest_.sample(rng()), kWebRequest, p, 0,
                       [this, p] { request(p); });
+}
+
+load::Served WebCacheSim::serve_injected_query(net::NodeId p,
+                                               std::uint64_t item) {
+  // Open-loop runs are serial, so the sections are no-ops; taking them
+  // anyway keeps the path identical to closed-loop service.
+  const Section lock = shared_section();
+  const PageId page = item == load::kAnyItem
+                          ? draw_page(p, load_lane())
+                          : static_cast<PageId>(item % config_.num_pages);
+  load::Served served;
+  served.latency_s = serve_page(p, page, /*record=*/false, &served.hit);
+  return served;
 }
 
 void WebCacheSim::explore_from(net::NodeId p) {

@@ -96,6 +96,16 @@ class WebCacheSim : public sim::OverlayEngine {
   const WebCacheConfig& config() const noexcept { return config_; }
 
  protected:
+  /// Open-loop injection: serves one external page request at proxy `p`
+  /// through the same cache/probe/origin path as closed-loop requests
+  /// (caches warm, dynamic statistics fed, span-visible) without touching
+  /// the closed-loop WebCacheResult counters.  `item` is a PageId, or
+  /// load::kAnyItem to draw from `p`'s topic mix on the load lane.  Every
+  /// request is served (the origin is always available); hit means the
+  /// page came from a cooperative cache, local or neighbor.
+  load::Served serve_injected_query(net::NodeId p,
+                                    std::uint64_t item) override;
+
   /// Snapshot hooks: per-proxy caches, benefit statistics and content
   /// digests (mutable — rebuilt periodically) plus the result accumulators.
   void save_domain(snap::Writer::Out& out) const override;
@@ -120,10 +130,17 @@ class WebCacheSim : public sim::OverlayEngine {
   static sim::EngineConfig make_engine_config(const WebCacheConfig& config);
 
   void request(net::NodeId p);
+  /// The service path shared by closed-loop requests and open-loop
+  /// injection: local LRU touch, one-hop neighbor probe, origin fallback.
+  /// Returns the end-to-end latency; sets *hit when the page was served
+  /// from a cache (own or neighbor) rather than the origin.  `record`
+  /// gates the WebCacheResult counters (false for injected queries).
+  double serve_page(net::NodeId p, PageId page, bool record, bool* hit);
   void explore_from(net::NodeId p);
   void update_neighbors(net::NodeId p);
   void rebuild_digest(net::NodeId p);
-  PageId draw_page(net::NodeId p);
+  PageId draw_page(net::NodeId p) { return draw_page(p, rng()); }
+  PageId draw_page(net::NodeId p, des::Rng& r);
   bool is_parent(net::NodeId p) const noexcept {
     return p < config_.num_parents;
   }

@@ -96,6 +96,41 @@ TEST(Args, ShortOptionDoesNotSwallowNegativeValue) {
   EXPECT_EQ(a.get_int("j", 0), -1);
 }
 
+TEST(Args, OverflowIntegerThrowsTypedOutOfRangeError) {
+  // std::stoll throws std::out_of_range here; the old blanket catch
+  // re-labeled it "not an integer", and before that the exception
+  // escaped the driver entirely.  It must surface as a FlagError (so
+  // drivers can map it to exit 2) that names both the flag and the
+  // actual problem.
+  const Args a = make({"--peers", "99999999999999999999"});
+  try {
+    a.get_int("peers", 0);
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--peers"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  }
+}
+
+TEST(Args, OverflowDoubleThrowsTypedOutOfRangeError) {
+  const Args a = make({"--rate", "1e999"});
+  try {
+    a.get_double("rate", 0.0);
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--rate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  }
+}
+
+TEST(Args, FlagErrorIsAnInvalidArgument) {
+  // Existing catch-sites that handle std::invalid_argument keep working.
+  const Args a = make({"--n", "99999999999999999999"});
+  EXPECT_THROW(a.get_int("n", 0), std::invalid_argument);
+}
+
 TEST(Args, DashDigitAndBareDashAreNotOptions) {
   const Args a = make({"-7", "-"});
   EXPECT_EQ(a.positional(), (std::vector<std::string>{"-7", "-"}));

@@ -99,6 +99,35 @@ TEST(FlagRegistry, BadTypedValueThrows) {
   EXPECT_THROW(reg.parse(a.argc(), a.argv()), std::invalid_argument);
 }
 
+TEST(FlagRegistry, OverflowIntegerIsATypedOutOfRangeError) {
+  // Eager validation in parse() must catch a value that parses but does
+  // not fit in int64 — and say so, instead of the old "not an integer"
+  // (or, worse, an uncaught std::out_of_range crossing main).
+  auto reg = make_registry();
+  const Argv a({"--peers", "99999999999999999999"});
+  try {
+    reg.parse(a.argc(), a.argv());
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--peers"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("integer out of range"), std::string::npos) << msg;
+  }
+}
+
+TEST(FlagRegistry, OverflowDoubleIsATypedOutOfRangeError) {
+  auto reg = make_registry();
+  const Argv a({"--drop", "1e999"});
+  try {
+    reg.parse(a.argc(), a.argv());
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--drop"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("number out of range"), std::string::npos) << msg;
+  }
+}
+
 TEST(FlagRegistry, HelpIsDeclaredAndRendersGroupsAliasesDefaults) {
   auto reg = make_registry();
   const Argv a({"--help"});

@@ -1,0 +1,156 @@
+// Arrival schedules and the trace reader: the pure deterministic inputs
+// to the open-loop generator.  Shapes are pinned pointwise (rate_at is a
+// pure function) and the trace grammar is pinned line by line.
+#include "load/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "load/trace_reader.h"
+
+namespace dsf::load {
+namespace {
+
+TEST(Schedule, ParseRoundTripsEveryKind) {
+  for (ScheduleKind k :
+       {ScheduleKind::kConstant, ScheduleKind::kDiurnal, ScheduleKind::kFlash,
+        ScheduleKind::kStep}) {
+    EXPECT_EQ(parse_schedule(schedule_name(k)), k);
+  }
+}
+
+TEST(Schedule, ParseRejectsUnknownName) {
+  EXPECT_THROW(parse_schedule("bursty"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule(""), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("Constant"), std::invalid_argument);
+}
+
+TEST(Schedule, ConstantIsFlatAtBase) {
+  const auto s = make_schedule(ScheduleKind::kConstant, 5.0, 1.0, 3600.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1800.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(3599.9), 5.0);
+  EXPECT_DOUBLE_EQ(s.peak_qps(), 5.0);
+}
+
+TEST(Schedule, StepFiresAtMidRun) {
+  const auto s = make_schedule(ScheduleKind::kStep, 2.0, 4.0, 1000.0);
+  EXPECT_DOUBLE_EQ(s.step_at_s, 500.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(499.9), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(500.0), 8.0);  // boundary belongs to overload
+  EXPECT_DOUBLE_EQ(s.rate_at(999.0), 8.0);
+  EXPECT_DOUBLE_EQ(s.peak_qps(), 8.0);
+}
+
+TEST(Schedule, FlashCrowdOccupiesTheMiddleFifth) {
+  const auto s = make_schedule(ScheduleKind::kFlash, 1.0, 10.0, 1000.0);
+  EXPECT_DOUBLE_EQ(s.flash_start_s, 400.0);
+  EXPECT_DOUBLE_EQ(s.flash_duration_s, 200.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(399.9), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(400.0), 10.0);  // half-open [start, start+dur)
+  EXPECT_DOUBLE_EQ(s.rate_at(599.9), 10.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(600.0), 1.0);
+}
+
+TEST(Schedule, DiurnalTroughAtStartCrestHalfAPeriodIn) {
+  const auto s = make_schedule(ScheduleKind::kDiurnal, 2.0, 3.0, 86400.0);
+  EXPECT_DOUBLE_EQ(s.diurnal_period_s, 86400.0);
+  EXPECT_NEAR(s.rate_at(0.0), 2.0, 1e-9);       // trough = base
+  EXPECT_NEAR(s.rate_at(43200.0), 6.0, 1e-9);   // crest = base * overload
+  EXPECT_NEAR(s.rate_at(86400.0), 2.0, 1e-9);   // back to trough
+  EXPECT_DOUBLE_EQ(s.peak_qps(), 6.0);
+}
+
+TEST(Schedule, DiurnalPeriodShrinksToShortHorizons) {
+  // A half-hour run still sees a full crest: the wave spans the horizon.
+  const auto s = make_schedule(ScheduleKind::kDiurnal, 1.0, 2.0, 1800.0);
+  EXPECT_DOUBLE_EQ(s.diurnal_period_s, 1800.0);
+  EXPECT_NEAR(s.rate_at(900.0), 2.0, 1e-9);
+}
+
+TEST(Schedule, MakeScheduleValidatesItsInputs) {
+  EXPECT_THROW(make_schedule(ScheduleKind::kConstant, 0.0, 1.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_schedule(ScheduleKind::kConstant, -2.0, 1.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_schedule(ScheduleKind::kStep, 1.0, 0.5, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_schedule(ScheduleKind::kStep, 1.0, 101.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_schedule(ScheduleKind::kConstant, 1.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Schedule, RateNeverBelowBaseNorAbovePeak) {
+  for (ScheduleKind k :
+       {ScheduleKind::kDiurnal, ScheduleKind::kFlash, ScheduleKind::kStep}) {
+    const auto s = make_schedule(k, 3.0, 5.0, 7200.0);
+    for (double t = 0.0; t <= 7200.0; t += 60.0) {
+      EXPECT_GE(s.rate_at(t), s.base_qps - 1e-9) << schedule_name(k) << " " << t;
+      EXPECT_LE(s.rate_at(t), s.peak_qps() + 1e-9) << schedule_name(k) << " " << t;
+    }
+  }
+}
+
+// --- trace grammar --------------------------------------------------------
+
+TEST(TraceReader, ParsesArrivalLines) {
+  TraceArrival a;
+  ASSERT_TRUE(parse_trace_line("12.5 3 42", &a));
+  EXPECT_DOUBLE_EQ(a.time_s, 12.5);
+  EXPECT_EQ(a.peer, 3);
+  EXPECT_EQ(a.item, 42u);
+}
+
+TEST(TraceReader, AnyPeerAndAnyItemSentinels) {
+  TraceArrival a;
+  ASSERT_TRUE(parse_trace_line("0.0 -1 -1", &a));
+  EXPECT_EQ(a.peer, kAnyPeer);
+  EXPECT_EQ(a.item, kAnyItem);
+}
+
+TEST(TraceReader, SkipsBlankAndCommentLines) {
+  TraceArrival a;
+  EXPECT_FALSE(parse_trace_line("", &a));
+  EXPECT_FALSE(parse_trace_line("   ", &a));
+  EXPECT_FALSE(parse_trace_line("# header", &a));
+}
+
+TEST(TraceReader, MalformedLinesThrow) {
+  TraceArrival a;
+  EXPECT_THROW(parse_trace_line("1.0", &a), std::invalid_argument);
+  EXPECT_THROW(parse_trace_line("abc 0 0", &a), std::invalid_argument);
+  EXPECT_THROW(parse_trace_line("-1.0 0 0", &a), std::invalid_argument);
+  EXPECT_THROW(parse_trace_line("nan 0 0", &a), std::invalid_argument);
+}
+
+TEST(TraceReader, FileArrivalsComeBackSortedByTime) {
+  const std::string path =
+      testing::TempDir() + "/dsf_load_trace_sort_test.txt";
+  {
+    std::ofstream f(path);
+    f << "# out-of-order on purpose\n"
+      << "30.0 1 5\n"
+      << "10.0 0 -1\n"
+      << "20.0 -1 7\n";
+  }
+  const auto arrivals = read_trace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_DOUBLE_EQ(arrivals[0].time_s, 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[1].time_s, 20.0);
+  EXPECT_DOUBLE_EQ(arrivals[2].time_s, 30.0);
+  EXPECT_EQ(arrivals[1].item, 7u);
+}
+
+TEST(TraceReader, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW(read_trace("/nonexistent/dsf_load_trace.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsf::load

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -196,6 +198,89 @@ TEST(Histogram, AllMassInOverflowQuantiles) {
   h.add(60.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZeroSentinel) {
+  // The documented sentinel: an empty histogram answers 0.0 for every q
+  // (the previous fall-through reached the hi_-edge branch and reported
+  // the histogram's *upper* bound — and emitters formatting the result
+  // with %f would otherwise print "nan"/"inf" and corrupt JSON).
+  const Histogram h(0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, NonFiniteQuantileRankThrows) {
+  // NaN survives std::clamp (every comparison is false), then fails every
+  // cumulative-mass test and silently fell through to the hi_ edge.  A
+  // non-finite rank is a caller bug and must throw, empty or not.
+  Histogram h(0.0, 100.0, 10);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(h.quantile(nan), std::invalid_argument);
+  EXPECT_THROW(h.quantile(inf), std::invalid_argument);
+  h.add(5.0);
+  EXPECT_THROW(h.quantile(nan), std::invalid_argument);
+  EXPECT_THROW(h.quantile(-inf), std::invalid_argument);
+}
+
+TEST(TimeSeries, RejectsNonFiniteWidth) {
+  // +inf passes a bare `> 0` check, folds every sample into bucket 0,
+  // and still compares equal in the operator+= geometry check — a
+  // silently wrong series on both ends.
+  EXPECT_THROW(TimeSeries(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(TimeSeries(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(Histogram, RejectsNonFiniteEdges) {
+  // An infinite edge passes `hi > lo` but makes the bin width infinite,
+  // so every in-range add computes a NaN bin index (UB at the cast).
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Histogram(-inf, 10.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, inf, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::numeric_limits<double>::quiet_NaN(), 10.0, 10),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, MergeRejectsOneUlpWidthMismatch) {
+  // The geometry check is a plain double compare, so it must already be
+  // exact to the last ulp — pin that with bit_cast so a future "helpful"
+  // epsilon-tolerance rewrite trips this test.
+  const double w = 3600.0;
+  const double w_ulp =
+      std::bit_cast<double>(std::bit_cast<std::uint64_t>(w) + 1);
+  ASSERT_NE(w, w_ulp);
+  TimeSeries a(w);
+  TimeSeries b(w_ulp);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Histogram, MergeRejectsOneUlpEdgeMismatch) {
+  const double hi = 60.0;
+  const double hi_ulp =
+      std::bit_cast<double>(std::bit_cast<std::uint64_t>(hi) + 1);
+  Histogram a(0.0, hi, 100);
+  Histogram b(0.0, hi_ulp, 100);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Histogram, MergeAcceptsNegativeZeroEdge) {
+  // -0.0 == 0.0: bitwise-different but numerically identical geometry.
+  // Bin indices are computed from the numeric value, so samples land
+  // identically on both sides and the merge is sound — the check is a
+  // numeric compare, not a bit compare, and that is deliberate.
+  ASSERT_NE(std::bit_cast<std::uint64_t>(0.0),
+            std::bit_cast<std::uint64_t>(-0.0));
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(-0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(1.5);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.bins()[1], 2u);
 }
 
 }  // namespace

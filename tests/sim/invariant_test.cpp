@@ -255,6 +255,67 @@ TEST(InvariantChecker, SentMismatchCaughtOnlyForExactTypes) {
   EXPECT_TRUE(has_violation(c, "ledger"));
 }
 
+// --- admission conservation ----------------------------------------------
+
+TEST(InvariantChecker, CleanAdmissionAccountingPasses) {
+  load::LoadStats s;
+  s.offered = 100;
+  s.admitted = 80;
+  s.rejected = 20;
+  s.completed = 70;
+  s.shed = 4;
+  s.pending = 6;
+  s.hits = 33;
+  InvariantChecker c;
+  c.check_admission(s);
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(InvariantChecker, LostArrivalViolatesAdmissionConservation) {
+  load::LoadStats s;
+  s.offered = 100;
+  s.admitted = 80;
+  s.rejected = 19;  // one arrival vanished between admission and rejection
+  s.completed = 80;
+  InvariantChecker c;
+  c.check_admission(s);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "admission"));
+}
+
+TEST(InvariantChecker, LeakedAdmittedQueryIsCaught) {
+  load::LoadStats s;
+  s.offered = 50;
+  s.admitted = 50;
+  s.completed = 40;
+  s.shed = 2;
+  s.pending = 7;  // 40 + 2 + 7 != 50: one admitted query leaked
+  InvariantChecker c;
+  c.check_admission(s);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "admission"));
+}
+
+TEST(InvariantChecker, MoreHitsThanCompletionsIsCaught) {
+  load::LoadStats s;
+  s.offered = 10;
+  s.admitted = 10;
+  s.completed = 10;
+  s.hits = 11;
+  InvariantChecker c;
+  c.check_admission(s);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_violation(c, "admission"));
+}
+
+TEST(InvariantChecker, AllZeroLoadStatsAreVacuouslyClean) {
+  // Closed-loop runs call check_admission unconditionally; a disabled
+  // layer reports all-zero stats and must not trip anything.
+  InvariantChecker c;
+  c.check_admission(load::LoadStats{});
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
 // --- reporting and the recording cap -------------------------------------
 
 TEST(InvariantChecker, ViolationCapCountsExactly) {

@@ -44,10 +44,25 @@
 //                            byte-identical to the uninterrupted one.  The
 //                            scenario flags must match the saving run.
 //
-// Unknown options are rejected with a nearest-match suggestion (exit 2).
-// Corrupt, truncated or mismatched snapshot files exit 5 without partial
-// state mutation.  Text output is human-readable; --json emits a
-// machine-readable record for scripting sweeps.
+// and the open-loop load group (serial runs only; mutually exclusive with
+// snapshots):
+//
+//   --open-loop              inject an external query stream on top of the
+//                            closed-loop workload, with per-peer admission
+//                            control
+//   --arrival-rate X         aggregate offered load in queries/second
+//   --arrival-schedule S     constant | diurnal | flash | step
+//   --overload-factor X      peak multiplier for the non-constant shapes
+//   --admission-cap N        per-peer bound on waiting + in-service queries
+//   --load-trace FILE        replay arrivals from a trace file
+//                            ("time_s peer item" per line) instead of the
+//                            generator
+//
+// Command-line errors — unknown options (rejected with a nearest-match
+// suggestion) and values that do not parse as, or overflow, the declared
+// type — exit 2.  Corrupt, truncated or mismatched snapshot files exit 5
+// without partial state mutation.  Text output is human-readable; --json
+// emits a machine-readable record for scripting sweeps.
 
 #include <cstdio>
 #include <iostream>
@@ -59,6 +74,9 @@
 #include "cli/flag_registry.h"
 #include "diglib/diglib_sim.h"
 #include "gnutella/simulation.h"
+#include "load/open_loop.h"
+#include "load/schedule.h"
+#include "load/trace_reader.h"
 #include "metrics/json.h"
 #include "obs/chrome_trace.h"
 #include "obs/ring_sink.h"
@@ -120,6 +138,22 @@ cli::FlagRegistry make_registry() {
       .add_string("load-snapshot", "",
                   "resume from a checkpoint written by --save-snapshot "
                   "(same scenario flags required)");
+
+  reg.group("open-loop load");
+  reg.add_bool("open-loop", false,
+               "inject an external query stream with per-peer admission "
+               "control (serial runs only)")
+      .add_double("arrival-rate", 0.0,
+                  "aggregate offered load in queries/second")
+      .add_string("arrival-schedule", "constant",
+                  "offered-load shape: constant|diurnal|flash|step")
+      .add_double("overload-factor", 4.0,
+                  "peak multiplier for the non-constant shapes")
+      .add_int("admission-cap", 8,
+               "per-peer bound on waiting + in-service injected queries")
+      .add_string("load-trace", "",
+                  "replay arrivals from a trace file (time_s peer item "
+                  "per line) instead of the generator");
 
   reg.group("flight recorder");
   reg.add_string("trace", "off", "off | null | ring (the flight recorder)")
@@ -235,6 +269,7 @@ struct FaultContext {
     if (!opts.check) return 0;
     checker.check_overlay(engine.overlay());
     checker.check_ledger(engine.ledger());
+    checker.check_admission(engine.load_stats());
     if (!checker.ok()) {
       std::fprintf(stderr, "%s", checker.report().c_str());
       return 4;
@@ -309,6 +344,113 @@ struct TraceContext {
   }
 };
 
+/// Parses the open-loop load group once, arms a scenario engine before
+/// run() (the engine itself rejects the incompatible combinations:
+/// --shards > 1 and either snapshot direction), and reports the
+/// admission/latency figures after.
+struct LoadContext {
+  bool enabled = false;
+  double rate_qps = 0.0;
+  std::string schedule;
+  double overload = 4.0;
+  std::int64_t cap = 8;
+  std::string trace_path;
+
+  explicit LoadContext(const cli::FlagRegistry& reg)
+      : enabled(reg.get_bool("open-loop")),
+        rate_qps(reg.get_double("arrival-rate")),
+        schedule(reg.get_string("arrival-schedule")),
+        overload(reg.get_double("overload-factor")),
+        cap(reg.get_int("admission-cap")),
+        trace_path(reg.get_string("load-trace")) {
+    if (!enabled && (reg.was_set("arrival-rate") ||
+                     reg.was_set("arrival-schedule") ||
+                     reg.was_set("overload-factor") ||
+                     reg.was_set("admission-cap") ||
+                     reg.was_set("load-trace")))
+      throw cli::FlagError(
+          "--arrival-rate/--arrival-schedule/--overload-factor/"
+          "--admission-cap/--load-trace need --open-loop");
+    if (enabled && !trace_path.empty() && reg.was_set("arrival-rate"))
+      throw cli::FlagError(
+          "--load-trace and --arrival-rate are mutually exclusive");
+    if (enabled && cap < 1)
+      throw cli::FlagError("--admission-cap: must be >= 1");
+  }
+
+  /// Builds the options against the scenario's resolved horizon (the
+  /// schedule shape windows are fractions of it) and arms the engine.
+  void arm(sim::OverlayEngine& engine, double sim_hours) const {
+    if (!enabled) return;
+    load::OpenLoopOptions o;
+    o.enabled = true;
+    o.admission_cap = static_cast<std::size_t>(cap);
+    if (!trace_path.empty())
+      o.trace = load::read_trace(trace_path);
+    else
+      o.schedule = load::make_schedule(load::parse_schedule(schedule),
+                                       rate_qps, overload, sim_hours * 3600.0);
+    engine.set_open_loop(std::move(o));
+  }
+
+  /// The machine-readable record nested under "load" in --json output.
+  metrics::JsonValue json(const sim::OverlayEngine& engine,
+                          double measure_s) const {
+    const load::LoadStats& s = engine.load_stats();
+    metrics::JsonValue out = metrics::JsonValue::object();
+    out.set("offered", metrics::JsonValue::number(s.offered))
+        .set("admitted", metrics::JsonValue::number(s.admitted))
+        .set("rejected", metrics::JsonValue::number(s.rejected))
+        .set("completed", metrics::JsonValue::number(s.completed))
+        .set("shed", metrics::JsonValue::number(s.shed))
+        .set("pending", metrics::JsonValue::number(s.pending))
+        .set("hits", metrics::JsonValue::number(s.hits))
+        .set("rejection_rate",
+             metrics::JsonValue::number(
+                 s.offered ? static_cast<double>(s.rejected) /
+                                 static_cast<double>(s.offered)
+                           : 0.0))
+        .set("goodput_qps",
+             metrics::JsonValue::number(
+                 measure_s > 0.0
+                     ? static_cast<double>(s.completed_after_warmup) /
+                           measure_s
+                     : 0.0))
+        .set("latency_p50_ms",
+             metrics::JsonValue::number(s.sojourn_hist.quantile(0.50) * 1e3))
+        .set("latency_p95_ms",
+             metrics::JsonValue::number(s.sojourn_hist.quantile(0.95) * 1e3))
+        .set("latency_p99_ms",
+             metrics::JsonValue::number(s.sojourn_hist.quantile(0.99) * 1e3))
+        .set("queue_depth_mean",
+             metrics::JsonValue::number(s.queue_depth.mean()))
+        .set("queue_depth_peak",
+             metrics::JsonValue::number(s.peak_queue_depth));
+    return out;
+  }
+
+  /// The human-readable summary line for text output.
+  void print(const sim::OverlayEngine& engine, double measure_s) const {
+    const load::LoadStats& s = engine.load_stats();
+    std::printf(
+        "open-loop: %llu offered, %llu admitted, %llu rejected (%.1f%%), "
+        "goodput %.2f q/s, p50/p95/p99 %.0f/%.0f/%.0f ms, peak queue %llu\n",
+        static_cast<unsigned long long>(s.offered),
+        static_cast<unsigned long long>(s.admitted),
+        static_cast<unsigned long long>(s.rejected),
+        s.offered ? 100.0 * static_cast<double>(s.rejected) /
+                        static_cast<double>(s.offered)
+                  : 0.0,
+        measure_s > 0.0
+            ? static_cast<double>(s.completed_after_warmup) / measure_s
+            : 0.0,
+        s.sojourn_hist.quantile(0.50) * 1e3,
+        s.sojourn_hist.quantile(0.95) * 1e3,
+        s.sojourn_hist.quantile(0.99) * 1e3,
+        static_cast<unsigned long long>(s.peak_queue_depth));
+  }
+};
+
 gnutella::SearchStrategy parse_strategy(const std::string& s) {
   if (s == "flood") return gnutella::SearchStrategy::kFlood;
   if (s == "iterative") return gnutella::SearchStrategy::kIterativeDeepening;
@@ -334,12 +476,15 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
+  LoadContext loadgen(reg);
   gnutella::Simulation sim(c);
   snap.arm(sim);
+  loadgen.arm(sim, c.sim_hours);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
+  const double measure_s = (c.sim_hours - c.warmup_hours) * 3600.0;
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("gnutella"))
@@ -355,6 +500,7 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
              metrics::JsonValue::number(r.first_result_delay_s.mean() * 1e3))
         .set("reconfigurations", metrics::JsonValue::number(r.reconfigurations))
         .set("evictions", metrics::JsonValue::number(r.evictions));
+    if (loadgen.enabled) out.set("load", loadgen.json(sim, measure_s));
     out.write(std::cout);
     std::cout << '\n';
   } else {
@@ -365,6 +511,7 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
                 static_cast<unsigned long long>(r.total_hits()),
                 static_cast<unsigned long long>(r.total_messages()),
                 r.first_result_delay_s.mean() * 1e3);
+    if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
   const int frc = fault.finish(sim);
@@ -381,12 +528,15 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
+  LoadContext loadgen(reg);
   webcache::WebCacheSim sim(c);
   snap.arm(sim);
+  loadgen.arm(sim, c.sim_hours);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
+  const double measure_s = (c.sim_hours - c.warmup_hours) * 3600.0;
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("webcache"))
@@ -397,6 +547,7 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
              metrics::JsonValue::number(r.neighbor_hit_rate()))
         .set("mean_latency_ms",
              metrics::JsonValue::number(r.latency_s.mean() * 1e3));
+    if (loadgen.enabled) out.set("load", loadgen.json(sim, measure_s));
     out.write(std::cout);
     std::cout << '\n';
   } else {
@@ -406,6 +557,7 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
                 static_cast<unsigned long long>(r.requests),
                 r.local_hit_rate() * 100, r.neighbor_hit_rate() * 100,
                 r.latency_s.mean() * 1e3);
+    if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
   const int frc = fault.finish(sim);
@@ -422,12 +574,15 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
+  LoadContext loadgen(reg);
   olap::OlapSim sim(c);
   snap.arm(sim);
+  loadgen.arm(sim, c.sim_hours);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
+  const double measure_s = (c.sim_hours - c.warmup_hours) * 3600.0;
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("olap"))
@@ -436,6 +591,7 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
         .set("peer_hit_rate", metrics::JsonValue::number(r.peer_hit_rate()))
         .set("mean_response_s",
              metrics::JsonValue::number(r.response_time_s.mean()));
+    if (loadgen.enabled) out.set("load", loadgen.json(sim, measure_s));
     out.write(std::cout);
     std::cout << '\n';
   } else {
@@ -444,6 +600,7 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
                 c.dynamic ? "dynamic" : "static",
                 static_cast<unsigned long long>(r.queries),
                 r.peer_hit_rate() * 100, r.response_time_s.mean());
+    if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
   const int frc = fault.finish(sim);
@@ -469,12 +626,15 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
   FaultContext fault(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
+  LoadContext loadgen(reg);
   diglib::DigLibSim sim(c);
   snap.arm(sim);
+  loadgen.arm(sim, c.sim_hours);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
   const auto r = sim.run();
+  const double measure_s = (c.sim_hours - c.warmup_hours) * 3600.0;
   if (json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("diglib"))
@@ -484,6 +644,7 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
         .set("recall", metrics::JsonValue::number(r.recall()))
         .set("messages_per_query",
              metrics::JsonValue::number(r.messages_per_query.mean()));
+    if (loadgen.enabled) out.set("load", loadgen.json(sim, measure_s));
     out.write(std::cout);
     std::cout << '\n';
   } else {
@@ -492,6 +653,7 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
                 mode.c_str(), static_cast<unsigned long long>(r.queries),
                 r.hit_rate() * 100, r.recall(),
                 r.messages_per_query.mean());
+    if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
   const int frc = fault.finish(sim);
@@ -517,7 +679,9 @@ int main(int argc, char** argv) {
     if (scenario == "olap") return run_olap(reg, json);
     if (scenario == "diglib") return run_diglib(reg, json);
     return usage();
-  } catch (const dsf::cli::UnknownFlag& e) {
+  } catch (const dsf::cli::FlagError& e) {
+    // The typed flag-error family: unknown options, type mismatches, and
+    // values that overflow the declared type all exit with usage status.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const dsf::snap::SnapshotError& e) {
