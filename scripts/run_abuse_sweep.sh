@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs the adversarial abuse sweep (bench_abuse_sweep) and validates the
+# resulting dsf-abuse-sweep-v1 document: schema tag, checker-clean flag,
+# non-empty point grid covering both schemes, the abuse conservation laws
+# on every point (abuse traffic is a subset of total traffic, hits never
+# exceed queries, a zero-fraction point carries zero abuse), and the case
+# study stanza.  CI's bench-smoke job calls this with --quick (DSF_FAST)
+# and archives the validated JSON; the full sweep produced BENCH_PR9.json
+# at the repo root.
+#
+# Usage: scripts/run_abuse_sweep.sh [--quick] [--out PATH] [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_path="${repo_root}/abuse_sweep.json"
+quick=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --out) out_path="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "usage: $0 [--quick] [--out PATH] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${build_dir}/bench/bench_abuse_sweep" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target bench_abuse_sweep -j
+fi
+
+csv_path="${out_path%.json}_series.csv"
+trace_path="${out_path%.json}_case_study_trace.json"
+if [[ "${quick}" -eq 1 ]]; then
+  DSF_FAST=1 "${build_dir}/bench/bench_abuse_sweep" \
+    --out "${out_path}" --csv "${csv_path}" --trace-out "${trace_path}"
+else
+  "${build_dir}/bench/bench_abuse_sweep" \
+    --out "${out_path}" --csv "${csv_path}" --trace-out "${trace_path}"
+fi
+
+# Validate before anything archives it; a malformed or
+# conservation-violating document must fail the job.
+python3 - "${out_path}" "${trace_path}" <<'EOF'
+import json, sys
+path, trace_path = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "dsf-abuse-sweep-v1", f"bad schema in {path}"
+assert doc.get("clean") is True, "sweep was not checker-clean"
+points = doc.get("points", [])
+assert points, "no sweep points"
+schemes = {p["dynamic"] for p in points}
+assert schemes == {True, False}, f"missing a scheme arm: {schemes}"
+for p in points:
+    # Abuse traffic is attributed, never invented: a strict subset of the
+    # run ledger, hits bounded by queries, and exactly zero when the
+    # abuser fraction is zero.
+    assert p["abuse_messages"] <= p["total_messages"], p
+    assert p["abuse_bytes"] <= p["total_bytes"], p
+    assert p["abuse_hits"] <= p["abuse_queries"], p
+    assert 0.0 <= p["abuse_traffic_share"] <= 1.0, p
+    assert 0.0 <= p["good_hit_ratio"] <= 1.0, p
+    if p["abuser_fraction"] == 0.0:
+        assert p["abusers"] == 0 and p["abuse_queries"] == 0, p
+        assert p["abuse_messages"] == 0 and p["abuse_bytes"] == 0, p
+    else:
+        assert p["abusers"] > 0 and p["abuse_queries"] > 0, p
+case = doc.get("case_study", {})
+assert case.get("abusers") == 1, f"case study should have one abuser: {case}"
+assert case.get("trace_records", 0) > 0, "empty case-study trace"
+with open(trace_path) as f:
+    trace = json.load(f)
+assert trace.get("traceEvents"), f"no traceEvents in {trace_path}"
+shares = {(p["dynamic"], p["abuser_fraction"]): p["abuse_traffic_share"]
+          for p in points}
+print(f"validated {path}: {len(points)} points, "
+      f"case-study share {case['abuse_traffic_share']:.3f}, "
+      f"max abuse share {max(shares.values()):.3f}")
+EOF

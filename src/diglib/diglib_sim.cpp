@@ -97,7 +97,8 @@ core::SearchOutcome DigLibSim::search_doc(net::NodeId from, DocId doc) {
     return overlay_.out_neighbors(n);
   };
   const auto has_content = [this, doc](net::NodeId n) {
-    return holds(n, doc);
+    // Free-riders (adversary layer) answer nothing; always false when off.
+    return !is_free_rider(n) && holds(n, doc);
   };
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
@@ -134,7 +135,8 @@ core::SearchOutcome DigLibSim::search_doc(net::NodeId from, DocId doc) {
       // one of many holders of a ubiquitous document.
       info.items = 1.0 / static_cast<double>(outcome.hits.size());
       info.latency_s = hit.reply_at_s;
-      repos_[from].stats.add(hit.node, benefit_.benefit(info));
+      repos_[from].stats.add(
+          hit.node, benefit_.benefit(info) * adversary_benefit_weight(hit.node));
     }
   }
   return outcome;
@@ -149,6 +151,7 @@ void DigLibSim::issue_query(net::NodeId r) {
     // exclusively via schedule_every.
     const Section lock = shared_section();
     const DocId doc = draw_doc(repos_[r].topic);
+    capture_query_arrival(r, doc);
     const auto outcome = search_doc(r, doc);
     if (reporting()) {
       DigLibResult& out = res();
@@ -203,8 +206,12 @@ void DigLibSim::update_neighbors(net::NodeId r) {
 
   // Then one learned exchange per update (the lesson of the Gnutella case
   // study; see bench_ablation_exchange), over the non-exploration slots.
+  // Capacity-aware peers (adversary layer) reserve the exploration slot out
+  // of their *bounded* degree.
+  const std::size_t learned_cap =
+      adversary_degree_bound(r, config_.num_neighbors) - 1;
   const auto plan = core::plan_update(
-      repo.stats, overlay_.out_neighbors(r), config_.num_neighbors - 1,
+      repo.stats, overlay_.out_neighbors(r), learned_cap,
       [r](net::NodeId n) { return n != r; });
   if (!plan.additions.empty() &&
       !overlay_.lists(r).has_out(plan.additions.front())) {
@@ -219,7 +226,7 @@ void DigLibSim::update_neighbors(net::NodeId r) {
       cand_reachable = t.deliver;
     }
     if (cand_reachable) {
-      if (overlay_.lists(r).out().size() >= config_.num_neighbors - 1) {
+      if (overlay_.lists(r).out().size() >= learned_cap) {
         const net::NodeId worst =
             core::least_beneficial(repo.stats, overlay_.out_neighbors(r));
         if (worst != net::kInvalidNode) {

@@ -6,6 +6,7 @@
 
 #include "core/graph_stats.h"
 #include "core/unreachable.h"
+#include "des/distributions.h"
 #include "snap/codec.h"
 #include "workload/user_profile.h"
 
@@ -190,7 +191,8 @@ void merge_results(RunResult& into, const RunResult& shard) {
 void Simulation::fill_with_random_neighbors(net::NodeId u,
                                              std::size_t target) {
   if (online_nodes_.size() < 2) return;
-  target = std::min<std::size_t>(target, config_.max_neighbors);
+  target = std::min<std::size_t>(
+      target, adversary_degree_bound(u, config_.max_neighbors));
   // A bounded number of random probes; when the population is nearly
   // saturated some probes fail, exactly as a real bootstrap would.
   fill_random_neighbors(
@@ -315,6 +317,8 @@ void Simulation::issue_query(net::NodeId u) {
       }
     }
 
+    capture_query_arrival(u, song);
+
     core::SearchParams params;
     params.max_hops = config_.max_hops;
     params.forward_when_hit = false;  // §4.1: repliers do not propagate
@@ -374,7 +378,8 @@ void Simulation::issue_query(net::NodeId u) {
             delay_.node_class(hit.node))];
         info.latency_s = hit.reply_at_s;
         info.total_results = total;
-        st.stats.add(hit.node, benefit_of(info));
+        st.stats.add(hit.node,
+                     benefit_of(info) * adversary_benefit_weight(hit.node));
       }
       if (config_.reconfig_threshold > 0 &&
           ++hot_[u].reconfig_count >= config_.reconfig_threshold)
@@ -445,7 +450,8 @@ load::Served Simulation::serve_injected_query(net::NodeId u,
             delay_.node_class(hit.node))];
         info.latency_s = hit.reply_at_s;
         info.total_results = total;
-        st.stats.add(hit.node, benefit_of(info));
+        st.stats.add(hit.node,
+                     benefit_of(info) * adversary_benefit_weight(hit.node));
       }
       if (config_.reconfig_threshold > 0 &&
           ++hot_[u].reconfig_count >= config_.reconfig_threshold)
@@ -468,7 +474,9 @@ core::SearchOutcome Simulation::run_search(net::NodeId u,
     return overlay_.out_neighbors(n);
   };
   const auto has_content = [this, song](net::NodeId n) {
-    return libraries_.contains(n, song);
+    // Free-riders (adversary layer) answer nothing; with the layer off the
+    // role test is a single always-false branch.
+    return !is_free_rider(n) && libraries_.contains(n, song);
   };
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
@@ -503,6 +511,28 @@ void Simulation::on_peer_crashed(net::NodeId u) {
   online_nodes_.pop_back();
 }
 
+bool Simulation::adversary_churn_kick(des::Rng& lane, double offline_mean_s,
+                                      double shape) {
+  const Section lock = exclusive_section();
+  if (online_nodes_.empty()) return false;
+  const net::NodeId u = online_nodes_[lane.uniform_int(online_nodes_.size())];
+  // Cancel the pending scheduled log-off, force the log-off now, then
+  // replace the session-model comeback log_off just scheduled with the
+  // storm's Pareto-tailed offline time.  (The session-lane draw inside
+  // log_off is consumed either way; the layer is enabled here, so the
+  // zero-draws contract is not in play.)
+  cancel_self(u, hot_[u].session_event);
+  log_off(u);
+  cancel_self(u, hot_[u].session_event);
+  hot_[u].session_event = schedule_keyed_self(
+      u, des::Pareto::from_mean(offline_mean_s, shape).sample(lane),
+      kGnuSession, u, 0, [this, u] {
+        const Section lock = exclusive_section();
+        log_in(u);
+      });
+  return true;
+}
+
 bool Simulation::invite(net::NodeId u, net::NodeId v) {
   UserHot& target = hot_[v];
   if (fault_layer_active()) {
@@ -532,7 +562,8 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
     const auto& in_list = overlay_.lists(v).in();
     if (std::find(in_list.begin(), in_list.end(), u) != in_list.end()) {
       decision.accept = false;
-    } else if (in_list.size() < config_.max_neighbors) {
+    } else if (in_list.size() <
+               adversary_degree_bound(v, config_.max_neighbors)) {
       decision.accept = true;
     } else {
       net::NodeId worst = net::kInvalidNode;
@@ -550,14 +581,22 @@ bool Simulation::invite(net::NodeId u, net::NodeId v) {
       }
     }
   } else {
-    decision = core::decide_invitation(cold_[v].stats, u,
-                                       overlay_.lists(v).in(),
-                                       config_.max_neighbors,
-                                       config_.invitation_policy);
+    decision = core::decide_invitation(
+        cold_[v].stats, u, overlay_.lists(v).in(),
+        adversary_degree_bound(v, config_.max_neighbors),
+        config_.invitation_policy);
   }
   if (!decision.accept) return false;
 
   if (decision.evict != net::kInvalidNode) evict(v, decision.evict);
+  // The eviction's synchronous refill (Process Eviction) may have filled
+  // either end back to its capacity bound meanwhile; with the adversary
+  // layer off the bound is infinite here and link() below enforces the
+  // table capacity exactly as before.
+  constexpr auto kNoBound = std::numeric_limits<std::size_t>::max();
+  if (overlay_.lists(u).out().size() >= adversary_degree_bound(u, kNoBound) ||
+      overlay_.lists(v).out().size() >= adversary_degree_bound(v, kNoBound))
+    return false;
   if (!overlay_.link(u, v)) return false;  // u saturated meanwhile
   on_link_formed();
   ++res().invitations_accepted;
@@ -635,7 +674,8 @@ void Simulation::reconfigure(net::NodeId u) {
   ++res().reconfigurations;
   UserCold& st = cold_[u];
   const auto plan = core::plan_update(
-      st.stats, overlay_.out_neighbors(u), config_.max_neighbors,
+      st.stats, overlay_.out_neighbors(u),
+      adversary_degree_bound(u, config_.max_neighbors),
       [this, u](net::NodeId n) { return n != u && hot_[n].online; });
 
   // §4.3: at most `max_exchanges_per_reconfig` neighbors are exchanged per
@@ -645,7 +685,12 @@ void Simulation::reconfigure(net::NodeId u) {
   std::uint32_t exchanges = 0;
   for (net::NodeId v : plan.additions) {
     if (exchanges >= config_.max_exchanges_per_reconfig) break;
-    if (overlay_.lists(u).out_full()) {
+    // "Full" means the table is saturated OR the peer's capacity bound is
+    // reached (the bound equals the table capacity when the adversary
+    // layer is off, so this is the plain out_full() check then).
+    if (overlay_.lists(u).out_full() ||
+        overlay_.out_neighbors(u).size() >=
+            adversary_degree_bound(u, config_.max_neighbors)) {
       const net::NodeId worst =
           core::least_beneficial(st.stats, overlay_.out_neighbors(u));
       if (worst == net::kInvalidNode) break;

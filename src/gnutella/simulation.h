@@ -161,6 +161,12 @@ class Simulation : public sim::OverlayEngine {
   load::Served serve_injected_query(net::NodeId u,
                                     std::uint64_t item) override;
 
+  /// Churn-storm kick (adversary layer): forces a uniformly chosen on-line
+  /// user off immediately and holds it off for a Pareto-tailed time drawn
+  /// from the adversary lane (heavy-tailed sessions, the storm pathology).
+  bool adversary_churn_kick(des::Rng& lane, double offline_mean_s,
+                            double shape) override;
+
   /// Snapshot hooks: per-user hot/cold mutable state, the on-line roster,
   /// library growth spills and the result accumulators.  Catalog,
   /// profiles, libraries and digests are reconstructed by the constructor.

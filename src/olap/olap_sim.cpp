@@ -111,8 +111,10 @@ double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
         }
         if (!stamps.mark(q)) continue;
         const int hop = cur.hop + 1;
-        bool has_chunk;
-        {
+        bool has_chunk = false;
+        // Free-riders (adversary layer) never serve from their cache; the
+        // role test is a single always-false branch when the layer is off.
+        if (!is_free_rider(q)) {
           const auto guard = peer_section(q);
           has_chunk = peers_[q].cache.contains(chunk);
         }
@@ -147,7 +149,8 @@ double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
         core::ResultInfo info;
         info.responder = holder;
         info.processing_time_saved_s = config_.warehouse_s_per_chunk - cost;
-        peer.stats.add(holder, benefit_.benefit(info));
+        peer.stats.add(holder,
+                       benefit_.benefit(info) * adversary_benefit_weight(holder));
       }
     } else {
       obs_search_end(span, p, 0, -1, -1.0);
@@ -172,6 +175,7 @@ void OlapSim::issue_query(net::NodeId p) {
     // it.  Serially every guard is a no-op.
     const Section lock = shared_section();
     const ChunkId base = draw_query_base(p, rng());
+    capture_query_arrival(p, base);
     if (reporting()) ++res().queries;
     serve_chunks(p, base, reporting(), nullptr);
   }
@@ -206,7 +210,8 @@ load::Served OlapSim::serve_injected_query(net::NodeId p, std::uint64_t item) {
 void OlapSim::update_neighbors(net::NodeId p) {
   if (node_dead(p)) return;  // crashed: no more reorganizations
   const auto plan = core::plan_update(
-      peers_[p].stats, overlay_.out_neighbors(p), config_.num_neighbors,
+      peers_[p].stats, overlay_.out_neighbors(p),
+      adversary_degree_bound(p, config_.num_neighbors),
       [p](net::NodeId n) { return n != p; });
   for (net::NodeId x : plan.evictions) {
     overlay_.unlink(p, x);

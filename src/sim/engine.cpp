@@ -96,6 +96,21 @@ namespace {
 /// trajectory's draws.
 constexpr std::uint64_t kShardMasterStream = 0x736872'6400000000ULL;
 constexpr std::uint64_t kShardFaultStream = 0x736872'6446000000ULL;
+
+const char* kAdversaryShardError =
+    ": the adversary layer is unsupported with --shards > 1 (roles, the"
+    " abuse ledger and the adversary lane are serial state); run with"
+    " --shards 1";
+const char* kAdversarySnapshotError =
+    ": the adversary layer and snapshots are mutually exclusive (the"
+    " adversary lane and abuse attribution are not checkpointed)";
+const char* kCaptureShardError =
+    ": --capture-trace is unsupported with --shards > 1 (arrival capture"
+    " is serial state); run with --shards 1";
+const char* kCaptureSnapshotError =
+    ": --capture-trace and snapshots are mutually exclusive (captured"
+    " arrivals are not checkpointed, so a resumed capture would be"
+    " incomplete)";
 }  // namespace
 
 void OverlayEngine::set_shards(std::uint32_t n, double window_s) {
@@ -117,6 +132,10 @@ void OverlayEngine::set_shards(std::uint32_t n, double window_s) {
         cfg_.name +
         ": open-loop injection is unsupported with --shards > 1 (admission "
         "queues and the load lane are serial state); run with --shards 1");
+  if (adversary_plan_.enabled())
+    throw std::invalid_argument(cfg_.name + kAdversaryShardError);
+  if (capture_armed_)
+    throw std::invalid_argument(cfg_.name + kCaptureShardError);
   if (sim_.pending() > 0 || sim_.now() > 0.0 || sharded_)
     throw std::logic_error(
         cfg_.name + ": set_shards must run before anything is scheduled");
@@ -301,6 +320,7 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     // the restored clock (the fault lane was untouched by the saved run).
     schedule_crash_process();
   }
+  arm_adversary();  // zero draws, zero events when the plan is disabled
   if (load_opts_.enabled) arm_open_loop();
   replay_restored_events();
   if (save_requested_) {
@@ -318,6 +338,7 @@ std::uint64_t OverlayEngine::run_until_horizon() {
     for (const load::PeerQueue& q : load_queues_) pending += q.depth();
     load_stats_.pending = pending;
   }
+  if (capture_armed_) write_capture_file();
   if (bootstrap_underfills_ > 0 && !underfill_reported_) {
     underfill_reported_ = true;
     warn(cfg_.name + ": " + std::to_string(bootstrap_underfills_) +
@@ -358,7 +379,8 @@ void OverlayEngine::trace_event(TraceKind kind, net::NodeId from,
     std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
     if (sharded_) lock.lock();
     for (std::uint64_t i = 0; i < copies; ++i) {
-      const TraceEvent ev{kind, now_s(), from, to, type, bytes, ttl};
+      const TraceEvent ev{kind,  now_s(), from, to, type, bytes, ttl,
+                          abuse_ambient_};
       if (checker_) checker_->on_trace(ev);
       if (trace_) trace_(ev);
     }
@@ -489,9 +511,11 @@ core::TransmitResult OverlayEngine::transmit(net::MessageType type,
   trace_event(TraceKind::kSend, from, to, type, b, ttl, copies);
   if (res.deliver) {
     ledger_ref().count_delivered(type, copies);
+    if (abuse_ambient_) abuse_ledger_.count_delivered(type, copies);
     trace_event(TraceKind::kDeliver, from, to, type, b, ttl, copies);
   } else {
     ledger_ref().count_dropped(type, copies);
+    if (abuse_ambient_) abuse_ledger_.count_dropped(type, copies);
     trace_event(TraceKind::kDrop, from, to, type, b, ttl, copies);
   }
   return res;
@@ -506,33 +530,43 @@ void OverlayEngine::send_faulty(net::NodeId from, net::NodeId to,
   const double base_delay = sample_delay_s(from, to);
   FaultDecision d;
   if (!fault_plan_.empty()) d = fault_plan_.decide(type, now_s(), fault_lane());
-  if (d.duplicate) ledger_ref().count(type, 1, bytes);  // extra copy's send
+  if (d.duplicate) count(type, 1, bytes);  // extra copy's send
   const std::uint64_t copies = d.duplicate ? 2 : 1;
   trace_event(TraceKind::kSend, from, to, type, bytes, -1, copies);
   if (d.drop) {
     ledger_ref().count_dropped(type, copies);
+    if (abuse_ambient_) abuse_ledger_.count_dropped(type, copies);
     trace_event(TraceKind::kDrop, from, to, type, bytes, -1, copies);
     return;
   }
-  deliver_copy(base_delay + d.extra_delay_s, from, to, type, bytes, on_deliver);
+  // The abuse scope is ambient only for the duration of the synchronous
+  // spray service; capture it so the delayed fate (and any cascade the
+  // delivery callback triggers) stays attributed to the abuser.
+  const bool abuse = abuse_ambient_;
+  deliver_copy(base_delay + d.extra_delay_s, from, to, type, bytes, abuse,
+               on_deliver);
   if (d.duplicate)
     // The duplicate takes its own path through the network.
     deliver_copy(sample_delay_s(from, to) + d.extra_delay_s, from, to, type,
-                 bytes, std::move(on_deliver));
+                 bytes, abuse, std::move(on_deliver));
 }
 
 void OverlayEngine::deliver_copy(double delay_s, net::NodeId from,
                                  net::NodeId to, net::MessageType type,
-                                 std::uint64_t bytes,
+                                 std::uint64_t bytes, bool abuse,
                                  std::function<void()> on_deliver) {
   schedule_for(
-      to, delay_s, [this, from, to, type, bytes, fn = std::move(on_deliver)] {
+      to, delay_s,
+      [this, from, to, type, bytes, abuse, fn = std::move(on_deliver)] {
+        const ScopedAbuse scope(this, abuse);
         if (node_dead(to)) {
           ledger_ref().count_dropped(type, 1);
+          if (abuse_ambient_) abuse_ledger_.count_dropped(type, 1);
           trace_event(TraceKind::kDrop, from, to, type, bytes, -1, 1);
           return;
         }
         ledger_ref().count_delivered(type, 1);
+        if (abuse_ambient_) abuse_ledger_.count_delivered(type, 1);
         trace_event(TraceKind::kDeliver, from, to, type, bytes, -1, 1);
         fn();
       });
@@ -617,6 +651,10 @@ void OverlayEngine::request_snapshot_save(std::string path, double at_s) {
   if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
   if (load_opts_.enabled)
     throw std::invalid_argument(cfg_.name + kLoadSnapshotError);
+  if (adversary_plan_.enabled())
+    throw std::invalid_argument(cfg_.name + kAdversarySnapshotError);
+  if (capture_armed_)
+    throw std::invalid_argument(cfg_.name + kCaptureSnapshotError);
   if (!(at_s > 0.0))
     throw std::invalid_argument(cfg_.name +
                                 ": snapshot time must be positive");
@@ -644,6 +682,10 @@ void OverlayEngine::load_snapshot(const std::string& path) {
   if (parallel()) throw std::invalid_argument(cfg_.name + kShardSnapshotError);
   if (load_opts_.enabled)
     throw std::invalid_argument(cfg_.name + kLoadSnapshotError);
+  if (adversary_plan_.enabled())
+    throw std::invalid_argument(cfg_.name + kAdversarySnapshotError);
+  if (capture_armed_)
+    throw std::invalid_argument(cfg_.name + kCaptureSnapshotError);
   if (resumed_ || sim_.pending() != 0 || sim_.now() != 0.0)
     throw std::logic_error(
         cfg_.name +
@@ -911,6 +953,164 @@ void OverlayEngine::save_domain(snap::Writer::Out&) const {
 void OverlayEngine::load_domain(snap::Reader::In&) {
   throw snap::SnapshotError(cfg_.name +
                             ": scenario does not implement snapshots");
+}
+
+// --- adversarial & heterogeneous scenario layer ---------------------------
+
+void OverlayEngine::set_adversary(AdversaryPlan plan) {
+  plan.validate();
+  if (plan.enabled()) {
+    if (parallel())
+      throw std::invalid_argument(cfg_.name + kAdversaryShardError);
+    if (save_requested_ || resumed_)
+      throw std::invalid_argument(cfg_.name + kAdversarySnapshotError);
+    if (sim_.now() > 0.0)
+      throw std::logic_error(cfg_.name +
+                             ": set_adversary must run before run");
+    // Seed the dedicated lane only when the plan can actually draw; a
+    // disabled plan leaves the default-constructed lane untouched.
+    adversary_rng_ = make_adversary_lane(cfg_.seed);
+  }
+  adversary_plan_ = plan;
+  adversary_capacity_ = plan.capacity_enabled();
+}
+
+void OverlayEngine::set_capture_trace(std::string path) {
+  if (path.empty())
+    throw std::invalid_argument(cfg_.name +
+                                ": --capture-trace path must be non-empty");
+  if (parallel()) throw std::invalid_argument(cfg_.name + kCaptureShardError);
+  if (save_requested_ || resumed_)
+    throw std::invalid_argument(cfg_.name + kCaptureSnapshotError);
+  capture_path_ = std::move(path);
+  capture_armed_ = true;
+}
+
+void OverlayEngine::arm_adversary() {
+  if (!adversary_plan_.enabled()) return;
+  const AdversaryPlan& p = adversary_plan_;
+  // Roles are drawn in a fixed order (abusers, then free-riders) so each
+  // adversity's draws are a deterministic function of the plan knobs.
+  if (p.abusers_enabled() || p.free_riders_enabled())
+    roles_.assign(num_nodes(), 0);
+  if (p.abusers_enabled()) {
+    std::size_t k = static_cast<std::size_t>(std::llround(
+        p.abuser_fraction * static_cast<double>(num_nodes())));
+    if (k == 0) k = 1;
+    if (k >= num_nodes()) k = num_nodes() - 1;
+    const std::vector<std::size_t> picks =
+        des::sample_without_replacement(num_nodes(), k, adversary_rng_);
+    abusers_.reserve(k);
+    for (std::size_t idx : picks) {
+      roles_[idx] |= kRoleAbuser;
+      abusers_.push_back(static_cast<net::NodeId>(idx));
+    }
+    std::sort(abusers_.begin(), abusers_.end());
+    adversary_stats_.abusers = abusers_.size();
+    schedule_next_abuse(std::max(p.abuse_start_s, sim_.now()));
+  }
+  if (p.free_riders_enabled()) {
+    // One Bernoulli per non-abuser, in node order.  Abusers keep their
+    // own (full) libraries: their pathology is traffic, not stinginess.
+    for (net::NodeId u = 0; u < num_nodes(); ++u) {
+      if ((roles_[u] & kRoleAbuser) != 0) continue;
+      if (adversary_rng_.bernoulli(p.free_rider_fraction)) {
+        roles_[u] |= kRoleFreeRider;
+        ++adversary_stats_.free_riders;
+      }
+    }
+  }
+  if (p.outage_enabled() && p.outage_at_s <= horizon_s())
+    sim_.schedule_at(std::max(p.outage_at_s, sim_.now()),
+                     [this] { run_regional_outage(); });
+  if (p.storm_enabled())
+    schedule_next_storm_kick(std::max(p.storm_start_s, sim_.now()));
+}
+
+void OverlayEngine::schedule_next_abuse(double from_s) {
+  // One aggregate Poisson process at `abusers × rate`, with a uniform
+  // abuser picked per event — statistically identical to independent
+  // per-abuser sprays, and one pending event instead of k.
+  const double rate = adversary_plan_.abuse_rate_per_s *
+                      static_cast<double>(abusers_.size());
+  if (rate <= 0.0) return;
+  const double at =
+      from_s + des::Exponential(1.0 / rate).sample(adversary_rng_);
+  if (at >= adversary_plan_.abuse_end_s || at > horizon_s()) return;
+  sim_.schedule_at(at, [this] { run_abuse_event(); });
+}
+
+void OverlayEngine::run_abuse_event() {
+  const double now = sim_.now();
+  const net::NodeId a = abusers_[adversary_rng_.uniform_int(
+      static_cast<std::uint64_t>(abusers_.size()))];
+  // A crashed abuser skips its turn but the process keeps its rate:
+  // offered abuse does not die with one abuser.
+  if (!node_dead(a)) {
+    ++adversary_stats_.abuse_queries;
+    // Swap the injection lane so the scenario's kAnyItem targeting draws
+    // come from the adversary lane, never the open-loop stream.
+    des::Rng* const prev = inject_lane_;
+    inject_lane_ = &adversary_rng_;
+    {
+      const ScopedAbuse scope(this, true);
+      const load::Served served = serve_injected_query(a, load::kAnyItem);
+      if (served.hit) ++adversary_stats_.abuse_hits;
+    }
+    inject_lane_ = prev;
+  }
+  schedule_next_abuse(now);
+}
+
+void OverlayEngine::run_regional_outage() {
+  const AdversaryPlan& p = adversary_plan_;
+  const auto cls = static_cast<net::BandwidthClass>(p.outage_class);
+  // Node order; a partial outage draws one Bernoulli per live class
+  // member.  crash_node leaves dangling neighbor entries, exactly like a
+  // CrashModel victim.
+  for (net::NodeId u = 0; u < num_nodes(); ++u) {
+    if (delay_.node_class(u) != cls || node_dead(u)) continue;
+    if (p.outage_fraction < 1.0 &&
+        !adversary_rng_.bernoulli(p.outage_fraction))
+      continue;
+    crash_node(u);
+    ++adversary_stats_.outage_victims;
+  }
+}
+
+void OverlayEngine::schedule_next_storm_kick(double from_s) {
+  const double at =
+      from_s + des::Exponential(1.0 / adversary_plan_.storm_rate_per_s)
+                   .sample(adversary_rng_);
+  if (at >= adversary_plan_.storm_end_s || at > horizon_s()) return;
+  sim_.schedule_at(at, [this] { run_storm_kick(); });
+}
+
+void OverlayEngine::run_storm_kick() {
+  const double now = sim_.now();
+  if (adversary_churn_kick(adversary_rng_,
+                           adversary_plan_.storm_offline_mean_s,
+                           adversary_plan_.storm_pareto_shape))
+    ++adversary_stats_.storm_kicks;
+  schedule_next_storm_kick(now);
+}
+
+void OverlayEngine::write_capture_file() {
+  std::FILE* f = std::fopen(capture_path_.c_str(), "w");
+  if (!f)
+    throw std::runtime_error(cfg_.name + ": cannot open capture file '" +
+                             capture_path_ + "' for writing");
+  std::fprintf(f,
+               "# %s closed-loop query arrivals (time_s peer item); replay "
+               "with --open-loop --load-trace\n",
+               cfg_.name.c_str());
+  for (const CapturedArrival& a : captured_)
+    std::fprintf(f, "%.9f %llu %llu\n", a.t,
+                 static_cast<unsigned long long>(a.peer),
+                 static_cast<unsigned long long>(a.item));
+  if (std::fclose(f) != 0)
+    throw std::runtime_error(cfg_.name + ": failed writing capture file '" +
+                             capture_path_ + "'");
 }
 
 // --- open-loop load layer -------------------------------------------------

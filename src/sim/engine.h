@@ -40,6 +40,7 @@
 #include "net/node_id.h"
 #include "obs/sink.h"
 #include "snap/snapshot.h"
+#include "sim/adversary.h"
 #include "sim/fault.h"
 #include "sim/policy.h"
 #include "sim/validate.h"
@@ -202,6 +203,10 @@ struct TraceEvent {
   /// Remaining hop budget carried by a query transmission; -1 when the
   /// message type carries no TTL (replies, control traffic, crashes).
   int ttl = -1;
+  /// True when this record belongs to an abuser's blast radius: the copy
+  /// was sent (or its fate resolved) inside an adversary-layer abuse scope.
+  /// Always false with the layer off, so existing consumers are untouched.
+  bool abuse = false;
 };
 using TraceHook = std::function<void(const TraceEvent&)>;
 
@@ -408,6 +413,76 @@ class OverlayEngine {
   /// the layer is off).  `pending` is filled in at end of run.
   const load::LoadStats& load_stats() const noexcept { return load_stats_; }
 
+  /// --- adversarial & heterogeneous scenario layer (off by default: zero
+  /// draws, zero events — baseline runs stay byte-identical with the layer
+  /// compiled in; tests/sim/adversary_golden_test.cpp pins this) ----------
+  /// Arms the adversary layer: abuser/free-rider roles are drawn on the
+  /// dedicated adversary lane when the run starts, the abuse spray /
+  /// regional outage / churn storm processes are scheduled, and the
+  /// capacity knobs (per-class degree bounds, benefit weights) take
+  /// effect.  Must be called before run.  Serial only: rejected with
+  /// --shards > 1 and mutually exclusive with snapshots (both
+  /// std::invalid_argument; the adversary lane is not serialized).
+  void set_adversary(AdversaryPlan plan);
+
+  const AdversaryPlan& adversary_plan() const noexcept {
+    return adversary_plan_;
+  }
+  /// What the layer did (role counts, sprayed queries, outage victims,
+  /// storm kicks).  All zero when the layer is off.
+  const AdversaryStats& adversary_stats() const noexcept {
+    return adversary_stats_;
+  }
+  /// The abuser blast radius: every message counted while an abuse scope
+  /// was ambient (the sprayed query, its flood, its replies).  A strict
+  /// subset of ledger(); InvariantChecker::check_abuse certifies the
+  /// attribution.
+  const MessageLedger& abuse_ledger() const noexcept { return abuse_ledger_; }
+  /// The designated abusers (empty until the run starts, and when off).
+  const std::vector<net::NodeId>& abusers() const noexcept {
+    return abusers_;
+  }
+  bool is_abuser(net::NodeId u) const noexcept {
+    return u < roles_.size() && (roles_[u] & kRoleAbuser) != 0;
+  }
+  /// True when `u` serves no content (but still issues its query load).
+  bool is_free_rider(net::NodeId u) const noexcept {
+    return u < roles_.size() && (roles_[u] & kRoleFreeRider) != 0;
+  }
+  /// Capacity-aware degree target for `u`: the per-class bound when the
+  /// plan sets one for `u`'s bandwidth class, `fallback` (the scenario's
+  /// configured degree) otherwise.  Applies to run-time fills and
+  /// neighbor updates; the construction-time bootstrap predates
+  /// set_adversary and keeps the configured degree.
+  std::size_t adversary_degree_bound(net::NodeId u,
+                                     std::size_t fallback) const noexcept {
+    if (!adversary_capacity_) return fallback;
+    const auto b =
+        adversary_plan_
+            .degree_bound[static_cast<int>(delay_.node_class(u))];
+    if (b == 0) return fallback;
+    return b < fallback ? b : fallback;
+  }
+  /// Per-class multiplier on the benefit credited for an answer delivered
+  /// by `u`; exactly 1.0 when the layer is off (callers may skip the
+  /// multiply entirely — the guard keeps the off path float-identical).
+  double adversary_benefit_weight(net::NodeId u) const noexcept {
+    if (!adversary_capacity_) return 1.0;
+    return adversary_plan_
+        .benefit_weight[static_cast<int>(delay_.node_class(u))];
+  }
+
+  /// --- closed-loop arrival capture (off by default) ----------------------
+  /// Records every closed-loop query arrival (time, issuing peer, item)
+  /// and writes them to `path` at end of run in the open-loop trace
+  /// grammar (`time_s peer item` per line), so a captured run can be
+  /// replayed through `--open-loop --load-trace`.  Serial only.
+  void set_capture_trace(std::string path);
+  /// Closed-loop arrivals captured so far (empty when capture is off).
+  std::uint64_t captured_arrivals() const noexcept {
+    return captured_.size();
+  }
+
  protected:
   explicit OverlayEngine(EngineConfig cfg);
   ~OverlayEngine() = default;
@@ -472,9 +547,16 @@ class OverlayEngine {
     ShardContext* c = active_ctx();
     return c ? c->fault : fault_rng_;
   }
-  /// The open-loop layer's dedicated lane (arrival thinning, peer/item
-  /// targeting).  Serial only — the layer rejects sharded runs.
-  des::Rng& load_lane() noexcept { return load_rng_; }
+  /// The injection lane consulted by serve_injected_query overrides when
+  /// they draw a kAnyItem target.  Normally the open-loop layer's
+  /// dedicated lane; while the adversary layer serves a sprayed abuse
+  /// query it is swapped to the adversary lane, so abuse draws never
+  /// perturb the open-loop stream.  Serial only — both layers reject
+  /// sharded runs.
+  des::Rng& load_lane() noexcept { return *inject_lane_; }
+
+  /// The adversary layer's dedicated decision lane.
+  des::Rng& adversary_lane() noexcept { return adversary_rng_; }
 
   /// Per-search visited stamps / flood scratch (per-shard when parallel:
   /// two concurrent searches on different shards must not share
@@ -650,9 +732,13 @@ class OverlayEngine {
   }
 
   /// --- accounting ------------------------------------------------------
+  /// Counts a send; while an abuse scope is ambient the count is mirrored
+  /// into the abuse ledger so blast-radius traffic stays attributed (one
+  /// always-false predicted branch on every baseline path).
   void count(net::MessageType t, std::uint64_t n = 1,
              std::uint64_t bytes_each = 0) noexcept {
     ledger_ref().count(t, n, bytes_each);
+    if (abuse_ambient_) abuse_ledger_.count(t, n, bytes_each);
   }
 
   /// Unified message dispatch: accounts for the transmission (count +
@@ -667,7 +753,7 @@ class OverlayEngine {
   void send(net::NodeId from, net::NodeId to, net::MessageType type,
             Fn&& on_deliver, std::uint64_t bytes = 0) {
     const std::uint64_t b = bytes ? bytes : default_message_bytes(type);
-    ledger_ref().count(type, 1, b);
+    count(type, 1, b);
     if (fault_active_) {
       send_faulty(from, to, type, std::function<void()>(on_deliver), b);
       return;
@@ -675,7 +761,8 @@ class OverlayEngine {
     if (trace_) {
       std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);
       if (sharded_) lock.lock();
-      trace_(TraceEvent{TraceKind::kSend, now_s(), from, to, type, b, -1});
+      trace_(TraceEvent{TraceKind::kSend, now_s(), from, to, type, b, -1,
+                        abuse_ambient_});
     }
     if (sharded_) {
       schedule_for(to, sample_delay_s(from, to), std::forward<Fn>(on_deliver));
@@ -702,7 +789,7 @@ class OverlayEngine {
     if (n == 0) return;
     const std::uint64_t b =
         bytes_each ? bytes_each : default_message_bytes(type);
-    ledger_ref().count(type, n, b);
+    count(type, n, b);
     if (fault_active_) {
       for (std::size_t i = 0; i < n; ++i)
         send_faulty(from, targets[i], type,
@@ -715,7 +802,7 @@ class OverlayEngine {
       if (sharded_) lock.lock();
       for (std::size_t i = 0; i < n; ++i)
         trace_(TraceEvent{TraceKind::kSend, now, from, targets[i], type, b,
-                          -1});
+                          -1, abuse_ambient_});
     }
     if (sharded_) {
       // Per-target routing: each copy goes to its receiver's shard (the
@@ -795,6 +882,28 @@ class OverlayEngine {
   /// neighbor entries are the point of an ungraceful crash.
   virtual void on_peer_crashed(net::NodeId /*u*/) {}
 
+  /// --- churn-storm hook -------------------------------------------------
+  /// Delivers one forced log-off: the scenario picks a currently on-line
+  /// peer (uniformly, drawing only from `lane`), logs it off immediately,
+  /// and reschedules its comeback after a Pareto-tailed offline time of
+  /// mean `offline_mean_s` and shape `shape` sampled from `lane`.  Returns
+  /// true when a peer was actually kicked (false when nobody is on-line,
+  /// or the scenario has no session model — the default).  Must draw
+  /// exclusively from `lane`, never from the session/master streams.
+  virtual bool adversary_churn_kick(des::Rng& /*lane*/,
+                                    double /*offline_mean_s*/,
+                                    double /*shape*/) {
+    return false;
+  }
+
+  /// --- closed-loop capture hook ----------------------------------------
+  /// Scenarios call this at their closed-loop query-issue site (one call
+  /// per issued search, before the search runs).  One predicted branch
+  /// when capture is off.
+  void capture_query_arrival(net::NodeId peer, std::uint64_t item) {
+    if (capture_armed_) captured_.push_back({now_s(), peer, item});
+  }
+
   /// --- scenario snapshot hooks -----------------------------------------
   /// Serialize/restore the scenario's own mutable state (caches, stats,
   /// partial results).  Immutable construction-time state (catalogs,
@@ -861,6 +970,16 @@ class OverlayEngine {
            attempts-- > 0) {
       const net::NodeId v = pick();
       if (v == u || lists.has_out(v)) continue;
+      // Capacity-aware refusal: under a symmetric relation the link grows
+      // v's list too, so a candidate at its class degree bound declines
+      // the probe (consuming the attempt, like any failed link).  Inert
+      // when the adversary layer is off — link()'s own table-full check
+      // is then the only limit.
+      if (adversary_capacity_ &&
+          overlay_.lists(v).out().size() >=
+              adversary_degree_bound(
+                  v, std::numeric_limits<std::size_t>::max()))
+        continue;
       if (overlay_.link(u, v)) on_link();  // fails harmlessly if v is full
     }
     if (lists.out().size() < target && !lists.out_full())
@@ -949,11 +1068,14 @@ class OverlayEngine {
   std::pair<std::uint64_t, std::uint64_t> ledger_totals() const noexcept;
 
   /// Async-path fate resolution behind send(): plan decision, per-copy
-  /// delivery events, dead-receiver drops, fate traces.
+  /// delivery events, dead-receiver drops, fate traces.  The ambient abuse
+  /// flag is captured at send time and re-established around the delayed
+  /// fate (and the delivery callback's cascade) so asynchronous copies stay
+  /// attributed to their abuser.
   void send_faulty(net::NodeId from, net::NodeId to, net::MessageType type,
                    std::function<void()> on_deliver, std::uint64_t bytes);
   void deliver_copy(double delay_s, net::NodeId from, net::NodeId to,
-                    net::MessageType type, std::uint64_t bytes,
+                    net::MessageType type, std::uint64_t bytes, bool abuse,
                     std::function<void()> on_deliver);
 
   /// Emits `copies` identical trace records to the checker and the hook.
@@ -977,6 +1099,41 @@ class OverlayEngine {
   }
   void schedule_crash_process();
   void schedule_next_crash(double at_s);
+
+  /// --- adversary machinery (serial only) --------------------------------
+  /// RAII abuse scope: flips abuse_ambient_ on for the duration (when
+  /// `engage`), restoring the previous value on exit.  Everything counted,
+  /// traced or fate-resolved inside the scope is attributed to the abuser.
+  class [[nodiscard]] ScopedAbuse {
+   public:
+    ScopedAbuse(OverlayEngine* e, bool engage) : e_(engage ? e : nullptr) {
+      if (e_) {
+        prev_ = e_->abuse_ambient_;
+        e_->abuse_ambient_ = true;
+      }
+    }
+    ScopedAbuse(const ScopedAbuse&) = delete;
+    ScopedAbuse& operator=(const ScopedAbuse&) = delete;
+    ~ScopedAbuse() {
+      if (e_) e_->abuse_ambient_ = prev_;
+    }
+
+   private:
+    OverlayEngine* e_ = nullptr;
+    bool prev_ = false;
+  };
+
+  /// Draws the abuser/free-rider roles and schedules the abuse spray, the
+  /// regional outage and the churn storm.  Called once at the top of the
+  /// serial horizon loop; zero draws and zero events when the plan is
+  /// disabled.
+  void arm_adversary();
+  void schedule_next_abuse(double from_s);
+  void run_abuse_event();
+  void run_regional_outage();
+  void schedule_next_storm_kick(double from_s);
+  void run_storm_kick();
+  void write_capture_file();
 
   /// --- open-loop machinery (serial only) --------------------------------
   void arm_open_loop();
@@ -1019,6 +1176,34 @@ class OverlayEngine {
   std::vector<load::PeerQueue> load_queues_;
   std::size_t load_trace_idx_ = 0;
   std::uint64_t load_live_depth_ = 0;  ///< queued + in-service, all peers
+
+  /// Adversary-layer state.  The decision lane is derived (never split)
+  /// from the scenario seed in set_adversary; with the plan disabled
+  /// nothing here draws or schedules, which is the byte-identity half of
+  /// the contract.  roles_ stays empty until arm_adversary runs.
+  static constexpr std::uint8_t kRoleAbuser = 1;
+  static constexpr std::uint8_t kRoleFreeRider = 2;
+  AdversaryPlan adversary_plan_;
+  AdversaryStats adversary_stats_;
+  MessageLedger abuse_ledger_;
+  des::Rng adversary_rng_;
+  std::vector<std::uint8_t> roles_;
+  std::vector<net::NodeId> abusers_;
+  bool abuse_ambient_ = false;
+  bool adversary_capacity_ = false;  ///< capacity knobs engaged
+  /// Where serve_injected_query's kAnyItem draws come from: the load lane
+  /// normally, the adversary lane while serving a sprayed abuse query.
+  des::Rng* inject_lane_ = &load_rng_;
+
+  /// Closed-loop capture state (off: one dead branch per issued query).
+  struct CapturedArrival {
+    double t = 0.0;
+    net::NodeId peer = net::kInvalidNode;
+    std::uint64_t item = 0;
+  };
+  std::string capture_path_;
+  bool capture_armed_ = false;
+  std::vector<CapturedArrival> captured_;
 
   /// Flight-recorder state.  `obs_` is non-null only while an *enabled*
   /// sink is attached; span ids are issued 1-based so 0 means "no span".

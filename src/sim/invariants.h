@@ -31,6 +31,7 @@
 #include "core/relations.h"
 #include "net/message.h"
 #include "net/node_id.h"
+#include "sim/adversary.h"
 #include "sim/engine.h"
 
 namespace dsf::sim {
@@ -38,7 +39,7 @@ namespace dsf::sim {
 /// One detected violation: which invariant class, when, and what happened.
 struct InvariantViolation {
   std::string invariant;  ///< "conservation", "ttl", "dead-delivery",
-                          ///< "overlay", "ledger", or "admission"
+                          ///< "overlay", "ledger", "admission", or "abuse"
   std::string detail;
   double time_s = 0.0;
 };
@@ -63,12 +64,14 @@ class InvariantChecker {
     switch (ev.kind) {
       case TraceKind::kSend:
         ++sent_[t];
+        if (ev.abuse) ++abuse_sent_[t];
         if (ev.type == net::MessageType::kQuery && ev.ttl >= 0 &&
             search_max_ttl_ >= 0)
           check_query_ttl(ev);
         break;
       case TraceKind::kDeliver:
         ++delivered_[t];
+        if (ev.abuse) ++abuse_delivered_[t];
         check_conservation(ev);
         if (is_dead(ev.to))
           violate("dead-delivery",
@@ -78,6 +81,7 @@ class InvariantChecker {
         break;
       case TraceKind::kDrop:
         ++dropped_[t];
+        if (ev.abuse) ++abuse_dropped_[t];
         check_conservation(ev);
         break;
       case TraceKind::kCrash:
@@ -185,6 +189,112 @@ class InvariantChecker {
               last_time_s_);
   }
 
+  /// Certifies the adversary layer's abuse attribution at end of run:
+  /// traced abuse fates reconcile exactly against the abuse ledger (both
+  /// are mirrored at the same sites), abuse traffic is conserved within
+  /// the blast radius (delivered + dropped never exceeds sent), the
+  /// attribution is a subset of the total traffic (per type, counts and
+  /// bytes), hits never exceed sprayed queries, and nothing is attributed
+  /// when no abuse ran.  No-op-clean on a disabled layer (all-zero stats
+  /// and an empty abuse ledger), so certification paths can call it
+  /// unconditionally.
+  void check_abuse(const AdversaryStats& stats,
+                   const MessageLedger& abuse_ledger,
+                   const MessageLedger& ledger) {
+    for (int i = 0; i < net::kNumMessageTypes; ++i) {
+      const auto t = static_cast<net::MessageType>(i);
+      if (abuse_delivered_[i] != abuse_ledger.delivered(t))
+        violate("abuse",
+                std::string(net::to_string(t)) + ": traced " +
+                    std::to_string(abuse_delivered_[i]) +
+                    " abuse deliveries but the abuse ledger recorded " +
+                    std::to_string(abuse_ledger.delivered(t)),
+                last_time_s_);
+      if (abuse_dropped_[i] != abuse_ledger.dropped(t))
+        violate("abuse",
+                std::string(net::to_string(t)) + ": traced " +
+                    std::to_string(abuse_dropped_[i]) +
+                    " abuse drops but the abuse ledger recorded " +
+                    std::to_string(abuse_ledger.dropped(t)),
+                last_time_s_);
+      if (abuse_delivered_[i] + abuse_dropped_[i] > abuse_sent_[i])
+        violate("abuse",
+                std::string(net::to_string(t)) +
+                    ": abuse delivered + dropped exceeds abuse sent",
+                last_time_s_);
+      if (abuse_sent_[i] > sent_[i])
+        violate("abuse",
+                std::string(net::to_string(t)) +
+                    ": traced abuse sends exceed total sends",
+                last_time_s_);
+      if (abuse_ledger.stats().total(t) > ledger.stats().total(t))
+        violate("abuse",
+                std::string(net::to_string(t)) +
+                    ": abuse-ledger sends (" +
+                    std::to_string(abuse_ledger.stats().total(t)) +
+                    ") exceed the run ledger's (" +
+                    std::to_string(ledger.stats().total(t)) + ")",
+                last_time_s_);
+      if (abuse_ledger.bytes(t) > ledger.bytes(t))
+        violate("abuse",
+                std::string(net::to_string(t)) +
+                    ": abuse-ledger bytes exceed the run ledger's",
+                last_time_s_);
+    }
+    if (stats.abuse_hits > stats.abuse_queries)
+      violate("abuse",
+              "abuse hits (" + std::to_string(stats.abuse_hits) +
+                  ") exceed sprayed queries (" +
+                  std::to_string(stats.abuse_queries) + ")",
+              last_time_s_);
+    if (stats.abuse_queries == 0 && stats.abusers == 0 &&
+        abuse_ledger.stats().total() != 0)
+      violate("abuse",
+              "abuse ledger counted " +
+                  std::to_string(abuse_ledger.stats().total()) +
+                  " message(s) but no abuser ever sprayed",
+              last_time_s_);
+  }
+
+  /// Audits the designated abusers' overlay entries: per-abuser adjacency
+  /// sanity plus a mirror audit — every link an abuser still holds must be
+  /// mutually recorded (a dangling out-entry with no matching in-entry at
+  /// the target indicates a broken eviction path, not a contained abuser).
+  /// Templated like check_overlay so the reference and compact tables are
+  /// audited identically.
+  template <typename Table>
+  void check_abuser_overlay(const Table& table,
+                            std::span<const net::NodeId> abusers) {
+    for (net::NodeId a : abusers) {
+      if (a >= table.size()) {
+        violate("abuse",
+                "abuser id " + std::to_string(a) + " out of range (" +
+                    std::to_string(table.size()) + " peers)",
+                last_time_s_);
+        continue;
+      }
+      const auto& l = table.lists(a);
+      check_adjacency(a, l.out(), l.in(), table.size());
+      for (net::NodeId v : l.out()) {
+        if (v >= table.size()) continue;  // reported by check_adjacency
+        const auto& lv = table.lists(v);
+        bool mirrored = false;
+        for (net::NodeId w : lv.in())
+          if (w == a) {
+            mirrored = true;
+            break;
+          }
+        if (!mirrored)
+          violate("abuse",
+                  "abuser " + std::to_string(a) + " lists neighbor " +
+                      std::to_string(v) +
+                      " but is absent from its incoming list (half-evicted "
+                      "link)",
+                  last_time_s_);
+      }
+    }
+  }
+
   /// --- counters ---------------------------------------------------------
   std::uint64_t sent(net::MessageType t) const noexcept {
     return sent_[static_cast<std::size_t>(t)];
@@ -204,6 +314,17 @@ class InvariantChecker {
   }
   std::uint64_t events_seen() const noexcept { return events_; }
   std::uint64_t crashes_seen() const noexcept { return crashes_; }
+
+  /// Abuse-tagged subsets of the traced counters (zero with the layer off).
+  std::uint64_t abuse_sent(net::MessageType t) const noexcept {
+    return abuse_sent_[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t abuse_delivered(net::MessageType t) const noexcept {
+    return abuse_delivered_[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t abuse_dropped(net::MessageType t) const noexcept {
+    return abuse_dropped_[static_cast<std::size_t>(t)];
+  }
 
   /// --- verdict ----------------------------------------------------------
   bool ok() const noexcept { return total_violations_ == 0; }
@@ -297,6 +418,9 @@ class InvariantChecker {
   std::uint64_t sent_[net::kNumMessageTypes] = {};
   std::uint64_t delivered_[net::kNumMessageTypes] = {};
   std::uint64_t dropped_[net::kNumMessageTypes] = {};
+  std::uint64_t abuse_sent_[net::kNumMessageTypes] = {};
+  std::uint64_t abuse_delivered_[net::kNumMessageTypes] = {};
+  std::uint64_t abuse_dropped_[net::kNumMessageTypes] = {};
   std::vector<char> dead_;
   std::vector<InvariantViolation> violations_;
   std::uint64_t total_violations_ = 0;

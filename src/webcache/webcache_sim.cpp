@@ -111,7 +111,9 @@ double WebCacheSim::serve_page(net::NodeId p, PageId page, bool record,
       if (tr.duplicate) count(net::MessageType::kQueryReply);
       if (!tr.deliver) continue;  // reply lost: the probe goes unanswered
     }
-    if (holder == net::kInvalidNode) {
+    // Free-riders (adversary layer) never serve from their cache; the role
+    // test is a single always-false branch when the layer is off.
+    if (holder == net::kInvalidNode && !is_free_rider(q)) {
       const auto guard = peer_section(q);
       if (proxies_[q].cache.contains(page)) holder = q;
     }
@@ -125,7 +127,8 @@ double WebCacheSim::serve_page(net::NodeId p, PageId page, bool record,
       info.responder = holder;
       info.items = 1.0;
       info.latency_s = latency;
-      proxy.stats.add(holder, benefit_.benefit(info));
+      proxy.stats.add(holder,
+                      benefit_.benefit(info) * adversary_benefit_weight(holder));
     }
   } else if (config_.num_parents > 0 && !overlay_.out_neighbors(p).empty() &&
              !node_dead(overlay_.out_neighbors(p).front())) {
@@ -166,6 +169,7 @@ void WebCacheSim::request(net::NodeId p) {
     // Serially every guard is a no-op.
     const Section lock = shared_section();
     const PageId page = draw_page(p);
+    capture_query_arrival(p, page);
     if (reporting()) ++res().requests;
     serve_page(p, page, reporting(), nullptr);
   }
@@ -234,7 +238,7 @@ void WebCacheSim::explore_from(net::NodeId p) {
       info.responder = q;
       info.items = overlap;
       info.latency_s = 2.0 * delay_.mean_delay_s(p, q);
-      proxy.stats.add(q, benefit_.benefit(info));
+      proxy.stats.add(q, benefit_.benefit(info) * adversary_benefit_weight(q));
     }
   }
 }
@@ -245,7 +249,8 @@ void WebCacheSim::update_neighbors(net::NodeId p) {
   // no agreement needed, the incoming side accepts everyone.  Hierarchy
   // mode restricts eligibility to the top-level proxies.
   const auto plan = core::plan_update(
-      proxies_[p].stats, overlay_.out_neighbors(p), config_.num_neighbors,
+      proxies_[p].stats, overlay_.out_neighbors(p),
+      adversary_degree_bound(p, config_.num_neighbors),
       [this, p](net::NodeId n) {
         return n != p && (config_.num_parents == 0 || is_parent(n));
       });

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -124,6 +125,43 @@ TEST(FaultPlan, DecideConsumesNoDrawOutsideTheWindow) {
 
   des::Rng lane2 = make_fault_lane(7);
   EXPECT_TRUE(plan.decide(net::MessageType::kQuery, 15.0, lane2).drop);
+}
+
+TEST(FaultPlan, WindowBoundariesAreInclusiveStartExclusiveEnd) {
+  // Pins the documented half-open [window_start_s, window_end_s)
+  // semantics at the exact boundary instants: an event at precisely
+  // window_start_s is inside (fires AND consumes its one draw), an event
+  // at precisely window_end_s is outside (inert AND consumes zero draws).
+  // The draw count is verified on the raw Rng state words, not just the
+  // decision, so a refactor that keeps the decision but moves the draw
+  // outside the window check still fails here.
+  FaultPlan plan;
+  FaultRule r;
+  r.drop_prob = 1.0;
+  r.window_start_s = 10.0;
+  r.window_end_s = 20.0;
+  plan.set_rule(net::MessageType::kQuery, r);
+
+  des::Rng lane = make_fault_lane(7);
+  const auto before_start = lane.state();
+  EXPECT_TRUE(plan.decide(net::MessageType::kQuery, 10.0, lane).drop)
+      << "an event at exactly window_start_s must be inside the window";
+  EXPECT_NE(lane.state(), before_start)
+      << "an in-window decide must consume exactly its draw";
+
+  const auto before_end = lane.state();
+  EXPECT_FALSE(plan.decide(net::MessageType::kQuery, 20.0, lane).drop)
+      << "an event at exactly window_end_s must be outside the window";
+  EXPECT_EQ(lane.state(), before_end)
+      << "an out-of-window decide must not touch the lane";
+
+  // Just inside the end: the last representable instant before
+  // window_end_s still fires.
+  const double just_inside =
+      std::nextafter(20.0, 0.0);
+  const auto before_inside = lane.state();
+  EXPECT_TRUE(plan.decide(net::MessageType::kQuery, just_inside, lane).drop);
+  EXPECT_NE(lane.state(), before_inside);
 }
 
 // --- per-type behaviour through the unified send() ------------------------

@@ -8,6 +8,7 @@
 // slipped past validation would trip the sanitizers here.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -93,7 +94,11 @@ std::vector<Frame> parse_frames(const std::vector<unsigned char>& bytes) {
 class CorruptSnapshotTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    good_path_ = new std::string(::testing::TempDir() + "dsf_corrupt_good.snap");
+    // Per-process filename: ctest runs each case as its own process, and
+    // a shared path would let one process's teardown delete the good file
+    // from under another's fixture mid-read.
+    good_path_ = new std::string(::testing::TempDir() + "dsf_corrupt_good_" +
+                                 std::to_string(::getpid()) + ".snap");
     olap::OlapSim saver(tiny_olap());
     saver.request_snapshot_save(*good_path_, 60.0);
     oracle_fp_ = fingerprint(saver.run()).value();
@@ -115,8 +120,8 @@ class CorruptSnapshotTest : public ::testing::Test {
   /// resumed fingerprint against the straight-through oracle.
   void expect_rejected(const std::vector<unsigned char>& bytes,
                        const std::string& label) {
-    const std::string path =
-        ::testing::TempDir() + "dsf_corrupt_" + label + ".snap";
+    const std::string path = ::testing::TempDir() + "dsf_corrupt_" + label +
+                             "_" + std::to_string(::getpid()) + ".snap";
     spit(path, bytes);
     olap::OlapSim sim(tiny_olap());
     EXPECT_THROW(sim.load_snapshot(path), snap::SnapshotError) << label;

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "des/rng.h"
@@ -135,6 +136,62 @@ TEST(DistributionsStat, ZipfPassesChiSquare) {
   ASSERT_GE(bins, 30u);  // the binning must not collapse the test away
   EXPECT_LT(chi2, chi2_bound(bins - 1))
       << "chi2 " << chi2 << " over " << bins << " bins";
+}
+
+TEST(DistributionsStat, ParetoSessionTailPassesChiSquare) {
+  // The adversary layer's churn-storm parameterization (offline mean
+  // 600 s, shape 1.5 — the heavy session tail): chi-square over 100
+  // equal-probability bins, so the statistic weighs the far tail as
+  // heavily as the body.  Catches a clipped or re-scaled tail that the
+  // KS statistic (dominated by the body) can miss.
+  Pareto dist = Pareto::from_mean(600.0, 1.5);
+  const double xm = dist.scale(), a = dist.shape();
+  Rng rng(0xAD5E7A);
+
+  const std::size_t bins = 100;
+  // Bin edges at the quantiles: F^-1(p) = xm / (1-p)^(1/a); the last
+  // edge is +inf.
+  std::vector<double> edges(bins);
+  for (std::size_t b = 0; b + 1 < bins; ++b) {
+    const double p = static_cast<double>(b + 1) / static_cast<double>(bins);
+    edges[b] = xm / std::pow(1.0 - p, 1.0 / a);
+  }
+  edges[bins - 1] = std::numeric_limits<double>::infinity();
+
+  std::vector<std::uint64_t> observed(bins, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const double s = dist.sample(rng);
+    ASSERT_GE(s, xm) << "Pareto support starts at the scale";
+    const auto it = std::lower_bound(edges.begin(), edges.end(), s);
+    ++observed[static_cast<std::size_t>(it - edges.begin())];
+  }
+
+  const double expected = static_cast<double>(kDraws) / bins;
+  double chi2 = 0.0;
+  for (std::uint64_t o : observed) {
+    const double diff = static_cast<double>(o) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, chi2_bound(bins - 1))
+      << "chi2 " << chi2 << " over " << bins << " equal-probability bins";
+}
+
+TEST(DistributionsStat, ParetoStormScaleMatchesConfiguredMean) {
+  // from_mean must invert the mean formula xm * a / (a - 1) exactly, and
+  // the empirical mean of a million heavy-tailed draws should land within
+  // a few percent of it (shape 1.5 has infinite variance, so the sample
+  // mean converges slowly — the bound is deliberately loose but would
+  // still catch a scale derived from the wrong formula by 3x).
+  const double mean = 600.0, shape = 1.5;
+  Pareto dist = Pareto::from_mean(mean, shape);
+  EXPECT_DOUBLE_EQ(dist.scale() * shape / (shape - 1.0), mean);
+
+  Rng rng(0x570F11);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kDraws; ++i) acc += dist.sample(rng);
+  const double sample_mean = acc / static_cast<double>(kDraws);
+  EXPECT_GT(sample_mean, 0.5 * mean);
+  EXPECT_LT(sample_mean, 2.0 * mean);
 }
 
 TEST(DistributionsStat, ZipfRankOneIsModal) {

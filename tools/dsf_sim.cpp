@@ -58,6 +58,23 @@
 //                            ("time_s peer item" per line) instead of the
 //                            generator
 //
+// and the adversary group (serial runs only; mutually exclusive with
+// snapshots; see cli/adversary_flags.h for the full knob list):
+//
+//   --adversary-abusers F --adversary-abuse-rate R
+//                            query-flood abusers spraying TTL-max searches
+//   --adversary-free-riders F
+//                            peers that serve nothing but query fully
+//   --adversary-outage-class C --adversary-outage-at S
+//                            correlated regional outage of a delay class
+//   --adversary-storm-rate R churn storms with Pareto session tails
+//   --adversary-degree-<class> N / --adversary-weight-<class> W
+//                            heterogeneous per-class capacity
+//   --adversary-check        audit abuse attribution; exit 4 on violation
+//   --capture-trace PATH     write the closed-loop query arrivals in the
+//                            "time_s peer item" grammar for later
+//                            --open-loop --load-trace replay
+//
 // Command-line errors — unknown options (rejected with a nearest-match
 // suggestion) and values that do not parse as, or overflow, the declared
 // type — exit 2.  Corrupt, truncated or mismatched snapshot files exit 5
@@ -70,6 +87,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cli/adversary_flags.h"
 #include "cli/fault_flags.h"
 #include "cli/flag_registry.h"
 #include "diglib/diglib_sim.h"
@@ -167,6 +185,7 @@ cli::FlagRegistry make_registry() {
                   "scheduling heartbeats changes event ordering)");
 
   register_fault_flags(reg);
+  register_adversary_flags(reg);
   return reg;
 }
 
@@ -279,6 +298,53 @@ struct FaultContext {
                  "0 violations)\n",
                  static_cast<unsigned long long>(checker.events_seen()),
                  static_cast<unsigned long long>(engine.crashes()));
+    return 0;
+  }
+};
+
+/// Parses the --adversary-* group (plus --capture-trace) once, arms a
+/// scenario engine before run(), and audits abuse attribution after when
+/// --adversary-check was requested.  The checker instance is shared with
+/// FaultContext so --fault-check and --adversary-check compose into one
+/// audit over the same trace stream.
+struct AdversaryContext {
+  cli::AdversaryOptions opts;
+
+  explicit AdversaryContext(const cli::FlagRegistry& reg)
+      : opts(cli::adversary_options_from(reg)) {}
+
+  void arm(sim::OverlayEngine& engine, FaultContext& fault) {
+    if (opts.plan.enabled()) engine.set_adversary(opts.plan);
+    if (!opts.capture_path.empty())
+      engine.set_capture_trace(opts.capture_path);
+    // FaultContext::arm attaches the checker itself when --fault-check is
+    // set; only the adversary-only case needs the attachment here.
+    if (opts.check && !fault.opts.check)
+      engine.attach_checker(&fault.checker);
+  }
+
+  /// Exit code: 0 when clean (or unchecked), 4 on abuse-accounting or
+  /// abuser-overlay violations.
+  int finish(const sim::OverlayEngine& engine,
+             sim::InvariantChecker& checker) {
+    if (!opts.check) return 0;
+    checker.check_abuse(engine.adversary_stats(), engine.abuse_ledger(),
+                        engine.ledger());
+    checker.check_abuser_overlay(engine.overlay(), engine.abusers());
+    if (!checker.ok()) {
+      std::fprintf(stderr, "%s", checker.report().c_str());
+      return 4;
+    }
+    const sim::AdversaryStats& s = engine.adversary_stats();
+    std::fprintf(stderr,
+                 "adversary-check: ok (%llu abusers, %llu abuse queries, "
+                 "%llu free-riders, %llu outage victims, %llu storm kicks, "
+                 "0 violations)\n",
+                 static_cast<unsigned long long>(s.abusers),
+                 static_cast<unsigned long long>(s.abuse_queries),
+                 static_cast<unsigned long long>(s.free_riders),
+                 static_cast<unsigned long long>(s.outage_victims),
+                 static_cast<unsigned long long>(s.storm_kicks));
     return 0;
   }
 };
@@ -474,12 +540,14 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
   c.exclude_owned_songs = reg.get_bool("exclude-owned");
 
   FaultContext fault(reg);
+  AdversaryContext adv(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
   LoadContext loadgen(reg);
   gnutella::Simulation sim(c);
   snap.arm(sim);
   loadgen.arm(sim, c.sim_hours);
+  adv.arm(sim, fault);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -514,8 +582,9 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
     if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
+  const int arc = adv.finish(sim, fault.checker);
   const int frc = fault.finish(sim);
-  return frc ? frc : trc;
+  return arc ? arc : (frc ? frc : trc);
 }
 
 int run_webcache(const cli::FlagRegistry& reg, bool json) {
@@ -526,12 +595,14 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
   c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 7));
 
   FaultContext fault(reg);
+  AdversaryContext adv(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
   LoadContext loadgen(reg);
   webcache::WebCacheSim sim(c);
   snap.arm(sim);
   loadgen.arm(sim, c.sim_hours);
+  adv.arm(sim, fault);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -560,8 +631,9 @@ int run_webcache(const cli::FlagRegistry& reg, bool json) {
     if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
+  const int arc = adv.finish(sim, fault.checker);
   const int frc = fault.finish(sim);
-  return frc ? frc : trc;
+  return arc ? arc : (frc ? frc : trc);
 }
 
 int run_olap(const cli::FlagRegistry& reg, bool json) {
@@ -572,12 +644,14 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
   c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 11));
 
   FaultContext fault(reg);
+  AdversaryContext adv(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
   LoadContext loadgen(reg);
   olap::OlapSim sim(c);
   snap.arm(sim);
   loadgen.arm(sim, c.sim_hours);
+  adv.arm(sim, fault);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -603,8 +677,9 @@ int run_olap(const cli::FlagRegistry& reg, bool json) {
     if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
+  const int arc = adv.finish(sim, fault.checker);
   const int frc = fault.finish(sim);
-  return frc ? frc : trc;
+  return arc ? arc : (frc ? frc : trc);
 }
 
 int run_diglib(const cli::FlagRegistry& reg, bool json) {
@@ -624,12 +699,14 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
   c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 17));
 
   FaultContext fault(reg);
+  AdversaryContext adv(reg);
   TraceContext trace(reg);
   SnapshotContext snap(reg);
   LoadContext loadgen(reg);
   diglib::DigLibSim sim(c);
   snap.arm(sim);
   loadgen.arm(sim, c.sim_hours);
+  adv.arm(sim, fault);
   if (const int rc = apply_shards(reg, sim)) return rc;
   fault.arm(sim);
   trace.arm(sim);
@@ -656,8 +733,9 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
     if (loadgen.enabled) loadgen.print(sim, measure_s);
   }
   const int trc = trace.finish();
+  const int arc = adv.finish(sim, fault.checker);
   const int frc = fault.finish(sim);
-  return frc ? frc : trc;
+  return arc ? arc : (frc ? frc : trc);
 }
 
 }  // namespace
