@@ -48,36 +48,72 @@ struct SearchParams {
   double timeout_s = std::numeric_limits<double>::infinity();
 };
 
-/// One result of a flood: a node holding the content, when the query
-/// reached it, and when its direct reply lands back at the initiator.
+/// One result of a search: a node holding (or resembling) the requested
+/// content, when the query reached it, when its direct reply lands back at
+/// the initiator, and — for the ranked/similarity schemes — the result's
+/// score.  Exact-match schemes leave the score at 0.0.
 struct SearchHit {
   net::NodeId node = net::kInvalidNode;
   int hop = 0;               ///< hops from the initiator
   double arrival_s = 0.0;    ///< query arrival time at `node` (relative)
   double reply_at_s = 0.0;   ///< reply arrival back at the initiator
+  double score = 0.0;        ///< ranked/similarity score (0 = unscored)
 };
 
-/// Outcome of one query flood.
+/// Outcome of one query, common to every scheme.  Exact-match floods leave
+/// the ranked fields (k_target, pruned_subtrees, scores) at their zero
+/// defaults, so the historical aggregate paths read identical values.
 struct SearchOutcome {
   std::vector<SearchHit> hits;
   std::uint64_t query_messages = 0;  ///< query propagations (the paper's
                                      ///< "messages" metric)
   std::uint64_t reply_messages = 0;  ///< direct replies to the initiator
   std::uint32_t nodes_reached = 0;   ///< distinct nodes that processed it
+  /// Ranked schemes: subtree forwards withheld because their known score
+  /// bound could not beat the initiator's floor (the saved transmissions).
+  std::uint32_t pruned_subtrees = 0;
+  /// Ranked schemes: the k the query asked for (0 = unranked query).
+  std::uint32_t k_target = 0;
 
   bool satisfied() const noexcept { return !hits.empty(); }
 
-  /// Delay until the first result reaches the initiator (Fig 3a's metric);
-  /// meaningless if !satisfied().
-  double first_result_delay_s() const noexcept {
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto& h : hits) best = std::min(best, h.reply_at_s);
+  /// Ranked satisfaction: a top-k query is k-satisfied when it returned a
+  /// full k results; an unranked query degenerates to satisfied().
+  bool k_satisfied() const noexcept {
+    return k_target == 0 ? satisfied() : hits.size() >= k_target;
+  }
+
+  /// Best per-hit score (0.0 when unscored or empty).
+  double best_score() const noexcept {
+    double best = 0.0;
+    for (const auto& h : hits) best = std::max(best, h.score);
     return best;
+  }
+
+  /// The earliest-arriving hit, or nullptr when the search missed (what
+  /// the scenarios' span bookkeeping reads).
+  const SearchHit* first_hit() const noexcept {
+    const SearchHit* first = nullptr;
+    for (const auto& h : hits)
+      if (!first || h.reply_at_s < first->reply_at_s) first = &h;
+    return first;
+  }
+
+  /// Delay until the first result reaches the initiator (Fig 3a's metric).
+  /// An unsatisfied search answers 0.0 — the same documented sentinel as
+  /// metrics::Histogram::quantile on an empty histogram — so the value is
+  /// always finite and NaN-safe; callers that must distinguish check
+  /// satisfied() first.
+  double first_result_delay_s() const noexcept {
+    const SearchHit* first = first_hit();
+    return first ? first->reply_at_s : 0.0;
   }
 };
 
-/// Scratch buffers reused across floods so steady-state searches allocate
-/// nothing.
+/// Scratch buffers reused across searches so steady-state queries allocate
+/// nothing.  `queue` is the BFS frontier of the flood family; the ranked
+/// scheme additionally time-orders its frontier (`heap`) and tracks the
+/// replies that feed the k-th-score floor (`replies`).
 struct SearchScratch {
   struct Frontier {
     net::NodeId node;
@@ -86,6 +122,13 @@ struct SearchScratch {
     double arrival_s;
   };
   std::vector<Frontier> queue;
+  std::vector<Frontier> heap;  ///< ranked scheme: arrival-ordered frontier
+  struct RankedReply {
+    double reply_at_s;
+    double score;
+  };
+  std::vector<RankedReply> replies;  ///< ranked scheme: floor bookkeeping
+  std::vector<double> floor_scores;  ///< ranked scheme: k best arrived scores
 };
 
 /// Generic BFS query flood over an overlay (Algo 1 with the Gnutella

@@ -1,0 +1,72 @@
+#include "core/lsh.h"
+
+#include <cmath>
+
+namespace dsf::core {
+
+double lsh_collision_probability(double jaccard, std::uint32_t bands,
+                                 std::uint32_t rows) noexcept {
+  const double band_match = std::pow(jaccard, static_cast<double>(rows));
+  return 1.0 - std::pow(1.0 - band_match, static_cast<double>(bands));
+}
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t lsh_position_hash(std::uint64_t seed, std::uint32_t h,
+                                std::uint64_t item) noexcept {
+  // Each position h acts as an independent random permutation of the item
+  // universe: mix the (seed, h) pair into a per-position key, then mix the
+  // item under that key.
+  return mix64(mix64(seed + h) ^ item);
+}
+
+void LshIndex::reserve(std::size_t num_nodes) {
+  sigs_.reserve(num_nodes * params_.hashes());
+  keys_.reserve(num_nodes * params_.bands);
+  empty_.reserve(num_nodes);
+}
+
+void LshIndex::append_band_keys(std::size_t sig_base) {
+  for (std::uint32_t b = 0; b < params_.bands; ++b) {
+    // Fold the band's rows into one bucket key; the band index is mixed in
+    // so identical row values in different bands never alias.
+    std::uint64_t key = mix64(params_.seed ^ (0xb0b0'0000ULL + b));
+    for (std::uint32_t r = 0; r < params_.rows; ++r)
+      key = mix64(key ^ sigs_[sig_base + std::size_t{b} * params_.rows + r]);
+    keys_.push_back(key);
+  }
+}
+
+bool LshIndex::candidate(net::NodeId a, net::NodeId b) const noexcept {
+  if (a == b) return false;
+  if (empty_[a] || empty_[b]) return false;
+  const auto ka = band_keys(a);
+  const auto kb = band_keys(b);
+  for (std::uint32_t i = 0; i < params_.bands; ++i)
+    if (ka[i] == kb[i]) return true;
+  return false;
+}
+
+double LshIndex::estimated_similarity(net::NodeId a,
+                                      net::NodeId b) const noexcept {
+  if (a == b) return 1.0;
+  if (empty_[a] || empty_[b]) return 0.0;
+  const auto sa = signature(a);
+  const auto sb = signature(b);
+  std::uint32_t match = 0;
+  for (std::uint32_t i = 0; i < params_.hashes(); ++i)
+    if (sa[i] == sb[i]) ++match;
+  return static_cast<double>(match) / static_cast<double>(params_.hashes());
+}
+
+}  // namespace dsf::core

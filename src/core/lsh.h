@@ -1,0 +1,195 @@
+#pragma once
+
+// Distributed locality-sensitive hashing over per-peer item sets (Bahmani,
+// Goel & Shinde, "Efficient distributed locality sensitive hashing"): each
+// peer summarizes its library as a MinHash signature — bands × rows
+// independent min-hashes — and advertises one bucket key per band (the
+// hash of that band's rows).  Two peers land in the same bucket for some
+// band with probability 1 - (1 - s^rows)^bands, the classic S-curve in
+// their true Jaccard similarity s, so bucket collision is a cheap,
+// tunable filter for "similar enough".
+//
+// The index answers two questions the similarity scheme needs:
+//   * candidate(a, b)            — do any of a's and b's band buckets
+//                                  collide (the routing/examination gate);
+//   * estimated_similarity(a, b) — the fraction of matching signature
+//                                  positions, an unbiased estimate of the
+//                                  Jaccard similarity (each position
+//                                  matches independently with probability
+//                                  exactly s — the MinHash property the
+//                                  chi-square stat test pins).
+//
+// lsh_similarity_search runs the query over an unstructured overlay in
+// two phases: a scatter phase (the first ceil(max_hops/2) hops forward
+// everywhere, getting the signature out of the initiator's neighborhood)
+// and a gather phase (beyond the scatter radius, a peer forwards only to
+// neighbors whose advertised buckets collide with the query's — banded
+// bucket routing over the same one-hop digest exchange the local-indices
+// strategy assumes).  Withheld forwards count into pruned_subtrees.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/flood_search.h"
+#include "net/message.h"
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Signature geometry.  Collision probability at Jaccard s is
+/// 1 - (1 - s^rows)^bands: the defaults put the S-curve's steep rise
+/// around s ~ 0.5 (16 bands x 4 rows).
+struct LshParams {
+  std::uint32_t bands = 16;
+  std::uint32_t rows = 4;
+  std::uint64_t seed = 0x15bd1f3a5c0ffee5ULL;
+
+  std::uint32_t hashes() const noexcept { return bands * rows; }
+};
+
+/// P(some band collides) = 1 - (1 - s^rows)^bands for true Jaccard s.
+double lsh_collision_probability(double jaccard, std::uint32_t bands,
+                                 std::uint32_t rows) noexcept;
+
+/// Stateless position hash: the h-th min-hash permutation applied to one
+/// item (splitmix64-style finalizer; exposed for the stat tests).
+std::uint64_t lsh_position_hash(std::uint64_t seed, std::uint32_t h,
+                                std::uint64_t item) noexcept;
+
+/// Per-peer MinHash signatures plus banded bucket keys, nodes appended in
+/// id order.  Empty item sets get a sentinel signature that never matches
+/// anything (an empty library resembles nothing, including another empty
+/// one — free-riders must not cluster).
+class LshIndex {
+ public:
+  explicit LshIndex(LshParams params = {}) : params_(params) {}
+
+  void reserve(std::size_t num_nodes);
+
+  /// Appends the next node's signature from its (unique-element) item set.
+  template <typename Item>
+  void append_node(std::span<const Item> items) {
+    const std::uint32_t n = params_.hashes();
+    const std::size_t base = sigs_.size();
+    sigs_.resize(base + n, ~0ULL);
+    empty_.push_back(items.empty() ? 1 : 0);
+    for (std::uint32_t h = 0; h < n; ++h) {
+      std::uint64_t best = ~0ULL;
+      for (const Item item : items) {
+        const std::uint64_t v = lsh_position_hash(
+            params_.seed, h, static_cast<std::uint64_t>(item));
+        if (v < best) best = v;
+      }
+      sigs_[base + h] = best;
+    }
+    append_band_keys(base);
+  }
+
+  std::size_t num_nodes() const noexcept { return empty_.size(); }
+  const LshParams& params() const noexcept { return params_; }
+
+  std::span<const std::uint64_t> signature(net::NodeId n) const noexcept {
+    return {sigs_.data() + std::size_t{n} * params_.hashes(),
+            params_.hashes()};
+  }
+  std::span<const std::uint64_t> band_keys(net::NodeId n) const noexcept {
+    return {keys_.data() + std::size_t{n} * params_.bands, params_.bands};
+  }
+
+  /// Any band bucket shared?  False whenever either side is empty.
+  bool candidate(net::NodeId a, net::NodeId b) const noexcept;
+
+  /// Fraction of matching signature positions — the MinHash estimate of
+  /// the Jaccard similarity.  0 whenever either side is empty.
+  double estimated_similarity(net::NodeId a, net::NodeId b) const noexcept;
+
+  std::size_t memory_bytes() const noexcept {
+    return sigs_.capacity() * sizeof(std::uint64_t) +
+           keys_.capacity() * sizeof(std::uint64_t) + empty_.capacity();
+  }
+
+ private:
+  void append_band_keys(std::size_t sig_base);
+
+  LshParams params_;
+  std::vector<std::uint64_t> sigs_;   ///< num_nodes x hashes()
+  std::vector<std::uint64_t> keys_;   ///< num_nodes x bands
+  std::vector<std::uint8_t> empty_;   ///< 1 = empty item set (matches nothing)
+};
+
+/// Similarity search over an unstructured overlay ("find peers like the
+/// initiator").  `similarity(n)` estimates the initiator's similarity to
+/// n; `candidate(n)` is the band-bucket collision gate.  A visited peer
+/// replies (scored hit) when it is a candidate and clears `threshold`;
+/// forwarding scatters for the first ceil(max_hops/2) hops, then follows
+/// buckets only.  Message accounting matches flood_search: attempted
+/// transmissions count, lost copies do not mark, delays are sampled only
+/// for first deliveries; withheld gather-phase forwards count into
+/// pruned_subtrees.
+template <typename NeighborsFn, typename SimilarityFn, typename CandidateFn,
+          typename DelayFn, typename TransmitFn>
+SearchOutcome lsh_similarity_search(net::NodeId initiator,
+                                    const SearchParams& params,
+                                    double threshold, NeighborsFn&& neighbors,
+                                    SimilarityFn&& similarity,
+                                    CandidateFn&& candidate, DelayFn&& delay,
+                                    TransmitFn&& transmit, VisitStamp& stamps,
+                                    SearchScratch& scratch) {
+  SearchOutcome out;
+  transmit.begin(params.max_hops);
+  stamps.begin_search();
+  stamps.mark(initiator);
+
+  const int scatter_radius = (params.max_hops + 1) / 2;
+
+  auto& queue = scratch.queue;
+  queue.clear();
+  queue.push_back({initiator, net::kInvalidNode, 0, 0.0});
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto cur = queue[head];  // copy: push_back below may reallocate
+    if (cur.hop >= params.max_hops) continue;
+    for (net::NodeId nbr : neighbors(cur.node)) {
+      if (nbr == cur.sender) continue;
+      // Banded bucket routing: beyond the scatter radius the query
+      // follows the advertised buckets only.
+      if (cur.hop + 1 > scatter_radius && !candidate(nbr)) {
+        ++out.pruned_subtrees;
+        continue;
+      }
+      ++out.query_messages;
+      const TransmitResult tq = transmit(net::MessageType::kQuery, cur.node,
+                                         nbr, params.max_hops - cur.hop);
+      if (tq.duplicate) ++out.query_messages;
+      if (!tq.deliver) continue;
+      if (!stamps.mark(nbr)) continue;
+      const double arrival =
+          cur.arrival_s + delay(cur.node, nbr) + tq.extra_delay_s;
+      ++out.nodes_reached;
+
+      const int hop = cur.hop + 1;
+      bool forward = hop < params.max_hops;
+      if (candidate(nbr)) {
+        const double score = similarity(nbr);
+        if (score >= threshold) {
+          const double reply_at = arrival + delay(nbr, initiator);
+          if (reply_at <= params.timeout_s) {
+            ++out.reply_messages;
+            const TransmitResult tr =
+                transmit(net::MessageType::kQueryReply, nbr, initiator, -1);
+            if (tr.duplicate) ++out.reply_messages;
+            if (tr.deliver && reply_at + tr.extra_delay_s <= params.timeout_s)
+              out.hits.push_back(
+                  {nbr, hop, arrival, reply_at + tr.extra_delay_s, score});
+          }
+          if (!params.forward_when_hit) forward = false;
+        }
+      }
+      if (forward) queue.push_back({nbr, cur.node, hop, arrival});
+    }
+  }
+  return out;
+}
+
+}  // namespace dsf::core

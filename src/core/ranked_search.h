@@ -1,0 +1,172 @@
+#pragma once
+
+// Fully-distributed top-k search with threshold propagation (Akbarinia,
+// Pacitti & Valduriez, "Reducing network traffic in unstructured P2P
+// systems using Top-k queries"): every peer scores the query against its
+// local items, replies carry scores, and the query itself carries the
+// initiator's current k-th-best floor so subtrees that cannot beat it are
+// never entered.
+//
+// The model grants each peer a scored one-hop digest of its neighbors —
+// the same digest machinery the local-indices strategy already assumes
+// for content (neighbors exchange summaries when a link forms).  That
+// digest is what makes the floor *enforceable*: a peer about to spend the
+// query's last hop on neighbor m knows m's best local score, and withholds
+// the forward when that bound cannot clear the floor.  Deeper subtrees
+// have no sound bound (anything may hide two hops away), so they are
+// always entered — pruning never costs a result the flood would have
+// found, which is what keeps the satisfied() verdict identical per query.
+//
+// The frontier is expanded in arrival-time order (a min-heap on the
+// per-edge delay sums) rather than BFS order, because the floor is a
+// *moving* threshold: it is the k-th best score among replies that have
+// reached the initiator by the time the forward happens.  Time-ordering
+// makes "by the time" well-defined and deterministic.
+//
+// Message accounting matches flood_search exactly: every attempted
+// transmission counts (duplicates included), lost copies do not mark the
+// receiver, and delays are sampled only for first deliveries.  Withheld
+// forwards count into SearchOutcome::pruned_subtrees instead of
+// query_messages — they are the scheme's savings.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/flood_search.h"
+#include "net/message.h"
+#include "net/node_id.h"
+
+namespace dsf::core {
+
+/// Ranked top-k search.  `rank(n)` is n's best local score for this query:
+/// > 0 iff n can contribute a result (for exact-content scenarios,
+/// 0 unless `n` holds the item).  Hits carry their scores; the outcome's
+/// hit list is the true top-k by score (ties broken toward earlier
+/// replies), truncated to k, sorted best-first.
+template <typename NeighborsFn, typename RankFn, typename DelayFn,
+          typename TransmitFn>
+SearchOutcome ranked_topk_search(net::NodeId initiator,
+                                 const SearchParams& params, std::uint32_t k,
+                                 NeighborsFn&& neighbors, RankFn&& rank,
+                                 DelayFn&& delay, TransmitFn&& transmit,
+                                 VisitStamp& stamps, SearchScratch& scratch) {
+  SearchOutcome out;
+  out.k_target = k;
+  if (k == 0) return out;
+  transmit.begin(params.max_hops);
+  stamps.begin_search();
+  stamps.mark(initiator);
+
+  using Frontier = SearchScratch::Frontier;
+  // Earliest arrival first; ties broken on (node, sender, hop) so the
+  // expansion order is a pure function of the inputs.
+  const auto later = [](const Frontier& a, const Frontier& b) {
+    if (a.arrival_s != b.arrival_s) return a.arrival_s > b.arrival_s;
+    if (a.node != b.node) return a.node > b.node;
+    if (a.sender != b.sender) return a.sender > b.sender;
+    return a.hop > b.hop;
+  };
+
+  auto& heap = scratch.heap;
+  heap.clear();
+  heap.push_back({initiator, net::kInvalidNode, 0, 0.0});
+
+  // Replies en route to the initiator, consumed into the floor set once
+  // the expansion clock passes their arrival.  Both kept deterministic:
+  // `pending` is filled in expansion order and scanned linearly (searches
+  // touch tens of nodes, not thousands), `floor_scores` holds the k best
+  // scores among arrived replies.
+  auto& pending = scratch.replies;
+  pending.clear();
+  auto& floor_scores = scratch.floor_scores;  // size <= k, min first when full
+  floor_scores.clear();
+
+  const auto floor_at = [&](double now_s) {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].reply_at_s <= now_s) {
+        const double s = pending[i].score;
+        if (floor_scores.size() < k) {
+          floor_scores.push_back(s);
+          std::sort(floor_scores.begin(), floor_scores.end());
+        } else if (s > floor_scores.front()) {
+          floor_scores.front() = s;
+          std::sort(floor_scores.begin(), floor_scores.end());
+        }
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // The floor starts at 0: until the top-k fills, any positive score —
+    // i.e. any peer that has content at all — clears it.
+    return floor_scores.size() < k ? 0.0 : floor_scores.front();
+  };
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Frontier cur = heap.back();
+    heap.pop_back();
+    if (cur.hop >= params.max_hops) continue;
+    const double floor = floor_at(cur.arrival_s);
+    const bool last_hop = cur.hop + 1 >= params.max_hops;
+    for (net::NodeId nbr : neighbors(cur.node)) {
+      if (nbr == cur.sender) continue;
+      // Threshold propagation: the query carries `floor`, and the scored
+      // one-hop digest bounds what `nbr` alone can contribute.  When the
+      // forward's remaining budget ends at nbr (last hop), a bound at or
+      // below the floor cannot change the top-k — withhold the forward.
+      // Deeper forwards have no sound bound and always go out.
+      if (last_hop && rank(nbr) <= floor) {
+        ++out.pruned_subtrees;
+        continue;
+      }
+      ++out.query_messages;
+      const TransmitResult tq = transmit(net::MessageType::kQuery, cur.node,
+                                         nbr, params.max_hops - cur.hop);
+      if (tq.duplicate) ++out.query_messages;
+      if (!tq.deliver) continue;
+      if (!stamps.mark(nbr)) continue;
+      const double arrival =
+          cur.arrival_s + delay(cur.node, nbr) + tq.extra_delay_s;
+      ++out.nodes_reached;
+
+      const int hop = cur.hop + 1;
+      bool forward = hop < params.max_hops;
+      const double score = rank(nbr);
+      if (score > 0.0) {
+        const double reply_at = arrival + delay(nbr, initiator);
+        if (reply_at <= params.timeout_s) {
+          ++out.reply_messages;
+          const TransmitResult tr =
+              transmit(net::MessageType::kQueryReply, nbr, initiator, -1);
+          if (tr.duplicate) ++out.reply_messages;
+          if (tr.deliver && reply_at + tr.extra_delay_s <= params.timeout_s) {
+            out.hits.push_back(
+                {nbr, hop, arrival, reply_at + tr.extra_delay_s, score});
+            pending.push_back({reply_at + tr.extra_delay_s, score});
+          }
+        }
+        if (!params.forward_when_hit) forward = false;
+      }
+      if (forward) {
+        heap.push_back({nbr, cur.node, hop, arrival});
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+  }
+
+  // The initiator keeps the k best: best score first, earlier replies
+  // breaking ties (deterministic for equal scores).
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.reply_at_s != b.reply_at_s)
+                return a.reply_at_s < b.reply_at_s;
+              return a.node < b.node;
+            });
+  if (out.hits.size() > k) out.hits.resize(k);
+  return out;
+}
+
+}  // namespace dsf::core

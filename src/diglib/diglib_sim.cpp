@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/update.h"
+#include "sim/invariants.h"
 #include "snap/codec.h"
 
 namespace dsf::diglib {
@@ -14,6 +15,12 @@ sim::EngineConfig DigLibSim::make_engine_config(const DigLibConfig& config) {
   sim::require_divides("diglib", "num_docs", config.num_docs, "num_topics",
                        config.num_topics);
   sim::require_positive("diglib", "query_timeout_s", config.query_timeout_s);
+  sim::validate_or_throw(
+      config.search_strategy != sim::SearchStrategyKind::kLsh, "diglib",
+      "search_strategy lsh is not supported (repositories advertise no "
+      "similarity signatures)");
+  if (config.search_strategy == sim::SearchStrategyKind::kTopK)
+    sim::require_positive("diglib", "top_k", config.top_k);
   sim::EngineConfig ec;
   ec.name = "diglib";
   ec.num_nodes = config.num_repositories;
@@ -32,6 +39,7 @@ sim::EngineConfig DigLibSim::make_engine_config(const DigLibConfig& config) {
 DigLibSim::DigLibSim(const DigLibConfig& config)
     : sim::OverlayEngine(make_engine_config(config)),
       config_(config),
+      hit_stamps_(config.num_repositories),
       copy_count_(config.num_docs, 0),
       doc_zipf_(config.num_docs / config.num_topics, config.zipf_theta),
       interquery_(config.mean_interquery_s) {
@@ -103,25 +111,32 @@ core::SearchOutcome DigLibSim::search_doc(net::NodeId from, DocId doc) {
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
   };
+  // kTopK ranks holders by a deterministic per-(repository, document)
+  // relevance in (0, 1] — the retrieval score a ranked federation would
+  // compute locally.  Non-holders and free-riders score 0.
+  const auto rank = [this, doc](net::NodeId n) {
+    if (is_free_rider(n) || !holds(n, doc)) return 0.0;
+    const std::uint64_t bits =
+        des::hash_seed(des::hash_seed(config_.seed, 0x2b5eced5u) ^ n, doc);
+    return (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+  };
   const std::uint32_t span = obs_search_begin(from, params.max_hops, doc);
+  auto ctx = core::make_ranked_context(from, neighbors, has_content, rank,
+                                       core::NoCandidate{}, delay,
+                                       search_transmit(), visit_stamps(),
+                                       hit_stamps_, search_scratch());
+  ctx.stats = &repos_[from].stats;
+  const core::QuerySpec spec = sim::query_spec_for(
+      config_.search_strategy, params, config_.top_k, /*sim_threshold=*/0.0);
   const auto outcome =
-      fault_layer_active()
-          ? core::flood_search(from, params, neighbors, has_content, delay,
-                               transmit_fn(), visit_stamps(),
-                               search_scratch())
-          : core::flood_search(from, params, neighbors, has_content, delay,
-                               visit_stamps(), search_scratch());
+      sim::dispatch_search(config_.search_strategy, spec,
+                           /*directed_fanout=*/config_.num_neighbors, ctx);
   if (span != 0) {
-    int first_hop = -1;
-    double first_delay = -1.0;
-    for (const auto& hit : outcome.hits) {
-      if (first_hop < 0 || hit.reply_at_s < first_delay) {
-        first_hop = hit.hop;
-        first_delay = hit.reply_at_s;
-      }
-    }
-    obs_search_end(span, from, outcome.hits.size(), first_hop, first_delay);
+    const core::SearchHit* first = outcome.first_hit();
+    obs_search_end(span, from, outcome.hits.size(), first ? first->hop : -1,
+                   first ? first->reply_at_s : -1.0, outcome.best_score());
   }
+  if (sim::InvariantChecker* c = checker()) c->check_search_outcome(spec, outcome);
 
   count(net::MessageType::kQuery, outcome.query_messages);
   count(net::MessageType::kQueryReply, outcome.reply_messages);
@@ -278,7 +293,14 @@ void DigLibSim::update_neighbors(net::NodeId r) {
 }
 
 DigLibResult DigLibSim::run() {
-  if (parallel()) shard_results_.assign(shards(), DigLibResult{});
+  if (parallel()) {
+    // The holder-dedup stamps are a single table; concurrent shards would
+    // race on its generations.
+    sim::validate_or_throw(
+        config_.search_strategy != sim::SearchStrategyKind::kLocalIndices,
+        "diglib", "search_strategy local-indices requires a serial run");
+    shard_results_.assign(shards(), DigLibResult{});
+  }
   // A resumed run takes its pending query events from the snapshot and must
   // not draw the initial delays, but it still registers the per-repository
   // update periodics in the same order so indices line up with the file.

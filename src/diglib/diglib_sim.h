@@ -13,6 +13,7 @@
 #include "metrics/time_series.h"
 #include "net/message.h"
 #include "sim/engine.h"
+#include "sim/policy.h"
 
 namespace dsf::diglib {
 
@@ -54,6 +55,11 @@ struct DigLibConfig {
   double query_timeout_s = 4.0;
   ListMode mode = ListMode::kAdaptive;
   double update_period_s = 600.0;  ///< Algo-3 trigger for kAdaptive
+  /// Query-propagation scheme.  The federation supports the flood family
+  /// and kTopK (ranked retrieval over document scores); kLsh is rejected
+  /// at construction — repositories advertise no signatures.
+  sim::SearchStrategyKind search_strategy = sim::SearchStrategyKind::kFlood;
+  std::uint32_t top_k = 1;  ///< kTopK: copies the client wants ranked
   double sim_hours = 2.0;
   double warmup_hours = 0.25;
   std::uint64_t seed = 17;
@@ -158,6 +164,9 @@ class DigLibSim : public sim::OverlayEngine {
 
   DigLibConfig config_;
   std::vector<Repository> repos_;
+  /// Holder-dedup stamps for the local-indices strategy (serial runs
+  /// only — run() rejects the strategy under shards).
+  core::VisitStamp hit_stamps_;
   std::vector<std::uint32_t> copy_count_;  ///< per-document replica count
   des::Zipf doc_zipf_;
   des::Exponential interquery_;

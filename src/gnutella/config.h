@@ -42,6 +42,15 @@ struct Config {
   /// kDirectedBft: how many of the initiator's neighbors receive the query
   /// (the most beneficial ones by the node's statistics).
   std::uint32_t directed_fanout = 2;
+  /// kTopK: how many results the initiator wants per query (the ranked
+  /// plane's k; the floor that prunes last-hop forwards is the k-th best
+  /// score among replies arrived so far).
+  std::uint32_t top_k = 1;
+  /// kLsh: MinHash signature geometry (bands x rows) and the minimum
+  /// estimated Jaccard similarity a replying peer must clear.
+  std::uint32_t lsh_bands = 16;
+  std::uint32_t lsh_rows = 4;
+  double sim_threshold = 0.5;
 
   // --- reconfiguration (§4.1) ---
   bool dynamic = true;                 ///< false = static Gnutella baseline

@@ -7,6 +7,7 @@
 #include "core/graph_stats.h"
 #include "core/unreachable.h"
 #include "des/distributions.h"
+#include "sim/invariants.h"
 #include "snap/codec.h"
 #include "workload/user_profile.h"
 
@@ -75,6 +76,20 @@ Simulation::Simulation(const Config& config)
       digests_.emplace_back(std::max<std::size_t>(songs.size(), 16), 0.01);
       for (workload::SongId s : songs) digests_.back().insert(s);
     }
+  }
+
+  if (config.search_strategy == SearchStrategy::kLsh) {
+    // One MinHash signature per user over the start-up library, seeded
+    // from the run seed so two runs with equal configs build equal
+    // buckets.  Draw-free: no RNG lane is consumed.
+    core::LshParams lp;
+    lp.bands = config.lsh_bands;
+    lp.rows = config.lsh_rows;
+    lp.seed = des::hash_seed(config.seed, /*stream=*/0x15151515u);
+    lsh_ = std::make_unique<core::LshIndex>(lp);
+    lsh_->reserve(config.num_users);
+    for (net::NodeId u = 0; u < config.num_users; ++u)
+      lsh_->append_node(libraries_.base(u));
   }
 }
 
@@ -326,19 +341,7 @@ void Simulation::issue_query(net::NodeId u) {
 
     const std::uint32_t span = obs_search_begin(u, params.max_hops, song);
     const auto outcome = run_search(u, song, params);
-    if (span != 0) {
-      // First hit = minimum reply arrival (first_result_delay_s's metric);
-      // its hop is the span's first-hit depth.
-      int first_hop = -1;
-      double first_delay = -1.0;
-      for (const auto& hit : outcome.hits) {
-        if (first_hop < 0 || hit.reply_at_s < first_delay) {
-          first_hop = hit.hop;
-          first_delay = hit.reply_at_s;
-        }
-      }
-      obs_search_end(span, u, outcome.hits.size(), first_hop, first_delay);
-    }
+    finish_search(span, u, params, outcome);
 
     const des::SimTime now = now_s();
     RunResult& out = res();
@@ -416,17 +419,7 @@ load::Served Simulation::serve_injected_query(net::NodeId u,
 
     const std::uint32_t span = obs_search_begin(u, params.max_hops, song);
     const auto outcome = run_search(u, song, params);
-    if (span != 0) {
-      int first_hop = -1;
-      double first_delay = -1.0;
-      for (const auto& hit : outcome.hits) {
-        if (first_hop < 0 || hit.reply_at_s < first_delay) {
-          first_hop = hit.hop;
-          first_delay = hit.reply_at_s;
-        }
-      }
-      obs_search_end(span, u, outcome.hits.size(), first_hop, first_delay);
-    }
+    finish_search(span, u, params, outcome);
 
     // Injected traffic is real traffic to the network (ledger, checker,
     // flight recorder) but is reported through LoadStats, not the
@@ -467,6 +460,35 @@ load::Served Simulation::serve_injected_query(net::NodeId u,
   return served;
 }
 
+double Simulation::ranked_score(net::NodeId n,
+                                workload::SongId song) const noexcept {
+  // Holders get a deterministic relevance in (0, 1] keyed on
+  // (seed, holder, song) — e.g. replica quality or bitrate.  Non-holders
+  // (and free-riders) score 0 and can never contribute, which keeps the
+  // ranked scheme's hit/miss verdict identical to the flood's.
+  if (is_free_rider(n) || !libraries_.contains(n, song)) return 0.0;
+  const std::uint64_t bits =
+      des::hash_seed(des::hash_seed(config_.seed, 0x7a5cede5u) ^ n, song);
+  return (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+}
+
+void Simulation::finish_search(std::uint32_t span, net::NodeId u,
+                               const core::SearchParams& params,
+                               const core::SearchOutcome& outcome) {
+  if (span != 0) {
+    // First hit = minimum reply arrival (first_result_delay_s's metric);
+    // its hop is the span's first-hit depth.
+    const core::SearchHit* first = outcome.first_hit();
+    obs_search_end(span, u, outcome.hits.size(), first ? first->hop : -1,
+                   first ? first->reply_at_s : -1.0, outcome.best_score());
+  }
+  if (sim::InvariantChecker* c = checker())
+    c->check_search_outcome(
+        sim::query_spec_for(config_.search_strategy, params, config_.top_k,
+                            config_.sim_threshold),
+        outcome);
+}
+
 core::SearchOutcome Simulation::run_search(net::NodeId u,
                                            workload::SongId song,
                                            const core::SearchParams& params) {
@@ -481,15 +503,26 @@ core::SearchOutcome Simulation::run_search(net::NodeId u,
   const auto delay = [this](net::NodeId a, net::NodeId b) {
     return sample_delay_s(a, b);
   };
-  if (fault_layer_active())
-    return sim::dispatch_search(config_.search_strategy, u, params,
-                                cold_[u].stats, config_.directed_fanout,
-                                neighbors, has_content, delay, transmit_fn(),
-                                visit_stamps(), hit_stamps(), search_scratch());
-  return sim::dispatch_search(config_.search_strategy, u, params,
-                              cold_[u].stats, config_.directed_fanout,
-                              neighbors, has_content, delay, visit_stamps(),
-                              hit_stamps(), search_scratch());
+  // kTopK's score doubles as the one-hop digest bound; kLsh reads the
+  // initiator-anchored similarity estimate plus the band-bucket gate.
+  const auto rank = [this, u, song](net::NodeId n) {
+    return config_.search_strategy == SearchStrategy::kLsh
+               ? lsh_->estimated_similarity(u, n)
+               : ranked_score(n, song);
+  };
+  const auto candidate = [this, u](net::NodeId n) {
+    return !is_free_rider(n) && lsh_->candidate(u, n);
+  };
+  auto ctx = core::make_ranked_context(u, neighbors, has_content, rank,
+                                       candidate, delay, search_transmit(),
+                                       visit_stamps(), hit_stamps(),
+                                       search_scratch());
+  ctx.stats = &cold_[u].stats;
+  return sim::dispatch_search(
+      config_.search_strategy,
+      sim::query_spec_for(config_.search_strategy, params, config_.top_k,
+                          config_.sim_threshold),
+      config_.directed_fanout, ctx);
 }
 
 void Simulation::on_peer_crashed(net::NodeId u) {

@@ -6,6 +6,8 @@
 
 #include "core/benefit.h"
 #include "core/flood_search.h"
+#include "core/lsh.h"
+#include "core/query_plane.h"
 #include "core/relations.h"
 #include "core/search_strategies.h"
 #include "core/stats_store.h"
@@ -216,9 +218,19 @@ class Simulation : public sim::OverlayEngine {
   void log_off(net::NodeId u);
   void issue_query(net::NodeId u);
   /// Dispatches to the configured SearchStrategy (§2's orthogonal
-  /// techniques all run over the same overlay/content/delay bindings).
+  /// techniques all run over the same overlay/content/delay bindings; the
+  /// ranked plane's schemes add scoring/bucket bindings on top).
   core::SearchOutcome run_search(net::NodeId u, workload::SongId song,
                                  const core::SearchParams& params);
+  /// kTopK's per-peer score for a (peer, song) query: 0 unless the peer
+  /// holds the song; holders get a deterministic score in (0, 1] keyed on
+  /// (seed, peer, song) — the relevance spread the ranked scheme orders.
+  double ranked_score(net::NodeId n, workload::SongId song) const noexcept;
+  /// Records one finished search: trace span end, query/reply accounting,
+  /// and per-search scheme certification when a checker is attached.
+  void finish_search(std::uint32_t span, net::NodeId u,
+                     const core::SearchParams& params,
+                     const core::SearchOutcome& outcome);
   void schedule_next_query(net::NodeId u);
   void reconfigure(net::NodeId u);
   /// Sends an invitation u → v; returns true if v accepted and the link is
@@ -277,6 +289,11 @@ class Simulation : public sim::OverlayEngine {
   /// materialized when the summary-gated policy is active.
   std::vector<net::BloomFilter> digests_;
   std::vector<net::NodeId> online_nodes_;
+  /// kLsh: per-user MinHash signatures over the start-up libraries (like
+  /// the summary-gated digests, signatures stay as built — deployed
+  /// systems rebuild them periodically, not per download).  Null for
+  /// every other strategy.
+  std::unique_ptr<core::LshIndex> lsh_;
   core::VisitStamp hit_stamps_;  ///< per-search holder dedup (local indices)
   std::unique_ptr<core::BenefitFunction> benefit_fn_;
   RunResult result_;

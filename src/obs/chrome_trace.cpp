@@ -79,15 +79,25 @@ void write_chrome_trace(std::ostream& os, std::span<const Record> records,
                             ", \"max_hops\": " + std::to_string(r.ttl) + "}");
         w.close();
         break;
-      case RecordKind::kSearchEnd:
+      case RecordKind::kSearchEnd: {
         w.open(r, "search", "e", "search");
         w.field("id", u64(r.span));
         w.field("tid", tid(r));
-        w.field("args",
-                "{\"results\": " + u64(r.a) + ", \"first_hit_hop\": " +
-                    std::to_string(r.ttl) + "}");
+        // The score arg appears only on ranked spans, so exact-match
+        // traces stay byte-identical to pre-ranked-plane captures.
+        std::string args = "{\"results\": " + u64(r.unpack_results()) +
+                           ", \"first_hit_hop\": " + std::to_string(r.ttl);
+        if (const double score = r.unpack_score(); score > 0.0) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.4f", score);
+          args += ", \"score\": ";
+          args += buf;
+        }
+        args += "}";
+        w.field("args", args);
         w.close();
         break;
+      }
       case RecordKind::kSend:
       case RecordKind::kRecv:
       case RecordKind::kDrop: {

@@ -19,15 +19,20 @@
 //   kRecv         sender      receiver  hop budget     bytes          copies
 //   kDrop         sender      receiver  hop budget     bytes          copies
 //   kSearchBegin  initiator   invalid   max hops       target item    0
-//   kSearchEnd    initiator   invalid   first-hit hop  results        first-result
-//                                       (-1: miss)                    delay bits
+//   kSearchEnd    initiator   invalid   first-hit hop  results (low   first-result
+//                                       (-1: miss)     32) + best-    delay bits
+//                                                      score float
+//                                                      bits (high 32)
 //   kPeerCrash    victim      invalid   -1             0              0
 //   kHeartbeat    queue pop.  wall ms   -1             events so far  RSS bytes
 //
 // (kSearchEnd.b is a double stored via std::bit_cast so the record stays
-// trivially copyable; kHeartbeat packs the queue population and the wall
-// clock into the two 32-bit node slots, which caps them at ~4.2e9 —
-// plenty for a progress pulse.)
+// trivially copyable.  kSearchEnd.a packs the result count into the low
+// 32 bits and the best ranked score — float bits — into the high 32;
+// exact-match searches have score 0, so their `a` equals the bare result
+// count and pre-ranked-plane captures decode unchanged.  kHeartbeat packs
+// the queue population and the wall clock into the two 32-bit node slots,
+// which caps them at ~4.2e9 — plenty for a progress pulse.)
 
 #include <bit>
 #include <cstdint>
@@ -83,6 +88,23 @@ struct Record {
     return std::bit_cast<std::uint64_t>(delay_s);
   }
   double unpack_delay() const noexcept { return std::bit_cast<double>(b); }
+
+  /// kSearchEnd helper: result count (low 32 bits of `a`) plus the best
+  /// ranked score as float bits (high 32).  Score 0 — every exact-match
+  /// search — leaves `a` equal to the bare result count.
+  static std::uint64_t pack_results_score(std::uint64_t results,
+                                          double best_score) noexcept {
+    const auto score_bits = best_score > 0.0
+                                ? std::bit_cast<std::uint32_t>(
+                                      static_cast<float>(best_score))
+                                : std::uint32_t{0};
+    return (std::uint64_t{score_bits} << 32) | (results & 0xffffffffULL);
+  }
+  std::uint64_t unpack_results() const noexcept { return a & 0xffffffffULL; }
+  double unpack_score() const noexcept {
+    return static_cast<double>(
+        std::bit_cast<float>(static_cast<std::uint32_t>(a >> 32)));
+  }
 };
 
 static_assert(std::is_trivially_copyable_v<Record>,

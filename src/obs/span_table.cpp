@@ -48,7 +48,8 @@ std::vector<SpanSummary> reconstruct_spans(std::span<const Record> records) {
         break;
       case RecordKind::kSearchEnd:
         s.first_hit_hop = r.ttl;
-        s.results = r.a;
+        s.results = r.unpack_results();
+        s.best_score = r.unpack_score();
         s.first_result_delay_s = r.unpack_delay();
         s.end_s = r.time_s;
         // Complete only if the begin was retained too (max_hops is set
@@ -83,13 +84,15 @@ std::vector<SpanSummary> reconstruct_spans(std::span<const Record> records) {
 
 metrics::Table span_table(const std::vector<SpanSummary>& spans) {
   metrics::Table table({"span", "initiator", "begin_s", "sends", "depth",
-                        "fanout", "results", "first_hit_hop",
+                        "fanout", "results", "score", "first_hit_hop",
                         "first_result_ms", "slowest_gap_ms", "complete"});
   for (const SpanSummary& s : spans) {
     table.add_row({std::to_string(s.span), std::to_string(s.initiator),
                    metrics::fmt(s.begin_s, 3), std::to_string(s.sends),
                    std::to_string(s.depth), std::to_string(s.fanout),
-                   std::to_string(s.results), std::to_string(s.first_hit_hop),
+                   std::to_string(s.results),
+                   s.best_score > 0.0 ? metrics::fmt(s.best_score, 3) : "-",
+                   std::to_string(s.first_hit_hop),
                    s.hit() ? metrics::fmt(s.first_result_delay_s * 1e3, 1)
                            : "-",
                    metrics::fmt(s.slowest_gap_s * 1e3, 1),

@@ -34,6 +34,7 @@ struct SpanSummary {
   int fanout = 0;         ///< hop-1 query sends out of the initiator
   int first_hit_hop = -1; ///< hop of the first result (-1: miss)
   std::uint64_t results = 0;
+  double best_score = 0.0;  ///< best ranked score (0 for exact-match spans)
   double first_result_delay_s = -1.0;  ///< -1 when the search missed
   /// Largest simulation-time gap between consecutive records inside the
   /// span — the slowest observable step.  Zero for eagerly expanded

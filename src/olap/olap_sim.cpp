@@ -66,7 +66,9 @@ double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
                              bool* peer_served) {
   Peer& peer = peers_[p];
   core::VisitStamp& stamps = visit_stamps();
-  const bool faulty = fault_layer_active();
+  // Inactive fault layer => default verdicts, zero draws: one transmit
+  // binding serves both regimes byte-identically.
+  const auto tx = search_transmit();
   if (peer_served) *peer_served = false;
   const bool report = record;
   double response = 0.0;
@@ -86,7 +88,7 @@ double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
     // Extensive search (§3.2): the chunk request keeps propagating up to
     // the hop limit; the closest holder (in hops, then delay) serves it.
     const std::uint32_t span = obs_search_begin(p, config_.max_hops, chunk);
-    if (faulty) begin_faulty_search(config_.max_hops);
+    tx.begin(config_.max_hops);
     stamps.begin_search();
     stamps.mark(p);
     struct Frontier {
@@ -103,12 +105,10 @@ double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
       for (net::NodeId q : overlay_.out_neighbors(cur.node)) {
         if (q == cur.sender) continue;
         count(net::MessageType::kQuery);
-        if (faulty) {
-          const auto tq = transmit(net::MessageType::kQuery, cur.node, q,
-                                   config_.max_hops - cur.hop);
-          if (tq.duplicate) count(net::MessageType::kQuery);
-          if (!tq.deliver) continue;  // lost: q stays reachable via others
-        }
+        const auto tq = tx(net::MessageType::kQuery, cur.node, q,
+                           config_.max_hops - cur.hop);
+        if (tq.duplicate) count(net::MessageType::kQuery);
+        if (!tq.deliver) continue;  // lost: q stays reachable via others
         if (!stamps.mark(q)) continue;
         const int hop = cur.hop + 1;
         bool has_chunk = false;
@@ -119,18 +119,12 @@ double OlapSim::serve_chunks(net::NodeId p, ChunkId base, bool record,
           has_chunk = peers_[q].cache.contains(chunk);
         }
         if (has_chunk && holder == net::kInvalidNode) {
-          if (faulty) {
-            count(net::MessageType::kQueryReply);
-            const auto tr = transmit(net::MessageType::kQueryReply, q, p, -1);
-            if (tr.duplicate) count(net::MessageType::kQueryReply);
-            if (tr.deliver) {
-              holder = q;
-              holder_hop = hop;
-            }
-          } else {
+          count(net::MessageType::kQueryReply);
+          const auto tr = tx(net::MessageType::kQueryReply, q, p, -1);
+          if (tr.duplicate) count(net::MessageType::kQueryReply);
+          if (tr.deliver) {
             holder = q;
             holder_hop = hop;
-            count(net::MessageType::kQueryReply);
           }
         }
         if (hop < config_.max_hops) queue.push_back({q, cur.node, hop});

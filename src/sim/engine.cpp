@@ -452,7 +452,8 @@ std::uint32_t OverlayEngine::obs_search_begin(net::NodeId initiator,
 
 void OverlayEngine::obs_search_end(std::uint32_t span, net::NodeId initiator,
                                    std::uint64_t results, int first_hit_hop,
-                                   double first_result_delay_s) {
+                                   double first_result_delay_s,
+                                   double best_score) {
   if (span == 0 || !obs_) return;
   ShardContext* c = active_ctx();
   obs::Record r;
@@ -465,7 +466,7 @@ void OverlayEngine::obs_search_end(std::uint32_t span, net::NodeId initiator,
   r.to = net::kInvalidNode;
   r.ttl = static_cast<std::int16_t>(std::clamp(first_hit_hop, -1, 32767));
   r.kind = obs::RecordKind::kSearchEnd;
-  r.a = results;
+  r.a = obs::Record::pack_results_score(results, best_score);
   r.b = obs::Record::pack_delay(first_result_delay_s);
   {
     std::unique_lock<std::mutex> lock(obs_mu_, std::defer_lock);

@@ -312,6 +312,11 @@ class OverlayEngine {
   const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
   const CrashModel& crash_model() const noexcept { return crash_model_; }
 
+  /// The attached checker, or nullptr.  Scenarios use it for per-search
+  /// certification (InvariantChecker::check_search_outcome) — the type is
+  /// only forward-declared here, so call sites include sim/invariants.h.
+  InvariantChecker* checker() const noexcept { return checker_; }
+
   /// --- flight recorder (off by default: null pointer, zero records) -----
   /// Attaches a flight-recorder sink.  Like attaching a checker, this
   /// routes transmissions through the traced paths — draw-free when the
@@ -849,6 +854,28 @@ class OverlayEngine {
   };
   Transmit transmit_fn() noexcept { return Transmit{this}; }
 
+  /// TransmitFn adapter that collapses the fault/no-fault branch every
+  /// search call site used to duplicate: when `active` is false it is
+  /// byte-identical to core::ReliableTransmit (default verdict, zero
+  /// draws, no checker TTL context); when true it is Transmit.  Call
+  /// sites bind search_transmit() once and stop forking whole dispatch
+  /// expressions on fault_layer_active().
+  struct MaybeFaultyTransmit {
+    OverlayEngine* engine;
+    bool active;
+    void begin(int max_ttl) const {
+      if (active) engine->begin_faulty_search(max_ttl);
+    }
+    core::TransmitResult operator()(net::MessageType type, net::NodeId from,
+                                    net::NodeId to, int ttl) const {
+      if (!active) return {};
+      return engine->transmit(type, from, to, ttl);
+    }
+  };
+  MaybeFaultyTransmit search_transmit() noexcept {
+    return MaybeFaultyTransmit{this, fault_layer_active()};
+  }
+
   /// --- search spans (flight recorder) ----------------------------------
   /// Opens a search span: emits the kSearchBegin record and makes the new
   /// id the ambient span stamped on every traced record until the span
@@ -860,10 +887,12 @@ class OverlayEngine {
   /// Closes span `span` with the scenario's verdict (no-op when span is
   /// 0).  `first_hit_hop` < 0 means the search missed;
   /// `first_result_delay_s` < 0 when no delay is defined (miss, or a
-  /// protocol without reply latency).  Never draws.
+  /// protocol without reply latency).  `best_score` > 0 only for ranked
+  /// query classes (exact-match searches pass the default and their
+  /// records stay byte-identical).  Never draws.
   void obs_search_end(std::uint32_t span, net::NodeId initiator,
                       std::uint64_t results, int first_hit_hop,
-                      double first_result_delay_s);
+                      double first_result_delay_s, double best_score = 0.0);
 
   /// --- open-loop injection hook ----------------------------------------
   /// Serves one injected query at `peer` synchronously: runs the

@@ -24,10 +24,13 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/flood_search.h"
+#include "core/query_plane.h"
 #include "core/relations.h"
 #include "net/message.h"
 #include "net/node_id.h"
@@ -39,7 +42,8 @@ namespace dsf::sim {
 /// One detected violation: which invariant class, when, and what happened.
 struct InvariantViolation {
   std::string invariant;  ///< "conservation", "ttl", "dead-delivery",
-                          ///< "overlay", "ledger", "admission", or "abuse"
+                          ///< "overlay", "ledger", "admission", "abuse",
+                          ///< or "scheme"
   std::string detail;
   double time_s = 0.0;
 };
@@ -187,6 +191,76 @@ class InvariantChecker {
               "hits (" + std::to_string(s.hits) + ") exceed completions (" +
                   std::to_string(s.completed) + ")",
               last_time_s_);
+  }
+
+  /// Certifies one search outcome against its query spec (the ranked
+  /// query plane's per-query contract).  Exact-match outcomes must carry
+  /// no scores and no pruning (nothing prunes a flood); ranked outcomes
+  /// must respect the k bound with scores positive and sorted
+  /// best-first; similarity outcomes must clear the threshold on every
+  /// hit.  Scenarios call this per search when a checker is attached —
+  /// it is cheap (one pass over the hit list) but per-query, so the
+  /// engine gates it behind fault_layer_active().
+  void check_search_outcome(const core::QuerySpec& spec,
+                            const core::SearchOutcome& out) {
+    switch (spec.query_class) {
+      case core::QueryClass::kExactMatch:
+        if (out.pruned_subtrees != 0)
+          violate("scheme",
+                  "exact-match search pruned " +
+                      std::to_string(out.pruned_subtrees) +
+                      " subtree(s) — nothing bounds a flood",
+                  last_time_s_);
+        for (const core::SearchHit& h : out.hits)
+          if (h.score != 0.0) {
+            violate("scheme",
+                    "exact-match hit at node " + std::to_string(h.node) +
+                        " carries score " + std::to_string(h.score),
+                    last_time_s_);
+            break;
+          }
+        break;
+      case core::QueryClass::kTopKRanked: {
+        if (out.hits.size() > spec.k)
+          violate("scheme",
+                  "top-k outcome returned " +
+                      std::to_string(out.hits.size()) + " hits for k = " +
+                      std::to_string(spec.k),
+                  last_time_s_);
+        double prev = std::numeric_limits<double>::infinity();
+        for (const core::SearchHit& h : out.hits) {
+          if (h.score <= 0.0) {
+            violate("scheme",
+                    "ranked hit at node " + std::to_string(h.node) +
+                        " has non-positive score " + std::to_string(h.score),
+                    last_time_s_);
+            break;
+          }
+          if (h.score > prev) {
+            violate("scheme",
+                    "ranked hits out of order: score " +
+                        std::to_string(h.score) + " after " +
+                        std::to_string(prev),
+                    last_time_s_);
+            break;
+          }
+          prev = h.score;
+        }
+        break;
+      }
+      case core::QueryClass::kSimilarity:
+        for (const core::SearchHit& h : out.hits)
+          if (h.score < spec.sim_threshold) {
+            violate("scheme",
+                    "similarity hit at node " + std::to_string(h.node) +
+                        " scored " + std::to_string(h.score) +
+                        ", below threshold " +
+                        std::to_string(spec.sim_threshold),
+                    last_time_s_);
+            break;
+          }
+        break;
+    }
   }
 
   /// Certifies the adversary layer's abuse attribution at end of run:

@@ -10,11 +10,16 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/benefit.h"
 #include "core/flood_search.h"
+#include "core/lsh.h"
+#include "core/query_plane.h"
+#include "core/ranked_search.h"
 #include "core/search_strategies.h"
 #include "core/stats_store.h"
 #include "core/unreachable.h"
@@ -25,22 +30,132 @@
 namespace dsf::sim {
 
 /// Query-propagation technique (§2: the Yang & Garcia-Molina methods are
-/// orthogonal to reconfiguration and compose with any overlay).
+/// orthogonal to reconfiguration and compose with any overlay; the ranked
+/// and similarity schemes extend the same plug-in point with queries that
+/// carry scores).
 enum class SearchStrategyKind : std::uint8_t {
   kFlood,               ///< plain BFS flood (the case study's default)
   kIterativeDeepening,  ///< growing-depth cycles until satisfied
   kDirectedBft,         ///< initiator forwards to a beneficial subset only
   kLocalIndices,        ///< nodes answer for peers within radius 1
+  kTopK,                ///< FD top-k: scored replies, threshold propagation
+  kLsh,                 ///< MinHash similarity with banded bucket routing
 };
 
-/// Dispatches one search through the configured strategy over the caller's
-/// overlay/content/delay bindings.  `stats` and `directed_fanout` feed the
-/// directed-BFT subset selection; `hit_stamps` the local-indices holder
-/// dedup; both are ignored by the other strategies.  Iterative deepening is
-/// folded into a plain SearchOutcome (accumulated message cost, final
-/// cycle's hits) so every metrics path sees one result type.  `transmit` is
-/// the transport policy every transmission consults — the engine's fault
-/// layer, or core::ReliableTransmit for the historical fault-free paths.
+constexpr const char* to_string(SearchStrategyKind k) noexcept {
+  switch (k) {
+    case SearchStrategyKind::kFlood: return "flood";
+    case SearchStrategyKind::kIterativeDeepening: return "iterative";
+    case SearchStrategyKind::kDirectedBft: return "directed";
+    case SearchStrategyKind::kLocalIndices: return "local-indices";
+    case SearchStrategyKind::kTopK: return "top-k";
+    case SearchStrategyKind::kLsh: return "lsh";
+  }
+  return "?";
+}
+
+/// Parses a --search-scheme value; throws std::invalid_argument naming the
+/// flag for an unknown spelling (drivers map it to the usage exit).
+inline SearchStrategyKind parse_search_strategy(const std::string& s) {
+  if (s == "flood") return SearchStrategyKind::kFlood;
+  if (s == "iterative") return SearchStrategyKind::kIterativeDeepening;
+  if (s == "directed") return SearchStrategyKind::kDirectedBft;
+  if (s == "local-indices") return SearchStrategyKind::kLocalIndices;
+  if (s == "top-k") return SearchStrategyKind::kTopK;
+  if (s == "lsh") return SearchStrategyKind::kLsh;
+  throw std::invalid_argument("--search-scheme: unknown value: " + s);
+}
+
+/// The query class a strategy serves: the flood family answers exact-match
+/// queries; the ranked and similarity schemes each own their class.
+constexpr core::QueryClass query_class_of(SearchStrategyKind k) noexcept {
+  switch (k) {
+    case SearchStrategyKind::kFlood:
+    case SearchStrategyKind::kIterativeDeepening:
+    case SearchStrategyKind::kDirectedBft:
+    case SearchStrategyKind::kLocalIndices:
+      return core::QueryClass::kExactMatch;
+    case SearchStrategyKind::kTopK:
+      return core::QueryClass::kTopKRanked;
+    case SearchStrategyKind::kLsh:
+      return core::QueryClass::kSimilarity;
+  }
+  return core::QueryClass::kExactMatch;
+}
+
+/// Builds the QuerySpec a strategy needs from the scenario's knobs.
+inline core::QuerySpec query_spec_for(SearchStrategyKind kind,
+                                      const core::SearchParams& params,
+                                      std::uint32_t k, double sim_threshold) {
+  switch (query_class_of(kind)) {
+    case core::QueryClass::kExactMatch:
+      return core::QuerySpec::exact(params);
+    case core::QueryClass::kTopKRanked:
+      return core::QuerySpec::top_k(params, k);
+    case core::QueryClass::kSimilarity:
+      return core::QuerySpec::similar(params, sim_threshold);
+  }
+  core::unreachable_enum("core::QueryClass");
+}
+
+/// Dispatches one query through the configured strategy over the bound
+/// SearchContext.  The flood family reads the exact-match bindings
+/// (neighbors/has_content/delay/transmit/stamps/scratch, plus ctx.stats
+/// and spec-independent directed_fanout for directed BFT and hit_stamps
+/// for local indices); kTopK additionally reads ctx.rank, and kLsh reads
+/// ctx.rank (the similarity estimate) and ctx.candidate (the band-bucket
+/// gate).  Iterative deepening is folded into a plain SearchOutcome
+/// (accumulated message cost, final cycle's hits) so every metrics path
+/// sees one result type.
+template <typename Ctx>
+core::SearchOutcome dispatch_search(SearchStrategyKind kind,
+                                    const core::QuerySpec& spec,
+                                    std::uint32_t directed_fanout, Ctx& ctx) {
+  switch (kind) {
+    case SearchStrategyKind::kFlood:
+      return core::flood_search(ctx.initiator, spec.params, ctx.neighbors,
+                                ctx.has_content, ctx.delay, ctx.transmit,
+                                *ctx.stamps, *ctx.scratch);
+    case SearchStrategyKind::kIterativeDeepening: {
+      auto it = core::iterative_deepening_search(
+          ctx.initiator, spec.params,
+          core::default_depth_ladder(spec.params.max_hops), ctx.neighbors,
+          ctx.has_content, ctx.delay, ctx.transmit, *ctx.stamps,
+          *ctx.scratch);
+      core::SearchOutcome out = std::move(it.last);
+      out.query_messages = it.total_messages;
+      return out;
+    }
+    case SearchStrategyKind::kDirectedBft: {
+      const auto subset = core::select_directed_subset(
+          *ctx.stats, ctx.neighbors(ctx.initiator), directed_fanout);
+      return core::directed_flood_search(ctx.initiator, spec.params, subset,
+                                         ctx.neighbors, ctx.has_content,
+                                         ctx.delay, ctx.transmit, *ctx.stamps,
+                                         *ctx.scratch);
+    }
+    case SearchStrategyKind::kLocalIndices:
+      return core::indexed_flood_search(ctx.initiator, spec.params,
+                                        ctx.neighbors, ctx.has_content,
+                                        ctx.delay, ctx.transmit, *ctx.stamps,
+                                        *ctx.hit_stamps, *ctx.scratch);
+    case SearchStrategyKind::kTopK:
+      return core::ranked_topk_search(ctx.initiator, spec.params, spec.k,
+                                      ctx.neighbors, ctx.rank, ctx.delay,
+                                      ctx.transmit, *ctx.stamps, *ctx.scratch);
+    case SearchStrategyKind::kLsh:
+      return core::lsh_similarity_search(
+          ctx.initiator, spec.params, spec.sim_threshold, ctx.neighbors,
+          ctx.rank, ctx.candidate, ctx.delay, ctx.transmit, *ctx.stamps,
+          *ctx.scratch);
+  }
+  core::unreachable_enum("sim::SearchStrategyKind");
+}
+
+/// DEPRECATED positional form (one-release shim): the 10-argument spread
+/// this PR's SearchContext replaced.  Kept so out-of-tree call sites get
+/// one release to migrate; forwards to the typed dispatch above and will
+/// be removed next release.
 template <typename NeighborsFn, typename HasContentFn, typename DelayFn,
           typename TransmitFn>
 core::SearchOutcome dispatch_search(
@@ -50,33 +165,18 @@ core::SearchOutcome dispatch_search(
     HasContentFn&& has_content, DelayFn&& delay, TransmitFn&& transmit,
     core::VisitStamp& stamps, core::VisitStamp& hit_stamps,
     core::SearchScratch& scratch) {
-  switch (kind) {
-    case SearchStrategyKind::kFlood:
-      return core::flood_search(initiator, params, neighbors, has_content,
-                                delay, transmit, stamps, scratch);
-    case SearchStrategyKind::kIterativeDeepening: {
-      auto it = core::iterative_deepening_search(
-          initiator, params, core::default_depth_ladder(params.max_hops),
-          neighbors, has_content, delay, transmit, stamps, scratch);
-      core::SearchOutcome out = std::move(it.last);
-      out.query_messages = it.total_messages;
-      return out;
-    }
-    case SearchStrategyKind::kDirectedBft: {
-      const auto subset = core::select_directed_subset(
-          stats, neighbors(initiator), directed_fanout);
-      return core::directed_flood_search(initiator, params, subset, neighbors,
-                                         has_content, delay, transmit, stamps,
-                                         scratch);
-    }
-    case SearchStrategyKind::kLocalIndices:
-      return core::indexed_flood_search(initiator, params, neighbors,
-                                        has_content, delay, transmit, stamps,
-                                        hit_stamps, scratch);
-  }
-  core::unreachable_enum("sim::SearchStrategyKind");
+  auto ctx = core::make_search_context(
+      initiator, std::forward<NeighborsFn>(neighbors),
+      std::forward<HasContentFn>(has_content), std::forward<DelayFn>(delay),
+      std::forward<TransmitFn>(transmit), stamps, hit_stamps, scratch);
+  ctx.stats = &stats;
+  return dispatch_search(kind, core::QuerySpec::exact(params), directed_fanout,
+                         ctx);
 }
 
+/// DEPRECATED positional form, reliable-transmit default (one-release
+/// shim): subsumed by make_search_context, which owns the transport
+/// default now.
 template <typename NeighborsFn, typename HasContentFn, typename DelayFn>
 core::SearchOutcome dispatch_search(
     SearchStrategyKind kind, net::NodeId initiator,

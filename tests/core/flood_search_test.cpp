@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -221,6 +222,30 @@ TEST(FloodSearch, ZeroHopsSendsNothing) {
   const auto out = f.search(0, p);
   // Initiator is at hop 0 and may not forward at all...
   EXPECT_EQ(out.hits.size(), 0u);
+}
+
+TEST(FloodSearch, UnsatisfiedSearchAnswersZeroDelaySentinel) {
+  // Pinned contract: an empty outcome answers 0.0 — finite, never NaN —
+  // the same documented sentinel as an empty histogram's quantile, so
+  // aggregation paths (span tables, bench reducers) need no NaN guard.
+  // Callers that must distinguish "instant" from "missed" check
+  // satisfied() first.
+  const SearchOutcome empty;
+  EXPECT_FALSE(empty.satisfied());
+  EXPECT_EQ(empty.first_hit(), nullptr);
+  EXPECT_DOUBLE_EQ(empty.first_result_delay_s(), 0.0);
+  EXPECT_FALSE(std::isnan(empty.first_result_delay_s()));
+  EXPECT_DOUBLE_EQ(empty.best_score(), 0.0);
+
+  // A missed search through the real machinery answers the same sentinel.
+  FloodFixture f(3);
+  f.edge(0, 1);
+  f.edge(1, 2);
+  SearchParams p;
+  p.max_hops = 2;
+  const auto out = f.search(0, p);
+  EXPECT_FALSE(out.satisfied());
+  EXPECT_DOUBLE_EQ(out.first_result_delay_s(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+#include "core/lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/flood_search.h"
+#include "des/rng.h"
+
+namespace dsf::core {
+namespace {
+
+using Item = std::uint64_t;
+
+double true_jaccard(const std::vector<Item>& a, const std::vector<Item>& b) {
+  std::vector<Item> inter, uni;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(uni));
+  return uni.empty() ? 0.0
+                     : static_cast<double>(inter.size()) /
+                           static_cast<double>(uni.size());
+}
+
+TEST(LshIndex, IdenticalSetsShareEverySignaturePosition) {
+  LshIndex idx;
+  const std::vector<Item> items = {3, 17, 42, 99, 1000};
+  idx.append_node(std::span<const Item>(items));
+  idx.append_node(std::span<const Item>(items));
+  EXPECT_DOUBLE_EQ(idx.estimated_similarity(0, 1), 1.0);
+  EXPECT_TRUE(idx.candidate(0, 1));
+}
+
+TEST(LshIndex, SelfIsNeverACandidateButMaximallySimilar) {
+  LshIndex idx;
+  const std::vector<Item> items = {1, 2, 3};
+  idx.append_node(std::span<const Item>(items));
+  EXPECT_FALSE(idx.candidate(0, 0));
+  EXPECT_DOUBLE_EQ(idx.estimated_similarity(0, 0), 1.0);
+}
+
+TEST(LshIndex, EmptySetsMatchNothingIncludingEachOther) {
+  LshIndex idx;
+  const std::vector<Item> items = {1, 2, 3};
+  const std::vector<Item> none;
+  idx.append_node(std::span<const Item>(none));
+  idx.append_node(std::span<const Item>(none));
+  idx.append_node(std::span<const Item>(items));
+  EXPECT_FALSE(idx.candidate(0, 1));  // two free-riders must not cluster
+  EXPECT_FALSE(idx.candidate(0, 2));
+  EXPECT_DOUBLE_EQ(idx.estimated_similarity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(idx.estimated_similarity(0, 2), 0.0);
+}
+
+TEST(LshIndex, DisjointSetsRarelyCollide) {
+  LshIndex idx;
+  std::vector<Item> a, b;
+  for (Item i = 0; i < 50; ++i) a.push_back(i);
+  for (Item i = 1000; i < 1050; ++i) b.push_back(i);
+  idx.append_node(std::span<const Item>(a));
+  idx.append_node(std::span<const Item>(b));
+  // s = 0: collision probability 1 - (1 - 0)^bands = 0 in expectation;
+  // the estimate should be (near) zero too.
+  EXPECT_LT(idx.estimated_similarity(0, 1), 0.1);
+}
+
+TEST(LshCollisionProbability, SCurveEndpointsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(lsh_collision_probability(0.0, 16, 4), 0.0);
+  EXPECT_NEAR(lsh_collision_probability(1.0, 16, 4), 1.0, 1e-12);
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double p = lsh_collision_probability(s, 16, 4);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  // The default geometry pins the steep rise: ~0.9998 at s = 0.8,
+  // still small at s = 0.2.
+  EXPECT_GT(lsh_collision_probability(0.8, 16, 4), 0.99);
+  EXPECT_LT(lsh_collision_probability(0.2, 16, 4), 0.05);
+}
+
+/// Planted-duplicates library: peers derive their sets from a handful of
+/// prototypes with small mutations, so true-Jaccard >= threshold pairs
+/// exist by construction.  The index must retrieve >= 90% of the
+/// initiator's true neighbors through the candidate-and-threshold gate —
+/// the recall floor the scheme-sweep bench certifies end to end.
+TEST(LshIndex, PlantedDuplicatesRecallAtLeastPointNine) {
+  constexpr std::uint32_t kPeers = 120;
+  constexpr std::uint32_t kProtos = 6;
+  constexpr std::uint32_t kSetSize = 60;
+  constexpr double kThreshold = 0.5;
+  des::Rng rng(20260809);
+
+  // Prototypes are disjoint item ranges; each peer copies its prototype
+  // and mutates ~7% of the items, leaving true Jaccard ~0.76 within a
+  // family (safely above the threshold) and ~0 across families.
+  std::vector<std::vector<Item>> sets(kPeers);
+  for (std::uint32_t p = 0; p < kPeers; ++p) {
+    const std::uint32_t proto = p % kProtos;
+    std::vector<Item>& s = sets[p];
+    for (Item i = 0; i < kSetSize; ++i) {
+      if (rng.uniform() < 0.07) {
+        s.push_back(1'000'000 + p * kSetSize + i);  // private mutation
+      } else {
+        s.push_back(proto * kSetSize + i);  // shared prototype item
+      }
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  LshIndex idx;
+  idx.reserve(kPeers);
+  for (const auto& s : sets) idx.append_node(std::span<const Item>(s));
+
+  std::uint64_t truth = 0;
+  std::uint64_t retrieved = 0;
+  std::uint64_t false_hits = 0;
+  for (std::uint32_t a = 0; a < kPeers; ++a) {
+    for (std::uint32_t b = 0; b < kPeers; ++b) {
+      if (a == b) continue;
+      const bool is_true = true_jaccard(sets[a], sets[b]) >= kThreshold;
+      const bool is_hit = idx.candidate(a, b) &&
+                          idx.estimated_similarity(a, b) >= kThreshold;
+      truth += is_true;
+      if (is_true && is_hit) ++retrieved;
+      if (!is_true && is_hit) ++false_hits;
+    }
+  }
+  ASSERT_GT(truth, 0u);
+  const double recall =
+      static_cast<double>(retrieved) / static_cast<double>(truth);
+  EXPECT_GE(recall, 0.9);
+  // Cross-family pairs have Jaccard ~0, so false hits should be rare.
+  EXPECT_LT(false_hits, truth / 10);
+}
+
+/// lsh_similarity_search over a small overlay: scatter covers the first
+/// ceil(max_hops/2) hops, the gather phase follows buckets only, and
+/// every reported hit clears the threshold.
+TEST(LshSimilaritySearch, ScatterThenBucketRoutedGather) {
+  // Line overlay 0-1-2-3 where 0, 2 and 3 share a prototype and 1 is
+  // unrelated: the hop-1 scatter always reaches 1, but the hop-2 forward
+  // (gather) only goes where buckets collide.
+  const std::vector<Item> proto = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<Item> other = {100, 101, 102, 103};
+  LshIndex idx;
+  idx.append_node(std::span<const Item>(proto));   // 0 (initiator)
+  idx.append_node(std::span<const Item>(other));   // 1
+  idx.append_node(std::span<const Item>(proto));   // 2
+  idx.append_node(std::span<const Item>(proto));   // 3
+
+  std::vector<std::vector<net::NodeId>> adj = {{1}, {0, 2}, {1, 3}, {2}};
+  VisitStamp stamps(4);
+  SearchScratch scratch;
+  ReliableTransmit reliable;
+  SearchParams p;
+  p.max_hops = 3;
+  p.forward_when_hit = true;
+  p.timeout_s = 100.0;
+
+  const auto out = lsh_similarity_search(
+      0, p, 0.5,
+      [&](net::NodeId n) -> const std::vector<net::NodeId>& {
+        return adj[n];
+      },
+      [&](net::NodeId n) { return idx.estimated_similarity(0, n); },
+      [&](net::NodeId n) { return idx.candidate(0, n); },
+      [](net::NodeId, net::NodeId) { return 1.0; }, reliable, stamps,
+      scratch);
+
+  // Scatter radius = (3+1)/2 = 2: hops 1 and 2 forward everywhere, so
+  // node 1 is visited despite similarity 0 (no hit) and node 2 is
+  // reached and replies; the hop-3 forward to node 3 passes the bucket
+  // gate only because its signature collides with the initiator's.
+  ASSERT_EQ(out.hits.size(), 2u);
+  EXPECT_EQ(out.hits[0].node, 2u);
+  EXPECT_EQ(out.hits[1].node, 3u);
+  for (const auto& h : out.hits) EXPECT_GE(h.score, 0.5);
+  EXPECT_EQ(out.nodes_reached, 3u);
+}
+
+TEST(LshSimilaritySearch, GatherWithholdsNonCandidates) {
+  // Star at 1 hop + leaves at 2 hops, max_hops = 2 => scatter radius 1.
+  // Hop-2 forwards only follow bucket collisions; the unrelated leaf is
+  // pruned.
+  const std::vector<Item> proto = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<Item> other = {100, 101, 102, 103};
+  LshIndex idx;
+  idx.append_node(std::span<const Item>(proto));   // 0 initiator
+  idx.append_node(std::span<const Item>(other));   // 1 relay
+  idx.append_node(std::span<const Item>(proto));   // 2 similar leaf
+  idx.append_node(std::span<const Item>(other));   // 3 unrelated leaf
+
+  std::vector<std::vector<net::NodeId>> adj = {{1}, {0, 2, 3}, {1}, {1}};
+  VisitStamp stamps(4);
+  SearchScratch scratch;
+  ReliableTransmit reliable;
+  SearchParams p;
+  p.max_hops = 2;
+  p.forward_when_hit = true;
+  p.timeout_s = 100.0;
+
+  const auto out = lsh_similarity_search(
+      0, p, 0.5,
+      [&](net::NodeId n) -> const std::vector<net::NodeId>& {
+        return adj[n];
+      },
+      [&](net::NodeId n) { return idx.estimated_similarity(0, n); },
+      [&](net::NodeId n) { return idx.candidate(0, n); },
+      [](net::NodeId, net::NodeId) { return 1.0; }, reliable, stamps,
+      scratch);
+
+  ASSERT_EQ(out.hits.size(), 1u);
+  EXPECT_EQ(out.hits[0].node, 2u);
+  EXPECT_EQ(out.pruned_subtrees, 1u);  // the 1 -> 3 forward was withheld
+  EXPECT_EQ(out.nodes_reached, 2u);    // 1 (scatter) and 2 (gather)
+}
+
+}  // namespace
+}  // namespace dsf::core

@@ -425,6 +425,121 @@ TEST(DispatchSearch, IterativeDeepeningAccumulatesCycleCost) {
   EXPECT_TRUE(iter.satisfied());
 }
 
+TEST(DispatchSearch, ContextFormMatchesDeprecatedPositionalForm) {
+  // The one-release positional shim must route through the same machinery
+  // as the QuerySpec/SearchContext form: identical outcomes, per strategy.
+  const std::vector<std::vector<net::NodeId>> adj = {{1}, {2}, {3}, {}};
+  auto neighbors = [&](net::NodeId n) -> const std::vector<net::NodeId>& {
+    return adj[n];
+  };
+  auto has_content = [](net::NodeId n) { return n == 2; };
+  auto delay = [](net::NodeId, net::NodeId) { return 0.1; };
+
+  core::SearchParams params;
+  params.max_hops = 3;
+  core::StatsStore stats;
+  core::VisitStamp stamps(4);
+  core::VisitStamp hit_stamps(4);
+  core::SearchScratch scratch;
+
+  for (auto kind :
+       {SearchStrategyKind::kFlood, SearchStrategyKind::kIterativeDeepening,
+        SearchStrategyKind::kDirectedBft, SearchStrategyKind::kLocalIndices}) {
+    const auto old_form =
+        dispatch_search(kind, 0, params, stats, /*directed_fanout=*/2,
+                        neighbors, has_content, delay, stamps, hit_stamps,
+                        scratch);
+    auto ctx = core::make_search_context(0, neighbors, has_content, delay,
+                                         core::ReliableTransmit{}, stamps,
+                                         hit_stamps, scratch);
+    ctx.stats = &stats;
+    const auto new_form = dispatch_search(kind, core::QuerySpec::exact(params),
+                                          /*directed_fanout=*/2, ctx);
+    EXPECT_EQ(old_form.satisfied(), new_form.satisfied())
+        << "strategy " << to_string(kind);
+    EXPECT_EQ(old_form.query_messages, new_form.query_messages);
+    EXPECT_EQ(old_form.reply_messages, new_form.reply_messages);
+    EXPECT_EQ(old_form.nodes_reached, new_form.nodes_reached);
+    EXPECT_EQ(old_form.hits.size(), new_form.hits.size());
+  }
+}
+
+TEST(DispatchSearch, RankedSchemesRouteThroughTheContextBindings) {
+  // Star hub 0 with three leaves; leaves 1 and 3 score, 2 does not.
+  const std::vector<std::vector<net::NodeId>> adj = {{1, 2, 3}, {0}, {0}, {0}};
+  auto neighbors = [&](net::NodeId n) -> const std::vector<net::NodeId>& {
+    return adj[n];
+  };
+  auto has_content = [](net::NodeId n) { return n == 1 || n == 3; };
+  auto rank = [](net::NodeId n) { return n == 1 ? 0.9 : n == 3 ? 0.4 : 0.0; };
+  auto candidate = [](net::NodeId n) { return n == 1 || n == 3; };
+  auto delay = [](net::NodeId, net::NodeId) { return 0.1; };
+
+  core::SearchParams params;
+  params.max_hops = 1;
+  core::VisitStamp stamps(4);
+  core::VisitStamp hit_stamps(4);
+  core::SearchScratch scratch;
+  auto ctx = core::make_ranked_context(0, neighbors, has_content, rank,
+                                       candidate, delay,
+                                       core::ReliableTransmit{}, stamps,
+                                       hit_stamps, scratch);
+
+  const auto spec = core::QuerySpec::top_k(params, 1);
+  const auto top = dispatch_search(SearchStrategyKind::kTopK, spec, 2, ctx);
+  ASSERT_EQ(top.hits.size(), 1u);
+  EXPECT_EQ(top.hits[0].node, 1u);
+  EXPECT_DOUBLE_EQ(top.hits[0].score, 0.9);
+  EXPECT_EQ(top.k_target, 1u);
+  EXPECT_TRUE(top.k_satisfied());
+  // The unscored leaf's last-hop forward was withheld.
+  EXPECT_EQ(top.pruned_subtrees, 1u);
+
+  const auto sim_spec = core::QuerySpec::similar(params, 0.5);
+  const auto similar =
+      dispatch_search(SearchStrategyKind::kLsh, sim_spec, 2, ctx);
+  // Both candidates are visited; only the one clearing the threshold
+  // (rank doubles as the similarity estimate here) replies.
+  ASSERT_EQ(similar.hits.size(), 1u);
+  EXPECT_EQ(similar.hits[0].node, 1u);
+  EXPECT_GE(similar.hits[0].score, 0.5);
+}
+
+TEST(SearchStrategyKind, ParseAndPrintRoundTrip) {
+  for (auto kind :
+       {SearchStrategyKind::kFlood, SearchStrategyKind::kIterativeDeepening,
+        SearchStrategyKind::kDirectedBft, SearchStrategyKind::kLocalIndices,
+        SearchStrategyKind::kTopK, SearchStrategyKind::kLsh}) {
+    EXPECT_EQ(parse_search_strategy(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_search_strategy("gossip"), std::invalid_argument);
+  EXPECT_THROW(parse_search_strategy(""), std::invalid_argument);
+}
+
+TEST(SearchStrategyKind, QueryClassAndSpecFactoriesAgree) {
+  core::SearchParams params;
+  params.max_hops = 2;
+
+  EXPECT_EQ(query_class_of(SearchStrategyKind::kFlood),
+            core::QueryClass::kExactMatch);
+  EXPECT_EQ(query_class_of(SearchStrategyKind::kDirectedBft),
+            core::QueryClass::kExactMatch);
+  EXPECT_EQ(query_class_of(SearchStrategyKind::kTopK),
+            core::QueryClass::kTopKRanked);
+  EXPECT_EQ(query_class_of(SearchStrategyKind::kLsh),
+            core::QueryClass::kSimilarity);
+
+  const auto exact = query_spec_for(SearchStrategyKind::kFlood, params, 7, 0.9);
+  EXPECT_EQ(exact.query_class, core::QueryClass::kExactMatch);
+  const auto ranked = query_spec_for(SearchStrategyKind::kTopK, params, 7, 0.9);
+  EXPECT_EQ(ranked.query_class, core::QueryClass::kTopKRanked);
+  EXPECT_EQ(ranked.k, 7u);
+  const auto similar = query_spec_for(SearchStrategyKind::kLsh, params, 7, 0.9);
+  EXPECT_EQ(similar.query_class, core::QueryClass::kSimilarity);
+  EXPECT_DOUBLE_EQ(similar.sim_threshold, 0.9);
+  EXPECT_EQ(similar.params.max_hops, 2);
+}
+
 TEST(OverlayEngine, EngineConfigIsPreserved) {
   auto cfg = small_config();
   TestEngine e(cfg);

@@ -1,0 +1,204 @@
+// Ranked-query-plane battery, in three movements:
+//
+//   1. Byte-identity pins: the QuerySpec/SearchContext redesign routes
+//      every simulator through the new dispatch, so each golden
+//      configuration's metric fingerprint is pinned to the value captured
+//      from the pre-redesign positional dispatch.  Any accounting drift
+//      in the migration — an extra RNG draw, a reordered transmit, a
+//      changed message count — moves the digest and fails loudly.
+//
+//   2. Top-k behavioral pins: FD-style ranked search must keep the
+//      per-query satisfied verdict identical to the flood (it only
+//      withholds last-hop forwards whose score bound cannot contribute)
+//      while sending measurably less query traffic; the invariant
+//      checker certifies every outcome against the spec (k bound, score
+//      ordering) as the run goes.
+//
+//   3. LSH behavioral pins: banded bucket routing is deterministic,
+//      prunes the gather phase hard, and every reported neighbor clears
+//      the similarity threshold (checker-enforced per search).
+//
+// The golden configurations are shared with determinism_test.cpp via
+// sim_fingerprints.h; runs here keep the suite in the PR fast tier
+// (label: scheme).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/invariants.h"
+#include "sim/policy.h"
+#include "sim_fingerprints.h"
+
+namespace dsf {
+namespace {
+
+using simtest::fingerprint;
+
+// --- byte-identity pins (all four sims, default exact-match flood) -------
+
+// Captured from the positional dispatch_search immediately before the
+// QuerySpec/SearchContext migration, at the shared golden configurations.
+constexpr std::uint64_t kGnutellaGolden = 0xb9277ed18171a2a5ULL;
+constexpr std::uint64_t kDigLibGolden = 0xd7f24cb668478baeULL;
+constexpr std::uint64_t kOlapGolden = 0xe88d3bb0331b9740ULL;
+constexpr std::uint64_t kWebCacheGolden = 0x46a492fd4f3b797bULL;
+
+TEST(SchemeGolden, GnutellaByteIdenticalAcrossRedesign) {
+  // The checker rides along: exact-match outcomes must carry no scores
+  // and no pruned subtrees (violation class "scheme"), and attaching the
+  // checker must not perturb the digest.
+  sim::InvariantChecker checker;
+  gnutella::Simulation sim(simtest::golden_gnutella_config());
+  sim.attach_checker(&checker);
+  EXPECT_EQ(fingerprint(sim.run()).value(), kGnutellaGolden);
+  checker.check_overlay(sim.overlay());
+  checker.check_ledger(sim.ledger());
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(SchemeGolden, DigLibByteIdenticalAcrossRedesign) {
+  sim::InvariantChecker checker;
+  diglib::DigLibSim sim(simtest::golden_diglib_config());
+  sim.attach_checker(&checker);
+  EXPECT_EQ(fingerprint(sim.run()).value(), kDigLibGolden);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(SchemeGolden, OlapByteIdenticalAcrossRedesign) {
+  EXPECT_EQ(fingerprint(olap::OlapSim(simtest::golden_olap_config()).run())
+                .value(),
+            kOlapGolden);
+}
+
+TEST(SchemeGolden, WebCacheByteIdenticalAcrossRedesign) {
+  EXPECT_EQ(
+      fingerprint(webcache::WebCacheSim(simtest::golden_webcache_config()).run())
+          .value(),
+      kWebCacheGolden);
+}
+
+// --- top-k behavioral pins ------------------------------------------------
+
+/// Shortened golden gnutella configuration for the scheme comparisons:
+/// static overlay so the flood and ranked arms see the exact same query
+/// workload (four-lane RNG keeps the query lane independent of search
+/// messaging), traded horizon for wall-clock.
+gnutella::Config scheme_gnutella_config() {
+  auto c = simtest::golden_gnutella_config().as_static();
+  c.sim_hours = 1.0;
+  c.warmup_hours = 0.25;
+  return c;
+}
+
+TEST(TopKScheme, EqualHitVerdictsWithLessQueryTraffic) {
+  const auto config = scheme_gnutella_config();
+  const auto flood = gnutella::Simulation(config).run();
+
+  auto ranked_config = config;
+  ranked_config.search_strategy = sim::SearchStrategyKind::kTopK;
+  ranked_config.top_k = 4;
+  sim::InvariantChecker checker;
+  gnutella::Simulation sim(ranked_config);
+  sim.attach_checker(&checker);
+  const auto ranked = sim.run();
+
+  // Static overlay + independent query lane: both arms issue the same
+  // queries, and ranked pruning never withholds a forward that could
+  // change a query's has-a-result verdict.
+  EXPECT_EQ(ranked.queries_issued, flood.queries_issued);
+  EXPECT_EQ(ranked.total_hits(), flood.total_hits());
+  // Results are truncated to the k best per query.
+  EXPECT_LE(ranked.total_results(), flood.total_results());
+  // The savings this scheme exists for: the last hop only chases scored
+  // digests, so query traffic drops well below the flood's (the bench
+  // certifies the >= 3x acceptance bar at full horizon).
+  const auto flood_queries = flood.traffic.total(net::MessageType::kQuery);
+  const auto ranked_queries = ranked.traffic.total(net::MessageType::kQuery);
+  EXPECT_GE(static_cast<double>(flood_queries),
+            2.0 * static_cast<double>(ranked_queries));
+
+  checker.check_overlay(sim.overlay());
+  checker.check_ledger(sim.ledger());
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.events_seen(), 0u)
+      << "checker attached but no traffic was traced";
+}
+
+TEST(TopKScheme, SameSeedSameFingerprint) {
+  auto config = scheme_gnutella_config();
+  config.search_strategy = sim::SearchStrategyKind::kTopK;
+  config.top_k = 4;
+  const auto a = fingerprint(gnutella::Simulation(config).run());
+  const auto b = fingerprint(gnutella::Simulation(config).run());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(TopKScheme, DigLibRankedRetrievalHonorsTheKBound) {
+  // diglib runs on the compact (single-lane) RNG layout, so a flood arm
+  // is not draw-for-draw comparable; the pins here are the ranked
+  // contract itself: ranked retrieval still satisfies queries, never
+  // returns more than k copies per query (checker-certified per search),
+  // and is deterministic.
+  auto config = simtest::golden_diglib_config();
+  config.search_strategy = sim::SearchStrategyKind::kTopK;
+  config.top_k = 2;
+  sim::InvariantChecker checker;
+  diglib::DigLibSim sim(config);
+  sim.attach_checker(&checker);
+  const auto ranked = sim.run();
+
+  EXPECT_GT(ranked.queries, 0u);
+  EXPECT_GT(ranked.satisfied, 0u);
+  EXPECT_LE(ranked.copies_found, config.top_k * ranked.queries);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+
+  const auto again = fingerprint(diglib::DigLibSim(config).run());
+  EXPECT_EQ(fingerprint(ranked).value(), again.value());
+}
+
+// --- LSH behavioral pins --------------------------------------------------
+
+TEST(LshScheme, BucketRoutingPrunesAndStaysCertified) {
+  const auto config = scheme_gnutella_config();
+  const auto flood = gnutella::Simulation(config).run();
+
+  auto lsh_config = config;
+  lsh_config.search_strategy = sim::SearchStrategyKind::kLsh;
+  lsh_config.sim_threshold = 0.2;
+  sim::InvariantChecker checker;
+  gnutella::Simulation sim(lsh_config);
+  sim.attach_checker(&checker);
+  const auto lsh = sim.run();
+
+  // Same query arrivals; the gather phase follows bucket collisions only,
+  // so the similarity scheme sends far less than an exhaustive flood.
+  EXPECT_EQ(lsh.queries_issued, flood.queries_issued);
+  EXPECT_LT(lsh.traffic.total(net::MessageType::kQuery),
+            flood.traffic.total(net::MessageType::kQuery));
+  // Every reported neighbor cleared the threshold — the checker verified
+  // each outcome against the similarity spec as the run went.
+  checker.check_overlay(sim.overlay());
+  checker.check_ledger(sim.ledger());
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.events_seen(), 0u);
+}
+
+TEST(LshScheme, SameSeedSameFingerprint) {
+  auto config = scheme_gnutella_config();
+  config.search_strategy = sim::SearchStrategyKind::kLsh;
+  config.sim_threshold = 0.2;
+  const auto a = fingerprint(gnutella::Simulation(config).run());
+  const auto b = fingerprint(gnutella::Simulation(config).run());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(LshScheme, DigLibRejectsSimilarityQueries) {
+  auto config = simtest::golden_diglib_config();
+  config.search_strategy = sim::SearchStrategyKind::kLsh;
+  EXPECT_THROW(diglib::DigLibSim{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -134,11 +134,20 @@ cli::FlagRegistry make_registry() {
       .add_double("hours", -1.0, "simulated hours")
       .add_double("warmup", -1.0, "gnutella warm-up hours")
       .add_int("seed", -1, "master seed (default 42/7/11/17 by scenario)")
-      .add_string("strategy", "flood",
-                  "gnutella search: flood|iterative|directed|local-indices")
       .add_bool("library-growth", false, "gnutella: downloads grow libraries")
       .add_bool("exclude-owned", false, "gnutella: re-draw owned songs")
       .add_string("mode", "adaptive", "diglib list mode: all|static|adaptive");
+
+  reg.group("ranked query plane");
+  reg.add_string("search-scheme", "flood",
+                 "query scheme: flood|iterative|directed|local-indices|"
+                 "top-k|lsh (gnutella: all; diglib: all but lsh)")
+      .add_int("top-k", 1, "top-k: results the initiator wants (>= 1)")
+      .add_int("lsh-bands", 16, "lsh: signature bands (>= 1)")
+      .add_int("lsh-rows", 4, "lsh: min-hash rows per band (>= 1)")
+      .add_double("sim-threshold", 0.5,
+                  "lsh: minimum estimated Jaccard similarity in [0, 1]");
+  reg.alias("strategy", "search-scheme");
 
   reg.group("parallel execution");
   reg.add_int("shards", 1,
@@ -517,12 +526,36 @@ struct LoadContext {
   }
 };
 
-gnutella::SearchStrategy parse_strategy(const std::string& s) {
-  if (s == "flood") return gnutella::SearchStrategy::kFlood;
-  if (s == "iterative") return gnutella::SearchStrategy::kIterativeDeepening;
-  if (s == "directed") return gnutella::SearchStrategy::kDirectedBft;
-  if (s == "local-indices") return gnutella::SearchStrategy::kLocalIndices;
-  throw std::invalid_argument("--strategy: unknown value: " + s);
+/// Parses and cross-validates the ranked-query flag group: scheme-specific
+/// flags are rejected unless their scheme is selected, and each value is
+/// range-checked.  Every violation is a typed FlagError (usage exit 2).
+sim::SearchStrategyKind ranked_scheme(const cli::FlagRegistry& reg) {
+  sim::SearchStrategyKind kind;
+  try {
+    kind = sim::parse_search_strategy(reg.get_string("search-scheme"));
+  } catch (const std::invalid_argument& e) {
+    throw cli::FlagError(e.what());
+  }
+  const bool topk = kind == sim::SearchStrategyKind::kTopK;
+  const bool lsh = kind == sim::SearchStrategyKind::kLsh;
+  if (reg.was_set("top-k") && !topk)
+    throw cli::FlagError("--top-k: requires --search-scheme top-k");
+  for (const char* flag : {"lsh-bands", "lsh-rows", "sim-threshold"})
+    if (reg.was_set(flag) && !lsh)
+      throw cli::FlagError(std::string("--") + flag +
+                           ": requires --search-scheme lsh");
+  if (topk && reg.get_int("top-k") < 1)
+    throw cli::FlagError("--top-k: must be >= 1");
+  if (lsh) {
+    if (reg.get_int("lsh-bands") < 1)
+      throw cli::FlagError("--lsh-bands: must be >= 1");
+    if (reg.get_int("lsh-rows") < 1)
+      throw cli::FlagError("--lsh-rows: must be >= 1");
+    const double t = reg.get_double("sim-threshold");
+    if (!(t >= 0.0 && t <= 1.0))
+      throw cli::FlagError("--sim-threshold: must lie in [0, 1]");
+  }
+  return kind;
 }
 
 int run_gnutella(const cli::FlagRegistry& reg, bool json) {
@@ -535,7 +568,11 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
   c.sim_hours = double_or(reg, "hours", c.sim_hours);
   c.warmup_hours = double_or(reg, "warmup", c.warmup_hours);
   c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 42));
-  c.search_strategy = parse_strategy(reg.get_string("strategy"));
+  c.search_strategy = ranked_scheme(reg);
+  c.top_k = static_cast<std::uint32_t>(reg.get_int("top-k"));
+  c.lsh_bands = static_cast<std::uint32_t>(reg.get_int("lsh-bands"));
+  c.lsh_rows = static_cast<std::uint32_t>(reg.get_int("lsh-rows"));
+  c.sim_threshold = reg.get_double("sim-threshold");
   c.library_growth = reg.get_bool("library-growth");
   c.exclude_owned_songs = reg.get_bool("exclude-owned");
 
@@ -557,6 +594,8 @@ int run_gnutella(const cli::FlagRegistry& reg, bool json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("gnutella"))
         .set("dynamic", metrics::JsonValue::boolean(c.dynamic))
+        .set("search_scheme",
+             metrics::JsonValue::string(sim::to_string(c.search_strategy)))
         .set("hops", metrics::JsonValue::number(std::int64_t{c.max_hops}))
         .set("queries", metrics::JsonValue::number(r.queries_issued))
         .set("hits", metrics::JsonValue::number(r.total_hits()))
@@ -697,6 +736,13 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
   }
   c.sim_hours = double_or(reg, "hours", c.sim_hours);
   c.seed = static_cast<std::uint64_t>(int_or(reg, "seed", 17));
+  const auto scheme = ranked_scheme(reg);
+  if (scheme == sim::SearchStrategyKind::kLsh)
+    throw cli::FlagError(
+        "--search-scheme lsh: diglib repositories advertise no similarity "
+        "signatures");
+  c.search_strategy = scheme;
+  c.top_k = static_cast<std::uint32_t>(reg.get_int("top-k"));
 
   FaultContext fault(reg);
   AdversaryContext adv(reg);
@@ -716,6 +762,8 @@ int run_diglib(const cli::FlagRegistry& reg, bool json) {
     metrics::JsonValue out = metrics::JsonValue::object();
     out.set("scenario", metrics::JsonValue::string("diglib"))
         .set("mode", metrics::JsonValue::string(mode))
+        .set("search_scheme",
+             metrics::JsonValue::string(sim::to_string(c.search_strategy)))
         .set("queries", metrics::JsonValue::number(r.queries))
         .set("hit_rate", metrics::JsonValue::number(r.hit_rate()))
         .set("recall", metrics::JsonValue::number(r.recall()))
